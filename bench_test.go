@@ -1,0 +1,333 @@
+// Benchmarks regenerating every figure of the paper's evaluation (§8)
+// plus ablations of the design choices DESIGN.md calls out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Figure benches report the series the paper plots as custom metrics
+// (qpm = queries/minute, lpm = loads/minute, ratio_* = relative
+// runtimes); cmd/eon-bench prints the same data as tables.
+package eon
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"eon/internal/core"
+	"eon/internal/experiments"
+	"eon/internal/types"
+	"eon/internal/workload"
+)
+
+// --- Figure 10: TPC-H queries, Enterprise vs Eon in-cache vs Eon S3 ---
+
+func BenchmarkFig10_TPCH(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig10(experiments.Fig10Options{Scale: 0.05, Reps: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var ent, cache, s3 time.Duration
+		for _, r := range rows {
+			ent += r.Enterprise
+			cache += r.EonCache
+			s3 += r.EonS3
+		}
+		b.ReportMetric(float64(cache)/float64(ent), "ratio_eonCache_vs_ent")
+		b.ReportMetric(float64(s3)/float64(cache), "ratio_eonS3_vs_cache")
+	}
+}
+
+// --- Figure 11a: elastic throughput scaling ---
+
+func BenchmarkFig11a_ElasticThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := experiments.Fig11a(experiments.Fig11aOptions{
+			Scale:         0.02,
+			Window:        time.Second,
+			Threads:       []int{24},
+			EonNodeCounts: []int{3, 6, 9},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range series {
+			b.ReportMetric(s.QPM[0], "qpm_"+sanitize(s.Label))
+		}
+	}
+}
+
+// --- Figure 11b: concurrent small-COPY throughput ---
+
+func BenchmarkFig11b_CopyThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := experiments.Fig11b(experiments.Fig11bOptions{
+			Window:        time.Second,
+			Threads:       []int{16},
+			EonNodeCounts: []int{3, 6, 9},
+			RowsPerLoad:   200,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range series {
+			b.ReportMetric(s.LPM[0], "lpm_"+sanitize(s.Label))
+		}
+	}
+}
+
+// --- Figure 12: throughput through a node kill ---
+
+func BenchmarkFig12_NodeDown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig12(experiments.Fig12Options{
+			Mode: core.ModeEon, Scale: 0.02,
+			Threads: 20, Window: 500 * time.Millisecond, NumWindows: 8, KillWindow: 4,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		before, after := res.BeforeAfter()
+		if before > 0 {
+			b.ReportMetric(after/before, "throughput_retained")
+		}
+	}
+}
+
+// --- §8 elasticity: node addition cost ---
+
+func BenchmarkElasticity_AddNode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Elasticity(0.05)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.AddNodeTime.Microseconds()), "addnode_us")
+		b.ReportMetric(float64(res.BytesWarmed), "bytes_warmed")
+	}
+}
+
+// --- Ablations ---
+
+// Running every query against shared storage vs through the cache (§5.2
+// motivation for the cache's existence).
+func BenchmarkAblation_CacheOff(b *testing.B) {
+	db, _, err := experiments.NewEonCluster(3, 3, 2, 0, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := experiments.LoadTPCH(db, 0.05); err != nil {
+		b.Fatal(err)
+	}
+	warm := db.NewSession()
+	if _, err := warm.Query(workload.DashboardQuery); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("cache", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := warm.Query(workload.DashboardQuery); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("no-cache", func(b *testing.B) {
+		cold := db.NewSession()
+		cold.BypassCache = true
+		for i := 0; i < b.N; i++ {
+			for _, n := range db.Nodes() {
+				n.Cache().Clear(db.Context())
+			}
+			if _, err := cold.Query(workload.DashboardQuery); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// S < E gives linear per-node scale-out; S close to N*E steps (§4.2 slot
+// arithmetic). Compare throughput at different shard counts on a fixed
+// cluster.
+func BenchmarkAblation_ShardCount(b *testing.B) {
+	for _, shards := range []int{1, 3, 8} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			db, _, err := experiments.NewEonCluster(4, shards, 4, 2*time.Millisecond, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := experiments.LoadTPCH(db, 0.02); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := db.NewSession().Query(workload.DashboardQuery); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := db.NewSession().Query(workload.DashboardQuery); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// Hash-filter vs container-split crunch scaling (§4.4).
+func BenchmarkAblation_CrunchScaling(b *testing.B) {
+	db, _, err := experiments.NewEonCluster(4, 2, 4, 0, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := experiments.LoadTPCH(db, 0.1); err != nil {
+		b.Fatal(err)
+	}
+	q := workload.NodeDownQuery
+	if _, err := db.NewSession().Query(q); err != nil {
+		b.Fatal(err)
+	}
+	for name, mode := range map[string]core.CrunchMode{
+		"off": core.CrunchOff, "hash-filter": core.CrunchHashFilter, "container-split": core.CrunchContainerSplit,
+	} {
+		b.Run(name, func(b *testing.B) {
+			s := db.NewSession()
+			s.Crunch = mode
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Query(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Node recovery with peer cache warming vs a cold cache (§5.2, §6.1):
+// first-query latency on the recovered node's shards.
+func BenchmarkAblation_PeerWarming(b *testing.B) {
+	run := func(b *testing.B, clearAfterRecovery bool) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			db, _, err := experiments.NewEonCluster(3, 3, 3, 0, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := experiments.LoadTPCH(db, 0.05); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := db.NewSession().Query(workload.NodeDownQuery); err != nil {
+				b.Fatal(err)
+			}
+			if err := db.KillNode("node3"); err != nil {
+				b.Fatal(err)
+			}
+			n3, _ := db.Node("node3")
+			n3.Cache().Clear(db.Context()) // instance storage lost
+			if err := db.RecoverNode("node3"); err != nil {
+				b.Fatal(err)
+			}
+			if clearAfterRecovery {
+				n3.Cache().Clear(db.Context())
+			}
+			b.StartTimer()
+			if _, err := db.NewSession().Query(workload.NodeDownQuery); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("warmed", func(b *testing.B) { run(b, false) })
+	b.Run("cold", func(b *testing.B) { run(b, true) })
+}
+
+// Write-through vs write-around on load (§5.2: "newly added files are
+// likely to be referenced by queries"): read latency right after a load.
+func BenchmarkAblation_WriteThrough(b *testing.B) {
+	run := func(b *testing.B, writeThrough bool) {
+		db, _, err := experiments.NewEonCluster(3, 3, 2, 0, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := experiments.LoadTPCH(db, 0.05); err != nil {
+			b.Fatal(err)
+		}
+		if !writeThrough {
+			for _, n := range db.Nodes() {
+				n.Cache().Clear(db.Context())
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.NewSession().Query(workload.NodeDownQuery); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("write-through", func(b *testing.B) { run(b, true) })
+	b.Run("write-around", func(b *testing.B) { run(b, false) })
+}
+
+// Live aggregate projection (S2.1) vs aggregating the base data: the LAP
+// scans a few pre-aggregated rows instead of every base row.
+func BenchmarkAblation_LiveAggregate(b *testing.B) {
+	db, _, err := experiments.NewEonCluster(3, 3, 2, 0, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, q := range []string{
+		`CREATE TABLE clicks (region VARCHAR, hits INTEGER)`,
+		`CREATE PROJECTION clicks_super AS SELECT * FROM clicks ORDER BY region SEGMENTED BY HASH(region) ALL NODES`,
+		`CREATE PROJECTION clicks_agg AS SELECT region, COUNT(*) AS n, SUM(hits) AS total FROM clicks GROUP BY region`,
+	} {
+		if _, err := db.NewSession().Execute(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := db.LoadRows("clicks", makeClicks(50000)); err != nil {
+		b.Fatal(err)
+	}
+	s := db.NewSession()
+	lapQ := `SELECT region, COUNT(*) AS n, SUM(hits) AS total FROM clicks GROUP BY region`
+	baseQ := `SELECT region, COUNT(*) AS n, SUM(hits) AS total, AVG(hits) AS m FROM clicks GROUP BY region`
+	for _, q := range []string{lapQ, baseQ} {
+		if _, err := s.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("live-aggregate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Query(lapQ); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("base-projection", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Query(baseQ); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func makeClicks(n int) *types.Batch {
+	schema := types.Schema{
+		{Name: "region", Type: types.Varchar},
+		{Name: "hits", Type: types.Int64},
+	}
+	regions := []string{"east", "west", "north", "south"}
+	b := types.NewBatch(schema, n)
+	for i := 0; i < n; i++ {
+		b.AppendRow(types.Row{types.NewString(regions[i%4]), types.NewInt(int64(i % 100))})
+	}
+	return b
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		if r == ' ' {
+			out = append(out, '_')
+			continue
+		}
+		out = append(out, r)
+	}
+	return string(out)
+}

@@ -1,0 +1,173 @@
+// Command eon-bench regenerates the paper's evaluation figures (§8) and
+// prints the same rows/series each figure plots.
+//
+// Usage:
+//
+//	eon-bench fig10 [-scale 0.2] [-reps 3]
+//	eon-bench fig11a [-scale 0.02] [-window 600ms]
+//	eon-bench fig11b [-window 600ms]
+//	eon-bench fig12 [-scale 0.02]
+//	eon-bench elasticity [-scale 0.2]
+//	eon-bench all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"eon/internal/core"
+	"eon/internal/experiments"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	args := os.Args[2:]
+	var err error
+	switch cmd {
+	case "fig10":
+		err = runFig10(args)
+	case "fig11a":
+		err = runFig11a(args)
+	case "fig11b":
+		err = runFig11b(args)
+	case "fig12":
+		err = runFig12(args)
+	case "elasticity":
+		err = runElasticity(args)
+	case "all":
+		for _, fn := range []func([]string) error{runFig10, runFig11a, runFig11b, runFig12, runElasticity} {
+			if err = fn(nil); err != nil {
+				break
+			}
+			fmt.Println()
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eon-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: eon-bench <fig10|fig11a|fig11b|fig12|elasticity|all> [flags]`)
+}
+
+func runFig10(args []string) error {
+	fs := flag.NewFlagSet("fig10", flag.ExitOnError)
+	scale := fs.Float64("scale", 0.2, "TPC-H scale factor")
+	reps := fs.Int("reps", 3, "repetitions per query (median reported)")
+	fs.Parse(args)
+
+	fmt.Printf("Figure 10: TPC-H query runtimes, Enterprise vs Eon (scale %.2f)\n", *scale)
+	rows, err := experiments.Fig10(experiments.Fig10Options{Scale: *scale, Reps: *reps})
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "query\tenterprise\teon in-cache\teon from S3")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%v\t%v\t%v\n", r.Query,
+			r.Enterprise.Round(time.Microsecond),
+			r.EonCache.Round(time.Microsecond),
+			r.EonS3.Round(time.Microsecond))
+	}
+	return w.Flush()
+}
+
+func runFig11a(args []string) error {
+	fs := flag.NewFlagSet("fig11a", flag.ExitOnError)
+	scale := fs.Float64("scale", 0.02, "TPC-H scale factor")
+	window := fs.Duration("window", 600*time.Millisecond, "measurement window per point")
+	fs.Parse(args)
+
+	fmt.Println("Figure 11a: dashboard query throughput (queries/minute) via elastic throughput scaling")
+	series, err := experiments.Fig11a(experiments.Fig11aOptions{Scale: *scale, Window: *window})
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprint(w, "threads")
+	for _, s := range series {
+		fmt.Fprintf(w, "\t%s", s.Label)
+	}
+	fmt.Fprintln(w)
+	for ti, th := range series[0].Threads {
+		fmt.Fprintf(w, "%d", th)
+		for _, s := range series {
+			fmt.Fprintf(w, "\t%.0f", s.QPM[ti])
+		}
+		fmt.Fprintln(w)
+	}
+	return w.Flush()
+}
+
+func runFig11b(args []string) error {
+	fs := flag.NewFlagSet("fig11b", flag.ExitOnError)
+	window := fs.Duration("window", 600*time.Millisecond, "measurement window per point")
+	fs.Parse(args)
+
+	fmt.Println("Figure 11b: concurrent small-COPY throughput (loads/minute)")
+	series, err := experiments.Fig11b(experiments.Fig11bOptions{Window: *window})
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprint(w, "threads")
+	for _, s := range series {
+		fmt.Fprintf(w, "\t%s", s.Label)
+	}
+	fmt.Fprintln(w)
+	for ti, th := range series[0].Threads {
+		fmt.Fprintf(w, "%d", th)
+		for _, s := range series {
+			fmt.Fprintf(w, "\t%.0f", s.LPM[ti])
+		}
+		fmt.Fprintln(w)
+	}
+	return w.Flush()
+}
+
+func runFig12(args []string) error {
+	fs := flag.NewFlagSet("fig12", flag.ExitOnError)
+	scale := fs.Float64("scale", 0.02, "TPC-H scale factor")
+	fs.Parse(args)
+
+	fmt.Println("Figure 12: throughput trace, kill 1 node mid-run (queries per window)")
+	for _, mode := range []core.Mode{core.ModeEon, core.ModeEnterprise} {
+		res, err := experiments.Fig12(experiments.Fig12Options{Mode: mode, Scale: *scale, Threads: 20, NumWindows: 8, KillWindow: 4})
+		if err != nil {
+			return err
+		}
+		before, after := res.BeforeAfter()
+		fmt.Printf("%-22s windows=%v  (kill at window %d; retained %.0f%%)\n",
+			res.Label+":", res.WindowCounts, res.KillWindow, 100*after/before)
+	}
+	return nil
+}
+
+func runElasticity(args []string) error {
+	fs := flag.NewFlagSet("elasticity", flag.ExitOnError)
+	scale := fs.Float64("scale", 0.2, "TPC-H scale factor")
+	fs.Parse(args)
+
+	fmt.Println("Elasticity (§8): add a node to a loaded 3-node Eon cluster")
+	res, err := experiments.Elasticity(*scale)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  add-node wall time:     %v\n", res.AddNodeTime.Round(time.Millisecond))
+	fmt.Printf("  cache bytes warmed:     %d\n", res.BytesWarmed)
+	fmt.Printf("  dataset bytes (total):  %d  (an Enterprise rebalance would reshuffle all of it)\n", res.DatasetBytes)
+	fmt.Printf("  shards served by node4: %d\n", res.NewNodeServes)
+	return nil
+}

@@ -1,0 +1,229 @@
+// Command eonctl is an interactive SQL shell over an in-process cluster —
+// the vsql of this reproduction. Statements are read line by line
+// (terminated by ';'); results print as aligned tables. Backslash
+// commands drive cluster operations:
+//
+//	\kill <node>       simulate a node failure
+//	\recover <node>    recover a failed node
+//	\addnode <node>    grow the cluster
+//	\removenode <node> drain and remove a node
+//	\tuplemover        run moveout + mergeout
+//	\sync              sync metadata to shared storage
+//	\gc                run the file garbage collector
+//	\nodes             list nodes and subscriptions
+//	\copytable a b     snapshot-copy table a to b (shared files)
+//	\droppartition t k drop a table partition
+//	\movepartition a b k  move a partition between tables
+//	\refresh t         refresh flattened columns of t
+//	\tpch <scale>      create and load the TPC-H-shaped dataset
+//	\q                 quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"eon"
+	"eon/internal/workload"
+)
+
+func main() {
+	mode := flag.String("mode", "eon", "cluster mode: eon or enterprise")
+	nodes := flag.Int("nodes", 3, "node count")
+	shards := flag.Int("shards", 3, "segment shard count (eon)")
+	flag.Parse()
+
+	cfg := eon.Config{ShardCount: *shards}
+	if *mode == "enterprise" {
+		cfg.Mode = eon.ModeEnterprise
+	} else {
+		cfg.Mode = eon.ModeEon
+	}
+	for i := 1; i <= *nodes; i++ {
+		cfg.Nodes = append(cfg.Nodes, eon.NodeSpec{Name: fmt.Sprintf("node%d", i)})
+	}
+	db, err := eon.Create(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eonctl:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("eonctl: %d-node %s cluster ready. Terminate statements with ';', \\q to quit.\n", *nodes, cfg.Mode)
+
+	session := db.NewSession()
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("eon=> ")
+		} else {
+			fmt.Print("eon-> ")
+		}
+	}
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			if trimmed == "\\q" {
+				return
+			}
+			if err := backslash(db, trimmed); err != nil {
+				fmt.Println("error:", err)
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.HasSuffix(trimmed, ";") {
+			stmt := buf.String()
+			buf.Reset()
+			run(session, stmt)
+		}
+		prompt()
+	}
+}
+
+func run(session *eon.Session, stmt string) {
+	res, err := session.Execute(stmt)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if res == nil || res.Batch == nil || len(res.Columns) == 0 {
+		fmt.Println("OK")
+		return
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, strings.Join(res.Columns, "\t"))
+	for _, row := range res.Rows() {
+		parts := make([]string, len(row))
+		for i, d := range row {
+			parts[i] = d.String()
+		}
+		fmt.Fprintln(w, strings.Join(parts, "\t"))
+	}
+	w.Flush()
+	fmt.Printf("(%d rows)\n", res.NumRows())
+}
+
+func backslash(db *eon.DB, cmd string) error {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case "\\kill":
+		if len(fields) < 2 {
+			return fmt.Errorf("usage: \\kill <node>")
+		}
+		return db.KillNode(fields[1])
+	case "\\recover":
+		if len(fields) < 2 {
+			return fmt.Errorf("usage: \\recover <node>")
+		}
+		return db.RecoverNode(fields[1])
+	case "\\addnode":
+		if len(fields) < 2 {
+			return fmt.Errorf("usage: \\addnode <node>")
+		}
+		return db.AddNode(eon.NodeSpec{Name: fields[1]})
+	case "\\removenode":
+		if len(fields) < 2 {
+			return fmt.Errorf("usage: \\removenode <node>")
+		}
+		return db.RemoveNode(fields[1])
+	case "\\tuplemover":
+		stats, err := db.RunTupleMover()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("mergeout: %d jobs, %d containers merged, %d rows purged\n",
+			stats.Jobs, stats.ContainersMerged, stats.RowsPurged)
+		return nil
+	case "\\sync":
+		if err := db.SyncMetadata(); err != nil {
+			return err
+		}
+		fmt.Printf("truncation version now %d\n", db.TruncationVersion())
+		return nil
+	case "\\gc":
+		n, err := db.RunGC()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("deleted %d files\n", n)
+		return nil
+	case "\\nodes":
+		inner := db.Internal()
+		for _, n := range inner.Nodes() {
+			status := "UP"
+			if !n.Up() {
+				status = "DOWN"
+			}
+			subs := n.Catalog().Snapshot().Subscriptions(n.Name())
+			var parts []string
+			for _, s := range subs {
+				parts = append(parts, fmt.Sprintf("%d:%s", s.ShardIndex, s.State))
+			}
+			fmt.Printf("  %-8s %-5s subscriptions: %s\n", n.Name(), status, strings.Join(parts, " "))
+		}
+		return nil
+	case "\\copytable":
+		if len(fields) < 3 {
+			return fmt.Errorf("usage: \\copytable <src> <dst>")
+		}
+		return db.CopyTable(fields[1], fields[2])
+	case "\\droppartition":
+		if len(fields) < 3 {
+			return fmt.Errorf("usage: \\droppartition <table> <key>")
+		}
+		n, err := db.DropPartition(fields[1], fields[2])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("dropped %d containers\n", n)
+		return nil
+	case "\\movepartition":
+		if len(fields) < 4 {
+			return fmt.Errorf("usage: \\movepartition <src> <dst> <key>")
+		}
+		n, err := db.MovePartition(fields[1], fields[2], fields[3])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("moved %d containers\n", n)
+		return nil
+	case "\\refresh":
+		if len(fields) < 2 {
+			return fmt.Errorf("usage: \\refresh <table>")
+		}
+		n, err := db.RefreshColumns(fields[1])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("rewrote %d containers\n", n)
+		return nil
+	case "\\tpch":
+		scale := 0.05
+		if len(fields) > 1 {
+			if v, err := strconv.ParseFloat(fields[1], 64); err == nil {
+				scale = v
+			}
+		}
+		w := workload.DefaultTPCH(scale)
+		err := w.Setup(func(sql string) error {
+			_, err := db.Execute(sql)
+			return err
+		}, db.LoadRows)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("TPC-H dataset loaded at scale %.2f\n", scale)
+		return nil
+	}
+	return fmt.Errorf("unknown command %s", fields[0])
+}

@@ -1,0 +1,261 @@
+// Package eon is a from-scratch reproduction of "Eon Mode: Bringing the
+// Vertica Columnar Database to the Cloud" (Vandiver et al., SIGMOD 2018):
+// a distributed columnar SQL analytics engine that runs in either the
+// classic shared-nothing Enterprise mode or in Eon mode, where data and
+// metadata live on a shared object store and compute nodes subscribe to
+// segment shards of a hash space.
+//
+// The library simulates a multi-node cluster in process: nodes have
+// their own catalogs, caches and local disks; shared storage, network
+// latency and node failures are modeled. The same SQL front end,
+// optimizer and vectorized execution engine serve both modes.
+//
+// Quick start:
+//
+//	db, _ := eon.Create(eon.Config{
+//	    Mode:       eon.ModeEon,
+//	    Nodes:      []eon.NodeSpec{{Name: "n1"}, {Name: "n2"}, {Name: "n3"}},
+//	    ShardCount: 3,
+//	})
+//	s := db.NewSession()
+//	s.Execute(`CREATE TABLE sales (id INTEGER, region VARCHAR, price FLOAT)`)
+//	s.Execute(`INSERT INTO sales VALUES (1, 'east', 9.99)`)
+//	res, _ := s.Query(`SELECT region, COUNT(*) FROM sales GROUP BY region`)
+package eon
+
+import (
+	"eon/internal/core"
+	"eon/internal/netsim"
+	"eon/internal/objstore"
+	"eon/internal/types"
+)
+
+// Mode selects the architecture: ModeEnterprise (shared-nothing, buddy
+// projections, WOS) or ModeEon (shared storage, shards, caches).
+type Mode = core.Mode
+
+// The two modes.
+const (
+	ModeEnterprise = core.ModeEnterprise
+	ModeEon        = core.ModeEon
+)
+
+// Config configures a database cluster. Zero values get sensible
+// defaults; only Nodes is required.
+type Config = core.Config
+
+// NodeSpec describes one cluster member.
+type NodeSpec = core.NodeSpec
+
+// Session is a client connection; safe to create per goroutine.
+type Session = core.Session
+
+// Result is a query result set.
+type Result = core.Result
+
+// CrunchMode selects the §4.4 crunch-scaling mechanism.
+type CrunchMode = core.CrunchMode
+
+// Crunch scaling modes.
+const (
+	CrunchOff            = core.CrunchOff
+	CrunchHashFilter     = core.CrunchHashFilter
+	CrunchContainerSplit = core.CrunchContainerSplit
+)
+
+// MergeoutStats reports one tuple-mover pass.
+type MergeoutStats = core.MergeoutStats
+
+// DB is a database cluster.
+type DB struct {
+	inner *core.DB
+}
+
+// Create initializes a new cluster.
+func Create(cfg Config) (*DB, error) {
+	inner, err := core.Create(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{inner: inner}, nil
+}
+
+// Revive starts an Eon cluster from the contents of shared storage after
+// a shutdown or catastrophic instance loss (paper §3.5). cfg.Shared must
+// point at the storage; the node set defaults to the previous cluster's.
+func Revive(cfg Config) (*DB, error) {
+	inner, err := core.Revive(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{inner: inner}, nil
+}
+
+// Internal exposes the underlying engine for benchmarks and tests that
+// need sub-system access (caches, catalogs, the simulated network).
+func (db *DB) Internal() *core.DB { return db.inner }
+
+// Mode returns the cluster's architecture.
+func (db *DB) Mode() Mode { return db.inner.Mode() }
+
+// NewSession opens a session.
+func (db *DB) NewSession() *Session { return db.inner.NewSession() }
+
+// NewSessionOn opens a session pinned to a subcluster: queries run only
+// on its nodes while they can cover all shards (paper §4.3).
+func (db *DB) NewSessionOn(subcluster string) *Session {
+	return db.inner.NewSessionOn(subcluster)
+}
+
+// Execute runs one SQL statement on a fresh session.
+func (db *DB) Execute(sql string) (*Result, error) {
+	return db.NewSession().Execute(sql)
+}
+
+// LoadRows bulk-loads a batch of rows (columns in table order) — the
+// COPY path of paper §4.5 / Figure 8.
+func (db *DB) LoadRows(table string, batch *Batch) error {
+	return db.inner.LoadRows(table, batch)
+}
+
+// KillNode simulates a node process failure.
+func (db *DB) KillNode(name string) error { return db.inner.KillNode(name) }
+
+// RecoverNode restarts a failed node: catalog catch-up, re-subscription
+// and peer cache warming (paper §6.1).
+func (db *DB) RecoverNode(name string) error { return db.inner.RecoverNode(name) }
+
+// AddNode grows the cluster elastically; only the new node's cache needs
+// filling — no data redistribution (paper §6.4).
+func (db *DB) AddNode(spec NodeSpec) error { return db.inner.AddNode(spec) }
+
+// RemoveNode drains and removes a node.
+func (db *DB) RemoveNode(name string) error { return db.inner.RemoveNode(name) }
+
+// Rebalance re-plans shard subscriptions for fault tolerance and
+// subcluster coverage.
+func (db *DB) Rebalance() error { return db.inner.Rebalance() }
+
+// RunTupleMover performs one moveout pass (Enterprise) and one mergeout
+// pass (both modes; paper §6.2).
+func (db *DB) RunTupleMover() (MergeoutStats, error) {
+	if _, err := db.inner.RunMoveout(); err != nil {
+		return MergeoutStats{}, err
+	}
+	return db.inner.RunMergeout()
+}
+
+// SyncMetadata uploads catalog logs to shared storage and advances the
+// truncation version (paper §3.5). The paper runs this on a timer; call
+// it explicitly here.
+func (db *DB) SyncMetadata() error { return db.inner.SyncMetadata() }
+
+// RunGC deletes unreferenced storage files that are safe to drop (paper
+// §6.5).
+func (db *DB) RunGC() (int, error) { return db.inner.RunGC() }
+
+// ScrubLeakedFiles removes orphan files left by crashes (paper §6.5).
+func (db *DB) ScrubLeakedFiles() ([]string, error) { return db.inner.ScrubLeakedFiles() }
+
+// CopyTable snapshots src as a new table dst whose containers reference
+// the same immutable storage files — no data moves (paper §5.1).
+func (db *DB) CopyTable(src, dst string) error { return db.inner.CopyTable(src, dst) }
+
+// DropPartition removes a table partition as a metadata-only operation;
+// files free once unreferenced.
+func (db *DB) DropPartition(table, partitionKey string) (int, error) {
+	return db.inner.DropPartition(table, partitionKey)
+}
+
+// MovePartition retags a partition's containers from src to a
+// structurally identical dst table (paper §4.5 partition management).
+func (db *DB) MovePartition(src, dst, partitionKey string) (int, error) {
+	return db.inner.MovePartition(src, dst, partitionKey)
+}
+
+// RefreshColumns recomputes a flattened table's denormalized columns
+// after its dimension tables change (paper §2.1).
+func (db *DB) RefreshColumns(table string) (int, error) {
+	return db.inner.RefreshColumns(table)
+}
+
+// SetNeverCacheTable installs the "never cache table T" shaping policy
+// (paper §5.2).
+func (db *DB) SetNeverCacheTable(table string, never bool) {
+	db.inner.SetNeverCacheTable(table, never)
+}
+
+// Shutdown stops the cluster cleanly, uploading remaining metadata and
+// releasing the shared-storage lease so Revive can start immediately.
+func (db *DB) Shutdown() error { return db.inner.Shutdown() }
+
+// IsShutdown reports whether the cluster is down (explicitly or from an
+// invariant violation, paper §3.4).
+func (db *DB) IsShutdown() bool { return db.inner.IsShutdown() }
+
+// TruncationVersion returns the catalog version up to which shared
+// storage holds a complete, revivable record.
+func (db *DB) TruncationVersion() uint64 { return db.inner.TruncationVersion() }
+
+// NewMemStore returns an in-memory shared object store, optionally
+// wrapped in the latency/failure simulator via NewSimStore.
+func NewMemStore() objstore.Store { return objstore.NewMem() }
+
+// SimConfig tunes the shared-storage simulator (latency, bandwidth,
+// throttling, transient failures).
+type SimConfig = objstore.SimConfig
+
+// NewSimStore wraps a backing store with the S3-behaviour simulator.
+func NewSimStore(backend objstore.Store, cfg SimConfig) *objstore.Sim {
+	return objstore.NewSim(backend, cfg)
+}
+
+// LinkCost describes network link latency and bandwidth for the cluster
+// interconnect simulation.
+type LinkCost = netsim.LinkCost
+
+// NewNetwork builds a simulated interconnect with a default link cost.
+func NewNetwork(def LinkCost) *netsim.Network { return netsim.New(def) }
+
+// --- value construction for LoadRows ---
+
+// Type is a SQL scalar type.
+type Type = types.Type
+
+// Scalar types.
+const (
+	Int64     = types.Int64
+	Float64   = types.Float64
+	Varchar   = types.Varchar
+	Bool      = types.Bool
+	Date      = types.Date
+	Timestamp = types.Timestamp
+)
+
+// Schema describes a relation's columns.
+type Schema = types.Schema
+
+// Column is one schema entry.
+type Column = types.Column
+
+// Batch is a columnar slice of rows.
+type Batch = types.Batch
+
+// Row is one tuple.
+type Row = types.Row
+
+// Datum is one nullable scalar value.
+type Datum = types.Datum
+
+// NewBatch allocates an empty batch for a schema.
+func NewBatch(s Schema, capHint int) *Batch { return types.NewBatch(s, capHint) }
+
+// Value constructors.
+var (
+	Int     = types.NewInt
+	Flt     = types.NewFloat
+	Str     = types.NewString
+	Boolean = types.NewBool
+	Day     = types.NewDate
+	Null    = types.NullDatum
+)

@@ -1,0 +1,165 @@
+package eon_test
+
+import (
+	"fmt"
+	"testing"
+
+	"eon"
+)
+
+func newCluster(t *testing.T, mode eon.Mode, n int) *eon.DB {
+	t.Helper()
+	var specs []eon.NodeSpec
+	for i := 1; i <= n; i++ {
+		specs = append(specs, eon.NodeSpec{Name: fmt.Sprintf("n%d", i)})
+	}
+	db, err := eon.Create(eon.Config{Mode: mode, Nodes: specs, ShardCount: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	db := newCluster(t, eon.ModeEon, 3)
+	s := db.NewSession()
+	for _, q := range []string{
+		`CREATE TABLE sales (id INTEGER, region VARCHAR, price FLOAT)`,
+		`CREATE PROJECTION sales_p AS SELECT * FROM sales ORDER BY id SEGMENTED BY HASH(id) ALL NODES`,
+		`INSERT INTO sales VALUES (1, 'east', 10.5), (2, 'west', 20.0), (3, 'east', 5.25)`,
+	} {
+		if _, err := s.Execute(q); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+	res, err := s.Query(`SELECT region, COUNT(*) AS n, SUM(price) AS total FROM sales GROUP BY region ORDER BY region`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Rows()
+	if len(rows) != 2 || rows[0][0].S != "east" || rows[0][1].I != 2 {
+		t.Errorf("rows = %v", rows)
+	}
+	if res.Columns[2] != "total" {
+		t.Errorf("columns = %v", res.Columns)
+	}
+}
+
+func TestPublicAPILoadRows(t *testing.T) {
+	db := newCluster(t, eon.ModeEon, 2)
+	if _, err := db.Execute(`CREATE TABLE m (k INTEGER, v FLOAT)`); err != nil {
+		t.Fatal(err)
+	}
+	schema := eon.Schema{{Name: "k", Type: eon.Int64}, {Name: "v", Type: eon.Float64}}
+	b := eon.NewBatch(schema, 100)
+	for i := 0; i < 100; i++ {
+		b.AppendRow(eon.Row{eon.Int(int64(i)), eon.Flt(float64(i) / 2)})
+	}
+	if err := db.LoadRows("m", b); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Execute(`SELECT COUNT(*), MIN(v), MAX(v) FROM m`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Rows()[0]
+	if r[0].I != 100 || r[1].F != 0 || r[2].F != 49.5 {
+		t.Errorf("row = %v", r)
+	}
+}
+
+func TestPublicAPIClusterLifecycle(t *testing.T) {
+	shared := eon.NewMemStore()
+	db, err := eon.Create(eon.Config{
+		Mode:   eon.ModeEon,
+		Nodes:  []eon.NodeSpec{{Name: "n1"}, {Name: "n2"}, {Name: "n3"}},
+		Shared: shared,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Execute(`CREATE TABLE t (id INTEGER)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Execute(`INSERT INTO t VALUES (1), (2), (3)`); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill + recover.
+	if err := db.KillNode("n2"); err != nil {
+		t.Fatal(err)
+	}
+	if res, err := db.Execute(`SELECT COUNT(*) FROM t`); err != nil || res.Rows()[0][0].I != 3 {
+		t.Fatalf("node-down query: %v %v", res, err)
+	}
+	if err := db.RecoverNode("n2"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Elastic growth.
+	if err := db.AddNode(eon.NodeSpec{Name: "n4"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tuple mover + metadata sync + GC.
+	if _, err := db.RunTupleMover(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SyncMetadata(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.RunGC(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Shutdown + revive.
+	if err := db.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := eon.Revive(eon.Config{Shared: shared})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db2.Execute(`SELECT COUNT(*) FROM t`)
+	if err != nil || res.Rows()[0][0].I != 3 {
+		t.Fatalf("revived query: %v %v", res, err)
+	}
+}
+
+func TestPublicAPISimulatedStorage(t *testing.T) {
+	sim := eon.NewSimStore(eon.NewMemStore(), eon.SimConfig{})
+	db, err := eon.Create(eon.Config{
+		Mode:   eon.ModeEon,
+		Nodes:  []eon.NodeSpec{{Name: "n1"}, {Name: "n2"}},
+		Shared: sim,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Execute(`CREATE TABLE t (id INTEGER)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Execute(`INSERT INTO t VALUES (1)`); err != nil {
+		t.Fatal(err)
+	}
+	if sim.Stats().Puts == 0 {
+		t.Error("loads should reach the simulated store")
+	}
+}
+
+func TestPublicAPIEnterpriseMode(t *testing.T) {
+	db := newCluster(t, eon.ModeEnterprise, 3)
+	if _, err := db.Execute(`CREATE TABLE t (id INTEGER)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Execute(`INSERT INTO t VALUES (1), (2)`); err != nil {
+		t.Fatal(err)
+	}
+	if stats, err := db.RunTupleMover(); err != nil {
+		t.Fatal(err, stats)
+	}
+	res, err := db.Execute(`SELECT COUNT(*) FROM t`)
+	if err != nil || res.Rows()[0][0].I != 2 {
+		t.Fatalf("enterprise query: %v %v", res, err)
+	}
+}

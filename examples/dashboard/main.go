@@ -1,0 +1,81 @@
+// Dashboard: elastic throughput scaling (paper §4.2, Figure 11a). A
+// short co-segmented join + aggregation query runs from many concurrent
+// clients; growing the cluster from 3 to 6 nodes at a fixed 3 shards
+// nearly doubles throughput because each query occupies only 3 of the
+// cluster's execution slots.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"eon"
+	"eon/internal/workload"
+)
+
+const dashboardQuery = `
+	SELECT c.c_mktsegment, COUNT(*) AS orders, SUM(o.o_totalprice) AS revenue
+	FROM orders o JOIN customer c ON o.o_custkey = c.c_custkey
+	WHERE o.o_orderdate >= DATE '1997-01-01'
+	GROUP BY c.c_mktsegment ORDER BY revenue DESC`
+
+func main() {
+	for _, nodes := range []int{3, 6} {
+		qpm, err := measure(nodes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Eon %d nodes / 3 shards: %6.0f queries/minute\n", nodes, qpm)
+	}
+}
+
+func measure(nodeCount int) (float64, error) {
+	var specs []eon.NodeSpec
+	for i := 1; i <= nodeCount; i++ {
+		specs = append(specs, eon.NodeSpec{Name: fmt.Sprintf("node%d", i)})
+	}
+	db, err := eon.Create(eon.Config{
+		Mode:              eon.ModeEon,
+		Nodes:             specs,
+		ShardCount:        3,
+		ReplicationFactor: nodeCount, // every node can serve every shard
+		QueryCost:         50 * time.Millisecond,
+	})
+	if err != nil {
+		return 0, err
+	}
+	w := workload.DefaultTPCH(0.02)
+	s := db.NewSession()
+	err = w.Setup(func(sql string) error {
+		_, err := s.Execute(sql)
+		return err
+	}, db.LoadRows)
+	if err != nil {
+		return 0, err
+	}
+	// Warm caches, then drive 24 concurrent dashboard clients.
+	if _, err := s.Query(dashboardQuery); err != nil {
+		return 0, err
+	}
+	const clients = 24
+	window := time.Second
+	deadline := time.Now().Add(window)
+	var completed atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				if _, err := db.NewSession().Query(dashboardQuery); err == nil {
+					completed.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return float64(completed.Load()) / window.Minutes(), nil
+}

@@ -1,0 +1,65 @@
+// Quickstart: create a three-node Eon cluster, define a table and a
+// projection, load data, and run analytic queries.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"eon"
+)
+
+func main() {
+	db, err := eon.Create(eon.Config{
+		Mode: eon.ModeEon,
+		Nodes: []eon.NodeSpec{
+			{Name: "node1"}, {Name: "node2"}, {Name: "node3"},
+		},
+		ShardCount: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := db.NewSession()
+
+	must(s.Execute(`CREATE TABLE sales (
+		sale_id INTEGER, customer VARCHAR, sale_date DATE, price FLOAT
+	)`))
+	// A projection is the only physical structure: sorted, segmented
+	// across the shard space by the customer key.
+	must(s.Execute(`CREATE PROJECTION sales_p1 AS
+		SELECT * FROM sales ORDER BY sale_date
+		SEGMENTED BY HASH(customer) ALL NODES`))
+
+	must(s.Execute(`INSERT INTO sales VALUES
+		(1, 'Grace',   DATE '2018-02-01', 50),
+		(2, 'Ada',     DATE '2018-03-21', 40),
+		(3, 'Barbara', DATE '2018-03-11', 30),
+		(4, 'Ada',     DATE '2018-02-01', 20),
+		(5, 'Shafi',   DATE '2018-04-01', 10)`))
+
+	res, err := s.Query(`SELECT customer, COUNT(*) AS orders, SUM(price) AS total
+		FROM sales GROUP BY customer ORDER BY total DESC`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("customer  orders  total")
+	for _, row := range res.Rows() {
+		fmt.Printf("%-9s %-7s %s\n", row[0], row[1], row[2])
+	}
+
+	// Deletes are tombstones: files on shared storage are never modified.
+	must(s.Execute(`DELETE FROM sales WHERE price < 25`))
+	res, err = s.Query(`SELECT COUNT(*) FROM sales`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rows after delete: %s\n", res.Rows()[0][0])
+}
+
+func must(res *eon.Result, err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+	_ = res
+}

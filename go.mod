@@ -1,0 +1,3 @@
+module eon
+
+go 1.22

@@ -1,0 +1,293 @@
+// Package cache implements the per-node disk cache of shared-storage
+// files (paper §5.2). The cache holds entire immutable data files, uses
+// least-recently-used eviction, is write-through on data load (newly
+// written files are likely to be queried), supports shaping policies
+// ("don't use the cache for this query", "never cache table T", pinned
+// partitions), and can warm itself from a peer's most-recently-used list
+// when a node subscribes to a shard.
+//
+// Because storage files are never modified, the cache handles only add
+// and drop — there is no invalidation path.
+package cache
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+
+	"eon/internal/udfs"
+)
+
+// Policy directs how the cache treats a file.
+type Policy uint8
+
+// Policies.
+const (
+	// PolicyDefault caches the file under LRU.
+	PolicyDefault Policy = iota
+	// PolicyBypass serves the file without admitting it (large batch
+	// historical queries must not evict dashboard working sets).
+	PolicyBypass
+	// PolicyPin caches the file and exempts it from eviction.
+	PolicyPin
+)
+
+// Fetcher reads a file from shared storage on cache miss.
+type Fetcher func(ctx context.Context, path string) ([]byte, error)
+
+// Stats counts cache traffic.
+type Stats struct {
+	Hits, Misses, Evictions int64
+	BytesCached             int64
+	Files                   int
+}
+
+type entry struct {
+	path   string
+	size   int64
+	pinned bool
+	elem   *list.Element
+}
+
+// Cache is one node's file cache. The file bytes live on the node's local
+// filesystem under dir; the Cache keeps the index and LRU order. Safe for
+// concurrent use.
+type Cache struct {
+	fs  udfs.FileSystem
+	dir string
+
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	entries  map[string]*entry
+	lru      *list.List // front = most recently used
+	policy   func(path string) Policy
+
+	hits, misses, evictions int64
+}
+
+// New returns a cache of the given byte capacity backed by dir on fs.
+func New(fs udfs.FileSystem, dir string, capacity int64) *Cache {
+	return &Cache{
+		fs:       fs,
+		dir:      dir,
+		capacity: capacity,
+		entries:  map[string]*entry{},
+		lru:      list.New(),
+	}
+}
+
+// SetPolicy installs the shaping policy; nil restores the default.
+func (c *Cache) SetPolicy(p func(path string) Policy) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.policy = p
+}
+
+func (c *Cache) policyFor(path string) Policy {
+	if c.policy == nil {
+		return PolicyDefault
+	}
+	return c.policy(path)
+}
+
+// Capacity returns the configured byte capacity.
+func (c *Cache) Capacity() int64 { return c.capacity }
+
+// local returns the on-disk path for a cached file.
+func (c *Cache) local(path string) string { return c.dir + "/" + path }
+
+// Get returns the file contents, reading through the cache. bypass forces
+// PolicyBypass for this call regardless of the shaping policy ("don't use
+// the cache for this query").
+func (c *Cache) Get(ctx context.Context, path string, fetch Fetcher, bypass bool) ([]byte, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[path]; ok {
+		c.lru.MoveToFront(e.elem)
+		c.hits++
+		c.mu.Unlock()
+		data, err := c.fs.ReadFile(ctx, c.local(path))
+		if err == nil {
+			return data, nil
+		}
+		// The entry raced with a concurrent eviction; fall through to a
+		// shared-storage fetch.
+	} else {
+		c.misses++
+		c.mu.Unlock()
+	}
+
+	data, err := fetch(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	if !bypass && c.policyFor(path) != PolicyBypass {
+		_ = c.admit(ctx, path, data) // admission failure must not fail the read
+	}
+	return data, nil
+}
+
+// Put write-through inserts a newly written file (data load and mergeout
+// put their outputs in the cache before uploading, §5.2).
+func (c *Cache) Put(ctx context.Context, path string, data []byte) error {
+	if c.policyFor(path) == PolicyBypass {
+		return nil
+	}
+	return c.admit(ctx, path, data)
+}
+
+// admit stores the file and evicts LRU entries to fit. Files larger than
+// the whole cache are not admitted.
+func (c *Cache) admit(ctx context.Context, path string, data []byte) error {
+	size := int64(len(data))
+	if size > c.capacity {
+		return fmt.Errorf("cache: file %s (%d bytes) exceeds cache capacity %d", path, size, c.capacity)
+	}
+	c.mu.Lock()
+	if _, ok := c.entries[path]; ok {
+		c.mu.Unlock()
+		return nil // already cached; files are immutable
+	}
+	// Evict from the LRU tail, skipping pinned entries.
+	var evict []string
+	need := c.used + size - c.capacity
+	for el := c.lru.Back(); el != nil && need > 0; el = el.Prev() {
+		e := el.Value.(*entry)
+		if e.pinned {
+			continue
+		}
+		evict = append(evict, e.path)
+		need -= e.size
+	}
+	if need > 0 {
+		c.mu.Unlock()
+		return fmt.Errorf("cache: cannot fit %s: %d bytes pinned", path, c.used)
+	}
+	for _, p := range evict {
+		e := c.entries[p]
+		c.lru.Remove(e.elem)
+		delete(c.entries, p)
+		c.used -= e.size
+		c.evictions++
+	}
+	e := &entry{path: path, size: size, pinned: c.policyFor(path) == PolicyPin}
+	e.elem = c.lru.PushFront(e)
+	c.entries[path] = e
+	c.used += size
+	c.mu.Unlock()
+
+	for _, p := range evict {
+		_ = c.fs.Remove(ctx, c.local(p))
+	}
+	return c.fs.WriteFile(ctx, c.local(path), data)
+}
+
+// Contains reports whether the file is cached (without touching LRU
+// order).
+func (c *Cache) Contains(path string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[path]
+	return ok
+}
+
+// Drop removes a file from the cache (on storage file delete).
+func (c *Cache) Drop(ctx context.Context, path string) {
+	c.mu.Lock()
+	e, ok := c.entries[path]
+	if ok {
+		c.lru.Remove(e.elem)
+		delete(c.entries, path)
+		c.used -= e.size
+	}
+	c.mu.Unlock()
+	if ok {
+		_ = c.fs.Remove(ctx, c.local(path))
+	}
+}
+
+// Clear empties the cache entirely.
+func (c *Cache) Clear(ctx context.Context) {
+	c.mu.Lock()
+	paths := make([]string, 0, len(c.entries))
+	for p := range c.entries {
+		paths = append(paths, p)
+	}
+	c.entries = map[string]*entry{}
+	c.lru.Init()
+	c.used = 0
+	c.mu.Unlock()
+	for _, p := range paths {
+		_ = c.fs.Remove(ctx, c.local(p))
+	}
+}
+
+// Stats returns a snapshot of counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+		BytesCached: c.used, Files: len(c.entries),
+	}
+}
+
+// MostRecentlyUsed returns cached file paths in MRU order whose summed
+// size fits the byte budget — the list a warming peer requests (§5.2:
+// "the subscriber supplies the peer with a capacity target and the peer
+// supplies a list of most-recently-used files that fit within the
+// budget").
+func (c *Cache) MostRecentlyUsed(budget int64) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []string
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		if e.size > budget {
+			continue
+		}
+		out = append(out, e.path)
+		budget -= e.size
+	}
+	return out
+}
+
+// ReadCached returns the bytes of a cached file without counting a hit or
+// miss; used to serve peer warming transfers.
+func (c *Cache) ReadCached(ctx context.Context, path string) ([]byte, bool) {
+	c.mu.Lock()
+	_, ok := c.entries[path]
+	c.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	data, err := c.fs.ReadFile(ctx, c.local(path))
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// Warm fetches each listed file into the cache in order (most recently
+// used first), stopping silently on fetch errors for individual files.
+// It returns the number of files admitted.
+func (c *Cache) Warm(ctx context.Context, paths []string, fetch Fetcher) int {
+	warmed := 0
+	// Admit in reverse so the peer's MRU file ends up most recent here.
+	for i := len(paths) - 1; i >= 0; i-- {
+		p := paths[i]
+		if c.Contains(p) {
+			warmed++
+			continue
+		}
+		data, err := fetch(ctx, p)
+		if err != nil {
+			continue
+		}
+		if err := c.admit(ctx, p, data); err == nil {
+			warmed++
+		}
+	}
+	return warmed
+}

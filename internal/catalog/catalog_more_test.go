@@ -1,0 +1,226 @@
+package catalog
+
+import (
+	"testing"
+
+	"eon/internal/udfs"
+)
+
+func TestOnCommitHook(t *testing.T) {
+	c := New()
+	var seen []uint64
+	c.OnCommit(func(rec *LogRecord) { seen = append(seen, rec.Version) })
+	for i := 0; i < 3; i++ {
+		txn := c.Begin()
+		txn.Put(newTable(c, "t"))
+		if _, err := c.Commit(txn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(seen) != 3 || seen[2] != 3 {
+		t.Errorf("hook calls = %v", seen)
+	}
+}
+
+func TestTxnHelpers(t *testing.T) {
+	c := New()
+	txn := c.Begin()
+	if txn.Pending() {
+		t.Error("fresh txn pending")
+	}
+	if txn.Base().Version() != 0 {
+		t.Error("base version")
+	}
+	tbl := newTable(c, "t")
+	txn.Put(tbl)
+	txn.TrackRead(999) // nonexistent: modVersion 0
+	if !txn.Pending() {
+		t.Error("not pending after put")
+	}
+	if oids := txn.StagedOIDs(); len(oids) != 1 || oids[0] != tbl.OID {
+		t.Errorf("staged = %v", oids)
+	}
+	// Put then Delete keeps one staged entry.
+	txn.Delete(tbl.OID)
+	if got, ok := txn.Get(tbl.OID); ok {
+		t.Errorf("deleted object visible: %v", got)
+	}
+	if len(txn.StagedOIDs()) != 1 {
+		t.Errorf("staged after delete = %v", txn.StagedOIDs())
+	}
+}
+
+func TestTrackReadConflicts(t *testing.T) {
+	c := New()
+	setup := c.Begin()
+	tbl := newTable(c, "t")
+	setup.Put(tbl)
+	c.Commit(setup)
+
+	reader := c.Begin()
+	reader.TrackRead(tbl.OID)
+	reader.Put(newTable(c, "other"))
+
+	w := c.Begin()
+	o, _ := w.Get(tbl.OID)
+	m := o.Clone().(*Table)
+	m.Name = "renamed"
+	w.Put(m)
+	c.Commit(w)
+
+	if _, err := c.Commit(reader); err == nil {
+		t.Error("tracked read should conflict")
+	}
+}
+
+func TestInstallObjects(t *testing.T) {
+	c := New()
+	txn := c.Begin()
+	txn.Put(newTable(c, "t"))
+	c.Commit(txn)
+	v := c.Version()
+
+	sc := &StorageContainer{OID: 100, ShardIndex: 2, RowCount: 5}
+	c.InstallObjects([]Object{sc})
+	if c.Version() != v {
+		t.Error("InstallObjects must not advance the version")
+	}
+	got, ok := c.Snapshot().Get(100)
+	if !ok || got.(*StorageContainer).RowCount != 5 {
+		t.Error("installed object missing")
+	}
+	// Re-install does not overwrite.
+	c.InstallObjects([]Object{&StorageContainer{OID: 100, ShardIndex: 2, RowCount: 99}})
+	got, _ = c.Snapshot().Get(100)
+	if got.(*StorageContainer).RowCount != 5 {
+		t.Error("existing object overwritten")
+	}
+}
+
+func TestDropShardObjects(t *testing.T) {
+	c := New()
+	txn := c.Begin()
+	tbl := newTable(c, "t")
+	txn.Put(tbl)
+	txn.Put(&StorageContainer{OID: c.NewOID(), ShardIndex: 1})
+	txn.Put(&StorageContainer{OID: c.NewOID(), ShardIndex: 2})
+	c.Commit(txn)
+	v := c.Version()
+
+	dropped := c.DropShardObjects(1)
+	if len(dropped) != 1 {
+		t.Fatalf("dropped = %v", dropped)
+	}
+	if c.Version() != v {
+		t.Error("drop must not advance version")
+	}
+	if _, ok := c.Snapshot().Get(dropped[0].GetOID()); ok {
+		t.Error("dropped object visible")
+	}
+	if _, ok := c.Snapshot().Get(tbl.OID); !ok {
+		t.Error("global object lost")
+	}
+}
+
+func TestInstallSnapshot(t *testing.T) {
+	src := New()
+	txn := src.Begin()
+	txn.Put(newTable(src, "t"))
+	c, _ := src.Commit(txn)
+	_ = c
+
+	dst := New()
+	dst.Install(src.Snapshot(), MaxOID(src.Snapshot()))
+	if dst.Version() != 1 || dst.Snapshot().Len() != 1 {
+		t.Errorf("installed v%d len=%d", dst.Version(), dst.Snapshot().Len())
+	}
+	if dst.NewOID() <= 1 {
+		t.Error("allocator not advanced")
+	}
+}
+
+func TestObjectMisc(t *testing.T) {
+	kinds := []Kind{KindTable, KindProjection, KindShard, KindSubscription, KindNode, KindStorageContainer, KindDeleteVector}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Errorf("kind %d has empty name", k)
+		}
+	}
+	if Kind(200).String() == "" {
+		t.Error("unknown kind name")
+	}
+	p := &Projection{OID: 1, SegmentCols: []string{"a"}}
+	if p.Replicated() {
+		t.Error("segmented projection is not replicated")
+	}
+	if p.IsLiveAggregate() {
+		t.Error("plain projection is not live")
+	}
+	p2 := &Projection{OID: 2}
+	if !p2.Replicated() {
+		t.Error("no segment cols = replicated")
+	}
+	lap := &Projection{OID: 3, LiveAggs: []LiveAgg{{Op: "sum", Col: "x", Name: "s"}}}
+	if !lap.IsLiveAggregate() {
+		t.Error("live aggregate not detected")
+	}
+	cl := lap.Clone().(*Projection)
+	cl.LiveAggs[0].Name = "mutated"
+	if lap.LiveAggs[0].Name != "s" {
+		t.Error("clone aliases LiveAggs")
+	}
+	// Shard / Subscription / Node clones.
+	sh := &Shard{OID: 4, Index: 1}
+	if sh.Clone().(*Shard).Index != 1 || sh.Shard() != GlobalShard {
+		t.Error("shard clone")
+	}
+	sub := &Subscription{OID: 5, Node: "n", State: SubActive}
+	if sub.Clone().(*Subscription).Node != "n" {
+		t.Error("subscription clone")
+	}
+	nd := &Node{OID: 6, Name: "n"}
+	if nd.Clone().(*Node).Name != "n" {
+		t.Error("node clone")
+	}
+	dv := &DeleteVector{OID: 7, ShardIndex: 3}
+	if dv.Clone().(*DeleteVector).ShardIndex != 3 || dv.Shard() != 3 {
+		t.Error("dv clone")
+	}
+	tbl := &Table{OID: 8, Flattened: []FlattenedCol{{Column: "c"}}}
+	tc := tbl.Clone().(*Table)
+	tc.Flattened[0].Column = "mut"
+	if tbl.Flattened[0].Column != "c" {
+		t.Error("table clone aliases Flattened")
+	}
+}
+
+func TestPersisterAccessors(t *testing.T) {
+	fs := udfs.NewMemFS()
+	p := NewPersister(fs, "cat", 0)
+	if p.Dir() != "cat" || p.FS() != fs {
+		t.Error("accessors")
+	}
+	if p.CheckpointThreshold <= 0 {
+		t.Error("zero threshold should default")
+	}
+	c := New()
+	c.SetPersister(p)
+	if c.Persister() != p {
+		t.Error("persister accessor")
+	}
+}
+
+func TestDecodedOpsMemoized(t *testing.T) {
+	c := New()
+	txn := c.Begin()
+	txn.Put(newTable(c, "t"))
+	rec, _ := c.Commit(txn)
+	a, err := rec.DecodedOps()
+	if err != nil || len(a) != 1 {
+		t.Fatal(err)
+	}
+	b, _ := rec.DecodedOps()
+	if &a[0] != &b[0] {
+		t.Error("decode not memoized")
+	}
+}

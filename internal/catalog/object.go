@@ -1,0 +1,406 @@
+// Package catalog implements the Vertica catalog (paper §2.4) and its Eon
+// extensions (§3): an in-memory multi-version store of metadata objects
+// with copy-on-write snapshots, optimistic concurrency control for
+// writers, a redo transaction log with an incrementing version counter,
+// periodic checkpoints (two retained), truncation, and a division of
+// objects into global objects (on every node) and shard-scoped storage
+// objects (only on subscribing nodes).
+package catalog
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"eon/internal/types"
+)
+
+// OID identifies a catalog object.
+type OID uint64
+
+// Kind discriminates catalog object types.
+type Kind uint8
+
+// The catalog object kinds. Table through Node are global objects;
+// StorageContainer and DeleteVector are shard-scoped storage objects.
+const (
+	KindTable Kind = iota + 1
+	KindProjection
+	KindShard
+	KindSubscription
+	KindNode
+	KindStorageContainer
+	KindDeleteVector
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindTable:
+		return "table"
+	case KindProjection:
+		return "projection"
+	case KindShard:
+		return "shard"
+	case KindSubscription:
+		return "subscription"
+	case KindNode:
+		return "node"
+	case KindStorageContainer:
+		return "storage"
+	case KindDeleteVector:
+		return "deletevector"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// GlobalShard is the ShardIndex of global objects, present in every
+// node's catalog.
+const GlobalShard = -1
+
+// ReplicaShard is the shard index holding storage metadata of replicated
+// projections (paper §3.1: "Replicated projections have their storage
+// metadata associated with a replica shard").
+const ReplicaShard = -2
+
+// Object is a catalog object. Implementations are plain JSON-serializable
+// structs; they are treated as immutable once placed in a snapshot —
+// writers must Clone before mutating (copy-on-write).
+type Object interface {
+	GetOID() OID
+	Kind() Kind
+	// Shard returns the shard index the object belongs to, GlobalShard
+	// for global objects or ReplicaShard for replicated storage.
+	Shard() int
+	// Clone returns a deep copy safe to mutate.
+	Clone() Object
+}
+
+// FlattenedCol is one denormalized column of a flattened table (paper
+// §2.1): at load time its value is looked up from a dimension table by
+// joining FactKey to the dimension's DimKey; RefreshColumns recomputes it
+// when the dimension changes.
+type FlattenedCol struct {
+	Column   string `json:"column"`
+	DimTable string `json:"dimTable"`
+	DimValue string `json:"dimValue"`
+	FactKey  string `json:"factKey"`
+	DimKey   string `json:"dimKey"`
+}
+
+// Table is a global object describing a relational table.
+type Table struct {
+	OID           OID          `json:"oid"`
+	Name          string       `json:"name"`
+	Columns       types.Schema `json:"columns"`
+	PartitionExpr string       `json:"partitionExpr,omitempty"`
+	// Flattened lists columns denormalized from dimension tables at load
+	// time (§2.1).
+	Flattened []FlattenedCol `json:"flattened,omitempty"`
+}
+
+// GetOID implements Object.
+func (t *Table) GetOID() OID { return t.OID }
+
+// Kind implements Object.
+func (t *Table) Kind() Kind { return KindTable }
+
+// Shard implements Object.
+func (t *Table) Shard() int { return GlobalShard }
+
+// Clone implements Object.
+func (t *Table) Clone() Object {
+	c := *t
+	c.Columns = append(types.Schema(nil), t.Columns...)
+	c.Flattened = append([]FlattenedCol(nil), t.Flattened...)
+	return &c
+}
+
+// LiveAgg is one maintained aggregate of a live aggregate projection
+// (paper §2.1): Op is one of "sum", "count", "countstar", "min", "max";
+// Col is the aggregated base-table column ("" for countstar); Name is
+// the projection column storing the partial value.
+type LiveAgg struct {
+	Op   string `json:"op"`
+	Col  string `json:"col,omitempty"`
+	Name string `json:"name"`
+}
+
+// Projection is a global object: a sorted, segmented physical organization
+// of a subset of a table's columns (paper §2.1, §2.2). A projection with
+// LiveAggs is a live aggregate projection: it stores pre-computed partial
+// aggregates grouped by its plain columns, trading update restrictions on
+// the base table for dramatically faster aggregation queries.
+type Projection struct {
+	OID      OID      `json:"oid"`
+	TableOID OID      `json:"tableOid"`
+	Name     string   `json:"name"`
+	Columns  []string `json:"columns"`
+	SortKey  []string `json:"sortKey"`
+	// SegmentCols is the SEGMENTED BY HASH(...) column list; empty means
+	// the projection is replicated on all nodes.
+	SegmentCols []string `json:"segmentCols,omitempty"`
+	// BuddyOffset rotates the Enterprise-mode node ring for this
+	// projection (0 for the base copy, >0 for buddies). Eon ignores it.
+	BuddyOffset int `json:"buddyOffset,omitempty"`
+	// BaseOID links a buddy to its base projection (0 for the base).
+	BaseOID OID `json:"baseOid,omitempty"`
+	// LiveAggs, when non-empty, marks a live aggregate projection whose
+	// group keys are Columns and whose physical schema is LiveSchema.
+	LiveAggs []LiveAgg `json:"liveAggs,omitempty"`
+	// LiveSchema is the physical column schema of a live aggregate
+	// projection: the group columns followed by the aggregate columns.
+	LiveSchema types.Schema `json:"liveSchema,omitempty"`
+}
+
+// IsLiveAggregate reports whether the projection maintains aggregates.
+func (p *Projection) IsLiveAggregate() bool { return len(p.LiveAggs) > 0 }
+
+// GetOID implements Object.
+func (p *Projection) GetOID() OID { return p.OID }
+
+// Kind implements Object.
+func (p *Projection) Kind() Kind { return KindProjection }
+
+// Shard implements Object.
+func (p *Projection) Shard() int { return GlobalShard }
+
+// Replicated reports whether the projection stores a full copy on every
+// node.
+func (p *Projection) Replicated() bool { return len(p.SegmentCols) == 0 }
+
+// Clone implements Object.
+func (p *Projection) Clone() Object {
+	c := *p
+	c.Columns = append([]string(nil), p.Columns...)
+	c.SortKey = append([]string(nil), p.SortKey...)
+	c.SegmentCols = append([]string(nil), p.SegmentCols...)
+	c.LiveAggs = append([]LiveAgg(nil), p.LiveAggs...)
+	c.LiveSchema = append(types.Schema(nil), p.LiveSchema...)
+	return &c
+}
+
+// ShardKind distinguishes segment shards from the replica shard.
+type ShardKind uint8
+
+// Shard kinds.
+const (
+	SegmentShard ShardKind = iota
+	ReplicaShardKind
+)
+
+// Shard is a global object describing one region of the hash space
+// (paper §3.1, Figure 3). The shard count is fixed at database creation.
+type Shard struct {
+	OID       OID       `json:"oid"`
+	Index     int       `json:"index"`
+	ShardKind ShardKind `json:"kind"`
+	Lo        uint64    `json:"lo"`
+	Hi        uint64    `json:"hi"`
+}
+
+// GetOID implements Object.
+func (s *Shard) GetOID() OID { return s.OID }
+
+// Kind implements Object.
+func (s *Shard) Kind() Kind { return KindShard }
+
+// Shard implements Object.
+func (s *Shard) Shard() int { return GlobalShard }
+
+// Clone implements Object.
+func (s *Shard) Clone() Object { c := *s; return &c }
+
+// SubState is the lifecycle state of a shard subscription (paper §3.3,
+// Figure 4).
+type SubState uint8
+
+// Subscription states.
+const (
+	SubPending SubState = iota
+	SubPassive
+	SubActive
+	SubRemoving
+)
+
+// String names the state.
+func (s SubState) String() string {
+	switch s {
+	case SubPending:
+		return "PENDING"
+	case SubPassive:
+		return "PASSIVE"
+	case SubActive:
+		return "ACTIVE"
+	case SubRemoving:
+		return "REMOVING"
+	}
+	return "?"
+}
+
+// Subscription is a global object recording that a node serves a shard.
+type Subscription struct {
+	OID        OID      `json:"oid"`
+	Node       string   `json:"node"`
+	ShardIndex int      `json:"shardIndex"`
+	State      SubState `json:"state"`
+}
+
+// GetOID implements Object.
+func (s *Subscription) GetOID() OID { return s.OID }
+
+// Kind implements Object.
+func (s *Subscription) Kind() Kind { return KindSubscription }
+
+// Shard implements Object.
+func (s *Subscription) Shard() int { return GlobalShard }
+
+// Clone implements Object.
+func (s *Subscription) Clone() Object { c := *s; return &c }
+
+// Node is a global object describing a cluster member.
+type Node struct {
+	OID        OID    `json:"oid"`
+	Name       string `json:"name"`
+	Subcluster string `json:"subcluster,omitempty"`
+}
+
+// GetOID implements Object.
+func (n *Node) GetOID() OID { return n.OID }
+
+// Kind implements Object.
+func (n *Node) Kind() Kind { return KindNode }
+
+// Shard implements Object.
+func (n *Node) Shard() int { return GlobalShard }
+
+// Clone implements Object.
+func (n *Node) Clone() Object { c := *n; return &c }
+
+// FileRef locates one immutable data file in a storage namespace.
+type FileRef struct {
+	Path string `json:"path"`
+	Size int64  `json:"size"`
+}
+
+// StorageContainer is a shard-scoped storage object describing one ROS
+// container: a set of column files holding RowCount complete tuples
+// sorted by the projection's sort order (paper §2.3).
+type StorageContainer struct {
+	OID      OID `json:"oid"`
+	ProjOID  OID `json:"projOid"`
+	TableOID OID `json:"tableOid"`
+	// ShardIndex is the segment shard whose hash region contains every
+	// tuple of the container, or ReplicaShard for replicated projections.
+	ShardIndex int   `json:"shardIndex"`
+	RowCount   int64 `json:"rowCount"`
+	SizeBytes  int64 `json:"sizeBytes"`
+	// Files maps column name to its data file. When Bundle is set the
+	// columns are concatenated into that single file instead.
+	Files  map[string]FileRef `json:"files,omitempty"`
+	Bundle FileRef            `json:"bundle,omitempty"`
+	// ColStats carries per-column min/max for partition and predicate
+	// pruning without opening the files.
+	ColStats map[string]types.ColumnStats `json:"colStats,omitempty"`
+	// PartitionKey is the table-partition value all tuples share, "" if
+	// the table is unpartitioned.
+	PartitionKey string `json:"partitionKey,omitempty"`
+	// OwnerNode is the Enterprise-mode owner ("" in Eon, where storage
+	// is not tied to a node).
+	OwnerNode string `json:"ownerNode,omitempty"`
+	// CreateVersion is the catalog version at which the container was
+	// committed; used by mergeout purge and file GC ordering.
+	CreateVersion uint64 `json:"createVersion,omitempty"`
+}
+
+// GetOID implements Object.
+func (s *StorageContainer) GetOID() OID { return s.OID }
+
+// Kind implements Object.
+func (s *StorageContainer) Kind() Kind { return KindStorageContainer }
+
+// Shard implements Object.
+func (s *StorageContainer) Shard() int { return s.ShardIndex }
+
+// Clone implements Object.
+func (s *StorageContainer) Clone() Object {
+	c := *s
+	c.Files = make(map[string]FileRef, len(s.Files))
+	for k, v := range s.Files {
+		c.Files[k] = v
+	}
+	c.ColStats = make(map[string]types.ColumnStats, len(s.ColStats))
+	for k, v := range s.ColStats {
+		c.ColStats[k] = v
+	}
+	return &c
+}
+
+// AllFiles returns every file referenced by the container.
+func (s *StorageContainer) AllFiles() []FileRef {
+	if s.Bundle.Path != "" {
+		return []FileRef{s.Bundle}
+	}
+	out := make([]FileRef, 0, len(s.Files))
+	for _, f := range s.Files {
+		out = append(out, f)
+	}
+	return out
+}
+
+// DeleteVector is a shard-scoped storage object marking deleted tuple
+// positions of one container (paper §2.3: a tombstone-like mechanism
+// stored in the same format as regular columns).
+type DeleteVector struct {
+	OID          OID     `json:"oid"`
+	ContainerOID OID     `json:"containerOid"`
+	ProjOID      OID     `json:"projOid"`
+	ShardIndex   int     `json:"shardIndex"`
+	File         FileRef `json:"file"`
+	// Count is the number of deleted positions.
+	Count     int64  `json:"count"`
+	OwnerNode string `json:"ownerNode,omitempty"`
+}
+
+// GetOID implements Object.
+func (d *DeleteVector) GetOID() OID { return d.OID }
+
+// Kind implements Object.
+func (d *DeleteVector) Kind() Kind { return KindDeleteVector }
+
+// Shard implements Object.
+func (d *DeleteVector) Shard() int { return d.ShardIndex }
+
+// Clone implements Object.
+func (d *DeleteVector) Clone() Object { c := *d; return &c }
+
+// marshalObject wraps an object with its kind for persistence.
+func marshalObject(o Object) (json.RawMessage, error) {
+	return json.Marshal(o)
+}
+
+// unmarshalObject reconstructs an object of the given kind.
+func unmarshalObject(k Kind, raw json.RawMessage) (Object, error) {
+	var o Object
+	switch k {
+	case KindTable:
+		o = &Table{}
+	case KindProjection:
+		o = &Projection{}
+	case KindShard:
+		o = &Shard{}
+	case KindSubscription:
+		o = &Subscription{}
+	case KindNode:
+		o = &Node{}
+	case KindStorageContainer:
+		o = &StorageContainer{}
+	case KindDeleteVector:
+		o = &DeleteVector{}
+	default:
+		return nil, fmt.Errorf("catalog: unknown object kind %d", k)
+	}
+	if err := json.Unmarshal(raw, o); err != nil {
+		return nil, fmt.Errorf("catalog: decode %v: %w", k, err)
+	}
+	return o, nil
+}

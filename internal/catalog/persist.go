@@ -1,0 +1,461 @@
+package catalog
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"eon/internal/udfs"
+)
+
+// File naming inside a catalog directory. Transaction logs are "broken
+// into multiple files but totally ordered with an incrementing version
+// counter"; checkpoints are labeled with the version they reflect
+// (paper §2.4).
+const (
+	txnPrefix  = "txn_"
+	ckptPrefix = "ckpt_"
+)
+
+// TxnFileName returns the log file name for a commit version.
+func TxnFileName(version uint64) string {
+	return fmt.Sprintf("%s%016d.json", txnPrefix, version)
+}
+
+// CkptFileName returns the checkpoint file name for a version.
+func CkptFileName(version uint64) string {
+	return fmt.Sprintf("%s%016d.json", ckptPrefix, version)
+}
+
+// ParseCatalogFile extracts the kind ("txn" or "ckpt") and version from a
+// catalog file name; ok=false for foreign files.
+func ParseCatalogFile(name string) (kind string, version uint64, ok bool) {
+	base := name
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	var prefix string
+	switch {
+	case strings.HasPrefix(base, txnPrefix):
+		kind, prefix = "txn", txnPrefix
+	case strings.HasPrefix(base, ckptPrefix):
+		kind, prefix = "ckpt", ckptPrefix
+	default:
+		return "", 0, false
+	}
+	num := strings.TrimSuffix(strings.TrimPrefix(base, prefix), ".json")
+	v, err := strconv.ParseUint(num, 10, 64)
+	if err != nil {
+		return "", 0, false
+	}
+	return kind, v, true
+}
+
+// checkpointFile is the serialized form of a full catalog snapshot.
+type checkpointFile struct {
+	Version uint64  `json:"version"`
+	NextOID OID     `json:"nextOid"`
+	Objects []LogOp `json:"objects"`
+}
+
+// EncodeCheckpoint serializes a snapshot into checkpoint file bytes.
+func EncodeCheckpoint(s *Snapshot, nextOID OID) ([]byte, error) {
+	ck := checkpointFile{Version: s.version, NextOID: nextOID}
+	var oids []OID
+	for oid := range s.objects {
+		oids = append(oids, oid)
+	}
+	sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
+	for _, oid := range oids {
+		o := s.objects[oid]
+		raw, err := marshalObject(o)
+		if err != nil {
+			return nil, err
+		}
+		ck.Objects = append(ck.Objects, LogOp{Kind: o.Kind(), OID: oid, Data: raw})
+	}
+	return json.Marshal(ck)
+}
+
+// DecodeCheckpoint reconstructs a snapshot from checkpoint bytes. Every
+// object's modVersion is set to the checkpoint version (precise per-object
+// history is not needed across restarts).
+func DecodeCheckpoint(data []byte) (*Snapshot, OID, error) {
+	var ck checkpointFile
+	if err := json.Unmarshal(data, &ck); err != nil {
+		return nil, 0, fmt.Errorf("catalog: decode checkpoint: %w", err)
+	}
+	s := &Snapshot{
+		version:    ck.Version,
+		objects:    make(map[OID]Object, len(ck.Objects)),
+		modVersion: make(map[OID]uint64, len(ck.Objects)),
+	}
+	for _, op := range ck.Objects {
+		o, err := unmarshalObject(op.Kind, op.Data)
+		if err != nil {
+			return nil, 0, err
+		}
+		s.objects[op.OID] = o
+		s.modVersion[op.OID] = ck.Version
+	}
+	next := ck.NextOID
+	if m := MaxOID(s); m > next {
+		next = m
+	}
+	return s, next, nil
+}
+
+// Persister durably appends transaction logs and writes checkpoints to a
+// directory of a filesystem (the node's local catalog directory).
+type Persister struct {
+	fs  udfs.FileSystem
+	dir string
+	// CheckpointThreshold is the accumulated log byte count that triggers
+	// a checkpoint (paper §2.4: "when the total transaction log size
+	// exceeds a threshold").
+	CheckpointThreshold int64
+
+	mu            sync.Mutex
+	bytesSinceCkp int64
+	ckptVersions  []uint64 // ascending
+}
+
+// NewPersister returns a persister rooted at dir on fs.
+func NewPersister(fs udfs.FileSystem, dir string, checkpointThreshold int64) *Persister {
+	if checkpointThreshold <= 0 {
+		checkpointThreshold = 256 << 10
+	}
+	return &Persister{fs: fs, dir: dir, CheckpointThreshold: checkpointThreshold}
+}
+
+// Dir returns the catalog directory path.
+func (p *Persister) Dir() string { return p.dir }
+
+// FS returns the underlying filesystem.
+func (p *Persister) FS() udfs.FileSystem { return p.fs }
+
+func (p *Persister) path(name string) string { return p.dir + "/" + name }
+
+// Append durably writes one commit's log record.
+func (p *Persister) Append(rec *LogRecord) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if err := p.fs.WriteFile(context.Background(), p.path(TxnFileName(rec.Version)), data); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.bytesSinceCkp += int64(len(data))
+	p.mu.Unlock()
+	return nil
+}
+
+// MaybeCheckpoint writes a checkpoint if enough log bytes accumulated.
+func (p *Persister) MaybeCheckpoint(s *Snapshot) {
+	p.mu.Lock()
+	due := p.bytesSinceCkp >= p.CheckpointThreshold
+	p.mu.Unlock()
+	if due {
+		_ = p.Checkpoint(s, MaxOID(s)) // best effort; next commit retries
+	}
+}
+
+// Checkpoint writes a full checkpoint of s and prunes old catalog files,
+// retaining the two most recent checkpoints and any logs after the older
+// retained checkpoint.
+func (p *Persister) Checkpoint(s *Snapshot, nextOID OID) error {
+	data, err := EncodeCheckpoint(s, nextOID)
+	if err != nil {
+		return err
+	}
+	name := p.path(CkptFileName(s.version))
+	if ok, _ := udfs.Exists(context.Background(), p.fs, name); !ok {
+		if err := p.fs.WriteFile(context.Background(), name, data); err != nil {
+			return err
+		}
+	}
+	p.mu.Lock()
+	p.bytesSinceCkp = 0
+	p.ckptVersions = append(p.ckptVersions, s.version)
+	sort.Slice(p.ckptVersions, func(i, j int) bool { return p.ckptVersions[i] < p.ckptVersions[j] })
+	p.mu.Unlock()
+	return p.prune()
+}
+
+// prune removes checkpoints older than the two newest and logs at or
+// before the older retained checkpoint.
+func (p *Persister) prune() error {
+	ctx := context.Background()
+	infos, err := p.fs.List(ctx, p.dir+"/")
+	if err != nil {
+		return err
+	}
+	var ckpts []uint64
+	for _, in := range infos {
+		if kind, v, ok := ParseCatalogFile(in.Path); ok && kind == "ckpt" {
+			ckpts = append(ckpts, v)
+		}
+	}
+	if len(ckpts) <= 2 {
+		return nil
+	}
+	sort.Slice(ckpts, func(i, j int) bool { return ckpts[i] < ckpts[j] })
+	keepFrom := ckpts[len(ckpts)-2]
+	for _, in := range infos {
+		kind, v, ok := ParseCatalogFile(in.Path)
+		if !ok {
+			continue
+		}
+		if kind == "ckpt" && v < keepFrom {
+			_ = p.fs.Remove(ctx, in.Path)
+		}
+		if kind == "txn" && v <= keepFrom {
+			_ = p.fs.Remove(ctx, in.Path)
+		}
+	}
+	return nil
+}
+
+// ListFiles returns the catalog's checkpoint and log files sorted by
+// (version, kind) with checkpoints first at equal versions.
+func (p *Persister) ListFiles(ctx context.Context) ([]udfs.FileInfo, error) {
+	infos, err := p.fs.List(ctx, p.dir+"/")
+	if err != nil {
+		return nil, err
+	}
+	var out []udfs.FileInfo
+	for _, in := range infos {
+		if _, _, ok := ParseCatalogFile(in.Path); ok {
+			out = append(out, in)
+		}
+	}
+	return out, nil
+}
+
+// Load reconstructs the catalog state from dir: the most recent valid
+// checkpoint plus all subsequent transaction logs (paper §2.4). A missing
+// directory yields an empty version-0 snapshot.
+func Load(ctx context.Context, fs udfs.FileSystem, dir string) (*Snapshot, OID, error) {
+	infos, err := fs.List(ctx, dir+"/")
+	if err != nil {
+		return nil, 0, err
+	}
+	var ckpts []uint64
+	txns := map[uint64]string{}
+	var txnVersions []uint64
+	for _, in := range infos {
+		kind, v, ok := ParseCatalogFile(in.Path)
+		if !ok {
+			continue
+		}
+		switch kind {
+		case "ckpt":
+			ckpts = append(ckpts, v)
+		case "txn":
+			txns[v] = in.Path
+			txnVersions = append(txnVersions, v)
+		}
+	}
+	sort.Slice(ckpts, func(i, j int) bool { return ckpts[i] > ckpts[j] })
+	sort.Slice(txnVersions, func(i, j int) bool { return txnVersions[i] < txnVersions[j] })
+
+	snap := emptySnapshot()
+	next := OID(1)
+	for _, cv := range ckpts {
+		data, err := fs.ReadFile(ctx, dir+"/"+CkptFileName(cv))
+		if err != nil {
+			continue
+		}
+		s, n, err := DecodeCheckpoint(data)
+		if err != nil {
+			continue // skip invalid checkpoint, try the older one
+		}
+		snap, next = s, n
+		break
+	}
+	for _, v := range txnVersions {
+		if v <= snap.version {
+			continue
+		}
+		if v != snap.version+1 {
+			break // gap in the log; stop at the last contiguous version
+		}
+		data, err := fs.ReadFile(ctx, txns[v])
+		if err != nil {
+			break
+		}
+		var rec LogRecord
+		if err := json.Unmarshal(data, &rec); err != nil {
+			break
+		}
+		if err := applyToSnapshot(snap, &rec); err != nil {
+			return nil, 0, err
+		}
+		if rec.NextOID > next {
+			next = rec.NextOID
+		}
+	}
+	if m := MaxOID(snap); m > next {
+		next = m
+	}
+	return snap, next, nil
+}
+
+// applyToSnapshot mutates snap in place with the record's operations.
+// Only used during load/replay where the snapshot is private.
+func applyToSnapshot(snap *Snapshot, rec *LogRecord) error {
+	for _, op := range rec.Ops {
+		if op.Delete {
+			delete(snap.objects, op.OID)
+			snap.modVersion[op.OID] = rec.Version
+			continue
+		}
+		o, err := unmarshalObject(op.Kind, op.Data)
+		if err != nil {
+			return err
+		}
+		snap.objects[op.OID] = o
+		snap.modVersion[op.OID] = rec.Version
+	}
+	snap.version = rec.Version
+	return nil
+}
+
+// RecordsAfter reads the transaction log records with version > after,
+// in order, stopping at the first gap. Used for incremental metadata
+// transfer during subscription (§3.3) and catalog sync (§3.5).
+func RecordsAfter(ctx context.Context, fs udfs.FileSystem, dir string, after uint64) ([]*LogRecord, error) {
+	infos, err := fs.List(ctx, dir+"/")
+	if err != nil {
+		return nil, err
+	}
+	var versions []uint64
+	paths := map[uint64]string{}
+	for _, in := range infos {
+		kind, v, ok := ParseCatalogFile(in.Path)
+		if ok && kind == "txn" && v > after {
+			versions = append(versions, v)
+			paths[v] = in.Path
+		}
+	}
+	sort.Slice(versions, func(i, j int) bool { return versions[i] < versions[j] })
+	var out []*LogRecord
+	want := after + 1
+	for _, v := range versions {
+		if v != want {
+			break
+		}
+		data, err := fs.ReadFile(ctx, paths[v])
+		if err != nil {
+			break
+		}
+		var rec LogRecord
+		if err := json.Unmarshal(data, &rec); err != nil {
+			break
+		}
+		out = append(out, &rec)
+		want++
+	}
+	return out, nil
+}
+
+// TruncateTo discards all commits after version in dir: replays the
+// catalog to exactly that version, deletes later log and checkpoint
+// files, and writes a fresh checkpoint at the truncation version (paper
+// §3.5). It returns the truncated snapshot.
+func TruncateTo(ctx context.Context, fs udfs.FileSystem, dir string, version uint64) (*Snapshot, OID, error) {
+	infos, err := fs.List(ctx, dir+"/")
+	if err != nil {
+		return nil, 0, err
+	}
+	var ckpts []uint64
+	txns := map[uint64]string{}
+	var txnVersions []uint64
+	for _, in := range infos {
+		kind, v, ok := ParseCatalogFile(in.Path)
+		if !ok {
+			continue
+		}
+		switch kind {
+		case "ckpt":
+			if v <= version {
+				ckpts = append(ckpts, v)
+			}
+		case "txn":
+			txns[v] = in.Path
+			if v <= version {
+				txnVersions = append(txnVersions, v)
+			}
+		}
+	}
+	sort.Slice(ckpts, func(i, j int) bool { return ckpts[i] > ckpts[j] })
+	sort.Slice(txnVersions, func(i, j int) bool { return txnVersions[i] < txnVersions[j] })
+
+	snap := emptySnapshot()
+	next := OID(1)
+	for _, cv := range ckpts {
+		data, err := fs.ReadFile(ctx, dir+"/"+CkptFileName(cv))
+		if err != nil {
+			continue
+		}
+		s, n, err := DecodeCheckpoint(data)
+		if err != nil {
+			continue
+		}
+		snap, next = s, n
+		break
+	}
+	for _, v := range txnVersions {
+		if v <= snap.version {
+			continue
+		}
+		if v != snap.version+1 {
+			break
+		}
+		data, err := fs.ReadFile(ctx, txns[v])
+		if err != nil {
+			break
+		}
+		var rec LogRecord
+		if err := json.Unmarshal(data, &rec); err != nil {
+			break
+		}
+		if err := applyToSnapshot(snap, &rec); err != nil {
+			return nil, 0, err
+		}
+		if rec.NextOID > next {
+			next = rec.NextOID
+		}
+	}
+	if snap.version != version {
+		return nil, 0, fmt.Errorf("catalog: cannot truncate to v%d, best reachable is v%d", version, snap.version)
+	}
+	// Remove everything after the truncation version.
+	for _, in := range infos {
+		kind, v, ok := ParseCatalogFile(in.Path)
+		if ok && v > version {
+			_ = fs.Remove(ctx, in.Path)
+			_ = kind
+		}
+	}
+	if m := MaxOID(snap); m > next {
+		next = m
+	}
+	// Write the post-truncation checkpoint.
+	data, err := EncodeCheckpoint(snap, next)
+	if err != nil {
+		return nil, 0, err
+	}
+	name := dir + "/" + CkptFileName(version)
+	if ok, _ := udfs.Exists(ctx, fs, name); !ok {
+		if err := fs.WriteFile(ctx, name, data); err != nil {
+			return nil, 0, err
+		}
+	}
+	return snap, next, nil
+}

@@ -1,0 +1,258 @@
+package catalog
+
+import "sort"
+
+// Snapshot is an immutable, consistent view of the catalog at a version.
+// Read operations run against snapshots without locking (paper §2.4:
+// "exposing consistent snapshots to database read operations").
+type Snapshot struct {
+	version uint64
+	objects map[OID]Object
+	// modVersion records the commit version that last wrote each object,
+	// which is what OCC validation compares against (§6.3).
+	modVersion map[OID]uint64
+}
+
+// emptySnapshot returns the version-0 snapshot.
+func emptySnapshot() *Snapshot {
+	return &Snapshot{objects: map[OID]Object{}, modVersion: map[OID]uint64{}}
+}
+
+// Version returns the catalog version the snapshot reflects.
+func (s *Snapshot) Version() uint64 { return s.version }
+
+// Get returns the object with the given OID.
+func (s *Snapshot) Get(oid OID) (Object, bool) {
+	o, ok := s.objects[oid]
+	return o, ok
+}
+
+// ModVersion returns the commit version that last modified oid (0 if the
+// object does not exist).
+func (s *Snapshot) ModVersion(oid OID) uint64 { return s.modVersion[oid] }
+
+// Len returns the number of objects in the snapshot.
+func (s *Snapshot) Len() int { return len(s.objects) }
+
+// ForEach calls fn for every object of the given kind, in OID order.
+// A zero kind visits all objects.
+func (s *Snapshot) ForEach(k Kind, fn func(Object) bool) {
+	oids := make([]OID, 0, len(s.objects))
+	for oid, o := range s.objects {
+		if k == 0 || o.Kind() == k {
+			oids = append(oids, oid)
+		}
+	}
+	sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
+	for _, oid := range oids {
+		if !fn(s.objects[oid]) {
+			return
+		}
+	}
+}
+
+// Tables returns all tables.
+func (s *Snapshot) Tables() []*Table {
+	var out []*Table
+	s.ForEach(KindTable, func(o Object) bool {
+		out = append(out, o.(*Table))
+		return true
+	})
+	return out
+}
+
+// TableByName finds a table by name.
+func (s *Snapshot) TableByName(name string) (*Table, bool) {
+	var found *Table
+	s.ForEach(KindTable, func(o Object) bool {
+		t := o.(*Table)
+		if equalFold(t.Name, name) {
+			found = t
+			return false
+		}
+		return true
+	})
+	return found, found != nil
+}
+
+// ProjectionByName finds a projection by name.
+func (s *Snapshot) ProjectionByName(name string) (*Projection, bool) {
+	var found *Projection
+	s.ForEach(KindProjection, func(o Object) bool {
+		p := o.(*Projection)
+		if equalFold(p.Name, name) {
+			found = p
+			return false
+		}
+		return true
+	})
+	return found, found != nil
+}
+
+// ProjectionsOf returns the projections of a table, base projections
+// first (buddies sorted after their base by offset).
+func (s *Snapshot) ProjectionsOf(table OID) []*Projection {
+	var out []*Projection
+	s.ForEach(KindProjection, func(o Object) bool {
+		p := o.(*Projection)
+		if p.TableOID == table {
+			out = append(out, p)
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].BuddyOffset != out[j].BuddyOffset {
+			return out[i].BuddyOffset < out[j].BuddyOffset
+		}
+		return out[i].OID < out[j].OID
+	})
+	return out
+}
+
+// Shards returns all shard definitions sorted by index (replica shard
+// last).
+func (s *Snapshot) Shards() []*Shard {
+	var out []*Shard
+	s.ForEach(KindShard, func(o Object) bool {
+		out = append(out, o.(*Shard))
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}
+
+// SegmentShardCount returns the number of segment shards.
+func (s *Snapshot) SegmentShardCount() int {
+	n := 0
+	s.ForEach(KindShard, func(o Object) bool {
+		if o.(*Shard).ShardKind == SegmentShard {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// Subscriptions returns all subscriptions, optionally filtered by node
+// ("" matches all).
+func (s *Snapshot) Subscriptions(node string) []*Subscription {
+	var out []*Subscription
+	s.ForEach(KindSubscription, func(o Object) bool {
+		sub := o.(*Subscription)
+		if node == "" || sub.Node == node {
+			out = append(out, sub)
+		}
+		return true
+	})
+	return out
+}
+
+// SubscribersOf returns the subscriptions for one shard index filtered to
+// the given states (empty states matches all).
+func (s *Snapshot) SubscribersOf(shardIndex int, states ...SubState) []*Subscription {
+	var out []*Subscription
+	s.ForEach(KindSubscription, func(o Object) bool {
+		sub := o.(*Subscription)
+		if sub.ShardIndex != shardIndex {
+			return true
+		}
+		if len(states) == 0 {
+			out = append(out, sub)
+			return true
+		}
+		for _, st := range states {
+			if sub.State == st {
+				out = append(out, sub)
+				break
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// Nodes returns all node definitions sorted by name.
+func (s *Snapshot) Nodes() []*Node {
+	var out []*Node
+	s.ForEach(KindNode, func(o Object) bool {
+		out = append(out, o.(*Node))
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// NodeByName finds a node by name.
+func (s *Snapshot) NodeByName(name string) (*Node, bool) {
+	for _, n := range s.Nodes() {
+		if n.Name == name {
+			return n, true
+		}
+	}
+	return nil, false
+}
+
+// ContainersOf returns the storage containers of a projection, optionally
+// restricted to one shard index (pass GlobalShard for no restriction).
+func (s *Snapshot) ContainersOf(proj OID, shardIndex int) []*StorageContainer {
+	var out []*StorageContainer
+	s.ForEach(KindStorageContainer, func(o Object) bool {
+		sc := o.(*StorageContainer)
+		if sc.ProjOID == proj && (shardIndex == GlobalShard || sc.ShardIndex == shardIndex) {
+			out = append(out, sc)
+		}
+		return true
+	})
+	return out
+}
+
+// DeleteVectorsOf returns the delete vectors covering a container.
+func (s *Snapshot) DeleteVectorsOf(container OID) []*DeleteVector {
+	var out []*DeleteVector
+	s.ForEach(KindDeleteVector, func(o Object) bool {
+		dv := o.(*DeleteVector)
+		if dv.ContainerOID == container {
+			out = append(out, dv)
+		}
+		return true
+	})
+	return out
+}
+
+// FilterShards returns a copy of the snapshot containing only global
+// objects plus storage objects of the given shard indexes. This models a
+// subscribing node's partial catalog (paper §3.1).
+func (s *Snapshot) FilterShards(keep map[int]bool) *Snapshot {
+	out := &Snapshot{
+		version:    s.version,
+		objects:    make(map[OID]Object, len(s.objects)),
+		modVersion: make(map[OID]uint64, len(s.modVersion)),
+	}
+	for oid, o := range s.objects {
+		sh := o.Shard()
+		if sh == GlobalShard || keep[sh] {
+			out.objects[oid] = o
+			out.modVersion[oid] = s.modVersion[oid]
+		}
+	}
+	return out
+}
+
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,165 @@
+// Package cluster implements the Eon-mode durability and revive machinery
+// of paper §3.5: node instance identifiers (the 120-bit random component
+// of storage IDs), cluster incarnation UUIDs, the cluster_info.json
+// commit-point file with its lease, per-node catalog sync intervals, and
+// the consensus truncation-version computation of Figure 5.
+package cluster
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// InstanceID is the 120-bit strongly random identifier generated when a
+// node process starts (paper §5.1, Figure 7). It prefixes every storage
+// ID the process creates, so clusters cloned from the same files still
+// generate globally unique names.
+type InstanceID string
+
+// NewInstanceID draws a fresh 120-bit random identifier.
+func NewInstanceID() InstanceID {
+	var b [15]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("cluster: cannot read randomness: %v", err))
+	}
+	return InstanceID(hex.EncodeToString(b[:]))
+}
+
+// IncarnationID is the 128-bit UUID that changes each time the cluster is
+// revived, qualifying metadata uploads so each revived cluster writes to
+// a distinct location (§3.5).
+type IncarnationID string
+
+// NewIncarnationID draws a fresh incarnation UUID (RFC 4122 v4 layout).
+func NewIncarnationID() IncarnationID {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("cluster: cannot read randomness: %v", err))
+	}
+	b[6] = (b[6] & 0x0f) | 0x40
+	b[8] = (b[8] & 0x3f) | 0x80
+	u := hex.EncodeToString(b[:])
+	return IncarnationID(u[0:8] + "-" + u[8:12] + "-" + u[12:16] + "-" + u[16:20] + "-" + u[20:32])
+}
+
+// InfoFileName is the shared-storage object holding the cluster's revive
+// commit point.
+const InfoFileName = "cluster_info.json"
+
+// Info is the contents of cluster_info.json: "in addition to the
+// truncation version, the file also contains a timestamp, node and
+// database information, and a lease time" (§3.5). Writing it is the
+// commit point for revive.
+type Info struct {
+	Database          string        `json:"database"`
+	Incarnation       IncarnationID `json:"incarnation"`
+	TruncationVersion uint64        `json:"truncationVersion"`
+	Nodes             []string      `json:"nodes"`
+	Timestamp         time.Time     `json:"timestamp"`
+	LeaseExpiry       time.Time     `json:"leaseExpiry"`
+}
+
+// Marshal serializes the info file.
+func (i *Info) Marshal() ([]byte, error) { return json.MarshalIndent(i, "", "  ") }
+
+// ParseInfo deserializes cluster_info.json bytes.
+func ParseInfo(data []byte) (*Info, error) {
+	var i Info
+	if err := json.Unmarshal(data, &i); err != nil {
+		return nil, fmt.Errorf("cluster: parse %s: %w", InfoFileName, err)
+	}
+	return &i, nil
+}
+
+// LeaseValid reports whether the lease is still held at now; revive must
+// abort while another cluster plausibly runs on the same shared storage.
+func (i *Info) LeaseValid(now time.Time) bool {
+	return now.Before(i.LeaseExpiry)
+}
+
+// SyncInterval is the range of catalog versions a node could revive to
+// from its uploads: uploaded checkpoints raise the lower bound, uploaded
+// transaction logs raise the upper bound (§3.5).
+type SyncInterval struct {
+	Lower uint64 // oldest version reachable (latest uploaded checkpoint)
+	Upper uint64 // newest version reachable (last uploaded txn log)
+}
+
+// Contains reports whether the node can revive to version v.
+func (s SyncInterval) Contains(v uint64) bool { return v >= s.Lower && v <= s.Upper }
+
+// SyncTracker aggregates per-node sync intervals on the leader.
+type SyncTracker struct {
+	mu        sync.Mutex
+	intervals map[string]SyncInterval
+}
+
+// NewSyncTracker returns an empty tracker.
+func NewSyncTracker() *SyncTracker {
+	return &SyncTracker{intervals: map[string]SyncInterval{}}
+}
+
+// Update records a node's current sync interval.
+func (t *SyncTracker) Update(node string, iv SyncInterval) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.intervals[node] = iv
+}
+
+// Get returns a node's last reported interval.
+func (t *SyncTracker) Get(node string) (SyncInterval, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	iv, ok := t.intervals[node]
+	return iv, ok
+}
+
+// Snapshot copies the tracked intervals.
+func (t *SyncTracker) Snapshot() map[string]SyncInterval {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]SyncInterval, len(t.intervals))
+	for k, v := range t.intervals {
+		out[k] = v
+	}
+	return out
+}
+
+// ComputeTruncationVersion implements Figure 5: for each shard, the best
+// version any subscriber has durably uploaded (the max of subscriber
+// upper bounds); the consensus truncation version is the minimum of
+// those across shards — the highest version at which every shard's
+// metadata is fully present on shared storage. ok is false when some
+// shard has no subscriber with an upload.
+func ComputeTruncationVersion(shardSubscribers map[int][]string, intervals map[string]SyncInterval) (uint64, bool) {
+	first := true
+	var consensus uint64
+	for shardIdx, subs := range shardSubscribers {
+		var best uint64
+		found := false
+		for _, node := range subs {
+			if iv, ok := intervals[node]; ok {
+				if !found || iv.Upper > best {
+					best = iv.Upper
+					found = true
+				}
+			}
+		}
+		if !found {
+			return 0, false
+		}
+		_ = shardIdx
+		if first || best < consensus {
+			consensus = best
+			first = false
+		}
+	}
+	if first {
+		return 0, false // no shards at all
+	}
+	return consensus, true
+}

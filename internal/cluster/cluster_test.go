@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestInstanceIDUnique(t *testing.T) {
+	a, b := NewInstanceID(), NewInstanceID()
+	if a == b {
+		t.Error("instance ids must differ")
+	}
+	if len(a) != 30 { // 15 bytes hex
+		t.Errorf("instance id length = %d", len(a))
+	}
+}
+
+func TestIncarnationIDFormat(t *testing.T) {
+	id := NewIncarnationID()
+	if len(id) != 36 {
+		t.Errorf("uuid length = %d: %s", len(id), id)
+	}
+	if id[8] != '-' || id[13] != '-' || id[18] != '-' || id[23] != '-' {
+		t.Errorf("uuid dashes wrong: %s", id)
+	}
+	if id[14] != '4' {
+		t.Errorf("uuid version nibble: %s", id)
+	}
+	if NewIncarnationID() == id {
+		t.Error("incarnations must differ")
+	}
+}
+
+func TestInfoRoundtrip(t *testing.T) {
+	in := &Info{
+		Database:          "testdb",
+		Incarnation:       NewIncarnationID(),
+		TruncationVersion: 42,
+		Nodes:             []string{"n1", "n2"},
+		Timestamp:         time.Date(2018, 6, 1, 0, 0, 0, 0, time.UTC),
+		LeaseExpiry:       time.Date(2018, 6, 1, 0, 5, 0, 0, time.UTC),
+	}
+	data, err := in.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseInfo(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.TruncationVersion != 42 || out.Database != "testdb" || len(out.Nodes) != 2 {
+		t.Errorf("roundtrip = %+v", out)
+	}
+	if out.Incarnation != in.Incarnation {
+		t.Error("incarnation lost")
+	}
+}
+
+func TestParseInfoInvalid(t *testing.T) {
+	if _, err := ParseInfo([]byte("not json")); err == nil {
+		t.Error("invalid json should fail")
+	}
+}
+
+func TestLeaseValid(t *testing.T) {
+	now := time.Now()
+	i := &Info{LeaseExpiry: now.Add(time.Minute)}
+	if !i.LeaseValid(now) {
+		t.Error("unexpired lease should be valid")
+	}
+	if i.LeaseValid(now.Add(2 * time.Minute)) {
+		t.Error("expired lease should be invalid")
+	}
+}
+
+func TestSyncInterval(t *testing.T) {
+	iv := SyncInterval{Lower: 3, Upper: 7}
+	if !iv.Contains(3) || !iv.Contains(7) || !iv.Contains(5) {
+		t.Error("contains within bounds")
+	}
+	if iv.Contains(2) || iv.Contains(8) {
+		t.Error("contains outside bounds")
+	}
+}
+
+func TestSyncTracker(t *testing.T) {
+	tr := NewSyncTracker()
+	tr.Update("n1", SyncInterval{Lower: 1, Upper: 5})
+	tr.Update("n2", SyncInterval{Lower: 1, Upper: 7})
+	tr.Update("n1", SyncInterval{Lower: 2, Upper: 6})
+	iv, ok := tr.Get("n1")
+	if !ok || iv.Upper != 6 {
+		t.Errorf("get = %+v, %v", iv, ok)
+	}
+	if _, ok := tr.Get("missing"); ok {
+		t.Error("missing node")
+	}
+	snap := tr.Snapshot()
+	if len(snap) != 2 {
+		t.Errorf("snapshot = %v", snap)
+	}
+}
+
+// The Figure 5 example: 4 nodes, 4 shards. Node upper bounds chosen so
+// the per-shard maxima are {5, 7, 5, 7} and the consensus is 5.
+func TestComputeTruncationVersionFigure5(t *testing.T) {
+	intervals := map[string]SyncInterval{
+		"node1": {Upper: 5},
+		"node2": {Upper: 7},
+		"node3": {Upper: 3},
+		"node4": {Upper: 4},
+	}
+	shardSubs := map[int][]string{
+		0: {"node1", "node4"}, // max 5
+		1: {"node2", "node3"}, // max 7
+		2: {"node3", "node1"}, // max 5
+		3: {"node4", "node2"}, // max 7
+	}
+	v, ok := ComputeTruncationVersion(shardSubs, intervals)
+	if !ok || v != 5 {
+		t.Errorf("consensus = %d, %v; want 5", v, ok)
+	}
+}
+
+func TestComputeTruncationVersionMissingShard(t *testing.T) {
+	_, ok := ComputeTruncationVersion(map[int][]string{
+		0: {"n1"},
+		1: {"n2"}, // n2 never uploaded
+	}, map[string]SyncInterval{"n1": {Upper: 9}})
+	if ok {
+		t.Error("shard with no uploads must make consensus impossible")
+	}
+}
+
+func TestComputeTruncationVersionEmpty(t *testing.T) {
+	if _, ok := ComputeTruncationVersion(nil, nil); ok {
+		t.Error("no shards should not produce a consensus")
+	}
+}
+
+// Property: the consensus version is revivable for every shard — some
+// subscriber of each shard has uploaded at least that version.
+func TestQuickTruncationConsensusSafe(t *testing.T) {
+	f := func(uppers [4]uint8) bool {
+		intervals := map[string]SyncInterval{}
+		nodes := []string{"a", "b", "c", "d"}
+		for i, n := range nodes {
+			intervals[n] = SyncInterval{Upper: uint64(uppers[i])}
+		}
+		shardSubs := map[int][]string{
+			0: {"a", "b"}, 1: {"b", "c"}, 2: {"c", "d"}, 3: {"d", "a"},
+		}
+		v, ok := ComputeTruncationVersion(shardSubs, intervals)
+		if !ok {
+			return false
+		}
+		for _, subs := range shardSubs {
+			covered := false
+			for _, n := range subs {
+				if intervals[n].Upper >= v {
+					covered = true
+				}
+			}
+			if !covered {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"fmt"
+
+	"eon/internal/catalog"
+	"eon/internal/shard"
+)
+
+// checkViabilityAndMaybeShutdown enforces the §3.4 invariants: if the up
+// nodes cannot form a viable cluster (quorum plus ACTIVE coverage of
+// every shard), the cluster shuts down to avoid divergence or wrong
+// answers.
+func (db *DB) checkViabilityAndMaybeShutdown(snap *catalog.Snapshot) shard.Viability {
+	v := shard.CheckViability(snap, db.UpNodes())
+	if !v.OK {
+		db.shutdown.Store(true)
+	}
+	return v
+}
+
+// IsShutdown reports whether the cluster went down due to invariant
+// violation or an explicit Shutdown.
+func (db *DB) IsShutdown() bool { return db.shutdown.Load() }
+
+// KillNode simulates a node failure: the process state (WOS contents,
+// in-flight work) is lost; the node's disk (cache, catalog files)
+// survives as instance storage.
+func (db *DB) KillNode(name string) error {
+	n, ok := db.Node(name)
+	if !ok {
+		return fmt.Errorf("core: unknown node %q", name)
+	}
+	if !n.Up() {
+		return nil
+	}
+	n.up.Store(false)
+	db.net.SetDown(name, true)
+	db.slots.kick() // waiters on the dead node's slots must re-validate
+	if init, err := db.anyUpNode(); err == nil {
+		db.checkViabilityAndMaybeShutdown(init.catalog.Snapshot())
+	} else {
+		db.shutdown.Store(true)
+	}
+	return nil
+}
+
+// RecoverNode brings a failed node back (§6.1): the node rejoins, its
+// stale ACTIVE subscriptions are forced back to PENDING (re-subscription),
+// it catches up on missed catalog commits, transfers incremental shard
+// metadata, optionally warms its cache from a peer, and finally returns
+// its subscriptions to ACTIVE.
+func (db *DB) RecoverNode(name string) error {
+	n, ok := db.Node(name)
+	if !ok {
+		return fmt.Errorf("core: unknown node %q", name)
+	}
+	if n.Up() {
+		return nil
+	}
+	if db.shutdown.Load() {
+		return fmt.Errorf("core: cluster is shut down; revive it instead")
+	}
+
+	// A restarted process has a fresh instance id (§5.1) and empty WOS.
+	n.inst = newInstanceID()
+	if db.mode == ModeEnterprise && n.wos != nil {
+		n.wos = freshWOS()
+	}
+
+	// Catch up on missed commits before rejoining the commit fan-out,
+	// atomically with marking the node up (incremental shard diffs;
+	// §6.1: "re-subscription is less resource intensive").
+	db.commitMu.Lock()
+	for _, rec := range db.recordsAfter(n.catalog.Version()) {
+		if err := n.catalog.Apply(rec, db.keepFuncFor(n)); err != nil {
+			db.commitMu.Unlock()
+			return fmt.Errorf("core: node %s catch-up failed at v%d: %w", n.name, rec.Version, err)
+		}
+	}
+	n.up.Store(true)
+	db.commitMu.Unlock()
+	db.net.SetDown(name, false)
+
+	init, err := db.anyUpNode()
+	if err != nil {
+		return err
+	}
+
+	// Force re-subscription: ACTIVE -> PENDING for the recovering node
+	// (§3.3). Committed by the cluster upon invitation back.
+	if db.mode == ModeEon {
+		txn := init.catalog.Begin()
+		for _, s := range txn.Base().Subscriptions(name) {
+			if s.State == catalog.SubActive {
+				c := s.Clone().(*catalog.Subscription)
+				c.State = catalog.SubPending
+				txn.Put(c)
+			}
+		}
+		if txn.Pending() {
+			if _, err := db.commit(init, txn, nil); err != nil {
+				return err
+			}
+		}
+	}
+
+	if db.mode == ModeEon {
+		// Complete re-subscription: PENDING -> PASSIVE -> ACTIVE with a
+		// lukewarm cache warm from a peer.
+		if err := db.completeSubscriptions(n, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddNode grows the cluster (§6.4): the new node is registered, the
+// rebalancer assigns it subscriptions, metadata transfers and the cache
+// warms — no data redistribution is needed because data lives on shared
+// storage.
+func (db *DB) AddNode(spec NodeSpec) error {
+	if db.mode == ModeEnterprise {
+		return fmt.Errorf("core: Enterprise node addition requires full data redistribution; not supported in this reproduction")
+	}
+	db.nodesMu.Lock()
+	if _, dup := db.nodes[spec.Name]; dup {
+		db.nodesMu.Unlock()
+		return fmt.Errorf("core: node %q already exists", spec.Name)
+	}
+	n := newNode(spec, &db.cfg)
+	n.up.Store(false) // joins the commit fan-out only once caught up
+	db.nodes[spec.Name] = n
+	db.order = append(db.order, spec.Name)
+	db.nodesMu.Unlock()
+	db.slots.register(spec.Name, db.cfg.ExecSlots)
+	if spec.Rack != "" {
+		db.net.SetRack(spec.Name, spec.Rack)
+	}
+
+	init, err := db.anyUpNode()
+	if err != nil {
+		return err
+	}
+	// Bring the new node's catalog up to the cluster version, atomically
+	// with joining the commit fan-out.
+	db.commitMu.Lock()
+	for _, rec := range db.recordsAfter(n.catalog.Version()) {
+		if err := n.catalog.Apply(rec, db.keepFuncFor(n)); err != nil {
+			db.commitMu.Unlock()
+			return fmt.Errorf("core: new node %s catch-up failed: %w", n.name, err)
+		}
+	}
+	n.up.Store(true)
+	db.commitMu.Unlock()
+	// Register the node object.
+	txn := init.catalog.Begin()
+	txn.Put(&catalog.Node{OID: init.catalog.NewOID(), Name: spec.Name, Subcluster: spec.Subcluster})
+	if _, err := db.commit(init, txn, nil); err != nil {
+		return err
+	}
+	return db.Rebalance()
+}
+
+// RemoveNode drains a node's subscriptions and removes it (§6.4:
+// "removing a node is as simple as ensuring any segment served by the
+// node is also served by another node").
+func (db *DB) RemoveNode(name string) error {
+	if db.mode == ModeEnterprise {
+		return fmt.Errorf("core: Enterprise node removal requires data redistribution; not supported in this reproduction")
+	}
+	n, ok := db.Node(name)
+	if !ok {
+		return fmt.Errorf("core: unknown node %q", name)
+	}
+	init, err := db.anyUpNode()
+	if err != nil {
+		return err
+	}
+	if init == n {
+		for _, cand := range db.Nodes() {
+			if cand.Up() && cand.name != name {
+				init = cand
+				break
+			}
+		}
+		if init == n {
+			return fmt.Errorf("core: cannot remove the last node")
+		}
+	}
+	// Plan with the node drained, execute the subscription changes, then
+	// drop the node object.
+	actions := shard.PlanRebalance(init.catalog.Snapshot(), shard.PlanOptions{
+		ReplicationFactor: db.cfg.ReplicationFactor,
+		DrainNodes:        []string{name},
+	})
+	if err := db.executeRebalanceActions(actions); err != nil {
+		return err
+	}
+	txn := init.catalog.Begin()
+	snap := txn.Base()
+	if node, ok := snap.NodeByName(name); ok {
+		txn.Delete(node.OID)
+	}
+	for _, s := range snap.Subscriptions(name) {
+		txn.Delete(s.OID)
+	}
+	if _, err := db.commit(init, txn, nil); err != nil {
+		return err
+	}
+	n.up.Store(false)
+	db.net.SetDown(name, true)
+	db.nodesMu.Lock()
+	delete(db.nodes, name)
+	for i, o := range db.order {
+		if o == name {
+			db.order = append(db.order[:i], db.order[i+1:]...)
+			break
+		}
+	}
+	db.nodesMu.Unlock()
+	return nil
+}
+
+// Rebalance plans and executes subscription changes so every shard is
+// fault tolerant and every subcluster self-sufficient (§3.1, §4.3).
+func (db *DB) Rebalance() error {
+	init, err := db.anyUpNode()
+	if err != nil {
+		return err
+	}
+	actions := shard.PlanRebalance(init.catalog.Snapshot(), shard.PlanOptions{
+		ReplicationFactor: db.cfg.ReplicationFactor,
+	})
+	return db.executeRebalanceActions(actions)
+}

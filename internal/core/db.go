@@ -1,0 +1,582 @@
+// Package core integrates the substrates into the database engine: a
+// multi-node cluster (simulated in-process) that runs in either
+// Enterprise mode (shared-nothing, buddy projections, WOS, node-local
+// storage) or Eon mode (shared storage, segment shards, subscriptions,
+// per-node file cache) — the paper's central contrast. The optimizer and
+// execution engine are shared between modes; storage layout, fault
+// tolerance and recovery differ (paper §1, §3-§6).
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"eon/internal/cache"
+	"eon/internal/catalog"
+	"eon/internal/cluster"
+	"eon/internal/hashring"
+	"eon/internal/netsim"
+	"eon/internal/objstore"
+	"eon/internal/tuplemover"
+	"eon/internal/udfs"
+	"eon/internal/wos"
+)
+
+// Mode selects the architecture.
+type Mode uint8
+
+// The two architectures.
+const (
+	// ModeEnterprise is the original shared-nothing design: node-local
+	// storage, buddy projections for fault tolerance, a WOS with
+	// moveout.
+	ModeEnterprise Mode = iota
+	// ModeEon places data and metadata on shared storage with segment
+	// shards, subscriptions and per-node caches.
+	ModeEon
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == ModeEon {
+		return "eon"
+	}
+	return "enterprise"
+}
+
+// NodeSpec describes one cluster member at creation.
+type NodeSpec struct {
+	Name       string
+	Subcluster string
+	Rack       string
+}
+
+// Config configures a database.
+type Config struct {
+	Mode Mode
+	Name string
+	// Nodes are the initial cluster members.
+	Nodes []NodeSpec
+	// ShardCount fixes the number of segment shards at database creation
+	// (Eon; §3.1). Enterprise uses one segment per initial node.
+	ShardCount int
+	// ReplicationFactor is the minimum subscribers per shard in Eon
+	// (default 2, tolerating one node loss — the analog of K-safety 1).
+	ReplicationFactor int
+	// ExecSlots is the per-node concurrent query slot count E (§4.2).
+	ExecSlots int
+	// CacheBytes is the per-node cache capacity (Eon).
+	CacheBytes int64
+	// WOSMaxRows: Enterprise loads smaller than this buffer in the WOS;
+	// larger loads write ROS directly. Moveout drains WOS buffers.
+	WOSMaxRows int
+	// Shared is the shared storage (Eon). Defaults to an in-memory
+	// store.
+	Shared objstore.Store
+	// Net models the interconnect. Defaults to a zero-cost network.
+	Net *netsim.Network
+	// BundleThreshold controls small-container bundling (§2.3); 0 uses
+	// the storage default, <0 disables.
+	BundleThreshold int64
+	// BroadcastRowLimit is the planner's small-table broadcast cutoff.
+	BroadcastRowLimit int64
+	// Mergeout tunes the tuple mover.
+	Mergeout tuplemover.Policy
+	// CheckpointThreshold is the catalog checkpoint trigger in log
+	// bytes.
+	CheckpointThreshold int64
+	// LeaseDuration is the revive lease written to cluster_info.json.
+	LeaseDuration time.Duration
+	// QueryCost simulates the per-node execution time of one query: it
+	// is slept while the query's execution slots are held, so throughput
+	// scales with total cluster slots (§4.2) rather than with the host
+	// machine running the simulation. 0 disables.
+	QueryCost time.Duration
+	// LoadCost is the analogous simulated ingest time per COPY.
+	LoadCost time.Duration
+	// Seed makes participating-subscription selection deterministic.
+	Seed int64
+	// Now overrides the wall clock (lease tests).
+	Now func() time.Time
+}
+
+func (c *Config) fillDefaults() error {
+	if len(c.Nodes) == 0 {
+		return fmt.Errorf("core: at least one node required")
+	}
+	if c.Name == "" {
+		c.Name = "db"
+	}
+	if c.ShardCount <= 0 {
+		if c.Mode == ModeEon {
+			c.ShardCount = len(c.Nodes)
+		} else {
+			c.ShardCount = len(c.Nodes)
+		}
+	}
+	if c.Mode == ModeEnterprise {
+		// Enterprise segmentation is tied to the node ring.
+		c.ShardCount = len(c.Nodes)
+	}
+	if c.ReplicationFactor <= 0 {
+		c.ReplicationFactor = 2
+	}
+	if c.ReplicationFactor > len(c.Nodes) {
+		c.ReplicationFactor = len(c.Nodes)
+	}
+	if c.ExecSlots <= 0 {
+		c.ExecSlots = 4
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 256 << 20
+	}
+	if c.WOSMaxRows <= 0 {
+		c.WOSMaxRows = 1024
+	}
+	if c.Shared == nil {
+		c.Shared = objstore.NewMem()
+	}
+	if c.Net == nil {
+		c.Net = netsim.New(netsim.LinkCost{})
+	}
+	if c.Mergeout.FanIn == 0 {
+		c.Mergeout = tuplemover.DefaultPolicy()
+	}
+	if c.CheckpointThreshold <= 0 {
+		c.CheckpointThreshold = 256 << 10
+	}
+	if c.LeaseDuration <= 0 {
+		c.LeaseDuration = 2 * time.Minute
+	}
+	return nil
+}
+
+// Node is one cluster member.
+type Node struct {
+	name       string
+	subcluster string
+	inst       cluster.InstanceID
+	catalog    *catalog.Catalog
+	fs         *udfs.MemFS  // the node's local disk
+	cache      *cache.Cache // Eon file cache
+	wos        *wos.Store   // Enterprise write-optimized store
+	up         atomic.Bool
+
+	// sync interval of uploaded catalog metadata (Eon, §3.5).
+	syncMu   sync.Mutex
+	syncIv   cluster.SyncInterval
+	syncSeen map[string]bool // catalog files already uploaded
+
+	// running-query version tracking for file GC gossip (§6.5).
+	queryMu      sync.Mutex
+	runningQ     map[uint64]int // snapshot version -> active query count
+	minQReported uint64         // monotonically increasing gossip value
+}
+
+// Name returns the node's name.
+func (n *Node) Name() string { return n.name }
+
+// Up reports whether the node is running.
+func (n *Node) Up() bool { return n.up.Load() }
+
+// Cache returns the node's file cache (nil in Enterprise mode).
+func (n *Node) Cache() *cache.Cache { return n.cache }
+
+// Catalog returns the node's catalog.
+func (n *Node) Catalog() *catalog.Catalog { return n.catalog }
+
+// InstanceID returns the node's current process instance id.
+func (n *Node) InstanceID() cluster.InstanceID { return n.inst }
+
+// beginQuery registers a running query at a snapshot version.
+func (n *Node) beginQuery(version uint64) {
+	n.queryMu.Lock()
+	defer n.queryMu.Unlock()
+	n.runningQ[version]++
+}
+
+// endQuery deregisters a running query.
+func (n *Node) endQuery(version uint64) {
+	n.queryMu.Lock()
+	defer n.queryMu.Unlock()
+	if n.runningQ[version] <= 1 {
+		delete(n.runningQ, version)
+	} else {
+		n.runningQ[version]--
+	}
+}
+
+// minQueryVersion gossips the minimum catalog version of running
+// queries, monotonically increasing (§6.5). current is the node's
+// catalog version, reported when no queries run.
+func (n *Node) minQueryVersion(current uint64) uint64 {
+	n.queryMu.Lock()
+	defer n.queryMu.Unlock()
+	min := current
+	for v := range n.runningQ {
+		if v < min {
+			min = v
+		}
+	}
+	if min < n.minQReported {
+		min = n.minQReported
+	}
+	n.minQReported = min
+	return min
+}
+
+// pendingDelete is a storage file awaiting safe deletion (§6.5).
+type pendingDelete struct {
+	path        string
+	dropVersion uint64
+}
+
+// DB is one database: a set of nodes plus (in Eon mode) shared storage.
+type DB struct {
+	cfg  Config
+	mode Mode
+
+	// commitMu is the cluster-wide commit serialization (the global
+	// catalog lock of §6.3 spans the distributed commit in this
+	// simulation).
+	commitMu sync.Mutex
+
+	nodesMu sync.RWMutex
+	nodes   map[string]*Node
+	order   []string // creation order; the Enterprise logical ring
+
+	shared   objstore.Store
+	sharedFS *udfs.ObjectFS
+	net      *netsim.Network
+	ring     *hashring.Ring
+
+	// slots allocates per-node execution slots (§4.2).
+	slots *slotManager
+
+	incarnation cluster.IncarnationID
+
+	// recordLog is the in-memory commit history used for node catch-up.
+	logMu     sync.Mutex
+	recordLog []*catalog.LogRecord
+
+	// deferred file deletions (§6.5).
+	gcMu     sync.Mutex
+	deferred []pendingDelete
+
+	truncation atomic.Uint64
+	seedCtr    atomic.Int64
+	shutdown   atomic.Bool
+	clockSkew  atomic.Int64 // test hook: artificial now() offset in ns
+
+	// cache shaping (§5.2): tables whose files bypass node caches, both
+	// at load (write-through off) and at scan.
+	policyMu   sync.RWMutex
+	neverCache map[string]bool
+}
+
+// SetNeverCacheTable installs the "never cache table T" shaping policy
+// (§5.2): the table's files are not admitted at load or scan time, so
+// large batch/archive tables cannot evict dashboard working sets.
+func (db *DB) SetNeverCacheTable(table string, never bool) {
+	db.policyMu.Lock()
+	defer db.policyMu.Unlock()
+	if db.neverCache == nil {
+		db.neverCache = map[string]bool{}
+	}
+	db.neverCache[lowerASCII(table)] = never
+}
+
+func (db *DB) neverCacheTable(table string) bool {
+	db.policyMu.RLock()
+	defer db.policyMu.RUnlock()
+	return db.neverCache[lowerASCII(table)]
+}
+
+func lowerASCII(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if 'A' <= c && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}
+
+// Mode returns the database mode.
+func (db *DB) Mode() Mode { return db.mode }
+
+// SharedStore returns the shared object store (Eon).
+func (db *DB) SharedStore() objstore.Store { return db.shared }
+
+// Net returns the simulated network.
+func (db *DB) Net() *netsim.Network { return db.net }
+
+// Ring returns the segment-shard hash ring.
+func (db *DB) Ring() *hashring.Ring { return db.ring }
+
+// Incarnation returns the cluster's current incarnation id.
+func (db *DB) Incarnation() cluster.IncarnationID { return db.incarnation }
+
+// Node returns a node by name.
+func (db *DB) Node(name string) (*Node, bool) {
+	db.nodesMu.RLock()
+	defer db.nodesMu.RUnlock()
+	n, ok := db.nodes[name]
+	return n, ok
+}
+
+// Nodes returns all nodes in creation order.
+func (db *DB) Nodes() []*Node {
+	db.nodesMu.RLock()
+	defer db.nodesMu.RUnlock()
+	out := make([]*Node, 0, len(db.order))
+	for _, name := range db.order {
+		out = append(out, db.nodes[name])
+	}
+	return out
+}
+
+// UpNodes returns the names of running nodes.
+func (db *DB) UpNodes() map[string]bool {
+	out := map[string]bool{}
+	for _, n := range db.Nodes() {
+		if n.Up() {
+			out[n.name] = true
+		}
+	}
+	return out
+}
+
+// anyUpNode returns some running node (the lowest-named, making leader
+// choice deterministic).
+func (db *DB) anyUpNode() (*Node, error) {
+	if db.shutdown.Load() {
+		return nil, fmt.Errorf("core: cluster is shut down")
+	}
+	var best *Node
+	for _, n := range db.Nodes() {
+		if n.Up() && (best == nil || n.name < best.name) {
+			best = n
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("core: no nodes up")
+	}
+	return best, nil
+}
+
+// now returns the simulated current time (wall clock or test hook, plus
+// any test skew).
+func (db *DB) now() time.Time {
+	base := time.Now()
+	if db.cfg.Now != nil {
+		base = db.cfg.Now()
+	}
+	return base.Add(time.Duration(db.clockSkew.Load()))
+}
+
+// AdvanceClock shifts the database's notion of now, for lease tests.
+func (db *DB) AdvanceClock(d time.Duration) {
+	db.clockSkew.Add(int64(d))
+}
+
+func newNode(spec NodeSpec, cfg *Config) *Node {
+	n := &Node{
+		name:       spec.Name,
+		subcluster: spec.Subcluster,
+		inst:       cluster.NewInstanceID(),
+		catalog:    catalog.New(),
+		fs:         udfs.NewMemFS(),
+		runningQ:   map[uint64]int{},
+		syncSeen:   map[string]bool{},
+	}
+	n.catalog.SetPersister(catalog.NewPersister(n.fs, "catalog", cfg.CheckpointThreshold))
+	if cfg.Mode == ModeEon {
+		n.cache = cache.New(n.fs, "cache", cfg.CacheBytes)
+	} else {
+		n.wos = wos.New()
+	}
+	n.up.Store(true)
+	return n
+}
+
+// Create initializes a new database cluster.
+func Create(cfg Config) (*DB, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	db := &DB{
+		cfg:         cfg,
+		mode:        cfg.Mode,
+		nodes:       map[string]*Node{},
+		shared:      cfg.Shared,
+		net:         cfg.Net,
+		ring:        hashring.NewRing(cfg.ShardCount),
+		incarnation: cluster.NewIncarnationID(),
+	}
+	db.sharedFS = udfs.NewObjectFS(db.shared)
+	db.slots = newSlotManager()
+	for _, spec := range cfg.Nodes {
+		if _, dup := db.nodes[spec.Name]; dup {
+			return nil, fmt.Errorf("core: duplicate node name %q", spec.Name)
+		}
+		n := newNode(spec, &cfg)
+		db.nodes[spec.Name] = n
+		db.order = append(db.order, spec.Name)
+		db.slots.register(spec.Name, cfg.ExecSlots)
+		if spec.Rack != "" {
+			db.net.SetRack(spec.Name, spec.Rack)
+		}
+	}
+	if err := db.bootstrapCatalog(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// bootstrapCatalog commits the initial node, shard and subscription
+// objects.
+func (db *DB) bootstrapCatalog() error {
+	init, err := db.anyUpNode()
+	if err != nil {
+		return err
+	}
+	txn := init.catalog.Begin()
+	for _, name := range db.order {
+		n := db.nodes[name]
+		txn.Put(&catalog.Node{OID: init.catalog.NewOID(), Name: n.name, Subcluster: n.subcluster})
+	}
+	for i := 0; i < db.cfg.ShardCount; i++ {
+		seg := db.ring.Segment(i)
+		txn.Put(&catalog.Shard{
+			OID: init.catalog.NewOID(), Index: i,
+			ShardKind: catalog.SegmentShard, Lo: seg.Start, Hi: seg.End,
+		})
+	}
+	txn.Put(&catalog.Shard{
+		OID: init.catalog.NewOID(), Index: catalog.ReplicaShard,
+		ShardKind: catalog.ReplicaShardKind, Lo: 0, Hi: hashring.SpaceSize,
+	})
+	// Initial subscriptions.
+	if db.mode == ModeEon {
+		k := db.cfg.ReplicationFactor
+		nNodes := len(db.order)
+		for i := 0; i < db.cfg.ShardCount; i++ {
+			for r := 0; r < k; r++ {
+				node := db.order[(i+r)%nNodes]
+				txn.Put(&catalog.Subscription{
+					OID: init.catalog.NewOID(), Node: node,
+					ShardIndex: i, State: catalog.SubActive,
+				})
+			}
+		}
+		for _, name := range db.order {
+			txn.Put(&catalog.Subscription{
+				OID: init.catalog.NewOID(), Node: name,
+				ShardIndex: catalog.ReplicaShard, State: catalog.SubActive,
+			})
+		}
+	} else {
+		// Enterprise: node i serves segment i (base) and its buddy
+		// segment — the rotated ring (§2.2).
+		nNodes := len(db.order)
+		for i := 0; i < db.cfg.ShardCount; i++ {
+			base := db.order[i%nNodes]
+			buddy := db.order[(i+1)%nNodes]
+			txn.Put(&catalog.Subscription{OID: init.catalog.NewOID(), Node: base, ShardIndex: i, State: catalog.SubActive})
+			if buddy != base {
+				txn.Put(&catalog.Subscription{OID: init.catalog.NewOID(), Node: buddy, ShardIndex: i, State: catalog.SubActive})
+			}
+		}
+		for _, name := range db.order {
+			txn.Put(&catalog.Subscription{
+				OID: init.catalog.NewOID(), Node: name,
+				ShardIndex: catalog.ReplicaShard, State: catalog.SubActive,
+			})
+		}
+	}
+	_, err = db.commit(init, txn, nil)
+	return err
+}
+
+// keepFuncFor builds the metadata filter for one node's catalog.
+func (db *DB) keepFuncFor(n *Node) catalog.KeepFunc {
+	if db.mode == ModeEnterprise {
+		name := n.name
+		return func(o catalog.Object) bool {
+			switch t := o.(type) {
+			case *catalog.StorageContainer:
+				return t.OwnerNode == name
+			case *catalog.DeleteVector:
+				return t.OwnerNode == name
+			}
+			return true
+		}
+	}
+	// Eon: keep objects of subscribed shards (any state — metadata is
+	// eagerly redistributed to PENDING subscribers too, §3.2).
+	snap := n.catalog.Snapshot()
+	keep := map[int]bool{}
+	for _, s := range snap.Subscriptions(n.name) {
+		keep[s.ShardIndex] = true
+	}
+	return func(o catalog.Object) bool { return keep[o.Shard()] }
+}
+
+// commit runs the cluster-wide commit protocol: OCC-validate and commit
+// on the initiator, then replicate the record to every other up node
+// with its metadata filter. Down nodes catch up from the record log on
+// recovery.
+func (db *DB) commit(initiator *Node, txn *catalog.Txn, validate func(*catalog.Snapshot) error) (*catalog.LogRecord, error) {
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+	if db.shutdown.Load() {
+		return nil, fmt.Errorf("core: cluster is shut down")
+	}
+	rec, err := initiator.catalog.CommitValidated(txn, validate)
+	if err != nil {
+		return nil, err
+	}
+	db.logMu.Lock()
+	db.recordLog = append(db.recordLog, rec)
+	db.logMu.Unlock()
+	// Fan the record out to the other nodes in parallel (the paper
+	// piggybacks metadata deltas on existing messages, §3.2).
+	var wg sync.WaitGroup
+	for _, n := range db.Nodes() {
+		if n == initiator || !n.Up() {
+			continue
+		}
+		wg.Add(1)
+		go func(n *Node) {
+			defer wg.Done()
+			if err := n.catalog.Apply(rec, db.keepFuncFor(n)); err != nil {
+				// A node that cannot apply a committed record is broken;
+				// take it down rather than diverge (§3.4).
+				n.up.Store(false)
+			}
+		}(n)
+	}
+	wg.Wait()
+	return rec, nil
+}
+
+// recordsAfter returns committed records with version > v.
+func (db *DB) recordsAfter(v uint64) []*catalog.LogRecord {
+	db.logMu.Lock()
+	defer db.logMu.Unlock()
+	var out []*catalog.LogRecord
+	for _, r := range db.recordLog {
+		if r.Version > v {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Context returns a background context (placeholder for per-session
+// deadlines).
+func (db *DB) Context() context.Context { return context.Background() }

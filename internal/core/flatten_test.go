@@ -1,0 +1,167 @@
+package core
+
+import (
+	"testing"
+)
+
+// setupFlattened creates a dimension table and a fact table with a
+// SET USING column denormalized from it.
+func setupFlattened(t *testing.T, db *DB) {
+	t.Helper()
+	s := db.NewSession()
+	mustExec(t, s, `CREATE TABLE dims (d_id INTEGER, label VARCHAR)`)
+	mustExec(t, s, `CREATE PROJECTION dims_p AS SELECT * FROM dims ORDER BY d_id UNSEGMENTED ALL NODES`)
+	mustExec(t, s, `INSERT INTO dims VALUES (1, 'one'), (2, 'two'), (3, 'three')`)
+	mustExec(t, s, `CREATE TABLE facts (
+		id INTEGER, dim_id INTEGER,
+		dim_label VARCHAR SET USING dims.label ON dim_id = dims.d_id
+	)`)
+	mustExec(t, s, `CREATE PROJECTION facts_p AS SELECT * FROM facts ORDER BY id SEGMENTED BY HASH(id) ALL NODES`)
+}
+
+func TestFlattenedColumnFilledAtLoad(t *testing.T) {
+	for name, mode := range modes() {
+		t.Run(name, func(t *testing.T) {
+			db := newTestDB(t, mode, 2, 2)
+			setupFlattened(t, db)
+			s := db.NewSession()
+			// Loaded values for the flattened column are ignored; the
+			// dimension lookup wins. An unmatched key yields NULL.
+			mustExec(t, s, `INSERT INTO facts VALUES
+				(10, 1, 'ignored'), (11, 2, NULL), (12, 99, 'also-ignored')`)
+			res := mustQuery(t, s, `SELECT id, dim_label FROM facts ORDER BY id`)
+			rows := res.Rows()
+			if rows[0][1].S != "one" || rows[1][1].S != "two" {
+				t.Errorf("flattened values = %v", rows)
+			}
+			if !rows[2][1].Null {
+				t.Errorf("unmatched key should be NULL: %v", rows[2])
+			}
+			// Join-free denormalized query.
+			cnt := mustQuery(t, s, `SELECT COUNT(*) FROM facts WHERE dim_label = 'one'`)
+			if cnt.Row(t, 0)[0].I != 1 {
+				t.Errorf("count = %v", cnt.Rows())
+			}
+		})
+	}
+}
+
+func TestRefreshColumnsAfterDimensionChange(t *testing.T) {
+	for name, mode := range modes() {
+		t.Run(name, func(t *testing.T) {
+			db := newTestDB(t, mode, 2, 2)
+			setupFlattened(t, db)
+			s := db.NewSession()
+			mustExec(t, s, `INSERT INTO facts VALUES (10, 1, NULL), (11, 2, NULL), (12, 4, NULL)`)
+
+			// The dimension grows: key 4 appears.
+			mustExec(t, s, `INSERT INTO dims VALUES (4, 'four')`)
+			// Until refresh, the fact still shows the stale NULL.
+			res := mustQuery(t, s, `SELECT dim_label FROM facts WHERE id = 12`)
+			if !res.Row(t, 0)[0].Null {
+				t.Fatalf("pre-refresh value = %v", res.Rows())
+			}
+
+			n, err := db.RefreshColumns("facts")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n == 0 {
+				t.Fatal("refresh rewrote nothing")
+			}
+			res = mustQuery(t, s, `SELECT dim_label FROM facts WHERE id = 12`)
+			if res.Row(t, 0)[0].S != "four" {
+				t.Errorf("post-refresh value = %v", res.Rows())
+			}
+			// Untouched rows keep their values.
+			res = mustQuery(t, s, `SELECT dim_label FROM facts WHERE id = 10`)
+			if res.Row(t, 0)[0].S != "one" {
+				t.Errorf("row 10 = %v", res.Rows())
+			}
+		})
+	}
+}
+
+func TestFlattenedValidation(t *testing.T) {
+	db := newTestDB(t, ModeEon, 2, 2)
+	s := db.NewSession()
+	mustExec(t, s, `CREATE TABLE d (k INTEGER, v VARCHAR)`)
+	bad := []string{
+		`CREATE TABLE f1 (id INTEGER, x VARCHAR SET USING nodim.v ON id = nodim.k)`, // unknown dim
+		`CREATE TABLE f2 (id INTEGER, x VARCHAR SET USING d.nosuch ON id = d.k)`,    // unknown value col
+		`CREATE TABLE f3 (id INTEGER, x VARCHAR SET USING d.v ON nosuch = d.k)`,     // unknown fact key
+		`CREATE TABLE f4 (id INTEGER, x INTEGER SET USING d.v ON id = d.k)`,         // value type mismatch
+		`CREATE TABLE f5 (id VARCHAR, x VARCHAR SET USING d.v ON id = d.k)`,         // key type mismatch
+	}
+	for _, q := range bad {
+		if _, err := s.Execute(q); err == nil {
+			t.Errorf("%q should be rejected", q)
+		}
+	}
+	mustExec(t, s, `CREATE TABLE ok (id INTEGER, x VARCHAR SET USING d.v ON id = d.k)`)
+}
+
+// A live aggregate grouped by a flattened column must be rebuilt when
+// the flattened values refresh, or its groups would carry stale keys.
+func TestRefreshRebuildsLiveAggregate(t *testing.T) {
+	db := newTestDB(t, ModeEon, 2, 2)
+	setupFlattened(t, db)
+	s := db.NewSession()
+	mustExec(t, s, `CREATE PROJECTION facts_agg AS SELECT dim_label, COUNT(*) AS n FROM facts GROUP BY dim_label`)
+	mustExec(t, s, `INSERT INTO facts VALUES (1, 1, NULL), (2, 1, NULL), (3, 2, NULL)`)
+
+	res := mustQuery(t, s, `SELECT dim_label, COUNT(*) AS n FROM facts GROUP BY dim_label ORDER BY dim_label`)
+	if res.NumRows() != 2 || res.Row(t, 0)[0].S != "one" || res.Row(t, 0)[1].I != 2 {
+		t.Fatalf("pre-refresh groups = %v", res.Rows())
+	}
+
+	// Rename dimension value 'one' -> 'uno' and refresh.
+	mustExec(t, s, `UPDATE dims SET label = 'uno' WHERE d_id = 1`)
+	if _, err := db.RefreshColumns("facts"); err != nil {
+		t.Fatal(err)
+	}
+	res = mustQuery(t, s, `SELECT dim_label, COUNT(*) AS n FROM facts GROUP BY dim_label ORDER BY dim_label`)
+	byLabel := map[string]int64{}
+	for _, r := range res.Rows() {
+		byLabel[r[0].S] = r[1].I
+	}
+	if byLabel["uno"] != 2 || byLabel["two"] != 1 {
+		t.Errorf("post-refresh groups = %v (LAP stale?)", res.Rows())
+	}
+	if _, stale := byLabel["one"]; stale {
+		t.Errorf("stale group 'one' survived refresh: %v", res.Rows())
+	}
+}
+
+func TestRefreshColumnsNoFlattened(t *testing.T) {
+	db := newTestDB(t, ModeEon, 2, 2)
+	setupSales(t, db, 10)
+	n, err := db.RefreshColumns("sales")
+	if err != nil || n != 0 {
+		t.Errorf("refresh on plain table = %d, %v", n, err)
+	}
+}
+
+func TestFlattenedRefreshKeepsRowCounts(t *testing.T) {
+	db := newTestDB(t, ModeEon, 2, 2)
+	setupFlattened(t, db)
+	s := db.NewSession()
+	for i := 0; i < 5; i++ {
+		mustExec(t, s, `INSERT INTO facts VALUES (1, 1, NULL), (2, 2, NULL), (3, 3, NULL)`)
+	}
+	before := mustQuery(t, s, `SELECT COUNT(*) FROM facts`).Row(t, 0)[0].I
+	if _, err := db.RefreshColumns("facts"); err != nil {
+		t.Fatal(err)
+	}
+	after := mustQuery(t, s, `SELECT COUNT(*) FROM facts`).Row(t, 0)[0].I
+	if before != after {
+		t.Errorf("refresh changed row count: %d -> %d", before, after)
+	}
+	// Old container files eventually free.
+	if err := db.SyncMetadata(); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := db.RunGC(); err != nil || n == 0 {
+		t.Errorf("gc after refresh = %d, %v", n, err)
+	}
+}

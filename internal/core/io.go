@@ -1,0 +1,130 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"eon/internal/objstore"
+	"eon/internal/storage"
+)
+
+// uploadRetries and uploadBackoff tune the balanced retry loop around
+// shared-storage access (§5.3).
+const (
+	uploadRetries = 5
+	uploadBackoff = 2 * time.Millisecond
+)
+
+// persistFiles makes a built container's files durable before commit.
+// Eon (Figure 8): write into the writer's cache, upload to shared
+// storage, and ship to peer subscribers' caches so node-down performance
+// stays warm. Enterprise: write to the owner's local disk.
+func (db *DB) persistFiles(ctx context.Context, writer *Node, files map[string][]byte, shardIdx int, noCache bool) error {
+	if db.mode == ModeEnterprise {
+		for path, data := range files {
+			if err := writer.fs.WriteFile(ctx, "data/"+path, data); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for path, data := range files {
+		// 1-2. Write data in the cache (unless the table's shaping
+		// policy turns write-through off, §5.2).
+		if !noCache {
+			if err := writer.cache.Put(ctx, path, data); err != nil {
+				return err
+			}
+		}
+		// 3a. Flush to shared storage (the commit point prerequisite).
+		err := objstore.WithRetry(ctx, uploadRetries, uploadBackoff, func() error {
+			return db.shared.Put(ctx, path, data)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	// 3b. Send to peer subscribers of the shard, in parallel, so their
+	// caches are already warm if they take over (§5.2).
+	if noCache {
+		return nil
+	}
+	var wg sync.WaitGroup
+	for _, peer := range db.subscriberNodes(shardIdx) {
+		if peer == writer || !peer.Up() {
+			continue
+		}
+		wg.Add(1)
+		go func(peer *Node) {
+			defer wg.Done()
+			for path, data := range files {
+				if err := db.net.Transfer(ctx, writer.name, peer.name, int64(len(data))); err != nil {
+					continue // peer went down mid-ship; it will warm later
+				}
+				_ = peer.cache.Put(ctx, path, data)
+			}
+		}(peer)
+	}
+	wg.Wait()
+	return nil
+}
+
+// subscriberNodes returns the nodes subscribed to a shard in states that
+// serve or will serve data.
+func (db *DB) subscriberNodes(shardIdx int) []*Node {
+	n, err := db.anyUpNode()
+	if err != nil {
+		return nil
+	}
+	snap := n.catalog.Snapshot()
+	var out []*Node
+	for _, s := range snap.SubscribersOf(shardIdx) {
+		if node, ok := db.Node(s.Node); ok {
+			out = append(out, node)
+		}
+	}
+	return out
+}
+
+// fetchFunc builds the file-read path for scans on a node. Eon reads
+// through the node's cache with a shared-storage fallback (optionally
+// bypassing the cache, §5.2); Enterprise reads node-local disk.
+func (db *DB) fetchFunc(n *Node, bypassCache bool) storage.FetchFunc {
+	if db.mode == ModeEnterprise {
+		return func(ctx context.Context, path string) ([]byte, error) {
+			return n.fs.ReadFile(ctx, "data/"+path)
+		}
+	}
+	fromShared := func(ctx context.Context, path string) ([]byte, error) {
+		var data []byte
+		err := objstore.WithRetry(ctx, uploadRetries, uploadBackoff, func() error {
+			var e error
+			data, e = db.shared.Get(ctx, path)
+			return e
+		})
+		return data, err
+	}
+	return func(ctx context.Context, path string) ([]byte, error) {
+		return n.cache.Get(ctx, path, fromShared, bypassCache)
+	}
+}
+
+// deleteDataFile removes a dropped storage file: immediately from every
+// node cache / local disk, and (Eon) queues the shared-storage object for
+// deferred deletion once no query or pending revive could reference it
+// (§6.5).
+func (db *DB) deleteDataFile(ctx context.Context, path string, dropVersion uint64) {
+	for _, n := range db.Nodes() {
+		if db.mode == ModeEnterprise {
+			_ = n.fs.Remove(ctx, "data/"+path)
+		} else if n.cache != nil {
+			n.cache.Drop(ctx, path)
+		}
+	}
+	if db.mode == ModeEon {
+		db.gcMu.Lock()
+		db.deferred = append(db.deferred, pendingDelete{path: path, dropVersion: dropVersion})
+		db.gcMu.Unlock()
+	}
+}

@@ -1,0 +1,461 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"eon/internal/catalog"
+	"eon/internal/exec"
+	"eon/internal/expr"
+	"eon/internal/flowassign"
+	"eon/internal/sql"
+	"eon/internal/storage"
+	"eon/internal/types"
+)
+
+// LoadRows bulk-loads a batch (columns in table order) into a table —
+// the COPY path of Figure 8: split the data by projection and shard,
+// write files to the cache, flush to shared storage and peers, then
+// commit. The commit point is after upload completes (§4.5).
+func (db *DB) LoadRows(tableName string, batch *types.Batch) error {
+	if batch == nil || batch.NumRows() == 0 {
+		return nil
+	}
+	if err := db.EnsureDefaultProjection(tableName); err != nil {
+		return err
+	}
+	init, err := db.anyUpNode()
+	if err != nil {
+		return err
+	}
+	ctx := db.Context()
+	txn := init.catalog.Begin()
+	snap := txn.Base()
+	tbl, ok := snap.TableByName(tableName)
+	if !ok {
+		return fmt.Errorf("core: unknown table %q", tableName)
+	}
+	if batch.NumCols() != len(tbl.Columns) {
+		return fmt.Errorf("core: batch arity %d != table arity %d", batch.NumCols(), len(tbl.Columns))
+	}
+	projs := snap.ProjectionsOf(tbl.OID)
+
+	// Fill flattened columns from their dimension tables before anything
+	// else sees the rows ("denormalization using joins at load time",
+	// §2.1) — including the WOS path.
+	batch, err = db.applyFlattened(snap, tbl, batch)
+	if err != nil {
+		return err
+	}
+
+	// Enterprise small loads buffer in the WOS (§2.3); no storage
+	// metadata is created until moveout. Tables with live aggregate
+	// projections always take the direct ROS path so partial aggregates
+	// are maintained transactionally.
+	if db.mode == ModeEnterprise && batch.NumRows() < db.cfg.WOSMaxRows && !tableHasLiveAggregate(projs) {
+		return db.loadIntoWOS(tbl, projs, batch)
+	}
+
+	// Split by table partition, then per projection by segment shard.
+	partitions, err := db.splitByPartition(tbl, batch)
+	if err != nil {
+		return err
+	}
+
+	// Choose writers per shard (Eon): an ACTIVE subscriber per shard.
+	writers, err := db.writerAssignment(snap)
+	if err != nil {
+		return err
+	}
+	// Ingest occupies one execution slot per written shard on its writer
+	// node, so load throughput scales with cluster size the same way
+	// query throughput does (§4.2, Figure 11b).
+	release := db.acquireLoadSlots(writers)
+	defer release()
+	// Simulated per-node ingest time, spent while slots are held (see
+	// Config.LoadCost).
+	if db.cfg.LoadCost > 0 {
+		time.Sleep(db.cfg.LoadCost)
+	}
+
+	var ships []pendingShip
+	var participating []writerShard
+	for _, p := range projs {
+		ps, pw, err := db.buildProjectionContainers(init, txn, tbl, p, partitions, writers, snap.Version()+1)
+		if err != nil {
+			return err
+		}
+		ships = append(ships, ps...)
+		participating = append(participating, pw...)
+	}
+
+	// Persist all files before commit — "for a committed transaction all
+	// the data has been successfully uploaded to shared storage" (§4.5).
+	for _, s := range ships {
+		if err := db.persistFiles(ctx, s.writer, s.files, s.shard, db.neverCacheTable(tbl.Name)); err != nil {
+			return err
+		}
+	}
+
+	// Commit with the subscription-stability check: if a participating
+	// node is no longer subscribed to the shard it wrote, roll back
+	// (§4.5).
+	_, err = db.commit(init, txn, db.validateWriters(participating))
+	return err
+}
+
+// pendingShip is a built container's files awaiting persistence.
+type pendingShip struct {
+	writer *Node
+	files  map[string][]byte
+	shard  int
+}
+
+// buildProjectionContainers splits (already partitioned) table rows into
+// one projection's containers: live aggregates are computed, replicated
+// projections stored whole, segmented projections split by the shard
+// ring, with writers chosen per mode. Used by the load path and by
+// flattened-column refresh when rebuilding live aggregates.
+func (db *DB) buildProjectionContainers(init *Node, txn *catalog.Txn, tbl *catalog.Table, p *catalog.Projection, partitions map[string]*types.Batch, writers map[int]string, createVersion uint64) ([]pendingShip, []writerShard, error) {
+	var ships []pendingShip
+	var participating []writerShard
+	projSchema := physicalSchema(tbl, p)
+	for partKey, partBatch := range partitions {
+		var projBatch *types.Batch
+		var err error
+		if p.IsLiveAggregate() {
+			// Maintain the pre-computed partial aggregates (§2.1):
+			// aggregate this load's rows by the group columns.
+			projBatch, err = aggregateForLiveProjection(p, tbl.Columns, partBatch, false)
+		} else {
+			projBatch, err = projectBatch(tbl, p.Columns, partBatch)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		if p.Replicated() {
+			if db.mode == ModeEnterprise {
+				// Every node stores a full copy.
+				for _, name := range db.order {
+					n := db.nodes[name]
+					built, err := storage.BuildContainer(init.catalog, n.inst, storage.WriteSpec{
+						Projection: p, Schema: projSchema,
+						ShardIndex: catalog.ReplicaShard, PartitionKey: partKey,
+						OwnerNode: n.name, BundleThreshold: db.cfg.BundleThreshold,
+						CreateVersion: createVersion,
+					}, projBatch)
+					if err != nil {
+						return nil, nil, err
+					}
+					if built == nil {
+						continue
+					}
+					txn.Put(built.Meta)
+					ships = append(ships, pendingShip{writer: n, files: built.Files, shard: catalog.ReplicaShard})
+				}
+			} else {
+				built, err := storage.BuildContainer(init.catalog, init.inst, storage.WriteSpec{
+					Projection: p, Schema: projSchema,
+					ShardIndex: catalog.ReplicaShard, PartitionKey: partKey,
+					BundleThreshold: db.cfg.BundleThreshold,
+					CreateVersion:   createVersion,
+				}, projBatch)
+				if err != nil {
+					return nil, nil, err
+				}
+				if built == nil {
+					continue
+				}
+				txn.Put(built.Meta)
+				ships = append(ships, pendingShip{writer: init, files: built.Files, shard: catalog.ReplicaShard})
+				participating = append(participating, writerShard{node: init.name, shard: catalog.ReplicaShard})
+			}
+			continue
+		}
+		// Segmented: split rows by the shard ring on the projection's
+		// segmentation columns.
+		segIdx, err := columnPositions(projSchema, p.SegmentCols)
+		if err != nil {
+			return nil, nil, err
+		}
+		parts := exec.PartitionByRing(projBatch, segIdx, db.ring)
+		for shardIdx, part := range parts {
+			if part == nil || part.NumRows() == 0 {
+				continue
+			}
+			var writer *Node
+			ownerName := ""
+			if db.mode == ModeEnterprise {
+				nNodes := len(db.order)
+				ownerName = db.order[(shardIdx+p.BuddyOffset)%nNodes]
+				w, ok := db.Node(ownerName)
+				if !ok || !w.Up() {
+					return nil, nil, fmt.Errorf("core: owner node %s for segment %d is down", ownerName, shardIdx)
+				}
+				writer = w
+			} else {
+				w, ok := db.Node(writers[shardIdx])
+				if !ok || !w.Up() {
+					return nil, nil, fmt.Errorf("core: writer for shard %d unavailable", shardIdx)
+				}
+				writer = w
+				participating = append(participating, writerShard{node: writer.name, shard: shardIdx})
+			}
+			built, err := storage.BuildContainer(init.catalog, writer.inst, storage.WriteSpec{
+				Projection: p, Schema: projSchema,
+				ShardIndex: shardIdx, PartitionKey: partKey,
+				OwnerNode: ownerName, BundleThreshold: db.cfg.BundleThreshold,
+				CreateVersion: createVersion,
+			}, part)
+			if err != nil {
+				return nil, nil, err
+			}
+			if built == nil {
+				continue
+			}
+			txn.Put(built.Meta)
+			ships = append(ships, pendingShip{writer: writer, files: built.Files, shard: shardIdx})
+		}
+	}
+	return ships, participating, nil
+}
+
+type writerShard struct {
+	node  string
+	shard int
+}
+
+// acquireLoadSlots reserves one slot per (writer, shard) pair atomically;
+// Enterprise loads (nil assignment) take one slot per up node since
+// every node ingests its segments.
+func (db *DB) acquireLoadSlots(writers map[int]string) func() {
+	req := map[string]int{}
+	if writers == nil {
+		for _, n := range db.Nodes() {
+			if n.Up() {
+				req[n.name] = 1
+			}
+		}
+	} else {
+		for _, node := range writers {
+			req[node]++
+		}
+	}
+	// Drop requests on nodes that are already down; the load itself will
+	// fail cleanly when it reaches them.
+	for name := range req {
+		if n, ok := db.Node(name); !ok || !n.Up() {
+			delete(req, name)
+		}
+	}
+	if !db.slots.acquire(req, func() bool { return !db.shutdown.Load() }) {
+		return func() {}
+	}
+	return func() { db.slots.release(req) }
+}
+
+// validateWriters builds the commit-time validation that every writing
+// node still subscribes to its shard.
+func (db *DB) validateWriters(ws []writerShard) func(*catalog.Snapshot) error {
+	if db.mode == ModeEnterprise || len(ws) == 0 {
+		return nil
+	}
+	return func(latest *catalog.Snapshot) error {
+		for _, w := range ws {
+			ok := false
+			for _, s := range latest.SubscribersOf(w.shard) {
+				if s.Node == w.node && s.State != catalog.SubRemoving {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return fmt.Errorf("core: node %s unsubscribed from shard %d during load", w.node, w.shard)
+			}
+		}
+		return nil
+	}
+}
+
+// writerAssignment maps each segment shard to an ACTIVE up subscriber
+// for the load (Eon).
+func (db *DB) writerAssignment(snap *catalog.Snapshot) (map[int]string, error) {
+	if db.mode == ModeEnterprise {
+		return nil, nil
+	}
+	up := db.UpNodes()
+	var shards []int
+	for i := 0; i < db.cfg.ShardCount; i++ {
+		shards = append(shards, i)
+	}
+	var nodes []string
+	for _, n := range snap.Nodes() {
+		if up[n.Name] {
+			nodes = append(nodes, n.Name)
+		}
+	}
+	canServe := func(node string, shard int) bool {
+		for _, s := range snap.SubscribersOf(shard, catalog.SubActive) {
+			if s.Node == node {
+				return true
+			}
+		}
+		return false
+	}
+	return flowassign.Assign(flowassign.Input{
+		Shards: shards, Nodes: nodes, CanServe: canServe,
+		Seed: db.cfg.Seed + db.seedCtr.Add(1),
+	})
+}
+
+// loadIntoWOS buffers small Enterprise loads in node WOS memory.
+func (db *DB) loadIntoWOS(tbl *catalog.Table, projs []*catalog.Projection, batch *types.Batch) error {
+	for _, p := range projs {
+		projSchema := projectionSchema(tbl, p.Columns)
+		projBatch, err := projectBatch(tbl, p.Columns, batch)
+		if err != nil {
+			return err
+		}
+		if p.Replicated() {
+			for _, name := range db.order {
+				n := db.nodes[name]
+				if n.Up() {
+					n.wos.Insert(p.OID, projSchema, projBatch)
+				}
+			}
+			continue
+		}
+		segIdx, err := columnPositions(projSchema, p.SegmentCols)
+		if err != nil {
+			return err
+		}
+		parts := exec.PartitionByRing(projBatch, segIdx, db.ring)
+		for shardIdx, part := range parts {
+			if part == nil || part.NumRows() == 0 {
+				continue
+			}
+			owner := db.order[(shardIdx+p.BuddyOffset)%len(db.order)]
+			n, ok := db.Node(owner)
+			if !ok || !n.Up() {
+				return fmt.Errorf("core: WOS owner %s down", owner)
+			}
+			n.wos.Insert(p.OID, projSchema, part)
+		}
+	}
+	return nil
+}
+
+// splitByPartition groups rows by the table's partition expression
+// (paper §2.1: any given file contains data from only one partition).
+func (db *DB) splitByPartition(tbl *catalog.Table, batch *types.Batch) (map[string]*types.Batch, error) {
+	if tbl.PartitionExpr == "" {
+		return map[string]*types.Batch{"": batch}, nil
+	}
+	pe, err := sql.ParseExpr(tbl.PartitionExpr)
+	if err != nil {
+		return nil, fmt.Errorf("core: partition expression: %w", err)
+	}
+	if err := expr.Bind(pe, tbl.Columns); err != nil {
+		return nil, err
+	}
+	groups := map[string][]int{}
+	n := batch.NumRows()
+	for i := 0; i < n; i++ {
+		v, err := expr.EvalRow(pe, batch.Row(i))
+		if err != nil {
+			return nil, err
+		}
+		key := v.String()
+		groups[key] = append(groups[key], i)
+	}
+	out := make(map[string]*types.Batch, len(groups))
+	for key, idx := range groups {
+		out[key] = batch.Gather(idx)
+	}
+	return out, nil
+}
+
+// projectBatch reorders table-ordered columns into projection order.
+func projectBatch(tbl *catalog.Table, cols []string, batch *types.Batch) (*types.Batch, error) {
+	out := &types.Batch{Cols: make([]*types.Vector, len(cols))}
+	for i, c := range cols {
+		idx := tbl.Columns.ColumnIndex(c)
+		if idx < 0 {
+			return nil, fmt.Errorf("core: projection column %q missing from table", c)
+		}
+		out.Cols[i] = batch.Cols[idx]
+	}
+	return out, nil
+}
+
+// columnPositions maps column names to schema positions.
+func columnPositions(schema types.Schema, cols []string) ([]int, error) {
+	out := make([]int, len(cols))
+	for i, c := range cols {
+		idx := schema.ColumnIndex(c)
+		if idx < 0 {
+			return nil, fmt.Errorf("core: column %q not in schema [%s]", c, schema)
+		}
+		out[i] = idx
+	}
+	return out, nil
+}
+
+// Insert executes INSERT INTO ... VALUES: literal rows are evaluated and
+// loaded through the normal load path.
+func (db *DB) Insert(stmt *sql.Insert) error {
+	init, err := db.anyUpNode()
+	if err != nil {
+		return err
+	}
+	snap := init.catalog.Snapshot()
+	tbl, ok := snap.TableByName(stmt.Table)
+	if !ok {
+		return fmt.Errorf("core: unknown table %q", stmt.Table)
+	}
+	batch := types.NewBatch(tbl.Columns, len(stmt.Rows))
+	for _, exprs := range stmt.Rows {
+		if len(exprs) != len(tbl.Columns) {
+			return fmt.Errorf("core: INSERT arity %d != table arity %d", len(exprs), len(tbl.Columns))
+		}
+		row := make(types.Row, len(exprs))
+		for i, e := range exprs {
+			if err := expr.Bind(e, nil); err != nil {
+				return fmt.Errorf("core: INSERT values must be constant: %w", err)
+			}
+			v, err := expr.EvalRow(e, nil)
+			if err != nil {
+				return err
+			}
+			coerced, err := coerceDatum(v, tbl.Columns[i].Type)
+			if err != nil {
+				return fmt.Errorf("core: column %q: %w", tbl.Columns[i].Name, err)
+			}
+			row[i] = coerced
+		}
+		batch.AppendRow(row)
+	}
+	return db.LoadRows(tbl.Name, batch)
+}
+
+// coerceDatum converts a literal to the column type where lossless.
+func coerceDatum(d types.Datum, want types.Type) (types.Datum, error) {
+	if d.Null {
+		return types.NullDatum(want), nil
+	}
+	if d.K == want {
+		return d, nil
+	}
+	switch {
+	case d.K.Physical() == types.Int64 && want.Physical() == types.Int64:
+		d.K = want
+		return d, nil
+	case d.K == types.Int64 && want == types.Float64:
+		return types.NewFloat(float64(d.I)), nil
+	case d.K == types.Float64 && want == types.Int64 && d.F == float64(int64(d.F)):
+		return types.NewInt(int64(d.F)), nil
+	case d.K == types.Varchar && want == types.Varchar:
+		return d, nil
+	}
+	return d, fmt.Errorf("cannot coerce %s to %s", d.K, want)
+}

@@ -1,0 +1,306 @@
+package core
+
+import (
+	"fmt"
+
+	"eon/internal/catalog"
+	"eon/internal/exec"
+	"eon/internal/expr"
+	"eon/internal/shard"
+	"eon/internal/sql"
+	"eon/internal/storage"
+	"eon/internal/tuplemover"
+	"eon/internal/types"
+)
+
+// RunMoveout converts WOS buffers to ROS containers on every node
+// (Enterprise; §2.3). It returns the number of containers written.
+func (db *DB) RunMoveout() (int, error) {
+	if db.mode != ModeEnterprise {
+		return 0, nil // Eon mode has no WOS (§5.1, §6.2)
+	}
+	init, err := db.anyUpNode()
+	if err != nil {
+		return 0, err
+	}
+	ctx := db.Context()
+	moved := 0
+	for _, n := range db.Nodes() {
+		if !n.Up() || n.wos == nil {
+			continue
+		}
+		for _, projOID := range n.wos.Projections() {
+			snap := init.catalog.Snapshot()
+			po, ok := snap.Get(projOID)
+			if !ok {
+				n.wos.Drain(projOID)
+				continue
+			}
+			proj := po.(*catalog.Projection)
+			to, ok := snap.Get(proj.TableOID)
+			if !ok {
+				continue
+			}
+			tbl := to.(*catalog.Table)
+			batch := n.wos.Drain(projOID)
+			if batch == nil {
+				continue
+			}
+			projSchema := physicalSchema(tbl, proj)
+			txn := init.catalog.Begin()
+			parts, err := db.splitProjBatchByPartition(tbl, projSchema, batch)
+			if err != nil {
+				return moved, err
+			}
+			for partKey, pb := range parts {
+				shardBatches := map[int]*types.Batch{}
+				if proj.Replicated() {
+					shardBatches[catalog.ReplicaShard] = pb
+				} else {
+					segIdx, err := columnPositions(projSchema, proj.SegmentCols)
+					if err != nil {
+						return moved, err
+					}
+					for shardIdx, sb := range exec.PartitionByRing(pb, segIdx, db.ring) {
+						if sb != nil && sb.NumRows() > 0 {
+							shardBatches[shardIdx] = sb
+						}
+					}
+				}
+				for shardIdx, sb := range shardBatches {
+					built, err := storage.BuildContainer(init.catalog, n.inst, storage.WriteSpec{
+						Projection: proj, Schema: projSchema,
+						ShardIndex: shardIdx, PartitionKey: partKey,
+						OwnerNode: n.name, BundleThreshold: db.cfg.BundleThreshold,
+						CreateVersion: snap.Version() + 1,
+					}, sb)
+					if err != nil {
+						return moved, err
+					}
+					if built == nil {
+						continue
+					}
+					if err := db.persistFiles(ctx, n, built.Files, shardIdx, db.neverCacheTable(tbl.Name)); err != nil {
+						return moved, err
+					}
+					txn.Put(built.Meta)
+					moved++
+				}
+			}
+			if txn.Pending() {
+				if _, err := db.commit(init, txn, nil); err != nil {
+					return moved, err
+				}
+			}
+		}
+	}
+	return moved, nil
+}
+
+// splitProjBatchByPartition groups a projection-ordered batch by the
+// table partition expression (bound against the projection schema).
+func (db *DB) splitProjBatchByPartition(tbl *catalog.Table, projSchema types.Schema, batch *types.Batch) (map[string]*types.Batch, error) {
+	if tbl.PartitionExpr == "" {
+		return map[string]*types.Batch{"": batch}, nil
+	}
+	pe, err := sql.ParseExpr(tbl.PartitionExpr)
+	if err != nil {
+		return nil, err
+	}
+	if err := expr.Bind(pe, projSchema); err != nil {
+		// Projection lacks the partition columns; treat as unpartitioned.
+		return map[string]*types.Batch{"": batch}, nil
+	}
+	groups := map[string][]int{}
+	for i := 0; i < batch.NumRows(); i++ {
+		v, err := expr.EvalRow(pe, batch.Row(i))
+		if err != nil {
+			return nil, err
+		}
+		groups[v.String()] = append(groups[v.String()], i)
+	}
+	out := make(map[string]*types.Batch, len(groups))
+	for k, idx := range groups {
+		out[k] = batch.Gather(idx)
+	}
+	return out, nil
+}
+
+// MergeoutStats reports one mergeout pass.
+type MergeoutStats struct {
+	Jobs             int
+	ContainersMerged int
+	RowsPurged       int64
+}
+
+// RunMergeout runs one tuple-mover mergeout pass over every projection.
+// In Eon mode a coordinator per shard selects jobs — "a single
+// coordinator is selected to ensure that conflicting mergeout jobs are
+// not executed concurrently" — and the job's commit informs the other
+// subscribers (§6.2). In Enterprise mode each node compacts its own
+// storage independently.
+func (db *DB) RunMergeout() (MergeoutStats, error) {
+	var stats MergeoutStats
+	init, err := db.anyUpNode()
+	if err != nil {
+		return stats, err
+	}
+	snap := init.catalog.Snapshot()
+
+	var coordinators map[int]string
+	if db.mode == ModeEon {
+		coordinators = shard.MergeoutCoordinators(snap, db.UpNodes(), "")
+	}
+
+	for _, tbl := range snap.Tables() {
+		for _, proj := range snap.ProjectionsOf(tbl.OID) {
+			// Group containers per shard (Eon) or per (owner, shard)
+			// (Enterprise), mirroring who may run the job.
+			groups := map[string][]*catalog.StorageContainer{}
+			groupNode := map[string]*Node{}
+			for _, sc := range snap.ContainersOf(proj.OID, catalog.GlobalShard) {
+				var key string
+				var runner *Node
+				// Partition separation survives compaction: containers of
+				// different partition keys never merge (§2.1).
+				if db.mode == ModeEnterprise {
+					key = fmt.Sprintf("%s/%d/%s", sc.OwnerNode, sc.ShardIndex, sc.PartitionKey)
+					if n, ok := db.Node(sc.OwnerNode); ok && n.Up() {
+						runner = n
+					}
+				} else {
+					key = fmt.Sprintf("%d/%s", sc.ShardIndex, sc.PartitionKey)
+					coordName := coordinators[sc.ShardIndex]
+					if sc.ShardIndex == catalog.ReplicaShard {
+						coordName = init.name
+					}
+					if n, ok := db.Node(coordName); ok && n.Up() {
+						runner = n
+					}
+				}
+				if runner == nil {
+					continue
+				}
+				groups[key] = append(groups[key], sc)
+				groupNode[key] = runner
+			}
+			for key, containers := range groups {
+				dvCounts := map[catalog.OID]int64{}
+				for _, sc := range containers {
+					for _, dv := range snap.DeleteVectorsOf(sc.OID) {
+						dvCounts[sc.OID] += dv.Count
+					}
+				}
+				jobs := tuplemover.SelectJobs(containers, dvCounts, db.cfg.Mergeout)
+				for _, job := range jobs {
+					purged, err := db.executeMergeJob(groupNode[key], tbl, proj, job)
+					if err != nil {
+						return stats, err
+					}
+					stats.Jobs++
+					stats.ContainersMerged += len(job.Containers)
+					stats.RowsPurged += purged
+				}
+			}
+		}
+	}
+	return stats, nil
+}
+
+// executeMergeJob reads the input containers (dropping deleted rows),
+// writes one merged container, and commits the swap. Input containers
+// and their delete vectors are dropped in the same transaction; their
+// files become deletion candidates (§6.5).
+func (db *DB) executeMergeJob(runner *Node, tbl *catalog.Table, proj *catalog.Projection, job tuplemover.Job) (int64, error) {
+	ctx := db.Context()
+	init, err := db.anyUpNode()
+	if err != nil {
+		return 0, err
+	}
+	txn := init.catalog.Begin()
+	snap := txn.Base()
+	projSchema := physicalSchema(tbl, proj)
+	fetch := db.fetchFunc(runner, false)
+
+	merged := types.NewBatch(projSchema, 0)
+	var purged int64
+	shardIdx := job.Containers[0].ShardIndex
+	partKey := job.Containers[0].PartitionKey
+	for _, sc := range job.Containers {
+		// Re-read through the transaction so a concurrent drop conflicts.
+		cur, ok := txn.Get(sc.OID)
+		if !ok {
+			return 0, fmt.Errorf("core: container %d vanished before mergeout", sc.OID)
+		}
+		sc = cur.(*catalog.StorageContainer)
+		rows, err := storage.ReadColumns(ctx, sc, projSchema, fetch)
+		if err != nil {
+			return 0, err
+		}
+		var dvLists [][]int64
+		for _, dv := range snap.DeleteVectorsOf(sc.OID) {
+			if db.mode == ModeEnterprise && dv.OwnerNode != runner.name {
+				continue
+			}
+			data, err := fetch(ctx, dv.File.Path)
+			if err != nil {
+				return 0, err
+			}
+			positions, err := storage.ReadDeleteVector(data)
+			if err != nil {
+				return 0, err
+			}
+			dvLists = append(dvLists, positions)
+			txn.Delete(dv.OID)
+		}
+		deletes := storage.NewDeleteSet(dvLists...)
+		live := deletes.LivePositions(0, rows.NumRows())
+		purged += int64(rows.NumRows() - len(live))
+		if len(live) < rows.NumRows() {
+			rows = rows.Gather(live)
+		}
+		merged.AppendBatch(rows)
+		txn.Delete(sc.OID)
+	}
+
+	// Live aggregate projections re-aggregate on compaction: partial
+	// groups from separate loads fold into one row per group.
+	if proj.IsLiveAggregate() {
+		merged, err = aggregateForLiveProjection(proj, projSchema, merged, true)
+		if err != nil {
+			return 0, err
+		}
+	}
+
+	owner := ""
+	if db.mode == ModeEnterprise {
+		owner = runner.name
+	}
+	built, err := storage.BuildContainer(init.catalog, runner.inst, storage.WriteSpec{
+		Projection: proj, Schema: projSchema,
+		ShardIndex: shardIdx, PartitionKey: partKey,
+		OwnerNode: owner, BundleThreshold: db.cfg.BundleThreshold,
+		CreateVersion: snap.Version() + 1,
+	}, merged)
+	if err != nil {
+		return 0, err
+	}
+	if built != nil {
+		// Mergeout output goes into the cache and shared storage (§5.2).
+		if err := db.persistFiles(ctx, runner, built.Files, shardIdx, db.neverCacheTable(tbl.Name)); err != nil {
+			return 0, err
+		}
+		txn.Put(built.Meta)
+	}
+	rec, err := db.commit(init, txn, nil)
+	if err != nil {
+		return 0, err
+	}
+	// Dropped inputs free their files only when unreferenced (copied
+	// tables share files, §6.5).
+	after := init.catalog.Snapshot()
+	for _, sc := range job.Containers {
+		db.queueContainerFilesIfUnreferenced(after, sc, snap.DeleteVectorsOf(sc.OID), rec.Version)
+	}
+	return purged, nil
+}

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"fmt"
+
+	"eon/internal/catalog"
+)
+
+// fileReferenceCount counts catalog references to each storage file
+// across containers and delete vectors — the reference counter of §6.5.
+// Operations like CopyTable make several containers share one file, so a
+// container drop may not free its files.
+func fileReferenceCount(snap *catalog.Snapshot) map[string]int {
+	refs := map[string]int{}
+	snap.ForEach(catalog.KindStorageContainer, func(o catalog.Object) bool {
+		for _, f := range o.(*catalog.StorageContainer).AllFiles() {
+			refs[f.Path]++
+		}
+		return true
+	})
+	snap.ForEach(catalog.KindDeleteVector, func(o catalog.Object) bool {
+		refs[o.(*catalog.DeleteVector).File.Path]++
+		return true
+	})
+	return refs
+}
+
+// queueContainerFilesIfUnreferenced queues a dropped container's files
+// for deletion only when the post-drop snapshot holds no remaining
+// references (the file may be shared with a copied table or another
+// partition's clone).
+func (db *DB) queueContainerFilesIfUnreferenced(snap *catalog.Snapshot, sc *catalog.StorageContainer, dvs []*catalog.DeleteVector, dropVersion uint64) {
+	ctx := db.Context()
+	refs := fileReferenceCount(snap)
+	for _, f := range sc.AllFiles() {
+		if refs[f.Path] == 0 {
+			db.deleteDataFile(ctx, f.Path, dropVersion)
+		}
+	}
+	for _, dv := range dvs {
+		if refs[dv.File.Path] == 0 {
+			db.deleteDataFile(ctx, dv.File.Path, dropVersion)
+		}
+	}
+}
+
+// CopyTable creates dst as a snapshot copy of src. The new table's
+// containers reference the same immutable storage files — no data is
+// read or written (§5.1: "Vertica supports operations like copy_table
+// ... which can reference the same storage in multiple tables, so
+// storage is not tied to a specific table"). Globally unique storage
+// identifiers make this safe without persistent name mappings.
+func (db *DB) CopyTable(src, dst string) error {
+	init, err := db.anyUpNode()
+	if err != nil {
+		return err
+	}
+	txn := init.catalog.Begin()
+	snap := txn.Base()
+	srcTbl, ok := snap.TableByName(src)
+	if !ok {
+		return fmt.Errorf("core: unknown table %q", src)
+	}
+	if _, exists := snap.TableByName(dst); exists {
+		return fmt.Errorf("core: table %q already exists", dst)
+	}
+	dstTbl := srcTbl.Clone().(*catalog.Table)
+	dstTbl.OID = init.catalog.NewOID()
+	dstTbl.Name = dst
+	txn.Put(dstTbl)
+
+	for _, p := range snap.ProjectionsOf(srcTbl.OID) {
+		dp := p.Clone().(*catalog.Projection)
+		dp.OID = init.catalog.NewOID()
+		dp.TableOID = dstTbl.OID
+		dp.Name = dst + "_" + p.Name
+		if p.BaseOID != 0 {
+			// Buddy links are re-established below only when the base
+			// was already copied; keep ordering simple by copying bases
+			// first (ProjectionsOf returns them first).
+			dp.BaseOID = 0
+		}
+		txn.Put(dp)
+		for _, sc := range snap.ContainersOf(p.OID, catalog.GlobalShard) {
+			dc := sc.Clone().(*catalog.StorageContainer)
+			dc.OID = init.catalog.NewOID()
+			dc.ProjOID = dp.OID
+			dc.TableOID = dstTbl.OID
+			dc.CreateVersion = snap.Version() + 1
+			// Files are shared by reference; nothing is copied.
+			txn.Put(dc)
+			for _, dv := range snap.DeleteVectorsOf(sc.OID) {
+				ddv := dv.Clone().(*catalog.DeleteVector)
+				ddv.OID = init.catalog.NewOID()
+				ddv.ContainerOID = dc.OID
+				ddv.ProjOID = dp.OID
+				txn.Put(ddv)
+			}
+		}
+	}
+	_, err = db.commit(init, txn, nil)
+	return err
+}
+
+// DropPartition removes every container of a table whose partition key
+// matches (§2.1's quick file pruning makes this a metadata-only
+// operation; files free when unreferenced).
+func (db *DB) DropPartition(table, partitionKey string) (int, error) {
+	init, err := db.anyUpNode()
+	if err != nil {
+		return 0, err
+	}
+	txn := init.catalog.Begin()
+	snap := txn.Base()
+	tbl, ok := snap.TableByName(table)
+	if !ok {
+		return 0, fmt.Errorf("core: unknown table %q", table)
+	}
+	type droppedC struct {
+		sc  *catalog.StorageContainer
+		dvs []*catalog.DeleteVector
+	}
+	var dropped []droppedC
+	for _, p := range snap.ProjectionsOf(tbl.OID) {
+		for _, sc := range snap.ContainersOf(p.OID, catalog.GlobalShard) {
+			if sc.PartitionKey != partitionKey {
+				continue
+			}
+			d := droppedC{sc: sc, dvs: snap.DeleteVectorsOf(sc.OID)}
+			for _, dv := range d.dvs {
+				txn.Delete(dv.OID)
+			}
+			txn.Delete(sc.OID)
+			dropped = append(dropped, d)
+		}
+	}
+	if len(dropped) == 0 {
+		return 0, nil
+	}
+	rec, err := db.commit(init, txn, nil)
+	if err != nil {
+		return 0, err
+	}
+	after := init.catalog.Snapshot()
+	for _, d := range dropped {
+		db.queueContainerFilesIfUnreferenced(after, d.sc, d.dvs, rec.Version)
+	}
+	return len(dropped), nil
+}
+
+// MovePartition moves a partition's containers from src to dst — a
+// metadata-only retagging, legal when both tables have structurally
+// identical projections (same columns, sort keys and segmentation).
+func (db *DB) MovePartition(src, dst, partitionKey string) (int, error) {
+	init, err := db.anyUpNode()
+	if err != nil {
+		return 0, err
+	}
+	txn := init.catalog.Begin()
+	snap := txn.Base()
+	srcTbl, ok := snap.TableByName(src)
+	if !ok {
+		return 0, fmt.Errorf("core: unknown table %q", src)
+	}
+	dstTbl, ok := snap.TableByName(dst)
+	if !ok {
+		return 0, fmt.Errorf("core: unknown table %q", dst)
+	}
+	srcProjs := snap.ProjectionsOf(srcTbl.OID)
+	dstProjs := snap.ProjectionsOf(dstTbl.OID)
+
+	// Pair src projections with structurally identical dst projections.
+	match := map[catalog.OID]*catalog.Projection{}
+	for _, sp := range srcProjs {
+		var found *catalog.Projection
+		for _, dp := range dstProjs {
+			if projStructEqual(sp, dp) && match[sp.OID] == nil {
+				used := false
+				for _, m := range match {
+					if m.OID == dp.OID {
+						used = true
+						break
+					}
+				}
+				if !used {
+					found = dp
+					break
+				}
+			}
+		}
+		if found == nil {
+			return 0, fmt.Errorf("core: no projection of %q matches %q structurally", dst, sp.Name)
+		}
+		match[sp.OID] = found
+	}
+
+	moved := 0
+	for _, sp := range srcProjs {
+		dp := match[sp.OID]
+		for _, sc := range snap.ContainersOf(sp.OID, catalog.GlobalShard) {
+			if sc.PartitionKey != partitionKey {
+				continue
+			}
+			mc := sc.Clone().(*catalog.StorageContainer)
+			mc.ProjOID = dp.OID
+			mc.TableOID = dstTbl.OID
+			txn.Put(mc)
+			for _, dv := range snap.DeleteVectorsOf(sc.OID) {
+				mdv := dv.Clone().(*catalog.DeleteVector)
+				mdv.ProjOID = dp.OID
+				txn.Put(mdv)
+			}
+			moved++
+		}
+	}
+	if moved == 0 {
+		return 0, nil
+	}
+	_, err = db.commit(init, txn, nil)
+	return moved, err
+}
+
+// projStructEqual compares projection structure (columns, sort,
+// segmentation) ignoring names.
+func projStructEqual(a, b *catalog.Projection) bool {
+	if len(a.Columns) != len(b.Columns) || len(a.SortKey) != len(b.SortKey) || len(a.SegmentCols) != len(b.SegmentCols) {
+		return false
+	}
+	if a.BuddyOffset != b.BuddyOffset {
+		return false
+	}
+	for i := range a.Columns {
+		if !equalFoldStr(a.Columns[i], b.Columns[i]) {
+			return false
+		}
+	}
+	for i := range a.SortKey {
+		if !equalFoldStr(a.SortKey[i], b.SortKey[i]) {
+			return false
+		}
+	}
+	for i := range a.SegmentCols {
+		if !equalFoldStr(a.SegmentCols[i], b.SegmentCols[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func equalFoldStr(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}

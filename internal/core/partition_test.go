@@ -1,0 +1,192 @@
+package core
+
+import (
+	"testing"
+
+	"eon/internal/catalog"
+	"eon/internal/types"
+)
+
+// loadPartitioned creates a partitioned table with 3 buckets x 60 rows.
+func loadPartitioned(t *testing.T, db *DB, name string) {
+	t.Helper()
+	s := db.NewSession()
+	mustExec(t, s, `CREATE TABLE `+name+` (id INTEGER, bucket INTEGER) PARTITION BY bucket`)
+	mustExec(t, s, `CREATE PROJECTION `+name+`_p AS SELECT * FROM `+name+` ORDER BY id SEGMENTED BY HASH(id) ALL NODES`)
+	schema := types.Schema{{Name: "id", Type: types.Int64}, {Name: "bucket", Type: types.Int64}}
+	b := types.NewBatch(schema, 180)
+	for i := 0; i < 180; i++ {
+		b.AppendRow(types.Row{types.NewInt(int64(i)), types.NewInt(int64(i % 3))})
+	}
+	if err := db.LoadRows(name, b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCopyTableSharesFiles(t *testing.T) {
+	db := newTestDB(t, ModeEon, 2, 2)
+	loadPartitioned(t, db, "orig")
+
+	if err := db.CopyTable("orig", "clone"); err != nil {
+		t.Fatal(err)
+	}
+	s := db.NewSession()
+	a := mustQuery(t, s, `SELECT COUNT(*) FROM orig`).Row(t, 0)[0].I
+	b := mustQuery(t, s, `SELECT COUNT(*) FROM clone`).Row(t, 0)[0].I
+	if a != 180 || b != 180 {
+		t.Fatalf("counts orig=%d clone=%d", a, b)
+	}
+	// The copy shares the original's files: no new data objects.
+	init, _ := db.anyUpNode()
+	refs := fileReferenceCount(init.catalog.Snapshot())
+	shared := 0
+	for _, n := range refs {
+		if n >= 2 {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Error("copy should share storage files by reference")
+	}
+	// The tables diverge through deletes without affecting each other.
+	mustExec(t, s, `DELETE FROM clone WHERE bucket = 0`)
+	a = mustQuery(t, s, `SELECT COUNT(*) FROM orig`).Row(t, 0)[0].I
+	b = mustQuery(t, s, `SELECT COUNT(*) FROM clone`).Row(t, 0)[0].I
+	if a != 180 || b != 120 {
+		t.Errorf("after delete: orig=%d clone=%d", a, b)
+	}
+}
+
+func TestDropTableKeepsSharedFiles(t *testing.T) {
+	db := newTestDB(t, ModeEon, 2, 2)
+	loadPartitioned(t, db, "orig")
+	if err := db.CopyTable("orig", "clone"); err != nil {
+		t.Fatal(err)
+	}
+	// Dropping the original must not delete files the clone references.
+	s := db.NewSession()
+	mustExec(t, s, `DROP TABLE orig`)
+	if err := db.SyncMetadata(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.RunGC(); err != nil {
+		t.Fatal(err)
+	}
+	res := mustQuery(t, s, `SELECT COUNT(*) FROM clone`)
+	if res.Row(t, 0)[0].I != 180 {
+		t.Errorf("clone lost rows after original dropped: %v", res.Rows())
+	}
+	// Dropping the clone finally frees the files.
+	mustExec(t, s, `DROP TABLE clone`)
+	if err := db.SyncMetadata(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := db.RunGC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Error("dropping the last reference should free files")
+	}
+	infos, _ := db.SharedStore().List(db.Context(), "data/")
+	if len(infos) != 0 {
+		t.Errorf("%d orphan files remain", len(infos))
+	}
+}
+
+func TestDropPartition(t *testing.T) {
+	db := newTestDB(t, ModeEon, 2, 2)
+	loadPartitioned(t, db, "ev")
+	dropped, err := db.DropPartition("ev", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped == 0 {
+		t.Fatal("no containers dropped")
+	}
+	s := db.NewSession()
+	if n := mustQuery(t, s, `SELECT COUNT(*) FROM ev`).Row(t, 0)[0].I; n != 120 {
+		t.Errorf("count = %d, want 120", n)
+	}
+	if n := mustQuery(t, s, `SELECT COUNT(*) FROM ev WHERE bucket = 1`).Row(t, 0)[0].I; n != 0 {
+		t.Errorf("partition 1 still visible: %d rows", n)
+	}
+	// Idempotent.
+	if d2, _ := db.DropPartition("ev", "1"); d2 != 0 {
+		t.Errorf("second drop removed %d", d2)
+	}
+}
+
+func TestMovePartition(t *testing.T) {
+	db := newTestDB(t, ModeEon, 2, 2)
+	loadPartitioned(t, db, "hot")
+	s := db.NewSession()
+	// Structurally identical archive table.
+	mustExec(t, s, `CREATE TABLE cold (id INTEGER, bucket INTEGER) PARTITION BY bucket`)
+	mustExec(t, s, `CREATE PROJECTION cold_p AS SELECT * FROM cold ORDER BY id SEGMENTED BY HASH(id) ALL NODES`)
+
+	moved, err := db.MovePartition("hot", "cold", "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved == 0 {
+		t.Fatal("nothing moved")
+	}
+	if n := mustQuery(t, s, `SELECT COUNT(*) FROM hot`).Row(t, 0)[0].I; n != 120 {
+		t.Errorf("hot = %d", n)
+	}
+	if n := mustQuery(t, s, `SELECT COUNT(*) FROM cold`).Row(t, 0)[0].I; n != 60 {
+		t.Errorf("cold = %d", n)
+	}
+	for _, r := range mustQuery(t, s, `SELECT DISTINCT bucket FROM cold`).Rows() {
+		if r[0].I != 2 {
+			t.Errorf("cold has bucket %d", r[0].I)
+		}
+	}
+}
+
+func TestMovePartitionRequiresStructuralMatch(t *testing.T) {
+	db := newTestDB(t, ModeEon, 2, 2)
+	loadPartitioned(t, db, "hot")
+	s := db.NewSession()
+	mustExec(t, s, `CREATE TABLE other (id INTEGER, bucket INTEGER)`)
+	mustExec(t, s, `CREATE PROJECTION other_p AS SELECT * FROM other ORDER BY bucket SEGMENTED BY HASH(bucket) ALL NODES`)
+	if _, err := db.MovePartition("hot", "other", "0"); err == nil {
+		t.Error("structurally different projections must reject the move")
+	}
+}
+
+func TestMergeoutRespectsPartitions(t *testing.T) {
+	db := newTestDB(t, ModeEon, 2, 2)
+	s := db.NewSession()
+	mustExec(t, s, `CREATE TABLE ev (id INTEGER, bucket INTEGER) PARTITION BY bucket`)
+	schema := types.Schema{{Name: "id", Type: types.Int64}, {Name: "bucket", Type: types.Int64}}
+	// Many small loads spanning 2 partitions.
+	for l := 0; l < 10; l++ {
+		b := types.NewBatch(schema, 20)
+		for i := 0; i < 20; i++ {
+			b.AppendRow(types.Row{types.NewInt(int64(l*20 + i)), types.NewInt(int64(i % 2))})
+		}
+		if err := db.LoadRows("ev", b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.RunMergeout(); err != nil {
+		t.Fatal(err)
+	}
+	// Every surviving container carries exactly one partition key.
+	init, _ := db.anyUpNode()
+	snap := init.catalog.Snapshot()
+	tbl, _ := snap.TableByName("ev")
+	for _, p := range snap.ProjectionsOf(tbl.OID) {
+		for _, sc := range snap.ContainersOf(p.OID, catalog.GlobalShard) {
+			if sc.PartitionKey != "0" && sc.PartitionKey != "1" {
+				t.Errorf("container %d has partition key %q", sc.OID, sc.PartitionKey)
+			}
+		}
+	}
+	// Data intact.
+	if n := mustQuery(t, s, `SELECT COUNT(*) FROM ev`).Row(t, 0)[0].I; n != 200 {
+		t.Errorf("count = %d", n)
+	}
+}

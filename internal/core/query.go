@@ -1,0 +1,496 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"eon/internal/catalog"
+	"eon/internal/flowassign"
+	"eon/internal/planner"
+	"eon/internal/sql"
+	"eon/internal/types"
+)
+
+// errNodeDown marks failures caused by a participating node going down;
+// the session retries with a fresh assignment (§6.1: another subscriber
+// immediately serves the shard).
+var errNodeDown = errors.New("core: participating node went down")
+
+// CrunchMode selects the §4.4 mechanism for spreading one shard's work
+// over several nodes when node count exceeds shard count.
+type CrunchMode uint8
+
+// Crunch scaling modes.
+const (
+	// CrunchOff runs each shard on exactly one node.
+	CrunchOff CrunchMode = iota
+	// CrunchHashFilter has every helper read the shard's data and keep
+	// only rows whose key re-hashes to its sub-partition. Segmentation
+	// semantics are preserved, so local joins and aggregates stay legal.
+	CrunchHashFilter
+	// CrunchContainerSplit physically splits the shard's containers
+	// between helpers: each row is read once, but segmentation is lost
+	// and the planner must reshuffle joins and two-phase aggregations.
+	CrunchContainerSplit
+)
+
+// Session is one client connection. Sessions select participating
+// subscriptions per query (§4.1) and carry cache-shaping options (§5.2).
+type Session struct {
+	db *DB
+	// Subcluster prioritizes its member nodes for execution (§4.3).
+	Subcluster string
+	// BypassCache executes queries without populating the cache ("don't
+	// use the cache for this query").
+	BypassCache bool
+	// Crunch enables crunch scaling (§4.4).
+	Crunch CrunchMode
+}
+
+// NewSession opens a session against the cluster.
+func (db *DB) NewSession() *Session { return &Session{db: db} }
+
+// NewSessionOn opens a session connected to a subcluster, isolating its
+// workload to those nodes when they can cover all shards.
+func (db *DB) NewSessionOn(subcluster string) *Session {
+	return &Session{db: db, Subcluster: subcluster}
+}
+
+// Result is a query result.
+type Result struct {
+	Columns []string
+	Batch   *types.Batch
+}
+
+// Rows materializes the result rows.
+func (r *Result) Rows() []types.Row {
+	if r.Batch == nil {
+		return nil
+	}
+	return r.Batch.Rows()
+}
+
+// NumRows returns the result row count.
+func (r *Result) NumRows() int {
+	if r.Batch == nil {
+		return 0
+	}
+	return r.Batch.NumRows()
+}
+
+// scanTask is one node's share of one shard: sub-partition Part of Of
+// (Of == 1 means the whole shard).
+type scanTask struct {
+	Shard int
+	Part  int
+	Of    int
+}
+
+// queryEnv is the per-query execution context: the shard-to-node
+// assignment the session selected, crunch groups, a consistent catalog
+// cut, and slot reservations.
+type queryEnv struct {
+	ctx        context.Context
+	session    *Session
+	assignment map[int]string // shard -> primary node
+	// crunch maps a shard to the ordered node group collectively serving
+	// it (§4.4); absent shards run on their primary only.
+	crunch    map[int][]string
+	nodes     []string // distinct participating nodes, sorted
+	initiator *Node
+	version   uint64
+	snapshots map[string]*catalog.Snapshot
+}
+
+// nodeTasks returns the scan tasks a node serves, in shard order.
+func (env *queryEnv) nodeTasks(node string) []scanTask {
+	var out []scanTask
+	for shard, n := range env.assignment {
+		if group, ok := env.crunch[shard]; ok {
+			for i, member := range group {
+				if member == node {
+					out = append(out, scanTask{Shard: shard, Part: i, Of: len(group)})
+				}
+			}
+			continue
+		}
+		if n == node {
+			out = append(out, scanTask{Shard: shard, Part: 0, Of: 1})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Shard != out[j].Shard {
+			return out[i].Shard < out[j].Shard
+		}
+		return out[i].Part < out[j].Part
+	})
+	return out
+}
+
+// Query parses, plans and executes a SELECT, retrying with a fresh node
+// assignment when a participant fails mid-query.
+func (s *Session) Query(sqlText string) (*Result, error) {
+	stmt, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*sql.Select)
+	if !ok {
+		return nil, fmt.Errorf("core: Query requires a SELECT; use Execute for %T", stmt)
+	}
+	return s.QuerySelect(sel)
+}
+
+// QuerySelect executes a parsed SELECT.
+func (s *Session) QuerySelect(sel *sql.Select) (*Result, error) {
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		res, err := s.tryQuery(sel)
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+		if !errors.Is(err, errNodeDown) {
+			return nil, err
+		}
+		// Invariant check before retrying: the cluster may no longer be
+		// viable (§3.4).
+		if init, err2 := s.db.anyUpNode(); err2 == nil {
+			s.db.checkViabilityAndMaybeShutdown(init.catalog.Snapshot())
+		}
+	}
+	return nil, lastErr
+}
+
+func (s *Session) tryQuery(sel *sql.Select) (*Result, error) {
+	db := s.db
+	init, err := db.anyUpNode()
+	if err != nil {
+		return nil, err
+	}
+	env, err := s.selectParticipants(init)
+	if err != nil {
+		return nil, err
+	}
+
+	plan, err := planner.PlanSelect(sel, planner.Options{
+		Snapshot:          env.snapshots[init.name],
+		BroadcastRowLimit: db.cfg.BroadcastRowLimit,
+		// Container split loses the segmentation property (§4.4).
+		AssumeNoSegmentation: s.Crunch == CrunchContainerSplit && len(env.crunch) > 0,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Acquire execution slots: one per shard on its serving node (§4.2).
+	release, err := env.acquireSlots()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+
+	// Register running-query versions for GC gossip (§6.5).
+	for _, name := range env.nodes {
+		if n, ok := db.Node(name); ok {
+			n.beginQuery(env.version)
+			defer n.endQuery(env.version)
+		}
+	}
+
+	// Simulated per-node execution time, spent while the slots are held
+	// (see Config.QueryCost).
+	if db.cfg.QueryCost > 0 {
+		time.Sleep(db.cfg.QueryCost)
+	}
+
+	res, err := db.executePlan(env, plan.Root)
+	if err != nil {
+		return nil, err
+	}
+	final, err := db.gather(env, res)
+	if err != nil {
+		return nil, err
+	}
+	if final == nil {
+		final = types.NewBatch(plan.Schema(), 0)
+	}
+	return &Result{Columns: plan.OutputNames, Batch: final}, nil
+}
+
+// selectParticipants chooses the covering set of subscriptions for this
+// query (§4.1) and captures a consistent catalog cut.
+func (s *Session) selectParticipants(init *Node) (*queryEnv, error) {
+	db := s.db
+	shards := make([]int, db.cfg.ShardCount)
+	for i := range shards {
+		shards[i] = i
+	}
+
+	var assignment map[int]string
+	snap := init.catalog.Snapshot()
+	up := db.UpNodes()
+
+	if db.mode == ModeEnterprise {
+		// Fixed layout: the base owner serves each segment; its buddy
+		// takes over when it is down (§2.2, §6.1).
+		assignment = map[int]string{}
+		nNodes := len(db.order)
+		for _, sh := range shards {
+			base := db.order[sh%nNodes]
+			buddy := db.order[(sh+1)%nNodes]
+			switch {
+			case up[base]:
+				assignment[sh] = base
+			case up[buddy]:
+				assignment[sh] = buddy
+			default:
+				return nil, fmt.Errorf("core: segment %d unavailable (node and buddy down)", sh)
+			}
+		}
+	} else {
+		var nodes []string
+		priority := map[string]int{}
+		initRack := db.net.Rack(init.name)
+		for _, n := range snap.Nodes() {
+			if !up[n.Name] {
+				continue
+			}
+			nodes = append(nodes, n.Name)
+			switch {
+			case s.Subcluster != "":
+				// Subcluster isolation (§4.3).
+				if n.Subcluster != s.Subcluster {
+					priority[n.Name] = 1
+				}
+			case initRack != "":
+				// Rack locality (§4.1): "the starting graph includes only
+				// nodes on the same physical rack, encouraging an
+				// assignment that avoids sending network data across
+				// bandwidth-constrained links."
+				if db.net.Rack(n.Name) != initRack {
+					priority[n.Name] = 1
+				}
+			}
+		}
+		canServe := func(node string, shard int) bool {
+			for _, sub := range snap.SubscribersOf(shard) {
+				if sub.Node != node {
+					continue
+				}
+				// ACTIVE serves; REMOVING continues to serve until
+				// dropped (§3.3).
+				if sub.State == catalog.SubActive || sub.State == catalog.SubRemoving {
+					return true
+				}
+			}
+			return false
+		}
+		var err error
+		assignment, err = flowassign.Assign(flowassign.Input{
+			Shards: shards, Nodes: nodes, CanServe: canServe,
+			Priority: priority,
+			Seed:     db.cfg.Seed + db.seedCtr.Add(1),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: cannot cover all shards: %w", err)
+		}
+	}
+
+	// Crunch scaling (§4.4): when enabled, every ACTIVE up subscriber of
+	// a shard joins its serving group, the primary first.
+	crunch := map[int][]string{}
+	if s.Crunch != CrunchOff && db.mode == ModeEon {
+		for _, sh := range shards {
+			group := []string{assignment[sh]}
+			for _, sub := range snap.SubscribersOf(sh, catalog.SubActive) {
+				if sub.Node != assignment[sh] && up[sub.Node] {
+					group = append(group, sub.Node)
+				}
+			}
+			sort.Strings(group[1:])
+			if len(group) > 1 {
+				crunch[sh] = group
+			}
+		}
+	}
+
+	nodeSet := map[string]bool{init.name: true}
+	for _, n := range assignment {
+		nodeSet[n] = true
+	}
+	for _, group := range crunch {
+		for _, n := range group {
+			nodeSet[n] = true
+		}
+	}
+	var nodes []string
+	for n := range nodeSet {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+
+	// Capture a consistent catalog cut under the commit lock.
+	db.commitMu.Lock()
+	snapshots := map[string]*catalog.Snapshot{}
+	for _, name := range nodes {
+		n, ok := db.Node(name)
+		if !ok || !n.Up() {
+			db.commitMu.Unlock()
+			return nil, fmt.Errorf("%w: %s", errNodeDown, name)
+		}
+		snapshots[name] = n.catalog.Snapshot()
+	}
+	db.commitMu.Unlock()
+
+	return &queryEnv{
+		ctx:        db.Context(),
+		session:    s,
+		assignment: assignment,
+		crunch:     crunch,
+		nodes:      nodes,
+		initiator:  init,
+		version:    snapshots[init.name].Version(),
+		snapshots:  snapshots,
+	}, nil
+}
+
+// acquireSlots reserves one execution slot per served shard on its node,
+// atomically across nodes (§4.2: "a running query requires S of the
+// total N*E slots").
+func (env *queryEnv) acquireSlots() (func(), error) {
+	db := env.session.db
+	req := map[string]int{}
+	for _, name := range env.nodes {
+		if tasks := env.nodeTasks(name); len(tasks) > 0 {
+			req[name] = len(tasks)
+		}
+	}
+	alive := func() bool {
+		for name := range req {
+			n, ok := db.Node(name)
+			if !ok || !n.Up() {
+				return false
+			}
+		}
+		return !db.shutdown.Load()
+	}
+	if !db.slots.acquire(req, alive) {
+		return nil, fmt.Errorf("%w: participant died while queueing", errNodeDown)
+	}
+	return func() { db.slots.release(req) }, nil
+}
+
+// distResult is the distributed intermediate state of plan execution.
+type distResult struct {
+	// perNode holds each participating node's fragment.
+	perNode map[string][]*types.Batch
+	// single holds data gathered to (or produced on) the initiator.
+	single *types.Batch
+	// replicated marks single as a full copy available to every node
+	// (replicated scans and broadcast sides).
+	replicated bool
+	// needGlobalDistinct defers duplicate elimination to gather time.
+	needGlobalDistinct bool
+	schema             types.Schema
+}
+
+// gathered reports whether the result already lives on the initiator.
+func (r *distResult) gathered() bool { return r.perNode == nil }
+
+// runPerNode executes fn for each participating node's fragment in
+// parallel, replacing the fragment with fn's result.
+func (db *DB) runPerNode(env *queryEnv, res *distResult, fn func(node string, batches []*types.Batch) ([]*types.Batch, error)) error {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	type item struct {
+		name    string
+		batches []*types.Batch
+	}
+	items := make([]item, 0, len(res.perNode))
+	for name, batches := range res.perNode {
+		items = append(items, item{name, batches})
+	}
+	for _, it := range items {
+		wg.Add(1)
+		go func(name string, batches []*types.Batch) {
+			defer wg.Done()
+			n, ok := db.Node(name)
+			if !ok || !n.Up() {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%w: %s", errNodeDown, name)
+				}
+				mu.Unlock()
+				return
+			}
+			out, err := fn(name, batches)
+			mu.Lock()
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			res.perNode[name] = out
+			mu.Unlock()
+		}(it.name, it.batches)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// batchBytes estimates the wire size of a batch for transfer cost
+// modeling.
+func batchBytes(b *types.Batch) int64 {
+	if b == nil {
+		return 0
+	}
+	var total int64
+	for _, c := range b.Cols {
+		switch c.Typ.Physical() {
+		case types.Varchar:
+			for _, s := range c.Strs {
+				total += int64(len(s)) + 4
+			}
+		case types.Bool:
+			total += int64(c.Len())
+		default:
+			total += int64(c.Len()) * 8
+		}
+	}
+	return total
+}
+
+// gather moves a distributed result to the initiator, applying any
+// pending global distinct.
+func (db *DB) gather(env *queryEnv, res *distResult) (*types.Batch, error) {
+	if res.gathered() {
+		return res.single, nil
+	}
+	out := types.NewBatch(res.schema, 0)
+	names := make([]string, 0, len(res.perNode))
+	for n := range res.perNode {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		for _, b := range res.perNode[name] {
+			if b == nil || b.NumRows() == 0 {
+				continue
+			}
+			if name != env.initiator.name {
+				if err := db.net.Transfer(env.ctx, name, env.initiator.name, batchBytes(b)); err != nil {
+					return nil, fmt.Errorf("%w: gather from %s: %v", errNodeDown, name, err)
+				}
+			}
+			out.AppendBatch(b)
+		}
+	}
+	if res.needGlobalDistinct {
+		out = distinctBatch(out)
+	}
+	return out, nil
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"eon/internal/catalog"
+	"eon/internal/cluster"
+	"eon/internal/hashring"
+	"eon/internal/udfs"
+)
+
+// ErrLeaseHeld is returned when revive finds an unexpired lease — another
+// cluster is likely running on the same shared storage (§3.5).
+var ErrLeaseHeld = errors.New("core: revive aborted, shared-storage lease still held")
+
+// Revive starts a cluster from shared storage (§3.5): commission nodes
+// with empty local storage, download catalogs, read cluster_info.json,
+// check the lease, truncate every catalog to the consensus truncation
+// version, adopt a new incarnation, and upload a new cluster_info.json
+// as the commit point.
+func Revive(cfg Config) (*DB, error) {
+	if cfg.Shared == nil {
+		return nil, fmt.Errorf("core: revive requires the shared storage")
+	}
+	cfg.Mode = ModeEon
+	ctx := contextBackground()
+
+	// Read the commit-point file.
+	data, err := cfg.Shared.Get(ctx, cluster.InfoFileName)
+	if err != nil {
+		return nil, fmt.Errorf("core: no %s on shared storage: %w", cluster.InfoFileName, err)
+	}
+	info, err := cluster.ParseInfo(data)
+	if err != nil {
+		return nil, err
+	}
+
+	// Node set defaults to the previous cluster's membership.
+	if len(cfg.Nodes) == 0 {
+		for _, n := range info.Nodes {
+			cfg.Nodes = append(cfg.Nodes, NodeSpec{Name: n})
+		}
+	}
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	if info.LeaseValid(nowFor(cfg)) {
+		return nil, fmt.Errorf("%w (expires %s)", ErrLeaseHeld, info.LeaseExpiry)
+	}
+
+	db := &DB{
+		cfg:         cfg,
+		mode:        ModeEon,
+		nodes:       map[string]*Node{},
+		shared:      cfg.Shared,
+		net:         cfg.Net,
+		incarnation: cluster.NewIncarnationID(), // new incarnation per revive
+	}
+	db.sharedFS = udfs.NewObjectFS(db.shared)
+	db.slots = newSlotManager()
+	for _, spec := range cfg.Nodes {
+		n := newNode(spec, &cfg)
+		db.nodes[spec.Name] = n
+		db.order = append(db.order, spec.Name)
+		db.slots.register(spec.Name, cfg.ExecSlots)
+	}
+	db.truncation.Store(info.TruncationVersion)
+
+	// Download each node's uploaded catalog into its (empty) local disk.
+	oldPrefix := fmt.Sprintf("metadata/%s/", info.Incarnation)
+	for _, name := range db.order {
+		n := db.nodes[name]
+		infos, err := db.shared.List(ctx, oldPrefix+name+"/")
+		if err != nil {
+			return nil, err
+		}
+		for _, fi := range infos {
+			body, err := db.shared.Get(ctx, fi.Key)
+			if err != nil {
+				return nil, err
+			}
+			base := fi.Key[len(oldPrefix+name+"/"):]
+			if err := n.fs.WriteFile(ctx, "catalog/"+base, body); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Truncate each node to the consensus version; nodes whose uploads
+	// fall short are repaired from a donor that reached it.
+	var donor *catalog.Snapshot
+	var donorNext catalog.OID
+	type pendingRepair struct{ n *Node }
+	var repairs []pendingRepair
+	for _, name := range db.order {
+		n := db.nodes[name]
+		snap, next, err := catalog.TruncateTo(ctx, n.fs, "catalog", info.TruncationVersion)
+		if err != nil {
+			repairs = append(repairs, pendingRepair{n})
+			continue
+		}
+		n.catalog.Install(snap, next)
+		if donor == nil {
+			donor, donorNext = snap, next
+		}
+	}
+	if donor == nil {
+		return nil, fmt.Errorf("core: no node's uploads reach truncation version %d", info.TruncationVersion)
+	}
+	for _, r := range repairs {
+		// Re-subscription repair: install the donor snapshot filtered to
+		// the node's subscriptions.
+		keep := map[int]bool{}
+		for _, s := range donor.Subscriptions(r.n.name) {
+			keep[s.ShardIndex] = true
+		}
+		r.n.catalog.Install(donor.FilterShards(keep), donorNext)
+	}
+
+	// The ring is fixed by the shard objects in the catalog.
+	segCount := donor.SegmentShardCount()
+	if segCount == 0 {
+		return nil, fmt.Errorf("core: revived catalog has no shards")
+	}
+	db.ring = hashring.NewRing(segCount)
+	db.cfg.ShardCount = segCount
+
+	// Fresh cluster, fresh caches: subscriptions return as they were at
+	// the truncation version; nodes listed in the catalog but absent
+	// from the new node set would need a rebalance (same set here).
+
+	// Commit point: upload the new incarnation's cluster_info.json.
+	if err := db.writeClusterInfo(ctx, info.TruncationVersion, cfg.LeaseDuration); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+func contextBackground() context.Context { return context.Background() }
+
+// nowFor returns the revive-time clock, honoring the test hook.
+func nowFor(cfg Config) time.Time {
+	if cfg.Now != nil {
+		return cfg.Now()
+	}
+	return time.Now()
+}

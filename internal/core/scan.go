@@ -1,0 +1,288 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"eon/internal/catalog"
+	"eon/internal/expr"
+	"eon/internal/hashring"
+	"eon/internal/planner"
+	"eon/internal/rosfile"
+	"eon/internal/storage"
+	"eon/internal/types"
+)
+
+// scanFragment reads one node's share of a scan: the containers of the
+// chosen projection whose shards (or shard sub-partitions, under crunch
+// scaling) the session assigned to this node, with container- and
+// block-level min/max pruning, delete-vector filtering and predicate
+// evaluation. The executor "attaches storage for the shards the session
+// has instructed it to serve" from its own catalog (§4).
+func (db *DB) scanFragment(ctx context.Context, node *Node, scan *planner.Scan, tasks []scanTask, version uint64, bypassCache bool, mode CrunchMode) ([]*types.Batch, error) {
+	snap := node.catalog.Snapshot()
+	if snap.Version() < version {
+		return nil, fmt.Errorf("core: node %s catalog at v%d behind query v%d", node.name, snap.Version(), version)
+	}
+	var out []*types.Batch
+	wosProjs := map[catalog.OID]bool{}
+	var shards []int
+	for _, task := range tasks {
+		shardIdx := task.Shard
+		shards = append(shards, shardIdx)
+		// Enterprise: a node serving a shard it does not own in the base
+		// projection reads the buddy copy instead — "the global query
+		// plan does not change when a node is down, merely a different
+		// node serves the underlying data" (§6.1).
+		proj := scan.Proj
+		if db.mode == ModeEnterprise && shardIdx != catalog.ReplicaShard && !scan.Replicated {
+			p, err := db.projectionCopyFor(snap, scan.Proj, shardIdx, node.name)
+			if err != nil {
+				return nil, err
+			}
+			proj = p
+		}
+		wosProjs[proj.OID] = true
+
+		containers := snap.ContainersOf(proj.OID, shardIdx)
+		// Container split (§4.4): "each node sharing a segment scans a
+		// distinct subset of the containers".
+		useContainerSplit := task.Of > 1 &&
+			(mode == CrunchContainerSplit || len(scan.SegmentCols) == 0)
+		for ci, sc := range containers {
+			if db.mode == ModeEnterprise && sc.OwnerNode != node.name {
+				continue
+			}
+			if useContainerSplit && ci%task.Of != task.Part {
+				continue
+			}
+			batches, err := db.scanContainer(ctx, node, scan, snap, sc, bypassCache)
+			if err != nil {
+				return nil, err
+			}
+			// Hash filter (§4.4): "applying a new hash segmentation
+			// predicate to each row as it is read" — selective
+			// predicates were already applied by the scan, reducing the
+			// hashing burden.
+			if task.Of > 1 && !useContainerSplit {
+				batches = hashFilterBatches(batches, scan.SegmentCols, task.Part, task.Of)
+			}
+			out = append(out, batches...)
+		}
+	}
+	if scan.Replicated {
+		wosProjs = map[catalog.OID]bool{scan.Proj.OID: true}
+	}
+	// Enterprise: merge WOS rows of the projection copies this node read.
+	if db.mode == ModeEnterprise && node.wos != nil {
+		for projOID := range wosProjs {
+			wb := node.wos.Rows(projOID)
+			if wb == nil || wb.NumRows() == 0 {
+				continue
+			}
+			b, err := db.filterWOSRows(node, scan, wb, shards)
+			if err != nil {
+				return nil, err
+			}
+			if b != nil && b.NumRows() > 0 {
+				out = append(out, b)
+			}
+		}
+	}
+	return out, nil
+}
+
+// hashFilterBatches keeps only rows whose segmentation-column hash lands
+// in sub-partition part of of.
+func hashFilterBatches(batches []*types.Batch, segCols []int, part, of int) []*types.Batch {
+	ring := hashring.NewRing(of)
+	var out []*types.Batch
+	for _, b := range batches {
+		if b == nil || b.NumRows() == 0 {
+			continue
+		}
+		hashes := hashring.HashBatchCols(b, segCols, nil)
+		var keep []int
+		for i, h := range hashes {
+			if ring.SegmentFor(h) == part {
+				keep = append(keep, i)
+			}
+		}
+		if len(keep) == b.NumRows() {
+			out = append(out, b)
+		} else if len(keep) > 0 {
+			out = append(out, b.Gather(keep))
+		}
+	}
+	return out
+}
+
+// projectionCopyFor finds, within a projection's buddy family, the copy
+// whose owner for the given segment is the given node.
+func (db *DB) projectionCopyFor(snap *catalog.Snapshot, base *catalog.Projection, shardIdx int, nodeName string) (*catalog.Projection, error) {
+	family := []*catalog.Projection{}
+	for _, p := range snap.ProjectionsOf(base.TableOID) {
+		if p.OID == base.OID || p.BaseOID == base.OID || (base.BaseOID != 0 && (p.OID == base.BaseOID || p.BaseOID == base.BaseOID)) {
+			family = append(family, p)
+		}
+	}
+	nNodes := len(db.order)
+	for _, p := range family {
+		if db.order[(shardIdx+p.BuddyOffset)%nNodes] == nodeName {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("core: node %s holds no copy of projection %s for segment %d", nodeName, base.Name, shardIdx)
+}
+
+// containerStats builds the pruning StatsFunc from catalog column stats.
+func containerStats(scan *planner.Scan, sc *catalog.StorageContainer) expr.StatsFunc {
+	return func(col int) (types.ColumnStats, bool) {
+		if col < 0 || col >= len(scan.Cols) {
+			return types.ColumnStats{}, false
+		}
+		st, ok := sc.ColStats[scan.Cols[col]]
+		return st, ok
+	}
+}
+
+// scanContainer reads the needed columns of one container.
+func (db *DB) scanContainer(ctx context.Context, node *Node, scan *planner.Scan, snap *catalog.Snapshot, sc *catalog.StorageContainer, bypassCache bool) ([]*types.Batch, error) {
+	// Container-level pruning from catalog stats — no file access
+	// needed (§2.1).
+	if scan.Pred != nil && !expr.CouldMatch(scan.Pred, containerStats(scan, sc)) {
+		return nil, nil
+	}
+
+	// Per-table shaping policy (§5.2): never-cache tables bypass.
+	if db.neverCacheTable(scan.Table.Name) {
+		bypassCache = true
+	}
+	fetch := db.fetchFunc(node, bypassCache)
+	readers, err := openContainerColumns(ctx, sc, scan.Cols, fetch)
+	if err != nil {
+		return nil, err
+	}
+
+	// Merge delete vectors covering this container.
+	var dvLists [][]int64
+	for _, dv := range snap.DeleteVectorsOf(sc.OID) {
+		if db.mode == ModeEnterprise && dv.OwnerNode != node.name {
+			continue
+		}
+		data, err := fetch(ctx, dv.File.Path)
+		if err != nil {
+			return nil, err
+		}
+		positions, err := storage.ReadDeleteVector(data)
+		if err != nil {
+			return nil, err
+		}
+		dvLists = append(dvLists, positions)
+	}
+	deletes := storage.NewDeleteSet(dvLists...)
+
+	// Read block by block with footer min/max pruning on the first
+	// predicate column's reader (block boundaries are aligned across a
+	// container's columns).
+	first := readers[scan.Cols[0]]
+	nBlocks := len(first.Footer().Blocks)
+	var out []*types.Batch
+	for bi := 0; bi < nBlocks; bi++ {
+		blk := first.Footer().Blocks[bi]
+		if scan.Pred != nil && !blockCouldMatch(scan, readers, bi) {
+			continue
+		}
+		batch := &types.Batch{Cols: make([]*types.Vector, len(scan.Cols))}
+		for ci, col := range scan.Cols {
+			v, err := readers[col].ReadBlock(bi)
+			if err != nil {
+				return nil, err
+			}
+			v.Typ = scan.OutSchema[ci].Type
+			batch.Cols[ci] = v
+		}
+		// Delete-vector filtering.
+		if deletes.Len() > 0 {
+			live := deletes.LivePositions(blk.RowStart, batch.NumRows())
+			if len(live) == 0 {
+				continue
+			}
+			if len(live) < batch.NumRows() {
+				batch = batch.Gather(live)
+			}
+		}
+		// Predicate evaluation.
+		if scan.Pred != nil {
+			sel, err := expr.FilterBatch(scan.Pred, batch)
+			if err != nil {
+				return nil, err
+			}
+			if len(sel) == 0 {
+				continue
+			}
+			if len(sel) < batch.NumRows() {
+				batch = batch.Gather(sel)
+			}
+		}
+		out = append(out, batch)
+	}
+	return out, nil
+}
+
+// blockCouldMatch applies min/max pruning using the footers of every
+// scanned column at block index bi (the position index of §2.3 stores
+// per-block minimum and maximum values).
+func blockCouldMatch(scan *planner.Scan, readers map[string]*rosfile.Reader, bi int) bool {
+	stats := func(col int) (types.ColumnStats, bool) {
+		if col < 0 || col >= len(scan.Cols) {
+			return types.ColumnStats{}, false
+		}
+		r := readers[scan.Cols[col]]
+		if r == nil || bi >= len(r.Footer().Blocks) {
+			return types.ColumnStats{}, false
+		}
+		blk := r.Footer().Blocks[bi]
+		return types.ColumnStats{
+			Min:      blk.Min,
+			Max:      blk.Max,
+			HasNulls: blk.NullCount > 0,
+			AllNull:  blk.NullCount == blk.RowCount,
+		}, true
+	}
+	return expr.CouldMatch(scan.Pred, stats)
+}
+
+// filterWOSRows projects WOS rows to the scan's columns, restricts them
+// to the node's shards, and applies the predicate.
+func (db *DB) filterWOSRows(node *Node, scan *planner.Scan, wb *types.Batch, shards []int) (*types.Batch, error) {
+	projSchema := make(types.Schema, len(scan.Proj.Columns))
+	// WOS batches are stored in projection column order.
+	for i, c := range scan.Proj.Columns {
+		projSchema[i] = types.Column{Name: c}
+	}
+	// Select the needed columns in scan order.
+	sel := &types.Batch{Cols: make([]*types.Vector, len(scan.Cols))}
+	for i, c := range scan.Cols {
+		idx := projSchema.ColumnIndex(c)
+		if idx < 0 {
+			return nil, fmt.Errorf("core: WOS missing column %q", c)
+		}
+		sel.Cols[i] = wb.Cols[idx]
+	}
+	// WOS rows were already routed to this node per shard at load time;
+	// every buffered row of this projection copy belongs to a shard the
+	// node owns, so no further shard filtering is needed.
+	_ = shards
+	if scan.Pred != nil {
+		idx, err := expr.FilterBatch(scan.Pred, sel)
+		if err != nil {
+			return nil, err
+		}
+		if len(idx) == 0 {
+			return nil, nil
+		}
+		sel = sel.Gather(idx)
+	}
+	return sel, nil
+}

@@ -1,0 +1,83 @@
+package core
+
+import "sync"
+
+// slotManager allocates per-node execution slots (§4.2) with
+// all-or-nothing semantics: a request for several slots — possibly
+// multiple on one node, as when a buddy serves two segments after a
+// failure — either acquires them all atomically or waits. Partial holds
+// are never visible, which rules out the multi-unit deadlock where
+// concurrent queries each hold one of a node's slots while waiting for a
+// second.
+type slotManager struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	avail map[string]int
+	cap   map[string]int
+}
+
+func newSlotManager() *slotManager {
+	m := &slotManager{avail: map[string]int{}, cap: map[string]int{}}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// register sets a node's slot capacity.
+func (m *slotManager) register(node string, slots int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cap[node] = slots
+	m.avail[node] = slots
+	m.cond.Broadcast()
+}
+
+// acquire blocks until every requested slot count is simultaneously
+// available, then takes them. ok reports whether validate approved the
+// request at grant time (a node may have gone down while waiting).
+func (m *slotManager) acquire(req map[string]int, validate func() bool) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		ready := true
+		for node, n := range req {
+			if m.avail[node] < n {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			if validate != nil && !validate() {
+				return false
+			}
+			for node, n := range req {
+				m.avail[node] -= n
+			}
+			return true
+		}
+		if validate != nil && !validate() {
+			return false
+		}
+		m.cond.Wait()
+	}
+}
+
+// release returns slots to the pool.
+func (m *slotManager) release(req map[string]int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for node, n := range req {
+		m.avail[node] += n
+		if m.avail[node] > m.cap[node] {
+			m.avail[node] = m.cap[node]
+		}
+	}
+	m.cond.Broadcast()
+}
+
+// kick wakes all waiters so they can re-validate (e.g. after a node
+// failure changes what a waiting query should do).
+func (m *slotManager) kick() {
+	m.mu.Lock()
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}

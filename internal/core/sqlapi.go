@@ -1,0 +1,53 @@
+package core
+
+import (
+	"fmt"
+
+	"eon/internal/sql"
+	"eon/internal/types"
+)
+
+// Execute runs any SQL statement through a session: SELECTs return a
+// Result; DDL and DML return a Result with an affected-row count where
+// meaningful.
+func (s *Session) Execute(sqlText string) (*Result, error) {
+	stmt, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	switch st := stmt.(type) {
+	case *sql.Select:
+		return s.QuerySelect(st)
+	case *sql.CreateTable:
+		return &Result{}, s.db.CreateTable(st)
+	case *sql.CreateProjection:
+		return &Result{}, s.db.CreateProjection(st)
+	case *sql.Insert:
+		return &Result{}, s.db.Insert(st)
+	case *sql.Delete:
+		n, err := s.db.Delete(st)
+		if err != nil {
+			return nil, err
+		}
+		return countResult("deleted", n), nil
+	case *sql.Update:
+		n, err := s.db.Update(st)
+		if err != nil {
+			return nil, err
+		}
+		return countResult("updated", n), nil
+	case *sql.AlterAddColumn:
+		return &Result{}, s.db.AlterAddColumn(st)
+	case *sql.DropTable:
+		return &Result{}, s.db.DropTable(st.Name)
+	}
+	return nil, fmt.Errorf("core: unsupported statement %T", stmt)
+}
+
+// countResult wraps an affected-row count as a one-row result.
+func countResult(label string, n int64) *Result {
+	schema := types.Schema{{Name: label, Type: types.Int64}}
+	b := types.NewBatch(schema, 1)
+	b.AppendRow(types.Row{types.NewInt(n)})
+	return &Result{Columns: []string{label}, Batch: b}
+}

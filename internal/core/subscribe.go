@@ -1,0 +1,281 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"eon/internal/catalog"
+	"eon/internal/cluster"
+	"eon/internal/shard"
+	"eon/internal/wos"
+)
+
+func newInstanceID() cluster.InstanceID { return cluster.NewInstanceID() }
+
+func freshWOS() *wos.Store { return wos.New() }
+
+// executeRebalanceActions runs planned subscription changes through the
+// §3.3 process: PENDING (create) → metadata transfer → PASSIVE → cache
+// warm → ACTIVE for subscriptions; REMOVING → (fault-tolerance check) →
+// drop metadata and cache for unsubscriptions.
+func (db *DB) executeRebalanceActions(actions []shard.Action) error {
+	var subs, unsubs []shard.Action
+	for _, a := range actions {
+		if a.Unsubscribe {
+			unsubs = append(unsubs, a)
+		} else {
+			subs = append(subs, a)
+		}
+	}
+	for _, a := range subs {
+		if err := db.subscribe(a.Node, a.ShardIndex, true); err != nil {
+			return err
+		}
+	}
+	for _, a := range unsubs {
+		if err := db.unsubscribe(a.Node, a.ShardIndex); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// subscribe runs the full subscription process for one (node, shard)
+// pair (§3.3, Figure 4).
+func (db *DB) subscribe(nodeName string, shardIdx int, warmCache bool) error {
+	n, ok := db.Node(nodeName)
+	if !ok || !n.Up() {
+		return fmt.Errorf("core: cannot subscribe down node %q", nodeName)
+	}
+	init, err := db.anyUpNode()
+	if err != nil {
+		return err
+	}
+
+	// 1. Create the subscription in PENDING.
+	txn := init.catalog.Begin()
+	for _, s := range txn.Base().Subscriptions(nodeName) {
+		if s.ShardIndex == shardIdx {
+			return nil // already subscribed (any state)
+		}
+	}
+	sub := &catalog.Subscription{
+		OID: init.catalog.NewOID(), Node: nodeName,
+		ShardIndex: shardIdx, State: catalog.SubPending,
+	}
+	txn.Put(sub)
+	if _, err := db.commit(init, txn, nil); err != nil {
+		return err
+	}
+
+	// 2. Metadata transfer from an existing subscriber: rounds of
+	// checkpoint/log transfer; here the source's current shard objects
+	// are installed directly (the node's catalog version already tracks
+	// the cluster via the commit fan-out).
+	source := db.pickPeer(shardIdx, nodeName)
+	if source != nil {
+		var objs []catalog.Object
+		snap := source.catalog.Snapshot()
+		snap.ForEach(0, func(o catalog.Object) bool {
+			if o.Shard() == shardIdx {
+				objs = append(objs, o)
+			}
+			return true
+		})
+		var bytes int64
+		for range objs {
+			bytes += 256 // metadata objects are small
+		}
+		if err := db.net.Transfer(db.Context(), source.name, nodeName, bytes); err != nil {
+			return fmt.Errorf("core: metadata transfer: %w", err)
+		}
+		n.catalog.InstallObjects(objs)
+	}
+
+	// 3. PENDING -> PASSIVE (the node can now participate in commits).
+	if err := db.transitionSubscription(sub.OID, catalog.SubPassive); err != nil {
+		return err
+	}
+
+	// 4. Cache warming from a peer's MRU list (§5.2), preferring a peer
+	// in the same subcluster. Optional: "not all new subscribers will
+	// care about cache warming".
+	if warmCache && db.mode == ModeEon && source != nil && source.cache != nil {
+		list := source.cache.MostRecentlyUsed(n.cache.Capacity())
+		warmFromPeer(db, n, source, list)
+	}
+
+	// 5. PASSIVE -> ACTIVE.
+	return db.transitionSubscription(sub.OID, catalog.SubActive)
+}
+
+// pickPeer chooses an up ACTIVE subscriber of a shard other than self,
+// preferring the same subcluster.
+func (db *DB) pickPeer(shardIdx int, self string) *Node {
+	init, err := db.anyUpNode()
+	if err != nil {
+		return nil
+	}
+	snap := init.catalog.Snapshot()
+	selfNode, _ := db.Node(self)
+	var fallback *Node
+	for _, s := range snap.SubscribersOf(shardIdx, catalog.SubActive, catalog.SubRemoving) {
+		if s.Node == self {
+			continue
+		}
+		n, ok := db.Node(s.Node)
+		if !ok || !n.Up() {
+			continue
+		}
+		if selfNode != nil && selfNode.subcluster != "" && n.subcluster == selfNode.subcluster {
+			return n
+		}
+		if fallback == nil {
+			fallback = n
+		}
+	}
+	return fallback
+}
+
+// transitionSubscription commits a legal state change (Figure 4).
+func (db *DB) transitionSubscription(oid catalog.OID, to catalog.SubState) error {
+	init, err := db.anyUpNode()
+	if err != nil {
+		return err
+	}
+	txn := init.catalog.Begin()
+	o, ok := txn.Get(oid)
+	if !ok {
+		return fmt.Errorf("core: subscription %d vanished", oid)
+	}
+	sub := o.(*catalog.Subscription)
+	if !shard.CanTransition(sub.State, to) {
+		return fmt.Errorf("core: illegal subscription transition %v -> %v", sub.State, to)
+	}
+	c := sub.Clone().(*catalog.Subscription)
+	c.State = to
+	txn.Put(c)
+	_, err = db.commit(init, txn, nil)
+	return err
+}
+
+// unsubscribe runs the removal process: REMOVING → wait for fault
+// tolerance → drop metadata, purge cache, drop subscription (§3.3).
+func (db *DB) unsubscribe(nodeName string, shardIdx int) error {
+	init, err := db.anyUpNode()
+	if err != nil {
+		return err
+	}
+	snap := init.catalog.Snapshot()
+	var sub *catalog.Subscription
+	for _, s := range snap.Subscriptions(nodeName) {
+		if s.ShardIndex == shardIdx {
+			sub = s
+			break
+		}
+	}
+	if sub == nil {
+		return nil
+	}
+	if sub.State == catalog.SubActive {
+		if err := db.transitionSubscription(sub.OID, catalog.SubRemoving); err != nil {
+			return err
+		}
+	}
+	// The subscription drops only when enough other ACTIVE subscribers
+	// exist (replica shard requires one; segment shards the replication
+	// factor minus one — at least one).
+	min := 1
+	if shardIdx != catalog.ReplicaShard && db.cfg.ReplicationFactor > 1 {
+		min = db.cfg.ReplicationFactor - 1
+		if min < 1 {
+			min = 1
+		}
+	}
+	snap = init.catalog.Snapshot()
+	for _, s := range snap.Subscriptions(nodeName) {
+		if s.ShardIndex == shardIdx {
+			sub = s
+		}
+	}
+	if !shard.CanDrop(snap, sub, min) {
+		// Leave it REMOVING; it continues serving queries until a later
+		// rebalance provides enough subscribers.
+		return nil
+	}
+	// Drop metadata and purge cached files for the shard.
+	txn := init.catalog.Begin()
+	txn.Delete(sub.OID)
+	if _, err := db.commit(init, txn, nil); err != nil {
+		return err
+	}
+	if n, ok := db.Node(nodeName); ok {
+		dropped := n.catalog.DropShardObjects(shardIdx)
+		if n.cache != nil {
+			for _, o := range dropped {
+				if sc, ok := o.(*catalog.StorageContainer); ok {
+					for _, f := range sc.AllFiles() {
+						n.cache.Drop(db.Context(), f.Path)
+					}
+				}
+				if dv, ok := o.(*catalog.DeleteVector); ok {
+					n.cache.Drop(db.Context(), dv.File.Path)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// completeSubscriptions finishes the re-subscription of a recovered
+// node: every PENDING subscription transfers incremental metadata, warms
+// the cache from a peer, and returns to ACTIVE (§3.3, §6.1).
+func (db *DB) completeSubscriptions(n *Node, warmCache bool) error {
+	init, err := db.anyUpNode()
+	if err != nil {
+		return err
+	}
+	snap := init.catalog.Snapshot()
+	for _, s := range snap.Subscriptions(n.name) {
+		if s.State != catalog.SubPending {
+			continue
+		}
+		// Incremental metadata: the catch-up already applied missed
+		// records; install any shard objects the filter skipped while
+		// unsubscribed.
+		if peer := db.pickPeer(s.ShardIndex, n.name); peer != nil {
+			var objs []catalog.Object
+			peer.catalog.Snapshot().ForEach(0, func(o catalog.Object) bool {
+				if o.Shard() == s.ShardIndex {
+					objs = append(objs, o)
+				}
+				return true
+			})
+			n.catalog.InstallObjects(objs)
+			if warmCache && db.mode == ModeEon && peer.cache != nil {
+				list := peer.cache.MostRecentlyUsed(n.cache.Capacity())
+				warmFromPeer(db, n, peer, list)
+			}
+		}
+		if err := db.transitionSubscription(s.OID, catalog.SubPassive); err != nil {
+			return err
+		}
+		if err := db.transitionSubscription(s.OID, catalog.SubActive); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// warmFromPeer performs the byte-based peer cache warm (§6.1): fetch the
+// peer's MRU files from the peer itself, falling back to shared storage.
+func warmFromPeer(db *DB, n *Node, peer *Node, list []string) int {
+	return n.cache.Warm(db.Context(), list, func(ctx context.Context, path string) ([]byte, error) {
+		if data, ok := peer.cache.ReadCached(ctx, path); ok {
+			if err := db.net.Transfer(ctx, peer.name, n.name, int64(len(data))); err == nil {
+				return data, nil
+			}
+		}
+		return db.shared.Get(ctx, path)
+	})
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"eon/internal/catalog"
+	"eon/internal/cluster"
+	"eon/internal/objstore"
+)
+
+// metadataPrefix is the shared-storage namespace for catalog uploads,
+// qualified by incarnation so each revived cluster writes to a distinct
+// location (§3.5).
+func (db *DB) metadataPrefix(node string) string {
+	return fmt.Sprintf("metadata/%s/%s/", db.incarnation, node)
+}
+
+// SyncMetadata uploads each node's new catalog files (transaction logs
+// and checkpoints) to shared storage, advances per-node sync intervals,
+// recomputes the consensus truncation version (Figure 5) and rewrites
+// cluster_info.json. In the paper this runs on a regular configurable
+// interval; the simulation invokes it explicitly (and on shutdown).
+func (db *DB) SyncMetadata() error {
+	if db.mode != ModeEon {
+		return nil
+	}
+	ctx := db.Context()
+	for _, n := range db.Nodes() {
+		if !n.Up() {
+			continue
+		}
+		if err := db.syncNode(ctx, n); err != nil {
+			return err
+		}
+	}
+	return db.updateTruncationVersion(ctx)
+}
+
+// syncNode uploads a node's unsynced catalog files and updates its sync
+// interval: checkpoints raise the lower bound, transaction logs the
+// upper bound.
+func (db *DB) syncNode(ctx context.Context, n *Node) error {
+	p := n.catalog.Persister()
+	if p == nil {
+		return nil
+	}
+	files, err := p.ListFiles(ctx)
+	if err != nil {
+		return err
+	}
+	n.syncMu.Lock()
+	defer n.syncMu.Unlock()
+	iv := n.syncIv
+	for _, f := range files {
+		base := f.Path[strings.LastIndexByte(f.Path, '/')+1:]
+		if n.syncSeen[base] {
+			continue
+		}
+		kind, version, ok := catalog.ParseCatalogFile(base)
+		if !ok {
+			continue
+		}
+		data, err := n.fs.ReadFile(ctx, f.Path)
+		if err != nil {
+			return err
+		}
+		key := db.metadataPrefix(n.name) + base
+		err = objstore.WithRetry(ctx, uploadRetries, uploadBackoff, func() error {
+			e := db.shared.Put(ctx, key, data)
+			if e != nil && strings.Contains(e.Error(), "already exists") {
+				return nil
+			}
+			return e
+		})
+		if err != nil {
+			return err
+		}
+		n.syncSeen[base] = true
+		switch kind {
+		case "txn":
+			if version > iv.Upper {
+				iv.Upper = version
+			}
+		case "ckpt":
+			if version > iv.Lower {
+				iv.Lower = version
+			}
+			if version > iv.Upper {
+				iv.Upper = version
+			}
+		}
+	}
+	n.syncIv = iv
+	return nil
+}
+
+// SyncInterval returns a node's current uploaded-metadata interval.
+func (n *Node) SyncInterval() cluster.SyncInterval {
+	n.syncMu.Lock()
+	defer n.syncMu.Unlock()
+	return n.syncIv
+}
+
+// updateTruncationVersion computes the consensus truncation version —
+// the minimum across shards of the best subscriber upload (Figure 5) —
+// and persists it to cluster_info.json, the revive commit point.
+func (db *DB) updateTruncationVersion(ctx context.Context) error {
+	leader, err := db.anyUpNode()
+	if err != nil {
+		return err
+	}
+	snap := leader.catalog.Snapshot()
+
+	shardSubs := map[int][]string{}
+	for _, sh := range snap.Shards() {
+		for _, s := range snap.SubscribersOf(sh.Index, catalog.SubActive, catalog.SubRemoving) {
+			shardSubs[sh.Index] = append(shardSubs[sh.Index], s.Node)
+		}
+	}
+	intervals := map[string]cluster.SyncInterval{}
+	for _, n := range db.Nodes() {
+		intervals[n.name] = n.SyncInterval()
+	}
+	v, ok := cluster.ComputeTruncationVersion(shardSubs, intervals)
+	if !ok {
+		return nil // nothing synced yet
+	}
+	if v < db.truncation.Load() {
+		return nil // never move the durability point backwards
+	}
+	db.truncation.Store(v)
+	return db.writeClusterInfo(ctx, v, db.cfg.LeaseDuration)
+}
+
+// writeClusterInfo rewrites cluster_info.json (delete-then-put: it is the
+// one logically mutable object on shared storage). A zero lease writes an
+// already-expired lease, releasing the storage for immediate revive.
+func (db *DB) writeClusterInfo(ctx context.Context, truncation uint64, lease time.Duration) error {
+	var nodes []string
+	for _, n := range db.Nodes() {
+		nodes = append(nodes, n.name)
+	}
+	now := db.now()
+	info := &cluster.Info{
+		Database:          db.cfg.Name,
+		Incarnation:       db.incarnation,
+		TruncationVersion: truncation,
+		Nodes:             nodes,
+		Timestamp:         now,
+		LeaseExpiry:       now.Add(lease),
+	}
+	data, err := info.Marshal()
+	if err != nil {
+		return err
+	}
+	if err := db.shared.Delete(ctx, cluster.InfoFileName); err != nil && !isNotFound(err) {
+		return err
+	}
+	return objstore.WithRetry(ctx, uploadRetries, uploadBackoff, func() error {
+		return db.shared.Put(ctx, cluster.InfoFileName, data)
+	})
+}
+
+// TruncationVersion returns the current durable truncation version.
+func (db *DB) TruncationVersion() uint64 { return db.truncation.Load() }
+
+// Shutdown performs a clean stop: remaining catalog logs upload so
+// shared storage has a complete record (§3.5), the truncation version
+// advances to the final commit, the lease is released, and the nodes
+// stop.
+func (db *DB) Shutdown() error {
+	if db.shutdown.Load() {
+		return nil
+	}
+	ctx := db.Context()
+	if db.mode == ModeEon {
+		if err := db.SyncMetadata(); err != nil {
+			return err
+		}
+		// Release the lease so a revive can start immediately.
+		if err := db.writeClusterInfo(ctx, db.truncation.Load(), 0); err != nil {
+			return err
+		}
+	}
+	db.shutdown.Store(true)
+	for _, n := range db.Nodes() {
+		n.up.Store(false)
+	}
+	return nil
+}
+
+func isNotFound(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "not found")
+}

@@ -1,0 +1,92 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+
+	"eon/internal/expr"
+	"eon/internal/types"
+)
+
+func benchBatch(n int) (*types.Batch, types.Schema) {
+	schema := types.Schema{
+		{Name: "k", Type: types.Int64},
+		{Name: "v", Type: types.Float64},
+		{Name: "s", Type: types.Varchar},
+	}
+	rng := rand.New(rand.NewSource(1))
+	b := types.NewBatch(schema, n)
+	labels := []string{"a", "b", "c", "d"}
+	for i := 0; i < n; i++ {
+		b.AppendRow(types.Row{
+			types.NewInt(rng.Int63n(1000)),
+			types.NewFloat(rng.Float64() * 100),
+			types.NewString(labels[rng.Intn(4)]),
+		})
+	}
+	return b, schema
+}
+
+func BenchmarkFilter(b *testing.B) {
+	data, schema := benchBatch(8192)
+	pred := expr.Bin(expr.OpGt, expr.Col("v"), expr.FloatLit(50))
+	if err := expr.Bind(pred, schema); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(8192)
+	for i := 0; i < b.N; i++ {
+		op := NewFilter(NewSource(schema, data), pred)
+		if _, err := Collect(op); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHashJoin(b *testing.B) {
+	left, schema := benchBatch(4096)
+	right, _ := benchBatch(4096)
+	for i := 0; i < b.N; i++ {
+		op := NewHashJoin(NewSource(schema, left), NewSource(schema, right), []int{0}, []int{0})
+		if _, err := Collect(op); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHashAggregate(b *testing.B) {
+	data, schema := benchBatch(8192)
+	key := expr.Col("s")
+	arg := expr.Col("v")
+	if err := expr.Bind(key, schema); err != nil {
+		b.Fatal(err)
+	}
+	if err := expr.Bind(arg, schema); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		op := NewHashAggregate(NewSource(schema, data),
+			[]expr.Expr{key}, []string{"s"},
+			[]AggDef{{Kind: AggSum, Arg: arg, Name: "total"}, {Kind: AggCountStar, Name: "n"}},
+			false)
+		if _, err := Collect(op); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTopK(b *testing.B) {
+	data, schema := benchBatch(8192)
+	for i := 0; i < b.N; i++ {
+		op := NewTopK(NewSource(schema, data), []SortSpec{{Col: 1, Desc: true}}, 10)
+		if _, err := Collect(op); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPartitionByHash(b *testing.B) {
+	data, _ := benchBatch(8192)
+	for i := 0; i < b.N; i++ {
+		PartitionByHash(data, []int{0}, 8)
+	}
+}

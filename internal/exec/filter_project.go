@@ -1,0 +1,79 @@
+package exec
+
+import (
+	"eon/internal/expr"
+	"eon/internal/types"
+)
+
+// Filter passes through rows satisfying a bound boolean predicate.
+type Filter struct {
+	input Operator
+	pred  expr.Expr
+}
+
+// NewFilter wraps input with a predicate (already bound to the input
+// schema).
+func NewFilter(input Operator, pred expr.Expr) *Filter {
+	return &Filter{input: input, pred: pred}
+}
+
+// Schema implements Operator.
+func (f *Filter) Schema() types.Schema { return f.input.Schema() }
+
+// Next implements Operator.
+func (f *Filter) Next() (*types.Batch, error) {
+	for {
+		b, err := f.input.Next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		sel, err := expr.FilterBatch(f.pred, b)
+		if err != nil {
+			return nil, err
+		}
+		if len(sel) == b.NumRows() {
+			return b, nil
+		}
+		if len(sel) > 0 {
+			return b.Gather(sel), nil
+		}
+	}
+}
+
+// Project computes one output column per bound expression.
+type Project struct {
+	input  Operator
+	exprs  []expr.Expr
+	schema types.Schema
+}
+
+// NewProject wraps input with expression evaluation. names supplies the
+// output column names (aliases).
+func NewProject(input Operator, exprs []expr.Expr, names []string) *Project {
+	schema := make(types.Schema, len(exprs))
+	for i, e := range exprs {
+		schema[i] = types.Column{Name: names[i], Type: e.Type()}
+	}
+	return &Project{input: input, exprs: exprs, schema: schema}
+}
+
+// Schema implements Operator.
+func (p *Project) Schema() types.Schema { return p.schema }
+
+// Next implements Operator.
+func (p *Project) Next() (*types.Batch, error) {
+	b, err := p.input.Next()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	out := &types.Batch{Cols: make([]*types.Vector, len(p.exprs))}
+	for i, e := range p.exprs {
+		v, err := expr.EvalBatch(e, b)
+		if err != nil {
+			return nil, err
+		}
+		v.Typ = p.schema[i].Type
+		out.Cols[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,308 @@
+package exec
+
+import (
+	"fmt"
+
+	"eon/internal/expr"
+	"eon/internal/types"
+)
+
+// AggKind enumerates the aggregation functions the engine executes.
+type AggKind uint8
+
+// Aggregate kinds. The *Merge kinds combine partial states during
+// distributed final aggregation: counts are summed, sums summed, min/min
+// and max/max taken, and averages merged from (sum, count) column pairs.
+const (
+	AggCountStar AggKind = iota + 1
+	AggCount
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+	AggCountMerge
+	AggAvgMerge
+)
+
+// AggDef is one aggregate output: kind plus its bound argument expression
+// (nil for COUNT(*)). Name labels the output column.
+type AggDef struct {
+	Kind AggKind
+	Arg  expr.Expr
+	// ArgCount is the bound count column for AggAvgMerge (the second of
+	// the partial (sum, count) pair).
+	ArgCount expr.Expr
+	Name     string
+}
+
+// resultType returns the output type of the aggregate.
+func (a AggDef) resultType() types.Type {
+	switch a.Kind {
+	case AggCountStar, AggCount, AggCountMerge:
+		return types.Int64
+	case AggAvg, AggAvgMerge:
+		return types.Float64
+	case AggSum:
+		if a.Arg.Type().Physical() == types.Float64 {
+			return types.Float64
+		}
+		return types.Int64
+	default: // Min/Max
+		return a.Arg.Type()
+	}
+}
+
+// partial state per group per aggregate.
+type aggState struct {
+	count int64
+	sumI  int64
+	sumF  float64
+	min   types.Datum
+	max   types.Datum
+	init  bool
+}
+
+// HashAggregate groups rows by bound key expressions and computes
+// aggregates. When Partial is set, AggAvg emits its (sum, count) state as
+// two columns named Name and Name+"_cnt" for a downstream AggAvgMerge.
+type HashAggregate struct {
+	input   Operator
+	keys    []expr.Expr
+	aggs    []AggDef
+	partial bool
+	schema  types.Schema
+
+	done bool
+}
+
+// NewHashAggregate builds a grouping operator. keyNames label the group
+// key output columns.
+func NewHashAggregate(input Operator, keys []expr.Expr, keyNames []string, aggs []AggDef, partial bool) *HashAggregate {
+	var schema types.Schema
+	for i, k := range keys {
+		schema = append(schema, types.Column{Name: keyNames[i], Type: k.Type()})
+	}
+	for _, a := range aggs {
+		if partial && a.Kind == AggAvg {
+			ft := types.Float64
+			if a.Arg.Type().Physical() == types.Int64 {
+				ft = types.Float64
+			}
+			schema = append(schema, types.Column{Name: a.Name, Type: ft})
+			schema = append(schema, types.Column{Name: a.Name + "_cnt", Type: types.Int64})
+			continue
+		}
+		schema = append(schema, types.Column{Name: a.Name, Type: a.resultType()})
+	}
+	return &HashAggregate{input: input, keys: keys, aggs: aggs, partial: partial, schema: schema}
+}
+
+// Schema implements Operator.
+func (h *HashAggregate) Schema() types.Schema { return h.schema }
+
+// Next implements Operator.
+func (h *HashAggregate) Next() (*types.Batch, error) {
+	if h.done {
+		return nil, nil
+	}
+	h.done = true
+
+	groups := map[string]int{} // key -> group index
+	var keyRows []types.Row    // materialized group key values
+	var states [][]aggState
+
+	row := make(types.Row, 0, 16)
+	var keyBuf []byte
+	sawRows := false
+	for {
+		b, err := h.input.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		sawRows = sawRows || b.NumRows() > 0
+		// Evaluate key expressions and aggregate arguments per batch.
+		keyVals := make([]*types.Vector, len(h.keys))
+		for i, k := range h.keys {
+			v, err := expr.EvalBatch(k, b)
+			if err != nil {
+				return nil, err
+			}
+			keyVals[i] = v
+		}
+		argVals := make([]*types.Vector, len(h.aggs))
+		cntVals := make([]*types.Vector, len(h.aggs))
+		for i, a := range h.aggs {
+			if a.Arg != nil {
+				v, err := expr.EvalBatch(a.Arg, b)
+				if err != nil {
+					return nil, err
+				}
+				argVals[i] = v
+			}
+			if a.ArgCount != nil {
+				v, err := expr.EvalBatch(a.ArgCount, b)
+				if err != nil {
+					return nil, err
+				}
+				cntVals[i] = v
+			}
+		}
+		keyBatch := &types.Batch{Cols: keyVals}
+		allKeyCols := make([]int, len(h.keys))
+		for i := range allKeyCols {
+			allKeyCols[i] = i
+		}
+		n := b.NumRows()
+		for i := 0; i < n; i++ {
+			var gi int
+			if len(h.keys) > 0 {
+				keyBuf = rowKey(keyBuf, keyBatch, i, allKeyCols)
+				idx, ok := groups[string(keyBuf)]
+				if !ok {
+					idx = len(keyRows)
+					groups[string(keyBuf)] = idx
+					keyRows = append(keyRows, keyBatch.Row(i))
+					states = append(states, make([]aggState, len(h.aggs)))
+				}
+				gi = idx
+			} else {
+				if len(states) == 0 {
+					keyRows = append(keyRows, nil)
+					states = append(states, make([]aggState, len(h.aggs)))
+				}
+				gi = 0
+			}
+			for ai := range h.aggs {
+				var arg, cnt types.Datum
+				if argVals[ai] != nil {
+					arg = argVals[ai].Datum(i)
+				}
+				if cntVals[ai] != nil {
+					cnt = cntVals[ai].Datum(i)
+				}
+				if err := states[gi][ai].update(h.aggs[ai].Kind, arg, cnt); err != nil {
+					return nil, err
+				}
+			}
+		}
+		_ = row
+	}
+
+	// Global aggregation with no groups still yields one row (COUNT(*)=0).
+	if len(h.keys) == 0 && len(states) == 0 {
+		keyRows = append(keyRows, nil)
+		states = append(states, make([]aggState, len(h.aggs)))
+	}
+	_ = sawRows
+
+	out := types.NewBatch(h.schema, len(keyRows))
+	for gi := range keyRows {
+		r := make(types.Row, 0, len(h.schema))
+		r = append(r, keyRows[gi]...)
+		for ai, a := range h.aggs {
+			st := &states[gi][ai]
+			if h.partial && a.Kind == AggAvg {
+				r = append(r, types.NewFloat(st.avgSum()), types.NewInt(st.count))
+				continue
+			}
+			r = append(r, st.result(a))
+		}
+		out.AppendRow(r)
+	}
+	return out, nil
+}
+
+func (s *aggState) update(kind AggKind, arg, cnt types.Datum) error {
+	switch kind {
+	case AggCountStar:
+		s.count++
+	case AggCount:
+		if !arg.Null {
+			s.count++
+		}
+	case AggCountMerge:
+		if !arg.Null {
+			s.count += arg.I
+		}
+	case AggSum, AggAvg:
+		if arg.Null {
+			return nil
+		}
+		s.count++
+		if arg.K.Physical() == types.Float64 {
+			s.sumF += arg.F
+		} else {
+			s.sumI += arg.I
+			s.sumF += float64(arg.I)
+		}
+		s.init = true
+	case AggAvgMerge:
+		if arg.Null || cnt.Null {
+			return nil
+		}
+		s.sumF += arg.F
+		s.count += cnt.I
+		s.init = true
+	case AggMin:
+		if arg.Null {
+			return nil
+		}
+		if !s.init || arg.Compare(s.min) < 0 {
+			s.min = arg
+		}
+		if !s.init || arg.Compare(s.max) > 0 {
+			s.max = arg
+		}
+		s.init = true
+	case AggMax:
+		if arg.Null {
+			return nil
+		}
+		if !s.init || arg.Compare(s.max) > 0 {
+			s.max = arg
+		}
+		if !s.init || arg.Compare(s.min) < 0 {
+			s.min = arg
+		}
+		s.init = true
+	default:
+		return fmt.Errorf("exec: unknown aggregate kind %d", kind)
+	}
+	return nil
+}
+
+func (s *aggState) avgSum() float64 { return s.sumF }
+
+func (s *aggState) result(a AggDef) types.Datum {
+	switch a.Kind {
+	case AggCountStar, AggCount, AggCountMerge:
+		return types.NewInt(s.count)
+	case AggSum:
+		if !s.init {
+			return types.NullDatum(a.resultType())
+		}
+		if a.resultType() == types.Float64 {
+			return types.NewFloat(s.sumF)
+		}
+		return types.NewInt(s.sumI)
+	case AggAvg, AggAvgMerge:
+		if s.count == 0 {
+			return types.NullDatum(types.Float64)
+		}
+		return types.NewFloat(s.sumF / float64(s.count))
+	case AggMin:
+		if !s.init {
+			return types.NullDatum(a.resultType())
+		}
+		return s.min
+	case AggMax:
+		if !s.init {
+			return types.NullDatum(a.resultType())
+		}
+		return s.max
+	}
+	return types.Datum{}
+}

@@ -1,0 +1,97 @@
+package exec
+
+import (
+	"eon/internal/types"
+)
+
+// HashJoin is an inner equi-join: the left (build) input is fully
+// materialized into a hash table keyed on the build columns, then the
+// right (probe) input streams through. The output schema is the left
+// schema followed by the right schema.
+type HashJoin struct {
+	build     Operator
+	probe     Operator
+	buildKeys []int
+	probeKeys []int
+	schema    types.Schema
+
+	built    bool
+	table    map[string][]int // key -> build row indexes
+	buildAll *types.Batch
+}
+
+// NewHashJoin creates an inner hash join on build.cols == probe.cols.
+func NewHashJoin(build, probe Operator, buildKeys, probeKeys []int) *HashJoin {
+	schema := append(append(types.Schema{}, build.Schema()...), probe.Schema()...)
+	return &HashJoin{
+		build: build, probe: probe,
+		buildKeys: buildKeys, probeKeys: probeKeys,
+		schema: schema,
+	}
+}
+
+// Schema implements Operator.
+func (h *HashJoin) Schema() types.Schema { return h.schema }
+
+func (h *HashJoin) buildTable() error {
+	all, err := Collect(h.build)
+	if err != nil {
+		return err
+	}
+	h.buildAll = all
+	h.table = make(map[string][]int, all.NumRows())
+	var key []byte
+	for i := 0; i < all.NumRows(); i++ {
+		// SQL join semantics: NULL keys never match.
+		if anyNull(all, i, h.buildKeys) {
+			continue
+		}
+		key = rowKey(key, all, i, h.buildKeys)
+		h.table[string(key)] = append(h.table[string(key)], i)
+	}
+	h.built = true
+	return nil
+}
+
+func anyNull(b *types.Batch, i int, cols []int) bool {
+	for _, c := range cols {
+		if b.Cols[c].IsNull(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// Next implements Operator.
+func (h *HashJoin) Next() (*types.Batch, error) {
+	if !h.built {
+		if err := h.buildTable(); err != nil {
+			return nil, err
+		}
+	}
+	var key []byte
+	for {
+		pb, err := h.probe.Next()
+		if err != nil || pb == nil {
+			return nil, err
+		}
+		var leftIdx, rightIdx []int
+		for i := 0; i < pb.NumRows(); i++ {
+			if anyNull(pb, i, h.probeKeys) {
+				continue
+			}
+			key = rowKey(key, pb, i, h.probeKeys)
+			for _, bi := range h.table[string(key)] {
+				leftIdx = append(leftIdx, bi)
+				rightIdx = append(rightIdx, i)
+			}
+		}
+		if len(leftIdx) == 0 {
+			continue
+		}
+		left := h.buildAll.Gather(leftIdx)
+		right := pb.Gather(rightIdx)
+		out := &types.Batch{Cols: append(left.Cols, right.Cols...)}
+		return out, nil
+	}
+}

@@ -1,0 +1,138 @@
+package exec
+
+import (
+	"container/heap"
+	"sort"
+
+	"eon/internal/types"
+)
+
+// SortSpec is one sort key: a column index of the input schema and a
+// direction.
+type SortSpec struct {
+	Col  int
+	Desc bool
+}
+
+// Sort fully materializes its input and emits it ordered by the keys.
+// NULLs sort first ascending (last descending).
+type Sort struct {
+	input Operator
+	keys  []SortSpec
+	done  bool
+}
+
+// NewSort wraps input with ordering.
+func NewSort(input Operator, keys []SortSpec) *Sort {
+	return &Sort{input: input, keys: keys}
+}
+
+// Schema implements Operator.
+func (s *Sort) Schema() types.Schema { return s.input.Schema() }
+
+func compareRows(b *types.Batch, i, j int, keys []SortSpec) int {
+	for _, k := range keys {
+		c := b.Cols[k.Col].Datum(i).Compare(b.Cols[k.Col].Datum(j))
+		if c != 0 {
+			if k.Desc {
+				return -c
+			}
+			return c
+		}
+	}
+	return 0
+}
+
+// Next implements Operator.
+func (s *Sort) Next() (*types.Batch, error) {
+	if s.done {
+		return nil, nil
+	}
+	s.done = true
+	all, err := Collect(s.input)
+	if err != nil {
+		return nil, err
+	}
+	if all.NumRows() == 0 {
+		return nil, nil
+	}
+	perm := make([]int, all.NumRows())
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(x, y int) bool {
+		return compareRows(all, perm[x], perm[y], s.keys) < 0
+	})
+	return all.Gather(perm), nil
+}
+
+// TopK keeps only the K smallest rows under the sort keys, using a
+// bounded heap — the pattern behind dashboard top-K queries.
+type TopK struct {
+	input Operator
+	keys  []SortSpec
+	k     int
+	done  bool
+}
+
+// NewTopK wraps input with a bounded sort.
+func NewTopK(input Operator, keys []SortSpec, k int) *TopK {
+	return &TopK{input: input, keys: keys, k: k}
+}
+
+// Schema implements Operator.
+func (t *TopK) Schema() types.Schema { return t.input.Schema() }
+
+// rowHeap is a max-heap of row indexes under the sort keys, so the
+// largest retained row is evictable at the top.
+type rowHeap struct {
+	batch *types.Batch
+	keys  []SortSpec
+	idx   []int
+}
+
+func (h *rowHeap) Len() int { return len(h.idx) }
+func (h *rowHeap) Less(i, j int) bool {
+	return compareRows(h.batch, h.idx[i], h.idx[j], h.keys) > 0
+}
+func (h *rowHeap) Swap(i, j int)      { h.idx[i], h.idx[j] = h.idx[j], h.idx[i] }
+func (h *rowHeap) Push(x interface{}) { h.idx = append(h.idx, x.(int)) }
+func (h *rowHeap) Pop() interface{} {
+	old := h.idx
+	n := len(old)
+	x := old[n-1]
+	h.idx = old[:n-1]
+	return x
+}
+
+// Next implements Operator.
+func (t *TopK) Next() (*types.Batch, error) {
+	if t.done {
+		return nil, nil
+	}
+	t.done = true
+	all, err := Collect(t.input)
+	if err != nil {
+		return nil, err
+	}
+	if all.NumRows() == 0 {
+		return nil, nil
+	}
+	h := &rowHeap{batch: all, keys: t.keys}
+	for i := 0; i < all.NumRows(); i++ {
+		if h.Len() < t.k {
+			heap.Push(h, i)
+			continue
+		}
+		if compareRows(all, i, h.idx[0], t.keys) < 0 {
+			h.idx[0] = i
+			heap.Fix(h, 0)
+		}
+	}
+	// Extract in ascending order.
+	out := make([]int, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(int)
+	}
+	return all.Gather(out), nil
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"time"
+
+	"eon/internal/catalog"
+)
+
+// ElasticityResult captures the §8 elasticity claim: scaling an Eon
+// cluster up is a function of cache/working-set size, while Enterprise
+// would redistribute the entire dataset.
+type ElasticityResult struct {
+	// AddNodeTime is the measured wall time of the Eon scale-out
+	// (metadata transfer, subscription, cache warm).
+	AddNodeTime time.Duration
+	// BytesWarmed is what the new node's cache actually pulled.
+	BytesWarmed int64
+	// DatasetBytes is the total stored data an Enterprise rebalance
+	// would have to reshuffle.
+	DatasetBytes int64
+	// NewNodeServes reports the shards the added node subscribes to.
+	NewNodeServes int
+}
+
+// Elasticity measures adding a node to a loaded Eon cluster.
+func Elasticity(scale float64) (*ElasticityResult, error) {
+	if scale <= 0 {
+		scale = 0.2
+	}
+	db, _, err := newEonDB(3, 3, 2, costs{})
+	if err != nil {
+		return nil, err
+	}
+	if err := loadTPCH(db, scale); err != nil {
+		return nil, err
+	}
+	// Warm the existing caches so the new node has something to copy.
+	if _, err := countRows(db, "lineitem"); err != nil {
+		return nil, err
+	}
+
+	res := &ElasticityResult{}
+	init := db.Nodes()[0]
+	snap := init.Catalog().Snapshot()
+	snap.ForEach(catalog.KindStorageContainer, func(o catalog.Object) bool {
+		res.DatasetBytes += o.(*catalog.StorageContainer).SizeBytes
+		return true
+	})
+
+	start := time.Now()
+	if err := db.AddNode(nodeSpecs(4)[3]); err != nil {
+		return nil, err
+	}
+	res.AddNodeTime = time.Since(start)
+
+	if n, ok := db.Node("node4"); ok {
+		res.BytesWarmed = n.Cache().Stats().BytesCached
+		res.NewNodeServes = len(init.Catalog().Snapshot().Subscriptions("node4"))
+	}
+	return res, nil
+}

@@ -1,0 +1,182 @@
+// Package experiments reproduces the paper's evaluation (§8): each
+// function builds the clusters, runs the workload, and returns the same
+// rows/series the corresponding figure reports. Absolute numbers depend
+// on the host; the shapes — who wins, by what factor, where scaling
+// bends — are the reproduction targets (see EXPERIMENTS.md).
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"eon/internal/core"
+	"eon/internal/netsim"
+	"eon/internal/objstore"
+	"eon/internal/workload"
+)
+
+// SharedStorageSim returns the S3 simulator configuration used by every
+// experiment: per-request latency and finite bandwidth make non-cached
+// reads visibly slower than local access, scaled down (roughly 10x
+// faster than real S3) so experiments run in seconds.
+func SharedStorageSim(seed int64) objstore.SimConfig {
+	return objstore.SimConfig{
+		GetLatency:     3 * time.Millisecond,
+		PutLatency:     1 * time.Millisecond,
+		ListLatency:    500 * time.Microsecond,
+		BytesPerSecond: 512 << 20, // 512 MiB/s aggregate
+		Seed:           seed,
+	}
+}
+
+// ClusterNet returns the interconnect model: small per-message latency.
+func ClusterNet() *netsim.Network {
+	return netsim.New(netsim.LinkCost{
+		Latency:   50 * time.Microsecond,
+		Bandwidth: 2 << 30, // 2 GiB/s links
+	})
+}
+
+func nodeSpecs(n int) []core.NodeSpec {
+	out := make([]core.NodeSpec, n)
+	for i := range out {
+		out[i] = core.NodeSpec{Name: fmt.Sprintf("node%d", i+1)}
+	}
+	return out
+}
+
+// costs models the per-node work one query/load performs while holding
+// execution slots; throughput experiments need it so capacity scales
+// with the simulated cluster instead of the host machine.
+type costs struct {
+	query time.Duration
+	load  time.Duration
+}
+
+// throughputCosts approximate the paper's ~100 ms dashboard query and
+// 50 MB COPY. The cost must dominate the raw in-process
+// execution time, otherwise the host machine's CPU (which does not
+// shrink when a simulated node dies) sets the throughput instead of the
+// simulated cluster's slot capacity.
+func throughputCosts() costs {
+	return costs{query: 100 * time.Millisecond, load: 100 * time.Millisecond}
+}
+
+// newEonDB builds an Eon cluster with the standard simulators.
+func newEonDB(nodes, shards, repFactor int, c costs) (*core.DB, *objstore.Sim, error) {
+	sim := objstore.NewSim(objstore.NewMem(), SharedStorageSim(1))
+	db, err := core.Create(core.Config{
+		Mode:              core.ModeEon,
+		Nodes:             nodeSpecs(nodes),
+		ShardCount:        shards,
+		ReplicationFactor: repFactor,
+		Shared:            sim,
+		Net:               ClusterNet(),
+		ExecSlots:         8,
+		QueryCost:         c.query,
+		LoadCost:          c.load,
+	})
+	return db, sim, err
+}
+
+// newEnterpriseDB builds an Enterprise cluster (local storage).
+func newEnterpriseDB(nodes int, c costs) (*core.DB, error) {
+	return core.Create(core.Config{
+		Mode:      core.ModeEnterprise,
+		Nodes:     nodeSpecs(nodes),
+		Net:       ClusterNet(),
+		ExecSlots: 8,
+		QueryCost: c.query,
+		LoadCost:  c.load,
+	})
+}
+
+// loadTPCH creates the schema and loads the scaled dataset.
+func loadTPCH(db *core.DB, scale float64) error {
+	w := workload.DefaultTPCH(scale)
+	s := db.NewSession()
+	return w.Setup(func(sql string) error {
+		_, err := s.Execute(sql)
+		return err
+	}, db.LoadRows)
+}
+
+// NewEonCluster builds an Eon cluster with the standard experiment
+// simulators (exported for the repository benchmarks).
+func NewEonCluster(nodes, shards, repFactor int, queryCost, loadCost time.Duration) (*core.DB, *objstore.Sim, error) {
+	return newEonDB(nodes, shards, repFactor, costs{query: queryCost, load: loadCost})
+}
+
+// NewEnterpriseCluster builds an Enterprise cluster with the standard
+// experiment simulators.
+func NewEnterpriseCluster(nodes int, queryCost, loadCost time.Duration) (*core.DB, error) {
+	return newEnterpriseDB(nodes, costs{query: queryCost, load: loadCost})
+}
+
+// LoadTPCH creates the TPC-H-shaped schema and loads the scaled dataset.
+func LoadTPCH(db *core.DB, scale float64) error { return loadTPCH(db, scale) }
+
+// medianDuration runs fn reps times and returns the median duration.
+func medianDuration(reps int, fn func() error) (time.Duration, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	times := make([]time.Duration, 0, reps)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		times = append(times, time.Since(start))
+	}
+	for i := 1; i < len(times); i++ {
+		for j := i; j > 0 && times[j] < times[j-1]; j-- {
+			times[j], times[j-1] = times[j-1], times[j]
+		}
+	}
+	return times[len(times)/2], nil
+}
+
+// runThroughput runs fn from `threads` goroutines for the window and
+// returns completions per minute.
+func runThroughput(threads int, window time.Duration, fn func(worker int) error) (float64, error) {
+	var done atomic.Int64
+	var firstErr atomic.Value
+	deadline := time.Now().Add(window)
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				if err := fn(w); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				// Work that straddles the deadline does not count —
+				// otherwise up to one inflated completion per thread
+				// distorts the high-concurrency points.
+				if time.Now().Before(deadline) {
+					done.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return 0, err
+	}
+	perMin := float64(done.Load()) / window.Minutes()
+	return perMin, nil
+}
+
+// countRows is a tiny helper for sanity checks inside experiments.
+func countRows(db *core.DB, table string) (int64, error) {
+	res, err := db.NewSession().Query("SELECT COUNT(*) FROM " + table)
+	if err != nil {
+		return 0, err
+	}
+	return res.Batch.Cols[0].Ints[0], nil
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"time"
+
+	"eon/internal/workload"
+)
+
+// Fig10Row is one query's runtimes in the three configurations of
+// Figure 10: Enterprise, Eon reading from its cache, and Eon reading
+// from shared storage.
+type Fig10Row struct {
+	Query      string
+	Enterprise time.Duration
+	EonCache   time.Duration
+	EonS3      time.Duration
+}
+
+// Fig10Options tunes the experiment.
+type Fig10Options struct {
+	// Scale is the TPC-H scale factor (paper: SF200 on 4 nodes; default
+	// 0.2 keeps the run under a minute).
+	Scale float64
+	// Reps per query; the median is reported.
+	Reps int
+	// Queries restricts the set (nil = all twenty).
+	Queries []workload.Query
+}
+
+// Fig10 reproduces Figure 10: the 20 TPC-H queries on a 4-node
+// Enterprise cluster versus a 4-node, 4-shard Eon cluster, in-cache and
+// from shared storage.
+func Fig10(opts Fig10Options) ([]Fig10Row, error) {
+	if opts.Scale <= 0 {
+		opts.Scale = 0.2
+	}
+	if opts.Reps <= 0 {
+		opts.Reps = 3
+	}
+	queries := opts.Queries
+	if queries == nil {
+		queries = workload.TPCHQueries()
+	}
+
+	entDB, err := newEnterpriseDB(4, costs{})
+	if err != nil {
+		return nil, err
+	}
+	if err := loadTPCH(entDB, opts.Scale); err != nil {
+		return nil, err
+	}
+	eonDB, _, err := newEonDB(4, 4, 2, costs{})
+	if err != nil {
+		return nil, err
+	}
+	if err := loadTPCH(eonDB, opts.Scale); err != nil {
+		return nil, err
+	}
+
+	entSession := entDB.NewSession()
+	eonSession := eonDB.NewSession()
+	coldSession := eonDB.NewSession()
+	coldSession.BypassCache = true
+
+	var rows []Fig10Row
+	for _, q := range queries {
+		row := Fig10Row{Query: q.Name}
+
+		row.Enterprise, err = medianDuration(opts.Reps, func() error {
+			_, err := entSession.Query(q.SQL)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		// Warm the caches once, then measure in-cache performance (the
+		// paper: "many deployments will be sized to fit the working set
+		// into the cache").
+		if _, err := eonSession.Query(q.SQL); err != nil {
+			return nil, err
+		}
+		row.EonCache, err = medianDuration(opts.Reps, func() error {
+			_, err := eonSession.Query(q.SQL)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		// Cold: clear every cache and bypass admission, so every read
+		// pays the shared-storage latency.
+		row.EonS3, err = medianDuration(opts.Reps, func() error {
+			for _, n := range eonDB.Nodes() {
+				n.Cache().Clear(eonDB.Context())
+			}
+			_, err := coldSession.Query(q.SQL)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"eon/internal/core"
+	"eon/internal/workload"
+)
+
+// Fig11aSeries is one cluster configuration's throughput curve in
+// Figure 11a: queries per minute at each concurrency level.
+type Fig11aSeries struct {
+	Label   string
+	Threads []int
+	QPM     []float64
+}
+
+// Fig11aOptions tunes the elastic-throughput experiment.
+type Fig11aOptions struct {
+	Scale  float64
+	Window time.Duration // measurement window per point
+	// Threads are the concurrency levels (paper: 10, 30, 50, 70).
+	Threads []int
+	// EonNodeCounts are the Eon cluster sizes at 3 shards (paper: 3, 6,
+	// 9).
+	EonNodeCounts []int
+	// EnterpriseNodes sizes the Enterprise comparison (paper: 9).
+	EnterpriseNodes int
+}
+
+// Fig11a reproduces Figure 11a: the short dashboard query's throughput
+// as Eon clusters scale out at a fixed shard count, against a 9-node
+// Enterprise cluster.
+func Fig11a(opts Fig11aOptions) ([]Fig11aSeries, error) {
+	if opts.Scale <= 0 {
+		opts.Scale = 0.02
+	}
+	if opts.Window <= 0 {
+		opts.Window = time.Second
+	}
+	if len(opts.Threads) == 0 {
+		opts.Threads = []int{10, 30, 50, 70}
+	}
+	if len(opts.EonNodeCounts) == 0 {
+		opts.EonNodeCounts = []int{3, 6, 9}
+	}
+	if opts.EnterpriseNodes <= 0 {
+		opts.EnterpriseNodes = 9
+	}
+
+	var series []Fig11aSeries
+	for _, nodes := range opts.EonNodeCounts {
+		// Replication factor = node count so added nodes can serve every
+		// shard (elastic throughput scaling duplicates responsibility,
+		// §4.2).
+		db, _, err := newEonDB(nodes, 3, nodes, throughputCosts())
+		if err != nil {
+			return nil, err
+		}
+		if err := loadTPCH(db, opts.Scale); err != nil {
+			return nil, err
+		}
+		s := fmt.Sprintf("Eon %d node 3 shard", nodes)
+		ser, err := throughputSeries(db, s, opts.Threads, opts.Window)
+		if err != nil {
+			return nil, err
+		}
+		series = append(series, ser)
+	}
+
+	entDB, err := newEnterpriseDB(opts.EnterpriseNodes, throughputCosts())
+	if err != nil {
+		return nil, err
+	}
+	if err := loadTPCH(entDB, opts.Scale); err != nil {
+		return nil, err
+	}
+	ser, err := throughputSeries(entDB, fmt.Sprintf("Enterprise %d node", opts.EnterpriseNodes), opts.Threads, opts.Window)
+	if err != nil {
+		return nil, err
+	}
+	series = append(series, ser)
+	return series, nil
+}
+
+func throughputSeries(db *core.DB, label string, threads []int, window time.Duration) (Fig11aSeries, error) {
+	ser := Fig11aSeries{Label: label, Threads: threads}
+	// Warm caches once.
+	if _, err := db.NewSession().Query(workload.DashboardQuery); err != nil {
+		return ser, err
+	}
+	for _, t := range threads {
+		qpm, err := runThroughput(t, window, func(worker int) error {
+			_, err := db.NewSession().Query(workload.DashboardQuery)
+			return err
+		})
+		if err != nil {
+			return ser, err
+		}
+		ser.QPM = append(ser.QPM, qpm)
+	}
+	return ser, nil
+}
+
+// Fig11bSeries is one cluster size's COPY-throughput curve (loads per
+// minute at each concurrency level).
+type Fig11bSeries struct {
+	Label   string
+	Threads []int
+	LPM     []float64
+}
+
+// Fig11bOptions tunes the concurrent small-load experiment.
+type Fig11bOptions struct {
+	Window        time.Duration
+	Threads       []int // paper: 10, 30, 50
+	EonNodeCounts []int // paper: 3, 6, 9 at 3 shards
+	RowsPerLoad   int
+}
+
+// Fig11b reproduces Figure 11b: throughput of concurrent small COPY
+// statements (the IoT pattern) as the Eon cluster scales out at 3
+// shards.
+func Fig11b(opts Fig11bOptions) ([]Fig11bSeries, error) {
+	if opts.Window <= 0 {
+		opts.Window = time.Second
+	}
+	if len(opts.Threads) == 0 {
+		opts.Threads = []int{10, 30, 50}
+	}
+	if len(opts.EonNodeCounts) == 0 {
+		opts.EonNodeCounts = []int{3, 6, 9}
+	}
+	iot := workload.DefaultIoT()
+	// Keep the real (host) work per load small; the simulated LoadCost
+	// models the paper's 50 MB ingest while slots are held.
+	iot.RowsPerLoad = 200
+	if opts.RowsPerLoad > 0 {
+		iot.RowsPerLoad = opts.RowsPerLoad
+	}
+
+	var series []Fig11bSeries
+	for _, nodes := range opts.EonNodeCounts {
+		db, _, err := newEonDB(nodes, 3, nodes, throughputCosts())
+		if err != nil {
+			return nil, err
+		}
+		s := db.NewSession()
+		for _, stmt := range iot.DDL() {
+			if _, err := s.Execute(stmt); err != nil {
+				return nil, err
+			}
+		}
+		ser := Fig11bSeries{Label: fmt.Sprintf("Eon %d node 3 shard", nodes), Threads: opts.Threads}
+		var seq atomic.Int64
+		for _, t := range opts.Threads {
+			lpm, err := runThroughput(t, opts.Window, func(worker int) error {
+				return db.LoadRows("readings", iot.Batch(seq.Add(1)))
+			})
+			if err != nil {
+				return nil, err
+			}
+			ser.LPM = append(ser.LPM, lpm)
+		}
+		series = append(series, ser)
+	}
+	return series, nil
+}

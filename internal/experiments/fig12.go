@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"eon/internal/core"
+	"eon/internal/workload"
+)
+
+// Fig12Result is the throughput trace of Figure 12: queries completed
+// per sampling window, with one node killed partway through.
+type Fig12Result struct {
+	Label string
+	// WindowCounts[i] is the number of queries completed in window i.
+	WindowCounts []int
+	// KillWindow is the window index at whose start the node was killed.
+	KillWindow int
+}
+
+// Fig12Options tunes the node-down throughput experiment.
+type Fig12Options struct {
+	Scale      float64
+	Threads    int
+	Window     time.Duration
+	NumWindows int
+	KillWindow int
+	// Mode selects Eon (4 nodes, 3 shards — the paper's smooth case) or
+	// Enterprise (4 nodes — the cliff comparison).
+	Mode core.Mode
+}
+
+// Fig12 reproduces Figure 12: a steady stream of TPC-H-style queries
+// against a 4-node cluster, killing one node mid-run. Eon's sharding
+// yields a non-cliff degradation; Enterprise's buddy takeover overloads
+// one node.
+func Fig12(opts Fig12Options) (*Fig12Result, error) {
+	if opts.Scale <= 0 {
+		opts.Scale = 0.02
+	}
+	if opts.Threads <= 0 {
+		opts.Threads = 8
+	}
+	if opts.Window <= 0 {
+		opts.Window = 500 * time.Millisecond
+	}
+	if opts.NumWindows <= 0 {
+		opts.NumWindows = 8
+	}
+	if opts.KillWindow <= 0 {
+		opts.KillWindow = opts.NumWindows / 2
+	}
+
+	var db *core.DB
+	var err error
+	label := ""
+	if opts.Mode == core.ModeEon {
+		// 4 nodes, 3 shards, every node subscribed to every shard.
+		db, _, err = newEonDB(4, 3, 4, throughputCosts())
+		label = "Eon 4 node 3 shard"
+	} else {
+		db, err = newEnterpriseDB(4, throughputCosts())
+		label = "Enterprise 4 node"
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := loadTPCH(db, opts.Scale); err != nil {
+		return nil, err
+	}
+	// Warm caches.
+	if _, err := db.NewSession().Query(workload.NodeDownQuery); err != nil {
+		return nil, err
+	}
+
+	res := &Fig12Result{Label: label, KillWindow: opts.KillWindow}
+	var completed atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Threads; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := db.NewSession().Query(workload.NodeDownQuery); err == nil {
+					completed.Add(1)
+				}
+			}
+		}()
+	}
+
+	prev := int64(0)
+	for w := 0; w < opts.NumWindows; w++ {
+		if w == opts.KillWindow {
+			if err := db.KillNode("node4"); err != nil {
+				close(stop)
+				wg.Wait()
+				return nil, err
+			}
+		}
+		time.Sleep(opts.Window)
+		cur := completed.Load()
+		res.WindowCounts = append(res.WindowCounts, int(cur-prev))
+		prev = cur
+	}
+	close(stop)
+	wg.Wait()
+	return res, nil
+}
+
+// BeforeAfter summarizes a Fig12 trace: mean window throughput before
+// and after the kill.
+func (r *Fig12Result) BeforeAfter() (before, after float64) {
+	var b, a, bn, an int
+	for i, c := range r.WindowCounts {
+		if i < r.KillWindow {
+			b += c
+			bn++
+		} else if i > r.KillWindow { // skip the transition window
+			a += c
+			an++
+		}
+	}
+	if bn > 0 {
+		before = float64(b) / float64(bn)
+	}
+	if an > 0 {
+		after = float64(a) / float64(an)
+	}
+	return before, after
+}

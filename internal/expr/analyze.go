@@ -1,0 +1,148 @@
+package expr
+
+import "eon/internal/types"
+
+// ColumnStats aliases types.ColumnStats: the min/max/null summary of one
+// column of a storage unit (a ROS block or a whole container).
+type ColumnStats = types.ColumnStats
+
+// StatsFunc supplies stats for a bound column index; ok=false means the
+// column's stats are unknown and the analysis must be conservative.
+type StatsFunc func(col int) (ColumnStats, bool)
+
+// CouldMatch reports whether the bound predicate could evaluate to TRUE
+// for any row whose columns lie within the supplied min/max bounds. A
+// false result proves no row matches, allowing the storage unit to be
+// pruned (paper §2.1). The analysis is conservative: any construct it
+// cannot reason about yields true.
+func CouldMatch(e Expr, stats StatsFunc) bool {
+	return couldMatch(e, stats)
+}
+
+func couldMatch(e Expr, stats StatsFunc) bool {
+	switch n := e.(type) {
+	case *Literal:
+		if n.Value.K == types.Bool && !n.Value.Null {
+			return n.Value.B
+		}
+		return true
+	case *Binary:
+		switch n.Op {
+		case OpAnd:
+			// A conjunction can match only if each conjunct can.
+			return couldMatch(n.L, stats) && couldMatch(n.R, stats)
+		case OpOr:
+			return couldMatch(n.L, stats) || couldMatch(n.R, stats)
+		}
+		if n.Op.IsComparison() {
+			return comparisonCouldMatch(n, stats)
+		}
+		return true
+	case *IsNull:
+		col, ok := n.E.(*ColumnRef)
+		if !ok {
+			return true
+		}
+		st, known := stats(col.Index)
+		if !known {
+			return true
+		}
+		if n.Negate {
+			return !st.AllNull
+		}
+		return st.HasNulls || st.AllNull
+	case *In:
+		if n.Negate {
+			return true
+		}
+		col, ok := n.E.(*ColumnRef)
+		if !ok {
+			return true
+		}
+		st, known := stats(col.Index)
+		if !known {
+			return true
+		}
+		if st.AllNull {
+			return false // all-NULL can never satisfy IN
+		}
+		for _, le := range n.List {
+			lit, ok := le.(*Literal)
+			if !ok {
+				return true
+			}
+			if lit.Value.Null {
+				continue
+			}
+			if compareMixed(lit.Value, st.Min) >= 0 && compareMixed(lit.Value, st.Max) <= 0 {
+				return true
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// comparisonCouldMatch analyzes col <op> literal (or literal <op> col).
+func comparisonCouldMatch(n *Binary, stats StatsFunc) bool {
+	col, lit, op, ok := normalizeComparison(n)
+	if !ok {
+		return true
+	}
+	st, known := stats(col.Index)
+	if !known {
+		return true
+	}
+	if st.AllNull || lit.Null {
+		return false // comparison with NULL is never TRUE
+	}
+	cMin := compareMixed(st.Min, lit)
+	cMax := compareMixed(st.Max, lit)
+	switch op {
+	case OpEq:
+		return cMin <= 0 && cMax >= 0
+	case OpNe:
+		// Only impossible when every value equals the literal.
+		return !(cMin == 0 && cMax == 0)
+	case OpLt:
+		return cMin < 0
+	case OpLe:
+		return cMin <= 0
+	case OpGt:
+		return cMax > 0
+	case OpGe:
+		return cMax >= 0
+	}
+	return true
+}
+
+// normalizeComparison rewrites the comparison so the column is on the
+// left; returns ok=false if the shape is not column-vs-literal.
+func normalizeComparison(n *Binary) (*ColumnRef, types.Datum, Op, bool) {
+	if c, ok := n.L.(*ColumnRef); ok {
+		if l, ok := n.R.(*Literal); ok {
+			return c, l.Value, n.Op, true
+		}
+	}
+	if c, ok := n.R.(*ColumnRef); ok {
+		if l, ok := n.L.(*Literal); ok {
+			return c, l.Value, flipOp(n.Op), true
+		}
+	}
+	return nil, types.Datum{}, OpInvalid, false
+}
+
+func flipOp(op Op) Op {
+	switch op {
+	case OpLt:
+		return OpGt
+	case OpLe:
+		return OpGe
+	case OpGt:
+		return OpLt
+	case OpGe:
+		return OpLe
+	default:
+		return op
+	}
+}

@@ -1,0 +1,503 @@
+// Package expr implements scalar expressions: the AST produced by the SQL
+// parser, name resolution against a schema, three-valued evaluation over
+// rows and batches, and the min/max interval analysis the scan uses to
+// prune ROS blocks and partitions (paper §2.1: "tracking minimum and
+// maximum values of columns in each storage and using expression analysis
+// to determine if a predicate could ever be true").
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"eon/internal/types"
+)
+
+// Op enumerates binary and unary operators.
+type Op uint8
+
+// Operators.
+const (
+	OpInvalid Op = iota
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+	OpNot
+	OpNeg
+)
+
+// String returns the SQL spelling of the operator.
+func (o Op) String() string {
+	switch o {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpMod:
+		return "%"
+	case OpEq:
+		return "="
+	case OpNe:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpAnd:
+		return "AND"
+	case OpOr:
+		return "OR"
+	case OpNot:
+		return "NOT"
+	case OpNeg:
+		return "-"
+	}
+	return "?"
+}
+
+// IsComparison reports whether the operator is one of = <> < <= > >=.
+func (o Op) IsComparison() bool { return o >= OpEq && o <= OpGe }
+
+// Expr is a scalar expression node. Expressions are built unbound (column
+// references by name), then Bind resolves names against a schema and
+// computes result types.
+type Expr interface {
+	// Type returns the result type; valid only after Bind.
+	Type() types.Type
+	// String renders the expression as SQL-ish text.
+	String() string
+}
+
+// ColumnRef names a column; Bind fills Index and Typ.
+type ColumnRef struct {
+	Name  string
+	Index int
+	Typ   types.Type
+}
+
+// Type implements Expr.
+func (c *ColumnRef) Type() types.Type { return c.Typ }
+
+// String implements Expr.
+func (c *ColumnRef) String() string { return c.Name }
+
+// Literal is a constant datum.
+type Literal struct {
+	Value types.Datum
+}
+
+// Type implements Expr.
+func (l *Literal) Type() types.Type { return l.Value.K }
+
+// String implements Expr.
+func (l *Literal) String() string {
+	if l.Value.K == types.Varchar && !l.Value.Null {
+		return "'" + l.Value.S + "'"
+	}
+	return l.Value.String()
+}
+
+// Binary applies Op to two operands.
+type Binary struct {
+	Op   Op
+	L, R Expr
+	Typ  types.Type
+}
+
+// Type implements Expr.
+func (b *Binary) Type() types.Type { return b.Typ }
+
+// String implements Expr.
+func (b *Binary) String() string {
+	return "(" + b.L.String() + " " + b.Op.String() + " " + b.R.String() + ")"
+}
+
+// Unary applies OpNot or OpNeg to one operand.
+type Unary struct {
+	Op  Op
+	E   Expr
+	Typ types.Type
+}
+
+// Type implements Expr.
+func (u *Unary) Type() types.Type { return u.Typ }
+
+// String implements Expr.
+func (u *Unary) String() string { return u.Op.String() + " " + u.E.String() }
+
+// IsNull tests for NULL (or NOT NULL when Negate is set).
+type IsNull struct {
+	E      Expr
+	Negate bool
+}
+
+// Type implements Expr.
+func (i *IsNull) Type() types.Type { return types.Bool }
+
+// String implements Expr.
+func (i *IsNull) String() string {
+	if i.Negate {
+		return i.E.String() + " IS NOT NULL"
+	}
+	return i.E.String() + " IS NULL"
+}
+
+// In tests membership in a literal list.
+type In struct {
+	E      Expr
+	List   []Expr
+	Negate bool
+}
+
+// Type implements Expr.
+func (i *In) Type() types.Type { return types.Bool }
+
+// String implements Expr.
+func (i *In) String() string {
+	parts := make([]string, len(i.List))
+	for j, e := range i.List {
+		parts[j] = e.String()
+	}
+	neg := ""
+	if i.Negate {
+		neg = " NOT"
+	}
+	return i.E.String() + neg + " IN (" + strings.Join(parts, ", ") + ")"
+}
+
+// Like is a SQL LIKE pattern match with % and _ wildcards.
+type Like struct {
+	E       Expr
+	Pattern string
+	Negate  bool
+}
+
+// Type implements Expr.
+func (l *Like) Type() types.Type { return types.Bool }
+
+// String implements Expr.
+func (l *Like) String() string {
+	neg := ""
+	if l.Negate {
+		neg = " NOT"
+	}
+	return l.E.String() + neg + " LIKE '" + l.Pattern + "'"
+}
+
+// Case is a searched CASE expression.
+type Case struct {
+	Whens []When
+	Else  Expr // may be nil (NULL)
+	Typ   types.Type
+}
+
+// When is one WHEN cond THEN value arm.
+type When struct {
+	Cond Expr
+	Then Expr
+}
+
+// Type implements Expr.
+func (c *Case) Type() types.Type { return c.Typ }
+
+// String implements Expr.
+func (c *Case) String() string {
+	var sb strings.Builder
+	sb.WriteString("CASE")
+	for _, w := range c.Whens {
+		sb.WriteString(" WHEN " + w.Cond.String() + " THEN " + w.Then.String())
+	}
+	if c.Else != nil {
+		sb.WriteString(" ELSE " + c.Else.String())
+	}
+	sb.WriteString(" END")
+	return sb.String()
+}
+
+// Func is a scalar function call. Supported: HASH, EXTRACT (via the field
+// argument as a string literal), SUBSTR, LOWER, UPPER, ABS, LENGTH,
+// COALESCE.
+type Func struct {
+	Name string
+	Args []Expr
+	Typ  types.Type
+}
+
+// Type implements Expr.
+func (f *Func) Type() types.Type { return f.Typ }
+
+// String implements Expr.
+func (f *Func) String() string {
+	parts := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		parts[i] = a.String()
+	}
+	return f.Name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Col is shorthand for an unbound column reference.
+func Col(name string) *ColumnRef { return &ColumnRef{Name: name, Index: -1} }
+
+// Lit is shorthand for a literal.
+func Lit(d types.Datum) *Literal { return &Literal{Value: d} }
+
+// IntLit is shorthand for an integer literal.
+func IntLit(v int64) *Literal { return Lit(types.NewInt(v)) }
+
+// FloatLit is shorthand for a float literal.
+func FloatLit(v float64) *Literal { return Lit(types.NewFloat(v)) }
+
+// StrLit is shorthand for a string literal.
+func StrLit(s string) *Literal { return Lit(types.NewString(s)) }
+
+// Bin is shorthand for a binary node.
+func Bin(op Op, l, r Expr) *Binary { return &Binary{Op: op, L: l, R: r} }
+
+// And chains expressions with AND; nil inputs are skipped and a fully nil
+// input yields nil.
+func And(exprs ...Expr) Expr {
+	var out Expr
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		if out == nil {
+			out = e
+		} else {
+			out = Bin(OpAnd, out, e)
+		}
+	}
+	return out
+}
+
+// Bind resolves column references in e against schema and computes result
+// types. It returns an error for unknown columns or type mismatches.
+func Bind(e Expr, schema types.Schema) error {
+	switch n := e.(type) {
+	case *ColumnRef:
+		idx := schema.ColumnIndex(n.Name)
+		if idx < 0 {
+			return fmt.Errorf("expr: unknown column %q (schema: %s)", n.Name, schema)
+		}
+		n.Index = idx
+		n.Typ = schema[idx].Type
+		return nil
+	case *Literal:
+		return nil
+	case *Binary:
+		if err := Bind(n.L, schema); err != nil {
+			return err
+		}
+		if err := Bind(n.R, schema); err != nil {
+			return err
+		}
+		return bindBinaryType(n)
+	case *Unary:
+		if err := Bind(n.E, schema); err != nil {
+			return err
+		}
+		switch n.Op {
+		case OpNot:
+			n.Typ = types.Bool
+		case OpNeg:
+			n.Typ = n.E.Type()
+		default:
+			return fmt.Errorf("expr: bad unary op %v", n.Op)
+		}
+		return nil
+	case *IsNull:
+		return Bind(n.E, schema)
+	case *In:
+		if err := Bind(n.E, schema); err != nil {
+			return err
+		}
+		for _, x := range n.List {
+			if err := Bind(x, schema); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *Like:
+		return Bind(n.E, schema)
+	case *Case:
+		for _, w := range n.Whens {
+			if err := Bind(w.Cond, schema); err != nil {
+				return err
+			}
+			if err := Bind(w.Then, schema); err != nil {
+				return err
+			}
+		}
+		if n.Else != nil {
+			if err := Bind(n.Else, schema); err != nil {
+				return err
+			}
+		}
+		if len(n.Whens) > 0 {
+			n.Typ = n.Whens[0].Then.Type()
+		}
+		return nil
+	case *Func:
+		for _, a := range n.Args {
+			if err := Bind(a, schema); err != nil {
+				return err
+			}
+		}
+		return bindFuncType(n)
+	}
+	return fmt.Errorf("expr: unknown node %T", e)
+}
+
+func bindBinaryType(n *Binary) error {
+	lt, rt := n.L.Type(), n.R.Type()
+	switch {
+	case n.Op.IsComparison():
+		n.Typ = types.Bool
+	case n.Op == OpAnd || n.Op == OpOr:
+		n.Typ = types.Bool
+	default: // arithmetic
+		if lt.Physical() == types.Float64 || rt.Physical() == types.Float64 {
+			n.Typ = types.Float64
+		} else {
+			n.Typ = lt
+		}
+	}
+	return nil
+}
+
+func bindFuncType(n *Func) error {
+	switch strings.ToUpper(n.Name) {
+	case "HASH":
+		n.Typ = types.Int64
+	case "EXTRACT", "ABS", "LENGTH", "YEAR", "MONTH", "DAY":
+		n.Typ = types.Int64
+	case "SUBSTR", "LOWER", "UPPER":
+		n.Typ = types.Varchar
+	case "COALESCE":
+		if len(n.Args) == 0 {
+			return fmt.Errorf("expr: COALESCE needs arguments")
+		}
+		n.Typ = n.Args[0].Type()
+	default:
+		return fmt.Errorf("expr: unknown function %q", n.Name)
+	}
+	return nil
+}
+
+// Columns returns the set of column indexes referenced by the bound
+// expression.
+func Columns(e Expr) []int {
+	seen := map[int]struct{}{}
+	var walk func(Expr)
+	walk = func(x Expr) {
+		switch n := x.(type) {
+		case *ColumnRef:
+			seen[n.Index] = struct{}{}
+		case *Binary:
+			walk(n.L)
+			walk(n.R)
+		case *Unary:
+			walk(n.E)
+		case *IsNull:
+			walk(n.E)
+		case *In:
+			walk(n.E)
+			for _, a := range n.List {
+				walk(a)
+			}
+		case *Like:
+			walk(n.E)
+		case *Case:
+			for _, w := range n.Whens {
+				walk(w.Cond)
+				walk(w.Then)
+			}
+			if n.Else != nil {
+				walk(n.Else)
+			}
+		case *Func:
+			for _, a := range n.Args {
+				walk(a)
+			}
+		}
+	}
+	walk(e)
+	out := make([]int, 0, len(seen))
+	for i := range seen {
+		out = append(out, i)
+	}
+	sortInts(out)
+	return out
+}
+
+// ColumnNames returns the distinct column names referenced by e (bound or
+// unbound).
+func ColumnNames(e Expr) []string {
+	seen := map[string]struct{}{}
+	var order []string
+	var walk func(Expr)
+	walk = func(x Expr) {
+		switch n := x.(type) {
+		case *ColumnRef:
+			key := strings.ToLower(n.Name)
+			if _, ok := seen[key]; !ok {
+				seen[key] = struct{}{}
+				order = append(order, n.Name)
+			}
+		case *Binary:
+			walk(n.L)
+			walk(n.R)
+		case *Unary:
+			walk(n.E)
+		case *IsNull:
+			walk(n.E)
+		case *In:
+			walk(n.E)
+			for _, a := range n.List {
+				walk(a)
+			}
+		case *Like:
+			walk(n.E)
+		case *Case:
+			for _, w := range n.Whens {
+				walk(w.Cond)
+				walk(w.Then)
+			}
+			if n.Else != nil {
+				walk(n.Else)
+			}
+		case *Func:
+			for _, a := range n.Args {
+				walk(a)
+			}
+		}
+	}
+	walk(e)
+	return order
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

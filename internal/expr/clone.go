@@ -1,0 +1,59 @@
+package expr
+
+// Clone deep-copies an expression tree. Bind mutates column references in
+// place, so an AST that must be bound against several schemas (scan
+// pushdown, join residuals, per-projection DML predicates) is cloned
+// first.
+func Clone(e Expr) Expr {
+	switch n := e.(type) {
+	case *ColumnRef:
+		c := *n
+		return &c
+	case *Literal:
+		c := *n
+		return &c
+	case *Binary:
+		c := *n
+		c.L = Clone(n.L)
+		c.R = Clone(n.R)
+		return &c
+	case *Unary:
+		c := *n
+		c.E = Clone(n.E)
+		return &c
+	case *IsNull:
+		c := *n
+		c.E = Clone(n.E)
+		return &c
+	case *In:
+		c := *n
+		c.E = Clone(n.E)
+		c.List = make([]Expr, len(n.List))
+		for i, x := range n.List {
+			c.List[i] = Clone(x)
+		}
+		return &c
+	case *Like:
+		c := *n
+		c.E = Clone(n.E)
+		return &c
+	case *Case:
+		c := *n
+		c.Whens = make([]When, len(n.Whens))
+		for i, w := range n.Whens {
+			c.Whens[i] = When{Cond: Clone(w.Cond), Then: Clone(w.Then)}
+		}
+		if n.Else != nil {
+			c.Else = Clone(n.Else)
+		}
+		return &c
+	case *Func:
+		c := *n
+		c.Args = make([]Expr, len(n.Args))
+		for i, a := range n.Args {
+			c.Args[i] = Clone(a)
+		}
+		return &c
+	}
+	return e
+}

@@ -1,0 +1,246 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+
+	"eon/internal/types"
+)
+
+func TestExprStringRendering(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{Bin(OpAdd, Col("a"), IntLit(1)), "(a + 1)"},
+		{Bin(OpNe, Col("a"), StrLit("x")), "(a <> 'x')"},
+		{&Unary{Op: OpNot, E: Col("ok")}, "NOT ok"},
+		{&IsNull{E: Col("a")}, "a IS NULL"},
+		{&IsNull{E: Col("a"), Negate: true}, "a IS NOT NULL"},
+		{&In{E: Col("a"), List: []Expr{IntLit(1), IntLit(2)}}, "a IN (1, 2)"},
+		{&In{E: Col("a"), List: []Expr{IntLit(1)}, Negate: true}, "a NOT IN (1)"},
+		{&Like{E: Col("s"), Pattern: "x%"}, "s LIKE 'x%'"},
+		{&Like{E: Col("s"), Pattern: "x%", Negate: true}, "s NOT LIKE 'x%'"},
+		{&Func{Name: "ABS", Args: []Expr{Col("a")}}, "ABS(a)"},
+		{&Case{Whens: []When{{Cond: Col("c"), Then: IntLit(1)}}, Else: IntLit(0)},
+			"CASE WHEN c THEN 1 ELSE 0 END"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+	// Operator spellings.
+	ops := map[Op]string{
+		OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%",
+		OpEq: "=", OpNe: "<>", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+		OpAnd: "AND", OpOr: "OR", OpNot: "NOT",
+	}
+	for op, want := range ops {
+		if op.String() != want {
+			t.Errorf("%v.String() = %q", op, op.String())
+		}
+	}
+}
+
+func TestCloneIndependentBinding(t *testing.T) {
+	orig := Bin(OpAnd,
+		Bin(OpGt, Col("id"), IntLit(1)),
+		&In{E: Col("name"), List: []Expr{StrLit("a")}})
+	cp := Clone(orig)
+
+	s1 := types.Schema{{Name: "id", Type: types.Int64}, {Name: "name", Type: types.Varchar}}
+	s2 := types.Schema{{Name: "name", Type: types.Varchar}, {Name: "id", Type: types.Int64}}
+	if err := Bind(orig, s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := Bind(cp, s2); err != nil {
+		t.Fatal(err)
+	}
+	// Bindings must not alias: the same column binds to different
+	// positions in each copy.
+	origID := orig.L.(*Binary).L.(*ColumnRef)
+	cpID := cp.(*Binary).L.(*Binary).L.(*ColumnRef)
+	if origID.Index != 0 || cpID.Index != 1 {
+		t.Errorf("indices: orig=%d cp=%d", origID.Index, cpID.Index)
+	}
+}
+
+func TestCloneAllNodeKinds(t *testing.T) {
+	e := &Case{
+		Whens: []When{{
+			Cond: &Unary{Op: OpNot, E: &IsNull{E: Col("a")}},
+			Then: &Func{Name: "ABS", Args: []Expr{Col("a")}},
+		}},
+		Else: &Like{E: Col("s"), Pattern: "%"},
+	}
+	cp := Clone(e).(*Case)
+	if cp == e || cp.Whens[0].Cond == e.Whens[0].Cond {
+		t.Error("clone must allocate new nodes")
+	}
+	if cp.String() != e.String() {
+		t.Errorf("clone differs: %s vs %s", cp.String(), e.String())
+	}
+}
+
+func TestColumnsOnAllNodeKinds(t *testing.T) {
+	schema := types.Schema{
+		{Name: "a", Type: types.Int64},
+		{Name: "b", Type: types.Int64},
+		{Name: "s", Type: types.Varchar},
+	}
+	e := &Case{
+		Whens: []When{{
+			Cond: &In{E: Col("a"), List: []Expr{Col("b")}},
+			Then: &Func{Name: "LENGTH", Args: []Expr{Col("s")}},
+		}},
+		Else: &Unary{Op: OpNeg, E: Col("b")},
+	}
+	if err := Bind(e, schema); err != nil {
+		t.Fatal(err)
+	}
+	cols := Columns(e)
+	if len(cols) != 3 {
+		t.Errorf("columns = %v", cols)
+	}
+	names := ColumnNames(e)
+	if strings.Join(names, ",") != "a,b,s" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	schema := types.Schema{{Name: "a", Type: types.Int64}}
+	bad := []Expr{
+		Col("zz"),
+		Bin(OpAdd, Col("a"), Col("zz")),
+		&Func{Name: "NOSUCHFN", Args: []Expr{Col("a")}},
+		&Func{Name: "COALESCE"},
+		&In{E: Col("zz"), List: []Expr{IntLit(1)}},
+		&Like{E: Col("zz"), Pattern: "%"},
+	}
+	for _, e := range bad {
+		if err := Bind(e, schema); err == nil {
+			t.Errorf("Bind(%s) should fail", e)
+		}
+	}
+}
+
+func TestEvalNeg(t *testing.T) {
+	schema := types.Schema{{Name: "a", Type: types.Int64}, {Name: "f", Type: types.Float64}}
+	row := types.Row{types.NewInt(5), types.NewFloat(2.5)}
+	e := &Unary{Op: OpNeg, E: Col("a")}
+	if err := Bind(e, schema); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := EvalRow(e, row)
+	if v.I != -5 {
+		t.Errorf("-a = %v", v)
+	}
+	ef := &Unary{Op: OpNeg, E: Col("f")}
+	Bind(ef, schema)
+	v, _ = EvalRow(ef, row)
+	if v.F != -2.5 {
+		t.Errorf("-f = %v", v)
+	}
+	// NEG of NULL is NULL.
+	en := &Unary{Op: OpNeg, E: Lit(types.NullDatum(types.Int64))}
+	Bind(en, nil)
+	v, _ = EvalRow(en, nil)
+	if !v.Null {
+		t.Errorf("-NULL = %v", v)
+	}
+}
+
+func TestEvalModAndIntDivByZero(t *testing.T) {
+	e := Bin(OpMod, IntLit(7), IntLit(0))
+	Bind(e, nil)
+	v, _ := EvalRow(e, nil)
+	if !v.Null {
+		t.Errorf("7 %% 0 = %v, want NULL", v)
+	}
+}
+
+func TestEvalCrossTypeStringCompare(t *testing.T) {
+	// Comparing string to int falls back to string comparison of
+	// renderings (documented engine behaviour, not SQL standard).
+	e := Bin(OpEq, StrLit("5"), IntLit(5))
+	Bind(e, nil)
+	v, _ := EvalRow(e, nil)
+	if v.Null {
+		t.Error("cross-type compare should not be NULL")
+	}
+}
+
+func TestExtractEpochHour(t *testing.T) {
+	// 2018-06-10 13:00:00 UTC
+	ts := types.NewTimestamp((int64(17692)*86400 + 13*3600) * 1e6)
+	e := &Func{Name: "EXTRACT", Args: []Expr{StrLit("hour"), Lit(ts)}}
+	Bind(e, nil)
+	v, err := EvalRow(e, nil)
+	if err != nil || v.I != 13 {
+		t.Errorf("hour = %v, %v", v, err)
+	}
+	e2 := &Func{Name: "EXTRACT", Args: []Expr{StrLit("epoch"), Lit(ts)}}
+	Bind(e2, nil)
+	v, _ = EvalRow(e2, nil)
+	if v.I != int64(17692)*86400+13*3600 {
+		t.Errorf("epoch = %v", v)
+	}
+	e3 := &Func{Name: "EXTRACT", Args: []Expr{StrLit("bogus"), Lit(ts)}}
+	Bind(e3, nil)
+	if _, err := EvalRow(e3, nil); err == nil {
+		t.Error("unknown field should error")
+	}
+}
+
+func TestFlipOpAll(t *testing.T) {
+	stats := func(col int) (ColumnStats, bool) {
+		return ColumnStats{Min: types.NewInt(10), Max: types.NewInt(20)}, true
+	}
+	schema := types.Schema{{Name: "a", Type: types.Int64}}
+	// literal <= col: flips to col >= literal.
+	cases := []struct {
+		e    Expr
+		want bool
+	}{
+		{Bin(OpLe, IntLit(25), Col("a")), false}, // a >= 25 impossible
+		{Bin(OpGe, IntLit(15), Col("a")), true},  // a <= 15 possible
+		{Bin(OpEq, IntLit(12), Col("a")), true},
+		{Bin(OpNe, IntLit(12), Col("a")), true},
+	}
+	for _, c := range cases {
+		if err := Bind(c.e, schema); err != nil {
+			t.Fatal(err)
+		}
+		if got := CouldMatch(c.e, stats); got != c.want {
+			t.Errorf("CouldMatch(%s) = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestCouldMatchCaseAndFunctionsConservative(t *testing.T) {
+	schema := types.Schema{{Name: "a", Type: types.Int64}}
+	stats := func(col int) (ColumnStats, bool) {
+		return ColumnStats{Min: types.NewInt(0), Max: types.NewInt(1)}, true
+	}
+	e := &Case{Whens: []When{{Cond: Bin(OpGt, Col("a"), IntLit(100)), Then: Lit(types.NewBool(true))}}}
+	if err := Bind(e, schema); err != nil {
+		t.Fatal(err)
+	}
+	if !CouldMatch(e, stats) {
+		t.Error("CASE must be conservative")
+	}
+}
+
+func TestEvalBatchErrorPropagates(t *testing.T) {
+	schema := types.Schema{{Name: "a", Type: types.Int64}}
+	b := types.BatchFromRows(schema, []types.Row{{types.NewInt(1)}})
+	unbound := Col("a") // never bound: Index -1
+	if _, err := EvalBatch(unbound, b); err == nil {
+		t.Error("unbound column should error")
+	}
+	if _, err := FilterBatch(unbound, b); err == nil {
+		t.Error("unbound filter should error")
+	}
+}

@@ -1,0 +1,45 @@
+package flowassign
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkAssign measures participating-subscription selection latency —
+// it runs once per query (§4.1), so it must stay cheap even on large
+// clusters.
+func BenchmarkAssign(b *testing.B) {
+	for _, tc := range []struct{ shards, nodes int }{
+		{3, 4}, {12, 16}, {64, 64}, {128, 32},
+	} {
+		b.Run(fmt.Sprintf("s%d_n%d", tc.shards, tc.nodes), func(b *testing.B) {
+			shards := make([]int, tc.shards)
+			for i := range shards {
+				shards[i] = i
+			}
+			nodes := make([]string, tc.nodes)
+			for i := range nodes {
+				nodes[i] = fmt.Sprintf("node%03d", i)
+			}
+			// Each node subscribes to a window of shards plus node 0
+			// covering everything.
+			canServe := func(node string, shard int) bool {
+				var ni int
+				fmt.Sscanf(node, "node%d", &ni)
+				if ni == 0 {
+					return true
+				}
+				return shard%tc.nodes == ni || (shard+1)%tc.nodes == ni
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Assign(Input{
+					Shards: shards, Nodes: nodes,
+					CanServe: canServe, Seed: int64(i),
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,315 @@
+package flowassign
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// allServe lets every node serve every shard.
+func allServe(string, int) bool { return true }
+
+func shardRange(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestAssignCoversAllShards(t *testing.T) {
+	got, err := Assign(Input{
+		Shards:   shardRange(4),
+		Nodes:    []string{"n1", "n2", "n3", "n4"},
+		CanServe: allServe,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("assigned %d shards", len(got))
+	}
+}
+
+func TestAssignBalanced(t *testing.T) {
+	// 8 shards over 4 nodes, all capable: every node should get exactly 2.
+	got, err := Assign(Input{
+		Shards:   shardRange(8),
+		Nodes:    []string{"a", "b", "c", "d"},
+		CanServe: allServe,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := map[string]int{}
+	for _, n := range got {
+		load[n]++
+	}
+	for n, l := range load {
+		if l != 2 {
+			t.Errorf("node %s load %d, want 2", n, l)
+		}
+	}
+}
+
+func TestAssignMoreNodesThanShards(t *testing.T) {
+	// 3 shards, 9 nodes: each shard on a distinct node.
+	got, err := Assign(Input{
+		Shards:   shardRange(3),
+		Nodes:    []string{"a", "b", "c", "d", "e", "f", "g", "h", "i"},
+		CanServe: allServe,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, n := range got {
+		if seen[n] {
+			t.Errorf("node %s assigned twice despite spare nodes", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestAssignRespectsSubscriptions(t *testing.T) {
+	canServe := func(node string, shard int) bool {
+		switch node {
+		case "n1":
+			return shard == 0 || shard == 1
+		case "n2":
+			return shard == 2 || shard == 3
+		}
+		return false
+	}
+	got, err := Assign(Input{
+		Shards:   shardRange(4),
+		Nodes:    []string{"n1", "n2"},
+		CanServe: canServe,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for shard, node := range got {
+		if !canServe(node, shard) {
+			t.Errorf("shard %d assigned to non-subscriber %s", shard, node)
+		}
+	}
+}
+
+// The paper's asymmetric example: one node serves every shard, others
+// serve few. Successive rounds must still produce a complete assignment.
+func TestAssignAsymmetricSuccessiveRounds(t *testing.T) {
+	canServe := func(node string, shard int) bool {
+		if node == "big" {
+			return true
+		}
+		return false
+	}
+	got, err := Assign(Input{
+		Shards:   shardRange(4),
+		Nodes:    []string{"big", "idle1", "idle2"},
+		CanServe: canServe,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for shard, node := range got {
+		if node != "big" {
+			t.Errorf("shard %d on %s, only big subscribes", shard, node)
+		}
+	}
+	if len(got) != 4 {
+		t.Errorf("incomplete: %v", got)
+	}
+}
+
+func TestAssignMinimalSkewWhenPartiallyAsymmetric(t *testing.T) {
+	// "full" serves everything, "half" serves shards 0-3 of 8.
+	canServe := func(node string, shard int) bool {
+		if node == "full" {
+			return true
+		}
+		return shard < 4
+	}
+	got, err := Assign(Input{
+		Shards:   shardRange(8),
+		Nodes:    []string{"full", "half"},
+		CanServe: canServe,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := map[string]int{}
+	for _, n := range got {
+		load[n]++
+	}
+	// Perfect split is 4/4; allow at most 5/3 skew.
+	if load["full"] > 5 {
+		t.Errorf("skewed assignment: %v", load)
+	}
+}
+
+func TestAssignUncoverableShard(t *testing.T) {
+	_, err := Assign(Input{
+		Shards:   shardRange(2),
+		Nodes:    []string{"n1"},
+		CanServe: func(node string, shard int) bool { return shard == 0 },
+	})
+	if err == nil {
+		t.Fatal("shard 1 has no subscriber; Assign must fail")
+	}
+}
+
+func TestAssignNoNodes(t *testing.T) {
+	if _, err := Assign(Input{Shards: shardRange(1), Nodes: nil, CanServe: allServe}); err == nil {
+		t.Error("no nodes should fail")
+	}
+}
+
+func TestAssignEmptyShards(t *testing.T) {
+	got, err := Assign(Input{Shards: nil, Nodes: []string{"a"}, CanServe: allServe})
+	if err != nil || len(got) != 0 {
+		t.Error("empty shard list should trivially succeed")
+	}
+}
+
+func TestSeedVariesAssignment(t *testing.T) {
+	// 3 shards, 6 nodes: many equivalent assignments exist. Different
+	// seeds should not always pick the same one (refinement 2).
+	distinct := map[string]bool{}
+	for seed := int64(0); seed < 16; seed++ {
+		got, err := Assign(Input{
+			Shards:   shardRange(3),
+			Nodes:    []string{"a", "b", "c", "d", "e", "f"},
+			CanServe: allServe,
+			Seed:     seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := got[0] + "|" + got[1] + "|" + got[2]
+		distinct[key] = true
+	}
+	if len(distinct) < 2 {
+		t.Error("seed variation should produce different assignments")
+	}
+}
+
+func TestAssignDeterministicForSeed(t *testing.T) {
+	in := Input{
+		Shards:   shardRange(4),
+		Nodes:    []string{"a", "b", "c"},
+		CanServe: allServe,
+		Seed:     7,
+	}
+	a, err1 := Assign(in)
+	b, err2 := Assign(in)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	for k := range a {
+		if a[k] != b[k] {
+			t.Errorf("same seed should be deterministic: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestPriorityTiersPreferred(t *testing.T) {
+	// Subcluster nodes (tier 0) can cover all shards; tier 1 must be
+	// unused (§4.3 workload isolation).
+	got, err := Assign(Input{
+		Shards:   shardRange(3),
+		Nodes:    []string{"sub1", "sub2", "sub3", "other1", "other2"},
+		CanServe: allServe,
+		Priority: map[string]int{"sub1": 0, "sub2": 0, "sub3": 0, "other1": 1, "other2": 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for shard, node := range got {
+		if node == "other1" || node == "other2" {
+			t.Errorf("shard %d escaped to %s despite tier-0 coverage", shard, node)
+		}
+	}
+}
+
+func TestPriorityEscapesWhenInsufficient(t *testing.T) {
+	// Tier 0 cannot serve shard 2; the workload must escape for it.
+	canServe := func(node string, shard int) bool {
+		if node == "sub1" {
+			return shard < 2
+		}
+		return true // "outside" serves everything
+	}
+	got, err := Assign(Input{
+		Shards:   shardRange(3),
+		Nodes:    []string{"sub1", "outside"},
+		CanServe: canServe,
+		Priority: map[string]int{"sub1": 0, "outside": 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[2] != "outside" {
+		t.Errorf("shard 2 should escape to outside, got %v", got)
+	}
+	// Shards 0 and 1 should stay on the priority node.
+	if got[0] != "sub1" || got[1] != "sub1" {
+		t.Errorf("covered shards should stay in tier 0: %v", got)
+	}
+}
+
+// Property: for any subscription bitmap where every shard has at least one
+// subscriber, Assign covers every shard with a legal node.
+func TestQuickAssignValid(t *testing.T) {
+	f := func(bitmap [6][4]bool, seed int64) bool {
+		nodes := []string{"n0", "n1", "n2", "n3"}
+		// Ensure coverage: node 0 serves everything.
+		canServe := func(node string, shard int) bool {
+			ni := int(node[1] - '0')
+			return ni == 0 || bitmap[shard][ni]
+		}
+		got, err := Assign(Input{
+			Shards:   shardRange(6),
+			Nodes:    nodes,
+			CanServe: canServe,
+			Seed:     seed,
+		})
+		if err != nil || len(got) != 6 {
+			return false
+		}
+		for shard, node := range got {
+			if !canServe(node, shard) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with uniform capability, max load is at most ceil(S/N)+1.
+func TestQuickAssignBalance(t *testing.T) {
+	f := func(seed int64) bool {
+		s, n := 12, 4
+		nodes := []string{"a", "b", "c", "d"}
+		got, err := Assign(Input{Shards: shardRange(s), Nodes: nodes, CanServe: allServe, Seed: seed})
+		if err != nil {
+			return false
+		}
+		load := map[string]int{}
+		for _, nd := range got {
+			load[nd]++
+		}
+		for _, l := range load {
+			if l > s/n+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,166 @@
+// Package hashring implements the 32-bit hash space that underlies both
+// Enterprise-mode projection segmentation and Eon-mode segment shards.
+//
+// Each record's segmentation key is hashed into a 32-bit space. In
+// Enterprise mode contiguous regions of the space are mapped to nodes by
+// each projection (with a rotated "buddy" layout for fault tolerance). In
+// Eon mode the space is statically divided at database creation into
+// segment shards; all storage whose tuples hash into a shard's region is
+// associated with that shard (paper §2.2, §3.1, Figure 3).
+package hashring
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+
+	"eon/internal/types"
+)
+
+// SpaceSize is the size of the hash space: hashes are in [0, SpaceSize).
+const SpaceSize = uint64(1) << 32
+
+// HashDatum hashes a single datum into the 32-bit space. The hash is
+// deterministic across processes so that segmentation is stable.
+func HashDatum(d types.Datum) uint32 {
+	h := fnv.New32a()
+	writeDatum(h, d)
+	return h.Sum32()
+}
+
+// HashRowCols hashes the given column positions of a row, in order. This is
+// the SEGMENTED BY HASH(col, ...) function.
+func HashRowCols(r types.Row, cols []int) uint32 {
+	h := fnv.New32a()
+	for _, c := range cols {
+		writeDatum(h, r[c])
+	}
+	return h.Sum32()
+}
+
+// HashBatchCols hashes the given column positions for every row of a batch,
+// appending the hashes to dst and returning it.
+func HashBatchCols(b *types.Batch, cols []int, dst []uint32) []uint32 {
+	n := b.NumRows()
+	for i := 0; i < n; i++ {
+		h := fnv.New32a()
+		for _, c := range cols {
+			writeDatum(h, b.Cols[c].Datum(i))
+		}
+		dst = append(dst, h.Sum32())
+	}
+	return dst
+}
+
+type hashWriter interface {
+	Write(p []byte) (int, error)
+}
+
+func writeDatum(h hashWriter, d types.Datum) {
+	var buf [9]byte
+	if d.Null {
+		buf[0] = 0
+		h.Write(buf[:1])
+		return
+	}
+	switch d.K.Physical() {
+	case types.Int64:
+		buf[0] = 1
+		binary.LittleEndian.PutUint64(buf[1:], uint64(d.I))
+		h.Write(buf[:9])
+	case types.Float64:
+		buf[0] = 2
+		binary.LittleEndian.PutUint64(buf[1:], math.Float64bits(d.F))
+		h.Write(buf[:9])
+	case types.Varchar:
+		buf[0] = 3
+		h.Write(buf[:1])
+		h.Write([]byte(d.S))
+	case types.Bool:
+		buf[0] = 4
+		if d.B {
+			buf[1] = 1
+		}
+		h.Write(buf[:2])
+	}
+}
+
+// Segment is a contiguous half-open region [Start, End) of the hash space.
+// End is exclusive and expressed in the 33-bit range so the final segment
+// can end exactly at SpaceSize.
+type Segment struct {
+	Start uint64
+	End   uint64
+}
+
+// Contains reports whether hash h falls in the segment.
+func (s Segment) Contains(h uint32) bool {
+	v := uint64(h)
+	return v >= s.Start && v < s.End
+}
+
+// Ring divides the hash space into n equal contiguous segments, numbered
+// 0..n-1 in hash order. Both modes use the same division; Eon calls the
+// segments "shards".
+type Ring struct {
+	segments []Segment
+}
+
+// NewRing returns a ring with n segments. n must be >= 1.
+func NewRing(n int) *Ring {
+	if n < 1 {
+		panic("hashring: ring must have at least one segment")
+	}
+	segs := make([]Segment, n)
+	for i := 0; i < n; i++ {
+		segs[i] = Segment{
+			Start: SpaceSize * uint64(i) / uint64(n),
+			End:   SpaceSize * uint64(i+1) / uint64(n),
+		}
+	}
+	return &Ring{segments: segs}
+}
+
+// Count returns the number of segments.
+func (r *Ring) Count() int { return len(r.segments) }
+
+// Segment returns segment i's region.
+func (r *Ring) Segment(i int) Segment { return r.segments[i] }
+
+// SegmentFor returns the index of the segment containing hash h.
+func (r *Ring) SegmentFor(h uint32) int {
+	n := uint64(len(r.segments))
+	idx := int(uint64(h) * n / SpaceSize)
+	// Guard against boundary rounding: the computed index is correct for
+	// equal divisions, but verify and adjust to keep the invariant exact.
+	for idx > 0 && uint64(h) < r.segments[idx].Start {
+		idx--
+	}
+	for idx < len(r.segments)-1 && uint64(h) >= r.segments[idx].End {
+		idx++
+	}
+	return idx
+}
+
+// SegmentForRow hashes the given columns of the row and returns the owning
+// segment index.
+func (r *Ring) SegmentForRow(row types.Row, cols []int) int {
+	return r.SegmentFor(HashRowCols(row, cols))
+}
+
+// BuddyLayout computes the Enterprise-mode node placement for a projection
+// and its buddy. Segment i of the base projection lives on node i mod N;
+// the buddy layout is the logical ring rotated by offset, so adjacent nodes
+// serve as replicas (paper §2.2).
+type BuddyLayout struct {
+	Nodes  int
+	Offset int
+}
+
+// BaseNode returns the node index serving segment seg in the base
+// projection.
+func (b BuddyLayout) BaseNode(seg int) int { return seg % b.Nodes }
+
+// BuddyNode returns the node index serving segment seg in the buddy
+// projection.
+func (b BuddyLayout) BuddyNode(seg int) int { return (seg + b.Offset) % b.Nodes }

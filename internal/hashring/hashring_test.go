@@ -1,0 +1,134 @@
+package hashring
+
+import (
+	"testing"
+	"testing/quick"
+
+	"eon/internal/types"
+)
+
+func TestRingPartitionsSpace(t *testing.T) {
+	for _, n := range []int{1, 3, 4, 7, 16} {
+		r := NewRing(n)
+		if r.Count() != n {
+			t.Fatalf("count = %d", r.Count())
+		}
+		if r.Segment(0).Start != 0 {
+			t.Errorf("n=%d: first segment starts at %d", n, r.Segment(0).Start)
+		}
+		if r.Segment(n-1).End != SpaceSize {
+			t.Errorf("n=%d: last segment ends at %d", n, r.Segment(n-1).End)
+		}
+		for i := 1; i < n; i++ {
+			if r.Segment(i).Start != r.Segment(i-1).End {
+				t.Errorf("n=%d: gap between segment %d and %d", n, i-1, i)
+			}
+		}
+	}
+}
+
+// Property: every hash lands in exactly the segment SegmentFor returns.
+func TestSegmentForContains(t *testing.T) {
+	r := NewRing(7)
+	f := func(h uint32) bool {
+		return r.Segment(r.SegmentFor(h)).Contains(h)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSegmentForBoundaries(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 4; i++ {
+		seg := r.Segment(i)
+		if got := r.SegmentFor(uint32(seg.Start)); got != i {
+			t.Errorf("start of segment %d maps to %d", i, got)
+		}
+		if got := r.SegmentFor(uint32(seg.End - 1)); got != i {
+			t.Errorf("end-1 of segment %d maps to %d", i, got)
+		}
+	}
+}
+
+func TestHashDeterminism(t *testing.T) {
+	row := types.Row{types.NewInt(42), types.NewString("grace")}
+	h1 := HashRowCols(row, []int{0, 1})
+	h2 := HashRowCols(row, []int{0, 1})
+	if h1 != h2 {
+		t.Error("hash not deterministic")
+	}
+	h3 := HashRowCols(row, []int{1, 0})
+	if h1 == h3 {
+		t.Error("column order should matter")
+	}
+}
+
+func TestHashNullDistinct(t *testing.T) {
+	a := HashDatum(types.NullDatum(types.Int64))
+	b := HashDatum(types.NewInt(0))
+	if a == b {
+		t.Error("NULL must hash differently from zero")
+	}
+}
+
+func TestHashTypeTagged(t *testing.T) {
+	// int 0 and empty string should not collide trivially.
+	if HashDatum(types.NewInt(0)) == HashDatum(types.NewString("")) {
+		t.Error("types should be tagged in hash input")
+	}
+}
+
+func TestHashBatchColsMatchesRow(t *testing.T) {
+	s := types.Schema{{Name: "a", Type: types.Int64}, {Name: "b", Type: types.Varchar}}
+	b := types.BatchFromRows(s, []types.Row{
+		{types.NewInt(1), types.NewString("x")},
+		{types.NewInt(2), types.NewString("y")},
+	})
+	hs := HashBatchCols(b, []int{0, 1}, nil)
+	for i := 0; i < b.NumRows(); i++ {
+		if hs[i] != HashRowCols(b.Row(i), []int{0, 1}) {
+			t.Errorf("row %d batch hash mismatch", i)
+		}
+	}
+}
+
+// Property: hash distribution over segments is reasonably even.
+func TestHashDistribution(t *testing.T) {
+	r := NewRing(4)
+	counts := make([]int, 4)
+	n := 20000
+	for i := 0; i < n; i++ {
+		h := HashRowCols(types.Row{types.NewInt(int64(i))}, []int{0})
+		counts[r.SegmentFor(h)]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / float64(n)
+		if frac < 0.15 || frac > 0.35 {
+			t.Errorf("segment %d has fraction %.3f, expected near 0.25", i, frac)
+		}
+	}
+}
+
+func TestBuddyLayout(t *testing.T) {
+	b := BuddyLayout{Nodes: 4, Offset: 1}
+	for seg := 0; seg < 8; seg++ {
+		base := b.BaseNode(seg)
+		buddy := b.BuddyNode(seg)
+		if base == buddy {
+			t.Errorf("segment %d: buddy on same node %d", seg, base)
+		}
+		if buddy != (base+1)%4 {
+			t.Errorf("segment %d: buddy %d, want ring rotation", seg, buddy)
+		}
+	}
+}
+
+func TestSegmentForRow(t *testing.T) {
+	r := NewRing(3)
+	row := types.Row{types.NewInt(99), types.NewString("q")}
+	want := r.SegmentFor(HashRowCols(row, []int{1}))
+	if got := r.SegmentForRow(row, []int{1}); got != want {
+		t.Errorf("SegmentForRow = %d, want %d", got, want)
+	}
+}

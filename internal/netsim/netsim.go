@@ -1,0 +1,156 @@
+// Package netsim models the cluster interconnect for the in-process
+// simulation: per-message latency, per-link bandwidth, rack locality and
+// node reachability. Higher layers call Transfer to account for the cost
+// of moving bytes between nodes (metadata distribution, peer cache
+// warming, query exchanges) and move the actual data in memory.
+package netsim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrUnreachable is returned when an endpoint is down or partitioned.
+var ErrUnreachable = errors.New("netsim: node unreachable")
+
+// LinkCost describes one direction of a node pair.
+type LinkCost struct {
+	Latency   time.Duration
+	Bandwidth float64 // bytes per second; 0 = infinite
+}
+
+// Stats counts network traffic.
+type Stats struct {
+	Messages int64
+	Bytes    int64
+}
+
+// Network is the simulated interconnect. The zero cost configuration
+// transfers instantly, which unit tests rely on.
+type Network struct {
+	mu      sync.RWMutex
+	def     LinkCost
+	links   map[string]LinkCost // "from->to" overrides
+	racks   map[string]string   // node -> rack
+	crossRk LinkCost            // cost override for cross-rack links
+	hasXRk  bool
+	down    map[string]bool
+
+	messages atomic.Int64
+	bytes    atomic.Int64
+}
+
+// New returns a network with the given default link cost.
+func New(def LinkCost) *Network {
+	return &Network{
+		def:   def,
+		links: map[string]LinkCost{},
+		racks: map[string]string{},
+		down:  map[string]bool{},
+	}
+}
+
+func key(from, to string) string { return from + "->" + to }
+
+// SetLink overrides the cost of one directed link.
+func (n *Network) SetLink(from, to string, c LinkCost) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.links[key(from, to)] = c
+}
+
+// SetRack places a node on a rack; links between different racks use the
+// cross-rack cost when one is set.
+func (n *Network) SetRack(node, rack string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.racks[node] = rack
+}
+
+// Rack returns the rack of a node ("" if unplaced).
+func (n *Network) Rack(node string) string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.racks[node]
+}
+
+// SetCrossRackCost sets the cost of links crossing racks.
+func (n *Network) SetCrossRackCost(c LinkCost) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.crossRk = c
+	n.hasXRk = true
+}
+
+// SetDown marks a node unreachable (true) or reachable (false).
+func (n *Network) SetDown(node string, down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.down[node] = down
+}
+
+// IsDown reports whether a node is marked unreachable.
+func (n *Network) IsDown(node string) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.down[node]
+}
+
+// costFor resolves the link cost for a directed pair.
+func (n *Network) costFor(from, to string) LinkCost {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if c, ok := n.links[key(from, to)]; ok {
+		return c
+	}
+	if n.hasXRk {
+		rf, rt := n.racks[from], n.racks[to]
+		if rf != rt && (rf != "" || rt != "") {
+			return n.crossRk
+		}
+	}
+	return n.def
+}
+
+// Transfer accounts for moving size bytes from one node to another,
+// sleeping for the modeled cost. It fails if either endpoint is down.
+func (n *Network) Transfer(ctx context.Context, from, to string, size int64) error {
+	if n.IsDown(from) || n.IsDown(to) {
+		return fmt.Errorf("%w: %s -> %s", ErrUnreachable, from, to)
+	}
+	c := n.costFor(from, to)
+	d := c.Latency
+	if c.Bandwidth > 0 && size > 0 {
+		d += time.Duration(float64(size) / c.Bandwidth * float64(time.Second))
+	}
+	if d > 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(d):
+		}
+	}
+	// Re-check after the transfer time: a node killed mid-transfer fails
+	// the transfer.
+	if n.IsDown(from) || n.IsDown(to) {
+		return fmt.Errorf("%w: %s -> %s (during transfer)", ErrUnreachable, from, to)
+	}
+	n.messages.Add(1)
+	n.bytes.Add(size)
+	return nil
+}
+
+// Stats returns traffic totals.
+func (n *Network) Stats() Stats {
+	return Stats{Messages: n.messages.Load(), Bytes: n.bytes.Load()}
+}
+
+// ResetStats zeroes traffic totals.
+func (n *Network) ResetStats() {
+	n.messages.Store(0)
+	n.bytes.Store(0)
+}

@@ -1,0 +1,110 @@
+package netsim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestTransferFree(t *testing.T) {
+	n := New(LinkCost{})
+	if err := n.Transfer(context.Background(), "a", "b", 1000); err != nil {
+		t.Fatal(err)
+	}
+	st := n.Stats()
+	if st.Messages != 1 || st.Bytes != 1000 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestTransferLatency(t *testing.T) {
+	n := New(LinkCost{Latency: 20 * time.Millisecond})
+	start := time.Now()
+	n.Transfer(context.Background(), "a", "b", 0)
+	if time.Since(start) < 15*time.Millisecond {
+		t.Error("latency not applied")
+	}
+}
+
+func TestTransferBandwidth(t *testing.T) {
+	n := New(LinkCost{Bandwidth: 1 << 20}) // 1 MiB/s
+	start := time.Now()
+	n.Transfer(context.Background(), "a", "b", 1<<18) // 256 KiB -> ~250 ms
+	if time.Since(start) < 200*time.Millisecond {
+		t.Error("bandwidth not applied")
+	}
+}
+
+func TestDownNodeUnreachable(t *testing.T) {
+	n := New(LinkCost{})
+	n.SetDown("b", true)
+	err := n.Transfer(context.Background(), "a", "b", 10)
+	if !errors.Is(err, ErrUnreachable) {
+		t.Errorf("want ErrUnreachable, got %v", err)
+	}
+	if n.Stats().Messages != 0 {
+		t.Error("failed transfer must not count")
+	}
+	n.SetDown("b", false)
+	if err := n.Transfer(context.Background(), "a", "b", 10); err != nil {
+		t.Errorf("recovered node should be reachable: %v", err)
+	}
+}
+
+func TestLinkOverride(t *testing.T) {
+	n := New(LinkCost{})
+	n.SetLink("a", "b", LinkCost{Latency: 30 * time.Millisecond})
+	start := time.Now()
+	n.Transfer(context.Background(), "a", "b", 0)
+	if time.Since(start) < 20*time.Millisecond {
+		t.Error("link override not applied")
+	}
+	// Reverse direction uses the default (free).
+	start = time.Now()
+	n.Transfer(context.Background(), "b", "a", 0)
+	if time.Since(start) > 15*time.Millisecond {
+		t.Error("override leaked to reverse direction")
+	}
+}
+
+func TestCrossRackCost(t *testing.T) {
+	n := New(LinkCost{})
+	n.SetRack("a", "rack1")
+	n.SetRack("b", "rack2")
+	n.SetRack("c", "rack1")
+	n.SetCrossRackCost(LinkCost{Latency: 30 * time.Millisecond})
+
+	start := time.Now()
+	n.Transfer(context.Background(), "a", "b", 0)
+	if time.Since(start) < 20*time.Millisecond {
+		t.Error("cross-rack cost not applied")
+	}
+	start = time.Now()
+	n.Transfer(context.Background(), "a", "c", 0)
+	if time.Since(start) > 15*time.Millisecond {
+		t.Error("same-rack should use default cost")
+	}
+	if n.Rack("a") != "rack1" {
+		t.Error("rack lookup")
+	}
+}
+
+func TestTransferContextCancel(t *testing.T) {
+	n := New(LinkCost{Latency: time.Hour})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	err := n.Transfer(ctx, "a", "b", 0)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("want deadline exceeded, got %v", err)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	n := New(LinkCost{})
+	n.Transfer(context.Background(), "a", "b", 5)
+	n.ResetStats()
+	if st := n.Stats(); st.Messages != 0 || st.Bytes != 0 {
+		t.Error("reset failed")
+	}
+}

@@ -1,0 +1,122 @@
+package objstore
+
+import (
+	"context"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Disk is a Store backend persisting objects under a host directory.
+// Object keys map to file names by hex-encoding, preserving the flat
+// namespace and prefix listing without path-traversal concerns.
+type Disk struct {
+	dir string
+	mu  sync.Mutex // serializes create-if-absent checks
+}
+
+// NewDisk returns a disk-backed store rooted at dir (created if needed).
+func NewDisk(dir string) (*Disk, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("objstore: create %s: %w", dir, err)
+	}
+	return &Disk{dir: dir}, nil
+}
+
+func (d *Disk) path(key string) string {
+	return filepath.Join(d.dir, hex.EncodeToString([]byte(key)))
+}
+
+// Put implements Store.
+func (d *Disk) Put(ctx context.Context, key string, data []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	p := d.path(key)
+	if _, err := os.Stat(p); err == nil {
+		return fmt.Errorf("%w: %s", ErrExists, key)
+	}
+	tmp := p + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, p)
+}
+
+// Get implements Store.
+func (d *Disk) Get(ctx context.Context, key string) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(d.path(key))
+	if os.IsNotExist(err) {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	return data, err
+}
+
+// GetRange implements Store.
+func (d *Disk) GetRange(ctx context.Context, key string, offset, length int64) ([]byte, error) {
+	data, err := d.Get(ctx, key)
+	if err != nil {
+		return nil, err
+	}
+	if offset < 0 || offset > int64(len(data)) {
+		return nil, fmt.Errorf("objstore: range [%d,+%d) out of bounds for %s", offset, length, key)
+	}
+	end := int64(len(data))
+	if length >= 0 && offset+length < end {
+		end = offset + length
+	}
+	return data[offset:end], nil
+}
+
+// List implements Store.
+func (d *Disk) List(ctx context.Context, prefix string) ([]Info, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []Info
+	for _, e := range entries {
+		if e.IsDir() || strings.HasSuffix(e.Name(), ".tmp") {
+			continue
+		}
+		raw, err := hex.DecodeString(e.Name())
+		if err != nil {
+			continue // foreign file
+		}
+		key := string(raw)
+		if !strings.HasPrefix(key, prefix) {
+			continue
+		}
+		fi, err := e.Info()
+		if err != nil {
+			continue
+		}
+		out = append(out, Info{Key: key, Size: fi.Size()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}
+
+// Delete implements Store.
+func (d *Disk) Delete(ctx context.Context, key string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	err := os.Remove(d.path(key))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}

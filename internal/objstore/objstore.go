@@ -1,0 +1,209 @@
+// Package objstore provides the shared-storage substrate of Eon mode: a
+// durable, globally addressable, elastic object store with S3-like
+// semantics (paper §5).
+//
+// The store is deliberately not POSIX: objects are immutable once written
+// (no append, no rename), there are no directories, and existence is
+// checked with List-by-prefix rather than a HEAD request — exactly the
+// constraints §5.3 describes. A simulator wrapper (Sim) layers a latency
+// and bandwidth model, throttling, transient-failure injection and
+// request-cost accounting over any backend so that benches reproduce the
+// relative cost of cached versus non-cached access.
+package objstore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Errors returned by stores. Transient and throttle errors are retryable;
+// callers use IsRetryable or WithRetry.
+var (
+	ErrNotFound  = errors.New("objstore: object not found")
+	ErrExists    = errors.New("objstore: object already exists")
+	ErrThrottled = errors.New("objstore: request throttled (slow down)")
+	ErrTransient = errors.New("objstore: transient internal error")
+)
+
+// Info describes one stored object.
+type Info struct {
+	Key  string
+	Size int64
+}
+
+// Store is the object-store API the rest of the system programs against.
+// All operations are context-cancelable: "users expect their queries to be
+// cancelable, so Vertica cannot hang waiting for S3" (§5.3).
+type Store interface {
+	// Put writes a new immutable object. Overwriting an existing key
+	// fails with ErrExists: the engine never modifies written objects.
+	Put(ctx context.Context, key string, data []byte) error
+	// Get reads a whole object.
+	Get(ctx context.Context, key string) ([]byte, error)
+	// GetRange reads length bytes at offset (length < 0 means to EOF).
+	GetRange(ctx context.Context, key string, offset, length int64) ([]byte, error)
+	// List returns all objects whose key begins with prefix, sorted.
+	List(ctx context.Context, prefix string) ([]Info, error)
+	// Delete removes an object; deleting a missing key is not an error
+	// (S3 semantics).
+	Delete(ctx context.Context, key string) error
+}
+
+// Mem is an in-memory Store backend. It is safe for concurrent use.
+type Mem struct {
+	mu      sync.RWMutex
+	objects map[string][]byte
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem {
+	return &Mem{objects: make(map[string][]byte)}
+}
+
+// Put implements Store.
+func (m *Mem) Put(ctx context.Context, key string, data []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.objects[key]; ok {
+		return fmt.Errorf("%w: %s", ErrExists, key)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	m.objects[key] = cp
+	return nil
+}
+
+// Get implements Store.
+func (m *Mem) Get(ctx context.Context, key string) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	data, ok := m.objects[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return cp, nil
+}
+
+// GetRange implements Store.
+func (m *Mem) GetRange(ctx context.Context, key string, offset, length int64) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	data, ok := m.objects[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	if offset < 0 || offset > int64(len(data)) {
+		return nil, fmt.Errorf("objstore: range [%d,+%d) out of bounds for %s (size %d)", offset, length, key, len(data))
+	}
+	end := int64(len(data))
+	if length >= 0 && offset+length < end {
+		end = offset + length
+	}
+	cp := make([]byte, end-offset)
+	copy(cp, data[offset:end])
+	return cp, nil
+}
+
+// List implements Store.
+func (m *Mem) List(ctx context.Context, prefix string) ([]Info, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var out []Info
+	for k, v := range m.objects {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, Info{Key: k, Size: int64(len(v))})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}
+
+// Delete implements Store.
+func (m *Mem) Delete(ctx context.Context, key string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.objects, key)
+	return nil
+}
+
+// Len returns the number of stored objects.
+func (m *Mem) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.objects)
+}
+
+// TotalBytes returns the sum of object sizes.
+func (m *Mem) TotalBytes() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var n int64
+	for _, v := range m.objects {
+		n += int64(len(v))
+	}
+	return n
+}
+
+// IsRetryable reports whether the error is a transient condition worth
+// retrying (throttle or internal error).
+func IsRetryable(err error) bool {
+	return errors.Is(err, ErrThrottled) || errors.Is(err, ErrTransient)
+}
+
+// WithRetry runs op with a balanced exponential-backoff retry loop,
+// retrying only retryable errors and respecting context cancellation.
+func WithRetry(ctx context.Context, attempts int, base time.Duration, op func() error) error {
+	var err error
+	delay := base
+	for i := 0; i < attempts; i++ {
+		err = op()
+		if err == nil || !IsRetryable(err) {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(delay):
+		}
+		delay *= 2
+	}
+	return err
+}
+
+// Exists checks for a key using the List API with the key as prefix. The
+// paper notes Vertica avoids HEAD requests to stay on S3's
+// read-after-write consistency path (§5.3).
+func Exists(ctx context.Context, s Store, key string) (bool, error) {
+	infos, err := s.List(ctx, key)
+	if err != nil {
+		return false, err
+	}
+	for _, in := range infos {
+		if in.Key == key {
+			return true, nil
+		}
+	}
+	return false, nil
+}

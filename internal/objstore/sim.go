@@ -1,0 +1,250 @@
+package objstore
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SimConfig tunes the shared-storage simulator. Zero values disable each
+// effect, so `Sim{Backend: NewMem()}` behaves like a plain in-memory store.
+type SimConfig struct {
+	// GetLatency etc. are the fixed per-request service times, modeling
+	// the higher access latency of shared storage (§5 property 1).
+	GetLatency    time.Duration
+	PutLatency    time.Duration
+	ListLatency   time.Duration
+	DeleteLatency time.Duration
+	// BytesPerSecond is the per-request transfer bandwidth; 0 means
+	// infinite.
+	BytesPerSecond float64
+	// FailureRate is the probability in [0,1) that a request fails with
+	// ErrTransient before doing any work ("any filesystem access can and
+	// will fail", §5.3).
+	FailureRate float64
+	// ThrottleConcurrency caps in-flight requests; excess requests fail
+	// immediately with ErrThrottled (S3 SlowDown). 0 means unlimited.
+	ThrottleConcurrency int
+	// Seed makes failure injection deterministic.
+	Seed int64
+}
+
+// Costs is the request pricing used for cost accounting, loosely modeled
+// on S3 pricing: PUT/LIST are an order of magnitude more expensive than
+// GET ("requests cost money", §5.3).
+type Costs struct {
+	PerGet      float64
+	PerPut      float64
+	PerList     float64
+	PerDelete   float64
+	PerGBStored float64
+}
+
+// DefaultCosts approximates 2018 S3 request pricing in USD.
+func DefaultCosts() Costs {
+	return Costs{
+		PerGet:    0.0000004,
+		PerPut:    0.000005,
+		PerList:   0.000005,
+		PerDelete: 0,
+	}
+}
+
+// Stats counts simulator traffic.
+type Stats struct {
+	Gets, Puts, Lists, Deletes int64
+	BytesRead, BytesWritten    int64
+	Throttled, Failed          int64
+}
+
+// RequestCostUSD prices the request counts under c.
+func (s Stats) RequestCostUSD(c Costs) float64 {
+	return float64(s.Gets)*c.PerGet + float64(s.Puts)*c.PerPut +
+		float64(s.Lists)*c.PerList + float64(s.Deletes)*c.PerDelete
+}
+
+// Sim wraps a backend Store with the shared-storage behaviour model.
+// It is safe for concurrent use.
+type Sim struct {
+	backend Store
+	cfg     SimConfig
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	inflight chan struct{}
+
+	gets, puts, lists, deletes atomic.Int64
+	bytesRead, bytesWritten    atomic.Int64
+	throttled, failed          atomic.Int64
+}
+
+// NewSim wraps backend with the given configuration.
+func NewSim(backend Store, cfg SimConfig) *Sim {
+	s := &Sim{backend: backend, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	if cfg.ThrottleConcurrency > 0 {
+		s.inflight = make(chan struct{}, cfg.ThrottleConcurrency)
+	}
+	return s
+}
+
+// Stats returns a snapshot of traffic counters.
+func (s *Sim) Stats() Stats {
+	return Stats{
+		Gets: s.gets.Load(), Puts: s.puts.Load(),
+		Lists: s.lists.Load(), Deletes: s.deletes.Load(),
+		BytesRead: s.bytesRead.Load(), BytesWritten: s.bytesWritten.Load(),
+		Throttled: s.throttled.Load(), Failed: s.failed.Load(),
+	}
+}
+
+// ResetStats zeroes the traffic counters.
+func (s *Sim) ResetStats() {
+	s.gets.Store(0)
+	s.puts.Store(0)
+	s.lists.Store(0)
+	s.deletes.Store(0)
+	s.bytesRead.Store(0)
+	s.bytesWritten.Store(0)
+	s.throttled.Store(0)
+	s.failed.Store(0)
+}
+
+// begin applies throttling and failure injection; it returns a release
+// function, or an error if the request was rejected.
+func (s *Sim) begin() (func(), error) {
+	if s.inflight != nil {
+		select {
+		case s.inflight <- struct{}{}:
+		default:
+			s.throttled.Add(1)
+			return nil, ErrThrottled
+		}
+	}
+	release := func() {
+		if s.inflight != nil {
+			<-s.inflight
+		}
+	}
+	if s.cfg.FailureRate > 0 {
+		s.mu.Lock()
+		fail := s.rng.Float64() < s.cfg.FailureRate
+		s.mu.Unlock()
+		if fail {
+			release()
+			s.failed.Add(1)
+			return nil, ErrTransient
+		}
+	}
+	return release, nil
+}
+
+// wait simulates service time for a request moving n payload bytes.
+func (s *Sim) wait(ctx context.Context, base time.Duration, n int64) error {
+	d := base
+	if s.cfg.BytesPerSecond > 0 && n > 0 {
+		d += time.Duration(float64(n) / s.cfg.BytesPerSecond * float64(time.Second))
+	}
+	if d <= 0 {
+		return ctx.Err()
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(d):
+		return nil
+	}
+}
+
+// Put implements Store.
+func (s *Sim) Put(ctx context.Context, key string, data []byte) error {
+	release, err := s.begin()
+	if err != nil {
+		return err
+	}
+	defer release()
+	if err := s.wait(ctx, s.cfg.PutLatency, int64(len(data))); err != nil {
+		return err
+	}
+	if err := s.backend.Put(ctx, key, data); err != nil {
+		return err
+	}
+	s.puts.Add(1)
+	s.bytesWritten.Add(int64(len(data)))
+	return nil
+}
+
+// Get implements Store.
+func (s *Sim) Get(ctx context.Context, key string) ([]byte, error) {
+	release, err := s.begin()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	data, err := s.backend.Get(ctx, key)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.wait(ctx, s.cfg.GetLatency, int64(len(data))); err != nil {
+		return nil, err
+	}
+	s.gets.Add(1)
+	s.bytesRead.Add(int64(len(data)))
+	return data, nil
+}
+
+// GetRange implements Store.
+func (s *Sim) GetRange(ctx context.Context, key string, offset, length int64) ([]byte, error) {
+	release, err := s.begin()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	data, err := s.backend.GetRange(ctx, key, offset, length)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.wait(ctx, s.cfg.GetLatency, int64(len(data))); err != nil {
+		return nil, err
+	}
+	s.gets.Add(1)
+	s.bytesRead.Add(int64(len(data)))
+	return data, nil
+}
+
+// List implements Store.
+func (s *Sim) List(ctx context.Context, prefix string) ([]Info, error) {
+	release, err := s.begin()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	if err := s.wait(ctx, s.cfg.ListLatency, 0); err != nil {
+		return nil, err
+	}
+	out, err := s.backend.List(ctx, prefix)
+	if err != nil {
+		return nil, err
+	}
+	s.lists.Add(1)
+	return out, nil
+}
+
+// Delete implements Store.
+func (s *Sim) Delete(ctx context.Context, key string) error {
+	release, err := s.begin()
+	if err != nil {
+		return err
+	}
+	defer release()
+	if err := s.wait(ctx, s.cfg.DeleteLatency, 0); err != nil {
+		return err
+	}
+	if err := s.backend.Delete(ctx, key); err != nil {
+		return err
+	}
+	s.deletes.Add(1)
+	return nil
+}

@@ -1,0 +1,285 @@
+package planner
+
+import (
+	"fmt"
+	"strings"
+
+	"eon/internal/catalog"
+	"eon/internal/exec"
+	"eon/internal/expr"
+	"eon/internal/sql"
+	"eon/internal/types"
+)
+
+// tryLiveAggregate rewrites a matching aggregate query to read a live
+// aggregate projection (paper §2.1: live aggregates "dramatically speed
+// up query performance for a variety of aggregation ... operations").
+// The query matches when it is a single-table GROUP BY whose keys equal
+// the projection's group columns, every aggregate maps to a maintained
+// aggregate, and any predicate touches only group columns. ok=false
+// falls back to normal planning.
+func (p *sessionPlanner) tryLiveAggregate(stmt *sql.Select, items []sql.SelectItem) (*Plan, bool, error) {
+	if len(stmt.Joins) > 0 || stmt.Distinct {
+		return nil, false, nil
+	}
+	hasAgg := false
+	for _, it := range items {
+		if it.Star {
+			return nil, false, nil
+		}
+		if it.Agg != nil {
+			hasAgg = true
+		}
+	}
+	if !hasAgg {
+		return nil, false, nil
+	}
+	snap := p.opts.Snapshot
+	tbl, ok := snap.TableByName(stmt.From.Table)
+	if !ok {
+		return nil, false, nil // normal planning reports the error
+	}
+
+	for _, lap := range snap.ProjectionsOf(tbl.OID) {
+		if !lap.IsLiveAggregate() || lap.BuddyOffset > 0 {
+			continue
+		}
+		plan, ok, err := p.planWithLiveAgg(stmt, items, tbl, lap)
+		if err != nil || ok {
+			return plan, ok, err
+		}
+	}
+	return nil, false, nil
+}
+
+// lapMatches maps a query aggregate to the projection column holding it.
+func lapAggColumn(lap *catalog.Projection, agg *sql.AggSpec) (string, bool) {
+	var wantOp, wantCol string
+	switch agg.Op {
+	case sql.AggCountStar:
+		wantOp = "countstar"
+	case sql.AggCount:
+		wantOp = "count"
+	case sql.AggSum:
+		wantOp = "sum"
+	case sql.AggMin:
+		wantOp = "min"
+	case sql.AggMax:
+		wantOp = "max"
+	default:
+		return "", false
+	}
+	if wantOp != "countstar" {
+		ref, ok := agg.Arg.(*expr.ColumnRef)
+		if !ok {
+			return "", false
+		}
+		wantCol = strings.ToLower(baseColumn(ref.Name))
+	}
+	for _, la := range lap.LiveAggs {
+		if la.Op == wantOp && strings.ToLower(la.Col) == wantCol {
+			return la.Name, true
+		}
+	}
+	return "", false
+}
+
+func (p *sessionPlanner) planWithLiveAgg(stmt *sql.Select, items []sql.SelectItem, tbl *catalog.Table, lap *catalog.Projection) (*Plan, bool, error) {
+	groupSet := map[string]bool{}
+	for _, c := range lap.Columns {
+		groupSet[strings.ToLower(c)] = true
+	}
+
+	// GROUP BY keys must be bare columns equal (as a set) to the
+	// projection's group columns.
+	if len(stmt.GroupBy) != len(lap.Columns) {
+		return nil, false, nil
+	}
+	seen := map[string]bool{}
+	var keyCols []string
+	for _, g := range stmt.GroupBy {
+		ref, ok := g.(*expr.ColumnRef)
+		if !ok {
+			return nil, false, nil
+		}
+		name := strings.ToLower(baseColumn(ref.Name))
+		if !groupSet[name] || seen[name] {
+			return nil, false, nil
+		}
+		seen[name] = true
+		keyCols = append(keyCols, name)
+	}
+
+	// WHERE may reference only group columns.
+	if stmt.Where != nil {
+		for _, n := range expr.ColumnNames(stmt.Where) {
+			if !groupSet[strings.ToLower(baseColumn(n))] {
+				return nil, false, nil
+			}
+		}
+	}
+
+	// Map select items: plain items to group keys, aggregates to
+	// maintained columns.
+	type itemTarget struct {
+		isKey  bool
+		keyPos int
+		aggCol string
+	}
+	var targets []itemTarget
+	usedAggCols := map[string]bool{}
+	for _, it := range items {
+		if it.Agg == nil {
+			ref, ok := it.Expr.(*expr.ColumnRef)
+			if !ok {
+				return nil, false, nil
+			}
+			name := strings.ToLower(baseColumn(ref.Name))
+			pos := -1
+			for i, k := range keyCols {
+				if k == name {
+					pos = i
+				}
+			}
+			if pos < 0 {
+				return nil, false, nil
+			}
+			targets = append(targets, itemTarget{isKey: true, keyPos: pos})
+			continue
+		}
+		col, ok := lapAggColumn(lap, it.Agg)
+		if !ok {
+			return nil, false, nil
+		}
+		targets = append(targets, itemTarget{aggCol: col})
+		usedAggCols[col] = true
+	}
+
+	// --- The query matches; build the plan over the projection. ---
+	alias := stmt.From.Name()
+
+	// Scan columns: group columns plus the referenced aggregate columns,
+	// in LiveSchema order.
+	var cols []string
+	var outSchema types.Schema
+	for _, c := range lap.LiveSchema {
+		low := strings.ToLower(c.Name)
+		if groupSet[low] || usedAggCols[c.Name] {
+			cols = append(cols, c.Name)
+			outSchema = append(outSchema, types.Column{Name: qualify(alias, c.Name), Type: c.Type})
+		}
+	}
+	scan := &Scan{
+		Table: tbl, Proj: lap, Alias: alias,
+		Cols: cols, OutSchema: outSchema,
+		Replicated: lap.Replicated(),
+	}
+	if !lap.Replicated() {
+		for _, s := range lap.SegmentCols {
+			pos := outSchema.ColumnIndex(qualify(alias, s))
+			if pos < 0 {
+				scan.SegmentCols = nil
+				break
+			}
+			scan.SegmentCols = append(scan.SegmentCols, pos)
+		}
+	}
+	if stmt.Where != nil {
+		pred := cloneExpr(stmt.Where)
+		if err := resolveAndBind(pred, outSchema); err != nil {
+			return nil, false, err
+		}
+		scan.Pred = pred
+	}
+
+	// Merge aggregation over the partial groups: counts sum, sums sum,
+	// min/min, max/max.
+	var keys []expr.Expr
+	var keyNames []string
+	for i, k := range keyCols {
+		ref := expr.Col(qualify(alias, k))
+		if err := resolveAndBind(ref, outSchema); err != nil {
+			return nil, false, err
+		}
+		keys = append(keys, ref)
+		keyNames = append(keyNames, fmt.Sprintf("_k%d", i))
+	}
+	var defs []exec.AggDef
+	aggPos := map[string]int{}
+	for _, la := range lap.LiveAggs {
+		if !usedAggCols[la.Name] {
+			continue
+		}
+		ref := expr.Col(qualify(alias, la.Name))
+		if err := resolveAndBind(ref, outSchema); err != nil {
+			return nil, false, err
+		}
+		def := exec.AggDef{Name: fmt.Sprintf("_a%d", len(defs)), Arg: ref}
+		switch la.Op {
+		case "countstar", "count":
+			def.Kind = exec.AggCountMerge
+		case "sum":
+			def.Kind = exec.AggSum
+		case "min":
+			def.Kind = exec.AggMin
+		case "max":
+			def.Kind = exec.AggMax
+		}
+		aggPos[la.Name] = len(defs)
+		defs = append(defs, def)
+	}
+	mode := AggTwoPhase
+	if len(scan.SegmentCols) > 0 && segColsCovered(scan.SegmentCols, keys, outSchema) {
+		mode = AggLocalFinal
+	}
+	agg := &Aggregate{Input: scan, Keys: keys, KeyNames: keyNames, Aggs: defs, Mode: mode}
+	agg.out = aggOutputSchema(agg)
+
+	// Final projection in select-item order.
+	var outs []outMap
+	var exprs []expr.Expr
+	var names []string
+	for i, it := range items {
+		var ref *expr.ColumnRef
+		if targets[i].isKey {
+			ref = expr.Col(keyNames[targets[i].keyPos])
+			outs = append(outs, outMap{isKey: true, pos: targets[i].keyPos})
+		} else {
+			pos := aggPos[targets[i].aggCol]
+			ref = expr.Col(fmt.Sprintf("_a%d", pos))
+			outs = append(outs, outMap{pos: pos})
+		}
+		if err := expr.Bind(ref, agg.out); err != nil {
+			return nil, false, err
+		}
+		exprs = append(exprs, ref)
+		names = append(names, outputName(it))
+	}
+
+	var root Node = agg
+	if stmt.Having != nil {
+		having := cloneExpr(stmt.Having)
+		if err := p.bindHaving(having, items, outs, keyNames, agg.out); err != nil {
+			return nil, false, err
+		}
+		root = &Filter{Input: root, Pred: having}
+	}
+	proj := &Project{Input: root, Exprs: exprs, Names: names}
+	proj.out = make(types.Schema, len(exprs))
+	for i, e := range exprs {
+		proj.out[i] = types.Column{Name: names[i], Type: e.Type()}
+	}
+	root = proj
+
+	if len(stmt.OrderBy) > 0 {
+		sortKeys, err := p.orderKeys(stmt.OrderBy, root.Schema(), names)
+		if err != nil {
+			return nil, false, err
+		}
+		root = &Sort{Input: root, Keys: sortKeys}
+	}
+	if stmt.Limit >= 0 {
+		root = &Limit{Input: root, N: stmt.Limit}
+	}
+	return &Plan{Root: root, OutputNames: names}, true, nil
+}

@@ -1,0 +1,140 @@
+package planner
+
+import (
+	"testing"
+
+	"eon/internal/catalog"
+	"eon/internal/sql"
+	"eon/internal/types"
+)
+
+// lapCatalog builds a table with a base projection and a live aggregate
+// projection grouped by region.
+func lapCatalog(t *testing.T) *catalog.Snapshot {
+	t.Helper()
+	c := catalog.New()
+	txn := c.Begin()
+	tbl := &catalog.Table{OID: c.NewOID(), Name: "clicks", Columns: types.Schema{
+		{Name: "region", Type: types.Varchar},
+		{Name: "hits", Type: types.Int64},
+	}}
+	txn.Put(tbl)
+	txn.Put(&catalog.Projection{
+		OID: c.NewOID(), TableOID: tbl.OID, Name: "clicks_super",
+		Columns: []string{"region", "hits"}, SortKey: []string{"region"},
+		SegmentCols: []string{"region"},
+	})
+	txn.Put(&catalog.Projection{
+		OID: c.NewOID(), TableOID: tbl.OID, Name: "clicks_agg",
+		Columns: []string{"region"}, SortKey: []string{"region"},
+		SegmentCols: []string{"region"},
+		LiveAggs: []catalog.LiveAgg{
+			{Op: "countstar", Name: "n"},
+			{Op: "sum", Col: "hits", Name: "total"},
+		},
+		LiveSchema: types.Schema{
+			{Name: "region", Type: types.Varchar},
+			{Name: "n", Type: types.Int64},
+			{Name: "total", Type: types.Int64},
+		},
+	})
+	if _, err := c.Commit(txn); err != nil {
+		t.Fatal(err)
+	}
+	return c.Snapshot()
+}
+
+func planLAP(t *testing.T, snap *catalog.Snapshot, q string) *Plan {
+	t.Helper()
+	stmt, err := sql.Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanSelect(stmt.(*sql.Select), Options{Snapshot: snap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func TestLAPRewriteMatchingQuery(t *testing.T) {
+	snap := lapCatalog(t)
+	plan := planLAP(t, snap, `SELECT region, COUNT(*) AS n, SUM(hits) AS total FROM clicks GROUP BY region ORDER BY region`)
+	scan := findScan(plan.Root)
+	if scan == nil || scan.Proj.Name != "clicks_agg" {
+		t.Fatalf("scan projection = %v, want clicks_agg", scan)
+	}
+	agg := findAgg(plan.Root)
+	if agg == nil {
+		t.Fatal("no aggregate")
+	}
+	if agg.Mode != AggLocalFinal {
+		t.Errorf("mode = %v (segmented by group key should be LOCAL)", agg.Mode)
+	}
+	if len(plan.OutputNames) != 3 || plan.OutputNames[1] != "n" {
+		t.Errorf("outputs = %v", plan.OutputNames)
+	}
+}
+
+func TestLAPRewriteWithGroupColumnPredicate(t *testing.T) {
+	snap := lapCatalog(t)
+	plan := planLAP(t, snap, `SELECT region, SUM(hits) AS total FROM clicks WHERE region = 'east' GROUP BY region`)
+	scan := findScan(plan.Root)
+	if scan.Proj.Name != "clicks_agg" {
+		t.Errorf("projection = %s", scan.Proj.Name)
+	}
+	if scan.Pred == nil {
+		t.Error("group-column predicate should push to the LAP scan")
+	}
+}
+
+func TestLAPNoRewriteCases(t *testing.T) {
+	snap := lapCatalog(t)
+	cases := []string{
+		`SELECT region, AVG(hits) AS m FROM clicks GROUP BY region`,               // unmaintained agg
+		`SELECT region, COUNT(*) AS n FROM clicks WHERE hits > 1 GROUP BY region`, // non-group predicate
+		`SELECT hits, COUNT(*) AS n FROM clicks GROUP BY hits`,                    // different grouping
+		`SELECT region, hits FROM clicks`,                                         // no aggregation at all
+	}
+	for _, q := range cases {
+		plan := planLAP(t, snap, q)
+		scan := findScan(plan.Root)
+		if scan.Proj.Name == "clicks_agg" {
+			t.Errorf("%q should not use the live aggregate projection", q)
+		}
+	}
+}
+
+func TestLAPRewriteMinMax(t *testing.T) {
+	c := catalog.New()
+	txn := c.Begin()
+	tbl := &catalog.Table{OID: c.NewOID(), Name: "m", Columns: types.Schema{
+		{Name: "k", Type: types.Int64},
+		{Name: "v", Type: types.Float64},
+	}}
+	txn.Put(tbl)
+	txn.Put(&catalog.Projection{
+		OID: c.NewOID(), TableOID: tbl.OID, Name: "m_super",
+		Columns: []string{"k", "v"}, SortKey: []string{"k"}, SegmentCols: []string{"k"},
+	})
+	txn.Put(&catalog.Projection{
+		OID: c.NewOID(), TableOID: tbl.OID, Name: "m_agg",
+		Columns: []string{"k"}, SortKey: []string{"k"}, SegmentCols: []string{"k"},
+		LiveAggs: []catalog.LiveAgg{
+			{Op: "min", Col: "v", Name: "lo"},
+			{Op: "max", Col: "v", Name: "hi"},
+		},
+		LiveSchema: types.Schema{
+			{Name: "k", Type: types.Int64},
+			{Name: "lo", Type: types.Float64},
+			{Name: "hi", Type: types.Float64},
+		},
+	})
+	if _, err := c.Commit(txn); err != nil {
+		t.Fatal(err)
+	}
+	plan := planLAP(t, c.Snapshot(), `SELECT k, MIN(v) AS lo, MAX(v) AS hi FROM m GROUP BY k`)
+	if findScan(plan.Root).Proj.Name != "m_agg" {
+		t.Error("min/max query should use the live aggregate")
+	}
+}

@@ -1,0 +1,172 @@
+package planner
+
+import (
+	"fmt"
+	"strings"
+
+	"eon/internal/expr"
+	"eon/internal/types"
+)
+
+// resolveAndBind rewrites column references in e to the exact names of
+// schema entries, then binds. Schema entries may be qualified
+// ("alias.col"); references may be bare ("col") or qualified. Bare
+// references must match exactly one entry's column part.
+func resolveAndBind(e expr.Expr, schema types.Schema) error {
+	if e == nil {
+		return nil
+	}
+	if err := resolveColumns(e, schema); err != nil {
+		return err
+	}
+	return expr.Bind(e, schema)
+}
+
+func resolveColumns(e expr.Expr, schema types.Schema) error {
+	switch n := e.(type) {
+	case *expr.ColumnRef:
+		name, err := resolveName(n.Name, schema)
+		if err != nil {
+			return err
+		}
+		n.Name = name
+		return nil
+	case *expr.Literal:
+		return nil
+	case *expr.Binary:
+		if err := resolveColumns(n.L, schema); err != nil {
+			return err
+		}
+		return resolveColumns(n.R, schema)
+	case *expr.Unary:
+		return resolveColumns(n.E, schema)
+	case *expr.IsNull:
+		return resolveColumns(n.E, schema)
+	case *expr.In:
+		if err := resolveColumns(n.E, schema); err != nil {
+			return err
+		}
+		for _, x := range n.List {
+			if err := resolveColumns(x, schema); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *expr.Like:
+		return resolveColumns(n.E, schema)
+	case *expr.Case:
+		for _, w := range n.Whens {
+			if err := resolveColumns(w.Cond, schema); err != nil {
+				return err
+			}
+			if err := resolveColumns(w.Then, schema); err != nil {
+				return err
+			}
+		}
+		if n.Else != nil {
+			return resolveColumns(n.Else, schema)
+		}
+		return nil
+	case *expr.Func:
+		for _, a := range n.Args {
+			if err := resolveColumns(a, schema); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("planner: cannot resolve columns in %T", e)
+}
+
+// resolveName maps a reference to the unique matching schema entry name.
+func resolveName(ref string, schema types.Schema) (string, error) {
+	// Exact match first (covers already-qualified refs and plain
+	// single-table schemas).
+	if idx := schema.ColumnIndex(ref); idx >= 0 {
+		return schema[idx].Name, nil
+	}
+	lowRef := strings.ToLower(ref)
+	if !strings.Contains(ref, ".") {
+		// Bare reference: match the column part of qualified entries.
+		var found string
+		count := 0
+		for _, c := range schema {
+			name := strings.ToLower(c.Name)
+			if i := strings.LastIndexByte(name, '.'); i >= 0 {
+				if name[i+1:] == lowRef {
+					found = c.Name
+					count++
+				}
+			}
+		}
+		switch count {
+		case 1:
+			return found, nil
+		case 0:
+			return "", fmt.Errorf("planner: unknown column %q (available: %s)", ref, strings.Join(schema.Names(), ", "))
+		default:
+			return "", fmt.Errorf("planner: ambiguous column %q", ref)
+		}
+	}
+	// Qualified reference against a plain schema: match the column part
+	// when unambiguous.
+	col := lowRef[strings.LastIndexByte(lowRef, '.')+1:]
+	var found string
+	count := 0
+	for _, c := range schema {
+		if strings.ToLower(c.Name) == col {
+			found = c.Name
+			count++
+		}
+	}
+	if count == 1 {
+		return found, nil
+	}
+	return "", fmt.Errorf("planner: unknown column %q (available: %s)", ref, strings.Join(schema.Names(), ", "))
+}
+
+// columnRefNames collects referenced names after resolution (unique, in
+// first-use order).
+func columnRefNames(e expr.Expr) []string {
+	if e == nil {
+		return nil
+	}
+	return expr.ColumnNames(e)
+}
+
+// qualify prefixes a column name with a table alias.
+func qualify(alias, col string) string { return alias + "." + col }
+
+// baseColumn strips the qualifier from a schema entry name.
+func baseColumn(name string) string {
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		return name[i+1:]
+	}
+	return name
+}
+
+// refersOnlyTo reports whether all columns referenced by e exist in
+// schema (used to split predicates for pushdown).
+func refersOnlyTo(e expr.Expr, schema types.Schema) bool {
+	for _, name := range columnRefNames(e) {
+		if _, err := resolveName(name, schema); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// splitConjuncts flattens a predicate over AND.
+func splitConjuncts(e expr.Expr) []expr.Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*expr.Binary); ok && b.Op == expr.OpAnd {
+		return append(splitConjuncts(b.L), splitConjuncts(b.R)...)
+	}
+	return []expr.Expr{e}
+}
+
+// cloneExpr deep-copies an expression so the same AST can be bound
+// against different schemas (e.g. scan pushdown vs join residual).
+func cloneExpr(e expr.Expr) expr.Expr { return expr.Clone(e) }

@@ -1,0 +1,314 @@
+// Package shard implements the sharding mechanism's control-plane rules
+// (paper §3): the subscription state machine (Figure 4), rebalance
+// planning that keeps every shard fault tolerant and every subcluster
+// self-sufficient, the cluster viability invariants (§3.4), and mergeout
+// coordinator selection (§6.2).
+//
+// Functions here are pure: they examine catalog snapshots and return
+// planned actions; the core package executes the actions as catalog
+// transactions plus data movement.
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"eon/internal/catalog"
+)
+
+// CanTransition reports whether a subscription may move between states,
+// following Figure 4. The pseudo-state "dropped" is represented by
+// removing the subscription object, validated by CanDrop.
+func CanTransition(from, to catalog.SubState) bool {
+	switch from {
+	case catalog.SubPending:
+		return to == catalog.SubPassive
+	case catalog.SubPassive:
+		// Cache warm completes, or promotion when all other subscribers
+		// fail; either way the next state is ACTIVE.
+		return to == catalog.SubActive
+	case catalog.SubActive:
+		// Node recovery forces re-subscription (back to PENDING);
+		// unsubscription declares intent with REMOVING.
+		return to == catalog.SubPending || to == catalog.SubRemoving
+	case catalog.SubRemoving:
+		return false // REMOVING only exits by dropping the subscription
+	}
+	return false
+}
+
+// CanDrop reports whether a REMOVING subscription may be dropped: the
+// shard must retain at least minSubscribers other ACTIVE subscribers
+// (paper §3.3: "the subscription cannot be dropped until sufficient other
+// subscribers exist to ensure the shard remains fault tolerant").
+func CanDrop(snap *catalog.Snapshot, sub *catalog.Subscription, minSubscribers int) bool {
+	others := 0
+	for _, s := range snap.SubscribersOf(sub.ShardIndex, catalog.SubActive) {
+		if s.Node != sub.Node {
+			others++
+		}
+	}
+	return others >= minSubscribers
+}
+
+// Action is one planned subscription change.
+type Action struct {
+	Node       string
+	ShardIndex int
+	// Unsubscribe marks the subscription REMOVING instead of creating it.
+	Unsubscribe bool
+}
+
+// PlanOptions tunes rebalance planning.
+type PlanOptions struct {
+	// ReplicationFactor is the minimum subscriber count per segment shard
+	// (the analog of Enterprise K-safety+1; 2 tolerates one node loss).
+	ReplicationFactor int
+	// DrainNodes lists nodes whose subscriptions should be removed (node
+	// removal / scale-in).
+	DrainNodes []string
+}
+
+// PlanRebalance computes the subscription changes needed so that:
+//   - every segment shard has at least ReplicationFactor subscribers,
+//   - every node subscribes to the replica shard,
+//   - every subcluster with members can serve every shard (§4.3),
+//   - drained nodes lose their subscriptions once safe,
+//   - load is spread onto the least-subscribed nodes first.
+//
+// The returned actions are in execution order.
+func PlanRebalance(snap *catalog.Snapshot, opts PlanOptions) []Action {
+	k := opts.ReplicationFactor
+	if k < 1 {
+		k = 1
+	}
+	drain := map[string]bool{}
+	for _, n := range opts.DrainNodes {
+		drain[n] = true
+	}
+
+	nodes := snap.Nodes()
+	var liveNodes []*catalog.Node
+	for _, n := range nodes {
+		if !drain[n.Name] {
+			liveNodes = append(liveNodes, n)
+		}
+	}
+	if len(liveNodes) == 0 {
+		return nil
+	}
+
+	// Current subscription map: node -> shard -> state.
+	subs := map[string]map[int]catalog.SubState{}
+	for _, s := range snap.Subscriptions("") {
+		if subs[s.Node] == nil {
+			subs[s.Node] = map[int]catalog.SubState{}
+		}
+		subs[s.Node][s.ShardIndex] = s.State
+	}
+	load := map[string]int{}
+	for n, m := range subs {
+		load[n] = len(m)
+	}
+	serving := func(node string, shardIdx int) bool {
+		st, ok := subs[node][shardIdx]
+		return ok && st != catalog.SubRemoving
+	}
+
+	var actions []Action
+	addSub := func(node string, shardIdx int) {
+		actions = append(actions, Action{Node: node, ShardIndex: shardIdx})
+		if subs[node] == nil {
+			subs[node] = map[int]catalog.SubState{}
+		}
+		subs[node][shardIdx] = catalog.SubPending
+		load[node]++
+	}
+
+	// leastLoaded returns live candidate nodes ordered by subscription
+	// count then name, filtered to those not already serving the shard.
+	leastLoaded := func(shardIdx int, among []*catalog.Node) []string {
+		var cands []string
+		for _, n := range among {
+			if !serving(n.Name, shardIdx) {
+				cands = append(cands, n.Name)
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if load[cands[i]] != load[cands[j]] {
+				return load[cands[i]] < load[cands[j]]
+			}
+			return cands[i] < cands[j]
+		})
+		return cands
+	}
+
+	shards := snap.Shards()
+
+	// 1. Every live node subscribes to the replica shard.
+	for _, sh := range shards {
+		if sh.ShardKind != catalog.ReplicaShardKind {
+			continue
+		}
+		for _, n := range liveNodes {
+			if !serving(n.Name, sh.Index) {
+				addSub(n.Name, sh.Index)
+			}
+		}
+	}
+
+	// 2. Segment shards reach the replication factor.
+	for _, sh := range shards {
+		if sh.ShardKind != catalog.SegmentShard {
+			continue
+		}
+		have := 0
+		for _, n := range liveNodes {
+			if serving(n.Name, sh.Index) {
+				have++
+			}
+		}
+		for _, cand := range leastLoaded(sh.Index, liveNodes) {
+			if have >= k {
+				break
+			}
+			addSub(cand, sh.Index)
+			have++
+		}
+	}
+
+	// 3. Every subcluster covers every segment shard (§4.3: "the
+	// subscription rebalance mechanism will ensure that every shard has
+	// a node subscriber in the subcluster").
+	bySubcluster := map[string][]*catalog.Node{}
+	for _, n := range liveNodes {
+		if n.Subcluster != "" {
+			bySubcluster[n.Subcluster] = append(bySubcluster[n.Subcluster], n)
+		}
+	}
+	var scNames []string
+	for sc := range bySubcluster {
+		scNames = append(scNames, sc)
+	}
+	sort.Strings(scNames)
+	for _, sc := range scNames {
+		members := bySubcluster[sc]
+		for _, sh := range shards {
+			if sh.ShardKind != catalog.SegmentShard {
+				continue
+			}
+			covered := false
+			for _, m := range members {
+				if serving(m.Name, sh.Index) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				if cands := leastLoaded(sh.Index, members); len(cands) > 0 {
+					addSub(cands[0], sh.Index)
+				}
+			}
+		}
+	}
+
+	// 4. Drained nodes unsubscribe (executed after replacements exist).
+	for _, s := range snap.Subscriptions("") {
+		if drain[s.Node] && s.State != catalog.SubRemoving {
+			actions = append(actions, Action{Node: s.Node, ShardIndex: s.ShardIndex, Unsubscribe: true})
+		}
+	}
+	return actions
+}
+
+// Viability describes whether a set of up nodes can form a functioning
+// cluster (paper §3.4).
+type Viability struct {
+	OK      bool
+	Reason  string
+	Quorum  bool
+	Covered bool
+}
+
+// CheckViability verifies the cluster invariants: a quorum of nodes is
+// up, and every segment shard plus the replica shard has at least one
+// up-node subscription that is ACTIVE.
+func CheckViability(snap *catalog.Snapshot, upNodes map[string]bool) Viability {
+	total := len(snap.Nodes())
+	up := 0
+	for _, n := range snap.Nodes() {
+		if upNodes[n.Name] {
+			up++
+		}
+	}
+	v := Viability{Quorum: total > 0 && up*2 > total}
+	if !v.Quorum {
+		v.Reason = fmt.Sprintf("no quorum: %d of %d nodes up", up, total)
+		return v
+	}
+	for _, sh := range snap.Shards() {
+		ok := false
+		for _, s := range snap.SubscribersOf(sh.Index, catalog.SubActive) {
+			if upNodes[s.Node] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			v.Reason = fmt.Sprintf("shard %d has no ACTIVE subscriber among up nodes", sh.Index)
+			return v
+		}
+	}
+	v.Covered = true
+	v.OK = true
+	return v
+}
+
+// MergeoutCoordinators assigns one coordinator per segment shard among
+// its ACTIVE subscribers, spreading coordination load round-robin so a
+// single node does not own every shard's compaction (§6.2). Nodes in
+// onlySubcluster ("" = any) are preferred, isolating compaction work.
+func MergeoutCoordinators(snap *catalog.Snapshot, upNodes map[string]bool, onlySubcluster string) map[int]string {
+	nodeSC := map[string]string{}
+	for _, n := range snap.Nodes() {
+		nodeSC[n.Name] = n.Subcluster
+	}
+	out := map[int]string{}
+	load := map[string]int{}
+	for _, sh := range snap.Shards() {
+		if sh.ShardKind != catalog.SegmentShard {
+			continue
+		}
+		var cands []string
+		for _, s := range snap.SubscribersOf(sh.Index, catalog.SubActive) {
+			if !upNodes[s.Node] {
+				continue
+			}
+			if onlySubcluster != "" && nodeSC[s.Node] != onlySubcluster {
+				continue
+			}
+			cands = append(cands, s.Node)
+		}
+		if len(cands) == 0 && onlySubcluster != "" {
+			// Fall back to any subscriber if the subcluster cannot cover
+			// the shard.
+			for _, s := range snap.SubscribersOf(sh.Index, catalog.SubActive) {
+				if upNodes[s.Node] {
+					cands = append(cands, s.Node)
+				}
+			}
+		}
+		if len(cands) == 0 {
+			continue
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if load[cands[i]] != load[cands[j]] {
+				return load[cands[i]] < load[cands[j]]
+			}
+			return cands[i] < cands[j]
+		})
+		out[sh.Index] = cands[0]
+		load[cands[0]]++
+	}
+	return out
+}

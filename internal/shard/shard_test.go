@@ -1,0 +1,317 @@
+package shard
+
+import (
+	"testing"
+
+	"eon/internal/catalog"
+)
+
+// buildSnap constructs a catalog with n nodes (optionally in subclusters),
+// s segment shards plus the replica shard, and the given subscriptions.
+type subSpec struct {
+	node  string
+	shard int
+	state catalog.SubState
+}
+
+func buildSnap(t *testing.T, nodes map[string]string, segShards int, subs []subSpec) *catalog.Snapshot {
+	t.Helper()
+	c := catalog.New()
+	txn := c.Begin()
+	for name, sc := range nodes {
+		txn.Put(&catalog.Node{OID: c.NewOID(), Name: name, Subcluster: sc})
+	}
+	for i := 0; i < segShards; i++ {
+		txn.Put(&catalog.Shard{OID: c.NewOID(), Index: i, ShardKind: catalog.SegmentShard})
+	}
+	txn.Put(&catalog.Shard{OID: c.NewOID(), Index: catalog.ReplicaShard, ShardKind: catalog.ReplicaShardKind})
+	for _, s := range subs {
+		txn.Put(&catalog.Subscription{OID: c.NewOID(), Node: s.node, ShardIndex: s.shard, State: s.state})
+	}
+	if _, err := c.Commit(txn); err != nil {
+		t.Fatal(err)
+	}
+	return c.Snapshot()
+}
+
+func TestCanTransition(t *testing.T) {
+	allowed := []struct{ from, to catalog.SubState }{
+		{catalog.SubPending, catalog.SubPassive},
+		{catalog.SubPassive, catalog.SubActive},
+		{catalog.SubActive, catalog.SubPending},
+		{catalog.SubActive, catalog.SubRemoving},
+	}
+	for _, a := range allowed {
+		if !CanTransition(a.from, a.to) {
+			t.Errorf("%v -> %v should be allowed", a.from, a.to)
+		}
+	}
+	denied := []struct{ from, to catalog.SubState }{
+		{catalog.SubPending, catalog.SubActive}, // must pass through PASSIVE
+		{catalog.SubRemoving, catalog.SubActive},
+		{catalog.SubPassive, catalog.SubPending},
+		{catalog.SubPending, catalog.SubRemoving},
+	}
+	for _, d := range denied {
+		if CanTransition(d.from, d.to) {
+			t.Errorf("%v -> %v should be denied", d.from, d.to)
+		}
+	}
+}
+
+func TestCanDrop(t *testing.T) {
+	snap := buildSnap(t, map[string]string{"n1": "", "n2": ""}, 1, []subSpec{
+		{"n1", 0, catalog.SubRemoving},
+		{"n2", 0, catalog.SubActive},
+	})
+	sub := snap.SubscribersOf(0)[0]
+	var removing *catalog.Subscription
+	for _, s := range snap.SubscribersOf(0) {
+		if s.State == catalog.SubRemoving {
+			removing = s
+		}
+	}
+	_ = sub
+	if !CanDrop(snap, removing, 1) {
+		t.Error("one other ACTIVE subscriber should permit drop at min=1")
+	}
+	if CanDrop(snap, removing, 2) {
+		t.Error("min=2 with one other subscriber must block drop")
+	}
+}
+
+func TestPlanRebalanceFreshCluster(t *testing.T) {
+	snap := buildSnap(t, map[string]string{"n1": "", "n2": "", "n3": ""}, 3, nil)
+	actions := PlanRebalance(snap, PlanOptions{ReplicationFactor: 2})
+
+	// Every segment shard must gain 2 subscribers; every node the
+	// replica shard.
+	segCount := map[int]int{}
+	replicaNodes := map[string]bool{}
+	perNode := map[string]int{}
+	for _, a := range actions {
+		if a.Unsubscribe {
+			t.Errorf("fresh cluster should not unsubscribe: %+v", a)
+		}
+		if a.ShardIndex == catalog.ReplicaShard {
+			replicaNodes[a.Node] = true
+		} else {
+			segCount[a.ShardIndex]++
+			perNode[a.Node]++
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if segCount[i] != 2 {
+			t.Errorf("shard %d gets %d subscribers, want 2", i, segCount[i])
+		}
+	}
+	if len(replicaNodes) != 3 {
+		t.Errorf("replica shard on %d nodes, want 3", len(replicaNodes))
+	}
+	// Balanced: 6 segment subscriptions over 3 nodes = 2 each.
+	for n, c := range perNode {
+		if c != 2 {
+			t.Errorf("node %s has %d segment subscriptions, want 2", n, c)
+		}
+	}
+}
+
+func TestPlanRebalanceIdempotent(t *testing.T) {
+	subs := []subSpec{
+		{"n1", 0, catalog.SubActive}, {"n2", 0, catalog.SubActive},
+		{"n1", 1, catalog.SubActive}, {"n2", 1, catalog.SubActive},
+		{"n1", catalog.ReplicaShard, catalog.SubActive},
+		{"n2", catalog.ReplicaShard, catalog.SubActive},
+	}
+	snap := buildSnap(t, map[string]string{"n1": "", "n2": ""}, 2, subs)
+	actions := PlanRebalance(snap, PlanOptions{ReplicationFactor: 2})
+	if len(actions) != 0 {
+		t.Errorf("already balanced cluster should plan nothing, got %+v", actions)
+	}
+}
+
+func TestPlanRebalanceNewNodeGetsSubscriptions(t *testing.T) {
+	subs := []subSpec{
+		{"n1", 0, catalog.SubActive}, {"n1", 1, catalog.SubActive},
+		{"n1", catalog.ReplicaShard, catalog.SubActive},
+	}
+	snap := buildSnap(t, map[string]string{"n1": "", "n2": ""}, 2, subs)
+	actions := PlanRebalance(snap, PlanOptions{ReplicationFactor: 2})
+	n2Gets := 0
+	for _, a := range actions {
+		if a.Node == "n2" && !a.Unsubscribe {
+			n2Gets++
+		}
+	}
+	// n2 must pick up both segment shards (to reach k=2) plus replica.
+	if n2Gets != 3 {
+		t.Errorf("n2 gains %d subscriptions, want 3 (2 segment + replica): %+v", n2Gets, actions)
+	}
+}
+
+func TestPlanRebalanceDrain(t *testing.T) {
+	subs := []subSpec{
+		{"n1", 0, catalog.SubActive}, {"n2", 0, catalog.SubActive},
+		{"n1", catalog.ReplicaShard, catalog.SubActive},
+		{"n2", catalog.ReplicaShard, catalog.SubActive},
+		{"n3", catalog.ReplicaShard, catalog.SubActive},
+	}
+	snap := buildSnap(t, map[string]string{"n1": "", "n2": "", "n3": ""}, 1, subs)
+	actions := PlanRebalance(snap, PlanOptions{ReplicationFactor: 2, DrainNodes: []string{"n1"}})
+
+	var subscribes, unsubscribes []Action
+	for _, a := range actions {
+		if a.Unsubscribe {
+			unsubscribes = append(unsubscribes, a)
+		} else {
+			subscribes = append(subscribes, a)
+		}
+	}
+	// n3 must replace n1 on shard 0 before n1 unsubscribes.
+	foundReplacement := false
+	for _, a := range subscribes {
+		if a.Node == "n3" && a.ShardIndex == 0 {
+			foundReplacement = true
+		}
+	}
+	if !foundReplacement {
+		t.Errorf("drain should add replacement subscription: %+v", actions)
+	}
+	if len(unsubscribes) != 2 { // n1's segment + replica subscriptions
+		t.Errorf("unsubscribes = %+v", unsubscribes)
+	}
+	for _, a := range subscribes {
+		if a.Node == "n1" {
+			t.Error("drained node must not gain subscriptions")
+		}
+	}
+}
+
+func TestPlanRebalanceSubclusterCoverage(t *testing.T) {
+	// Two subclusters; each must cover every shard (§4.3).
+	subs := []subSpec{
+		{"a1", 0, catalog.SubActive}, {"a1", 1, catalog.SubActive},
+		{"a2", 0, catalog.SubActive}, {"a2", 1, catalog.SubActive},
+	}
+	snap := buildSnap(t, map[string]string{"a1": "A", "a2": "A", "b1": "B", "b2": "B"}, 2, subs)
+	actions := PlanRebalance(snap, PlanOptions{ReplicationFactor: 2})
+	covered := map[int]bool{}
+	for _, a := range actions {
+		if !a.Unsubscribe && (a.Node == "b1" || a.Node == "b2") && a.ShardIndex >= 0 {
+			covered[a.ShardIndex] = true
+		}
+	}
+	if !covered[0] || !covered[1] {
+		t.Errorf("subcluster B must cover all shards: %+v", actions)
+	}
+}
+
+func TestCheckViability(t *testing.T) {
+	subs := []subSpec{
+		{"n1", 0, catalog.SubActive}, {"n2", 0, catalog.SubActive},
+		{"n1", 1, catalog.SubActive}, {"n3", 1, catalog.SubActive},
+		{"n1", catalog.ReplicaShard, catalog.SubActive},
+		{"n2", catalog.ReplicaShard, catalog.SubActive},
+		{"n3", catalog.ReplicaShard, catalog.SubActive},
+	}
+	snap := buildSnap(t, map[string]string{"n1": "", "n2": "", "n3": ""}, 2, subs)
+
+	v := CheckViability(snap, map[string]bool{"n1": true, "n2": true, "n3": true})
+	if !v.OK {
+		t.Errorf("full cluster should be viable: %+v", v)
+	}
+	// n1 down: n2 covers shard 0, n3 covers shard 1, quorum 2/3.
+	v = CheckViability(snap, map[string]bool{"n2": true, "n3": true})
+	if !v.OK {
+		t.Errorf("one node down should stay viable: %+v", v)
+	}
+	// Two nodes down: no quorum.
+	v = CheckViability(snap, map[string]bool{"n1": true})
+	if v.OK || v.Quorum {
+		t.Errorf("1/3 up must fail quorum: %+v", v)
+	}
+}
+
+func TestCheckViabilityShardCoverage(t *testing.T) {
+	// Shard 1 is only on n3; with n3 down there is quorum but no
+	// coverage.
+	subs := []subSpec{
+		{"n1", 0, catalog.SubActive}, {"n2", 0, catalog.SubActive},
+		{"n3", 1, catalog.SubActive},
+		{"n1", catalog.ReplicaShard, catalog.SubActive},
+		{"n2", catalog.ReplicaShard, catalog.SubActive},
+	}
+	snap := buildSnap(t, map[string]string{"n1": "", "n2": "", "n3": ""}, 2, subs)
+	v := CheckViability(snap, map[string]bool{"n1": true, "n2": true})
+	if v.OK {
+		t.Error("uncovered shard must make cluster unviable")
+	}
+	if !v.Quorum {
+		t.Error("quorum should be satisfied")
+	}
+}
+
+func TestViabilityIgnoresNonActiveSubscriptions(t *testing.T) {
+	subs := []subSpec{
+		{"n1", 0, catalog.SubPending},
+		{"n2", 0, catalog.SubPassive},
+		{"n1", catalog.ReplicaShard, catalog.SubActive},
+		{"n2", catalog.ReplicaShard, catalog.SubActive},
+	}
+	snap := buildSnap(t, map[string]string{"n1": "", "n2": ""}, 1, subs)
+	v := CheckViability(snap, map[string]bool{"n1": true, "n2": true})
+	if v.OK {
+		t.Error("PENDING/PASSIVE subscriptions must not satisfy coverage")
+	}
+}
+
+func TestMergeoutCoordinators(t *testing.T) {
+	subs := []subSpec{
+		{"n1", 0, catalog.SubActive}, {"n2", 0, catalog.SubActive},
+		{"n1", 1, catalog.SubActive}, {"n2", 1, catalog.SubActive},
+		{"n1", 2, catalog.SubActive}, {"n2", 2, catalog.SubActive},
+		{"n1", 3, catalog.SubActive}, {"n2", 3, catalog.SubActive},
+	}
+	snap := buildSnap(t, map[string]string{"n1": "", "n2": ""}, 4, subs)
+	up := map[string]bool{"n1": true, "n2": true}
+	coords := MergeoutCoordinators(snap, up, "")
+	if len(coords) != 4 {
+		t.Fatalf("coordinators = %v", coords)
+	}
+	load := map[string]int{}
+	for _, n := range coords {
+		load[n]++
+	}
+	// 4 shards over 2 nodes: 2 each (balanced).
+	if load["n1"] != 2 || load["n2"] != 2 {
+		t.Errorf("coordinator load = %v", load)
+	}
+}
+
+func TestMergeoutCoordinatorFailover(t *testing.T) {
+	subs := []subSpec{
+		{"n1", 0, catalog.SubActive}, {"n2", 0, catalog.SubActive},
+	}
+	snap := buildSnap(t, map[string]string{"n1": "", "n2": ""}, 1, subs)
+	coords := MergeoutCoordinators(snap, map[string]bool{"n2": true}, "")
+	if coords[0] != "n2" {
+		t.Errorf("coordinator should fail over to n2, got %v", coords)
+	}
+}
+
+func TestMergeoutCoordinatorSubclusterIsolation(t *testing.T) {
+	subs := []subSpec{
+		{"a1", 0, catalog.SubActive}, {"b1", 0, catalog.SubActive},
+	}
+	snap := buildSnap(t, map[string]string{"a1": "A", "b1": "B"}, 1, subs)
+	up := map[string]bool{"a1": true, "b1": true}
+	coords := MergeoutCoordinators(snap, up, "B")
+	if coords[0] != "b1" {
+		t.Errorf("coordination should be isolated to subcluster B, got %v", coords)
+	}
+	// Subcluster with no subscriber falls back to any subscriber.
+	coords = MergeoutCoordinators(snap, map[string]bool{"a1": true}, "B")
+	if coords[0] != "a1" {
+		t.Errorf("fallback should pick a1, got %v", coords)
+	}
+}

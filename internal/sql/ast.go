@@ -1,0 +1,199 @@
+package sql
+
+import (
+	"eon/internal/expr"
+	"eon/internal/types"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// SetUsingSpec denormalizes a column from a dimension table at load time
+// (flattened tables, paper §2.1): the column takes DimTable.DimValue of
+// the dimension row whose DimKey equals this table's FactKey.
+type SetUsingSpec struct {
+	DimTable string
+	DimValue string
+	FactKey  string
+	DimKey   string
+}
+
+// ColDef is one column definition.
+type ColDef struct {
+	Name     string
+	Type     types.Type
+	SetUsing *SetUsingSpec // non-nil for flattened columns
+}
+
+// CreateTable is CREATE TABLE name (cols...) [PARTITION BY expr].
+type CreateTable struct {
+	Name        string
+	Cols        []ColDef
+	PartitionBy expr.Expr // nil if unpartitioned
+}
+
+func (*CreateTable) stmt() {}
+
+// ProjAgg is one aggregate column of a live aggregate projection.
+type ProjAgg struct {
+	Op    AggOp
+	Col   string // aggregated column ("" for COUNT(*))
+	Alias string
+}
+
+// CreateProjection is CREATE PROJECTION name AS SELECT cols FROM table
+// [GROUP BY cols] [ORDER BY cols] [SEGMENTED BY HASH(cols) ALL NODES |
+// UNSEGMENTED ALL NODES] [KSAFE n]. A select list containing aggregates
+// defines a live aggregate projection (paper §2.1); its plain columns
+// are the group keys.
+type CreateProjection struct {
+	Name       string
+	Table      string
+	Cols       []string  // plain columns (group keys for live aggregates)
+	Aggs       []ProjAgg // non-empty = live aggregate projection
+	GroupBy    []string  // optional explicit GROUP BY (must equal Cols)
+	OrderBy    []string
+	SegmentBy  []string // empty + !Replicated means default segmentation
+	Replicated bool     // UNSEGMENTED ALL NODES
+	KSafe      int      // -1 if unspecified
+}
+
+func (*CreateProjection) stmt() {}
+
+// Insert is INSERT INTO table VALUES (exprs), (exprs), ...
+type Insert struct {
+	Table string
+	Rows  [][]expr.Expr
+}
+
+func (*Insert) stmt() {}
+
+// Delete is DELETE FROM table [WHERE pred].
+type Delete struct {
+	Table string
+	Where expr.Expr
+}
+
+func (*Delete) stmt() {}
+
+// SetClause is one col = expr assignment.
+type SetClause struct {
+	Column string
+	Value  expr.Expr
+}
+
+// Update is UPDATE table SET col=expr, ... [WHERE pred].
+type Update struct {
+	Table string
+	Set   []SetClause
+	Where expr.Expr
+}
+
+func (*Update) stmt() {}
+
+// AlterAddColumn is ALTER TABLE t ADD COLUMN c type [DEFAULT expr].
+type AlterAddColumn struct {
+	Table   string
+	Col     ColDef
+	Default expr.Expr // nil means NULL default
+}
+
+func (*AlterAddColumn) stmt() {}
+
+// DropTable is DROP TABLE name.
+type DropTable struct {
+	Name string
+}
+
+func (*DropTable) stmt() {}
+
+// AggOp enumerates aggregate functions.
+type AggOp uint8
+
+// Aggregate operators.
+const (
+	AggCountStar AggOp = iota + 1
+	AggCount
+	AggCountDistinct
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// String names the aggregate.
+func (a AggOp) String() string {
+	switch a {
+	case AggCountStar, AggCount:
+		return "COUNT"
+	case AggCountDistinct:
+		return "COUNT DISTINCT"
+	case AggSum:
+		return "SUM"
+	case AggAvg:
+		return "AVG"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	}
+	return "?"
+}
+
+// AggSpec is one aggregate call: op over an argument expression.
+type AggSpec struct {
+	Op  AggOp
+	Arg expr.Expr // nil for COUNT(*)
+}
+
+// SelectItem is one output column: either a scalar expression or an
+// aggregate, optionally aliased, or the * wildcard.
+type SelectItem struct {
+	Star  bool
+	Agg   *AggSpec
+	Expr  expr.Expr
+	Alias string
+}
+
+// TableRef names a base table with an optional alias.
+type TableRef struct {
+	Table string
+	Alias string
+}
+
+// Name returns the effective name the query refers to this table by.
+func (t TableRef) Name() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Table
+}
+
+// Join is one JOIN table ON cond clause (inner joins only).
+type Join struct {
+	Table TableRef
+	On    expr.Expr
+}
+
+// OrderItem is one ORDER BY key: an expression, an output alias, or a
+// 1-based output position.
+type OrderItem struct {
+	Expr     expr.Expr
+	Position int // 1-based; 0 if Expr/Alias used
+	Desc     bool
+}
+
+// Select is a SELECT query.
+type Select struct {
+	Distinct bool
+	Items    []SelectItem
+	From     TableRef
+	Joins    []Join
+	Where    expr.Expr
+	GroupBy  []expr.Expr
+	Having   expr.Expr // aggregate references via output aliases
+	OrderBy  []OrderItem
+	Limit    int64 // -1 = no limit
+}
+
+func (*Select) stmt() {}

@@ -1,0 +1,180 @@
+// Package sql implements the SQL front end: a lexer, an AST and a
+// recursive-descent parser for the dialect the engine supports — CREATE
+// TABLE / PROJECTION, INSERT, DELETE, UPDATE, ALTER TABLE ADD COLUMN,
+// DROP TABLE and SELECT with joins, WHERE, GROUP BY / HAVING, ORDER BY
+// and LIMIT, plus the aggregate functions COUNT / SUM / AVG / MIN / MAX
+// (with DISTINCT).
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokOp    // punctuation and operators
+	tokParam // unused placeholder for future bind parameters
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords uppercased; identifiers as written
+	pos  int
+}
+
+// keywords recognized by the lexer. Identifiers matching these (case
+// insensitive) become tokKeyword with uppercase text.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "ASC": true, "DESC": true,
+	"JOIN": true, "INNER": true, "LEFT": true, "ON": true, "AS": true,
+	"AND": true, "OR": true, "NOT": true, "IN": true, "LIKE": true,
+	"BETWEEN": true, "IS": true, "NULL": true, "TRUE": true, "FALSE": true,
+	"CASE": true, "WHEN": true, "THEN": true, "ELSE": true, "END": true,
+	"CREATE": true, "TABLE": true, "PROJECTION": true, "PARTITION": true,
+	"INSERT": true, "INTO": true, "VALUES": true, "DELETE": true,
+	"UPDATE": true, "SET": true, "ALTER": true, "ADD": true, "COLUMN": true,
+	"DROP": true, "DEFAULT": true, "SEGMENTED": true, "UNSEGMENTED": true,
+	"HASH": true, "ALL": true, "NODES": true, "KSAFE": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true, "USING": true,
+	"DISTINCT": true, "DATE": true, "TIMESTAMP": true, "INTERVAL": true,
+	"COPY": true, "EXTRACT": true,
+}
+
+type lexer struct {
+	src    string
+	pos    int
+	tokens []token
+}
+
+// lex tokenizes the input.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case isIdentStart(rune(c)):
+			l.lexIdent()
+		case c >= '0' && c <= '9':
+			if err := l.lexNumber(); err != nil {
+				return nil, err
+			}
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		default:
+			if err := l.lexOp(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	l.tokens = append(l.tokens, token{kind: tokEOF, pos: l.pos})
+	return l.tokens, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	upper := strings.ToUpper(text)
+	if keywords[upper] {
+		l.tokens = append(l.tokens, token{kind: tokKeyword, text: upper, pos: start})
+	} else {
+		l.tokens = append(l.tokens, token{kind: tokIdent, text: text, pos: start})
+	}
+}
+
+func (l *lexer) lexNumber() error {
+	start := l.pos
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '.' {
+			if seenDot {
+				break
+			}
+			seenDot = true
+			l.pos++
+			continue
+		}
+		if c < '0' || c > '9' {
+			break
+		}
+		l.pos++
+	}
+	l.tokens = append(l.tokens, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+	return nil
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				sb.WriteByte('\'') // escaped quote
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.tokens = append(l.tokens, token{kind: tokString, text: sb.String(), pos: start})
+			return nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sql: unterminated string literal at %d", start)
+}
+
+func (l *lexer) lexOp() error {
+	start := l.pos
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "<>", "!=", "<=", ">=", "||":
+		l.pos += 2
+		text := two
+		if two == "!=" {
+			text = "<>"
+		}
+		l.tokens = append(l.tokens, token{kind: tokOp, text: text, pos: start})
+		return nil
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '(', ')', ',', '*', '+', '-', '/', '%', '=', '<', '>', '.', ';':
+		l.pos++
+		l.tokens = append(l.tokens, token{kind: tokOp, text: string(c), pos: start})
+		return nil
+	}
+	return fmt.Errorf("sql: unexpected character %q at %d", c, start)
+}

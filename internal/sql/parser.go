@@ -1,0 +1,1058 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"eon/internal/expr"
+	"eon/internal/types"
+)
+
+// Parse parses one SQL statement (an optional trailing semicolon is
+// allowed).
+func Parse(src string) (Statement, error) {
+	tokens, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{tokens: tokens}
+	stmt, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(tokOp, ";")
+	if !p.at(tokEOF, "") {
+		return nil, p.errorf("unexpected trailing input %q", p.peek().text)
+	}
+	return stmt, nil
+}
+
+// ParseExpr parses a standalone scalar expression (used for partition
+// expressions stored as text in the catalog).
+func ParseExpr(src string) (expr.Expr, error) {
+	tokens, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{tokens: tokens}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, p.errorf("unexpected trailing input %q", p.peek().text)
+	}
+	return e, nil
+}
+
+type parser struct {
+	tokens []token
+	pos    int
+}
+
+func (p *parser) peek() token { return p.tokens[p.pos] }
+
+func (p *parser) next() token {
+	t := p.tokens[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+// at reports whether the current token matches kind and (optionally)
+// text.
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.peek()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+// accept consumes the current token if it matches.
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// expect consumes a required token.
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	return token{}, p.errorf("expected %q, found %q", text, p.peek().text)
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("sql: %s (at offset %d)", fmt.Sprintf(format, args...), p.peek().pos)
+}
+
+// ident consumes an identifier (keywords are not identifiers).
+func (p *parser) ident() (string, error) {
+	if p.at(tokIdent, "") {
+		return p.next().text, nil
+	}
+	return "", p.errorf("expected identifier, found %q", p.peek().text)
+}
+
+func (p *parser) parseStatement() (Statement, error) {
+	switch {
+	case p.at(tokKeyword, "SELECT"):
+		return p.parseSelect()
+	case p.at(tokKeyword, "CREATE"):
+		p.next()
+		if p.accept(tokKeyword, "TABLE") {
+			return p.parseCreateTable()
+		}
+		if p.accept(tokKeyword, "PROJECTION") {
+			return p.parseCreateProjection()
+		}
+		return nil, p.errorf("expected TABLE or PROJECTION after CREATE")
+	case p.accept(tokKeyword, "INSERT"):
+		return p.parseInsert()
+	case p.accept(tokKeyword, "DELETE"):
+		return p.parseDelete()
+	case p.accept(tokKeyword, "UPDATE"):
+		return p.parseUpdate()
+	case p.accept(tokKeyword, "ALTER"):
+		return p.parseAlter()
+	case p.accept(tokKeyword, "DROP"):
+		if _, err := p.expect(tokKeyword, "TABLE"); err != nil {
+			return nil, err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &DropTable{Name: name}, nil
+	}
+	return nil, p.errorf("unsupported statement starting with %q", p.peek().text)
+}
+
+func (p *parser) parseCreateTable() (Statement, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokOp, "("); err != nil {
+		return nil, err
+	}
+	ct := &CreateTable{Name: name}
+	for {
+		col, err := p.parseColDef()
+		if err != nil {
+			return nil, err
+		}
+		ct.Cols = append(ct.Cols, col)
+		if !p.accept(tokOp, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokOp, ")"); err != nil {
+		return nil, err
+	}
+	if p.accept(tokKeyword, "PARTITION") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ct.PartitionBy = e
+	}
+	return ct, nil
+}
+
+func (p *parser) parseColDef() (ColDef, error) {
+	name, err := p.ident()
+	if err != nil {
+		return ColDef{}, err
+	}
+	// Type name: an identifier or a type-ish keyword (DATE, TIMESTAMP).
+	var typeName string
+	switch {
+	case p.at(tokIdent, ""):
+		typeName = p.next().text
+	case p.at(tokKeyword, "DATE") || p.at(tokKeyword, "TIMESTAMP"):
+		typeName = p.next().text
+	default:
+		return ColDef{}, p.errorf("expected type for column %q", name)
+	}
+	// Swallow optional length like VARCHAR(64).
+	if p.accept(tokOp, "(") {
+		for !p.at(tokOp, ")") && !p.at(tokEOF, "") {
+			p.next()
+		}
+		if _, err := p.expect(tokOp, ")"); err != nil {
+			return ColDef{}, err
+		}
+	}
+	t, err := types.ParseType(typeName)
+	if err != nil {
+		return ColDef{}, err
+	}
+	def := ColDef{Name: name, Type: t}
+	// Flattened column: SET USING dim.value ON factkey = dim.key (§2.1).
+	if p.accept(tokKeyword, "SET") {
+		if _, err := p.expect(tokKeyword, "USING"); err != nil {
+			return ColDef{}, err
+		}
+		dimTable, err := p.ident()
+		if err != nil {
+			return ColDef{}, err
+		}
+		if _, err := p.expect(tokOp, "."); err != nil {
+			return ColDef{}, err
+		}
+		dimValue, err := p.ident()
+		if err != nil {
+			return ColDef{}, err
+		}
+		if _, err := p.expect(tokKeyword, "ON"); err != nil {
+			return ColDef{}, err
+		}
+		factKey, err := p.ident()
+		if err != nil {
+			return ColDef{}, err
+		}
+		if _, err := p.expect(tokOp, "="); err != nil {
+			return ColDef{}, err
+		}
+		dimTable2, err := p.ident()
+		if err != nil {
+			return ColDef{}, err
+		}
+		if _, err := p.expect(tokOp, "."); err != nil {
+			return ColDef{}, err
+		}
+		dimKey, err := p.ident()
+		if err != nil {
+			return ColDef{}, err
+		}
+		if !stringsEqualFold(dimTable, dimTable2) {
+			return ColDef{}, p.errorf("SET USING join must reference the dimension table %q", dimTable)
+		}
+		def.SetUsing = &SetUsingSpec{DimTable: dimTable, DimValue: dimValue, FactKey: factKey, DimKey: dimKey}
+	}
+	return def, nil
+}
+
+func stringsEqualFold(a, b string) bool { return strings.EqualFold(a, b) }
+
+func (p *parser) parseCreateProjection() (Statement, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "AS"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	cp := &CreateProjection{Name: name, KSafe: -1}
+	if p.accept(tokOp, "*") {
+		// all columns
+	} else {
+		for {
+			// A live aggregate item: SUM/COUNT/MIN/MAX(col | *) [AS a].
+			if op, ok := aggKeywords[p.peek().text]; ok && p.peek().kind == tokKeyword &&
+				p.tokens[p.pos+1].kind == tokOp && p.tokens[p.pos+1].text == "(" {
+				p.next() // agg keyword
+				p.next() // (
+				agg := ProjAgg{Op: op}
+				if op == AggCount && p.accept(tokOp, "*") {
+					agg.Op = AggCountStar
+				} else {
+					col, err := p.ident()
+					if err != nil {
+						return nil, err
+					}
+					agg.Col = col
+				}
+				if _, err := p.expect(tokOp, ")"); err != nil {
+					return nil, err
+				}
+				if p.accept(tokKeyword, "AS") {
+					agg.Alias, err = p.ident()
+					if err != nil {
+						return nil, err
+					}
+				} else if p.at(tokIdent, "") {
+					agg.Alias = p.next().text
+				}
+				cp.Aggs = append(cp.Aggs, agg)
+			} else {
+				col, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				cp.Cols = append(cp.Cols, col)
+			}
+			if !p.accept(tokOp, ",") {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	cp.Table, err = p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(tokKeyword, "GROUP") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			cp.GroupBy = append(cp.GroupBy, col)
+			if !p.accept(tokOp, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tokKeyword, "ORDER") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			cp.OrderBy = append(cp.OrderBy, col)
+			if !p.accept(tokOp, ",") {
+				break
+			}
+		}
+	}
+	switch {
+	case p.accept(tokKeyword, "SEGMENTED"):
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "HASH"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokOp, "("); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			cp.SegmentBy = append(cp.SegmentBy, col)
+			if !p.accept(tokOp, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tokOp, ")"); err != nil {
+			return nil, err
+		}
+		p.accept(tokKeyword, "ALL")
+		p.accept(tokKeyword, "NODES")
+	case p.accept(tokKeyword, "UNSEGMENTED"):
+		p.accept(tokKeyword, "ALL")
+		p.accept(tokKeyword, "NODES")
+		cp.Replicated = true
+	}
+	if p.accept(tokKeyword, "KSAFE") {
+		if !p.at(tokNumber, "") {
+			return nil, p.errorf("expected number after KSAFE")
+		}
+		n, err := strconv.Atoi(p.next().text)
+		if err != nil {
+			return nil, err
+		}
+		cp.KSafe = n
+	}
+	return cp, nil
+}
+
+func (p *parser) parseInsert() (Statement, error) {
+	if _, err := p.expect(tokKeyword, "INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "VALUES"); err != nil {
+		return nil, err
+	}
+	ins := &Insert{Table: table}
+	for {
+		if _, err := p.expect(tokOp, "("); err != nil {
+			return nil, err
+		}
+		var row []expr.Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.accept(tokOp, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tokOp, ")"); err != nil {
+			return nil, err
+		}
+		ins.Rows = append(ins.Rows, row)
+		if !p.accept(tokOp, ",") {
+			break
+		}
+	}
+	return ins, nil
+}
+
+func (p *parser) parseDelete() (Statement, error) {
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	d := &Delete{Table: table}
+	if p.accept(tokKeyword, "WHERE") {
+		d.Where, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+func (p *parser) parseUpdate() (Statement, error) {
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "SET"); err != nil {
+		return nil, err
+	}
+	u := &Update{Table: table}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokOp, "="); err != nil {
+			return nil, err
+		}
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		u.Set = append(u.Set, SetClause{Column: col, Value: val})
+		if !p.accept(tokOp, ",") {
+			break
+		}
+	}
+	if p.accept(tokKeyword, "WHERE") {
+		u.Where, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return u, nil
+}
+
+func (p *parser) parseAlter() (Statement, error) {
+	if _, err := p.expect(tokKeyword, "TABLE"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "ADD"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "COLUMN"); err != nil {
+		return nil, err
+	}
+	col, err := p.parseColDef()
+	if err != nil {
+		return nil, err
+	}
+	a := &AlterAddColumn{Table: table, Col: col}
+	if p.accept(tokKeyword, "DEFAULT") {
+		a.Default, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+func (p *parser) parseSelect() (*Select, error) {
+	if _, err := p.expect(tokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &Select{Limit: -1}
+	sel.Distinct = p.accept(tokKeyword, "DISTINCT")
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.Items = append(sel.Items, item)
+		if !p.accept(tokOp, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	var err error
+	sel.From, err = p.parseTableRef()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if p.accept(tokKeyword, "INNER") {
+			if _, err := p.expect(tokKeyword, "JOIN"); err != nil {
+				return nil, err
+			}
+		} else if !p.accept(tokKeyword, "JOIN") {
+			break
+		}
+		tr, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "ON"); err != nil {
+			return nil, err
+		}
+		on, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Joins = append(sel.Joins, Join{Table: tr, On: on})
+	}
+	if p.accept(tokKeyword, "WHERE") {
+		sel.Where, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if p.accept(tokKeyword, "GROUP") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if !p.accept(tokOp, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tokKeyword, "HAVING") {
+		sel.Having, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if p.accept(tokKeyword, "ORDER") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			var item OrderItem
+			if p.at(tokNumber, "") && !strings.Contains(p.peek().text, ".") {
+				n, _ := strconv.Atoi(p.next().text)
+				item.Position = n
+			} else {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				item.Expr = e
+			}
+			if p.accept(tokKeyword, "DESC") {
+				item.Desc = true
+			} else {
+				p.accept(tokKeyword, "ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if !p.accept(tokOp, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tokKeyword, "LIMIT") {
+		if !p.at(tokNumber, "") {
+			return nil, p.errorf("expected number after LIMIT")
+		}
+		n, err := strconv.ParseInt(p.next().text, 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		sel.Limit = n
+	}
+	return sel, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	name, err := p.ident()
+	if err != nil {
+		return TableRef{}, err
+	}
+	tr := TableRef{Table: name}
+	if p.accept(tokKeyword, "AS") {
+		tr.Alias, err = p.ident()
+		if err != nil {
+			return TableRef{}, err
+		}
+	} else if p.at(tokIdent, "") {
+		tr.Alias = p.next().text
+	}
+	return tr, nil
+}
+
+// aggKeywords maps aggregate keywords to ops.
+var aggKeywords = map[string]AggOp{
+	"COUNT": AggCount, "SUM": AggSum, "AVG": AggAvg, "MIN": AggMin, "MAX": AggMax,
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.accept(tokOp, "*") {
+		return SelectItem{Star: true}, nil
+	}
+	var item SelectItem
+	if op, ok := aggKeywords[p.peek().text]; ok && p.peek().kind == tokKeyword {
+		// Look ahead for '(' to distinguish an aggregate call.
+		if p.tokens[p.pos+1].kind == tokOp && p.tokens[p.pos+1].text == "(" {
+			p.next() // agg keyword
+			p.next() // (
+			spec := &AggSpec{Op: op}
+			if op == AggCount && p.accept(tokOp, "*") {
+				spec.Op = AggCountStar
+			} else {
+				if p.accept(tokKeyword, "DISTINCT") {
+					if op != AggCount {
+						return item, p.errorf("DISTINCT only supported with COUNT")
+					}
+					spec.Op = AggCountDistinct
+				}
+				arg, err := p.parseExpr()
+				if err != nil {
+					return item, err
+				}
+				spec.Arg = arg
+			}
+			if _, err := p.expect(tokOp, ")"); err != nil {
+				return item, err
+			}
+			item.Agg = spec
+		}
+	}
+	if item.Agg == nil {
+		e, err := p.parseExpr()
+		if err != nil {
+			return item, err
+		}
+		item.Expr = e
+	}
+	if p.accept(tokKeyword, "AS") {
+		alias, err := p.ident()
+		if err != nil {
+			return item, err
+		}
+		item.Alias = alias
+	} else if p.at(tokIdent, "") {
+		item.Alias = p.next().text
+	}
+	return item, nil
+}
+
+// --- expression parsing (precedence climbing) ---
+
+func (p *parser) parseExpr() (expr.Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (expr.Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = expr.Bin(expr.OpOr, left, right)
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (expr.Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = expr.Bin(expr.OpAnd, left, right)
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (expr.Expr, error) {
+	if p.accept(tokKeyword, "NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Unary{Op: expr.OpNot, E: e}, nil
+	}
+	return p.parseComparison()
+}
+
+var compOps = map[string]expr.Op{
+	"=": expr.OpEq, "<>": expr.OpNe, "<": expr.OpLt, "<=": expr.OpLe,
+	">": expr.OpGt, ">=": expr.OpGe,
+}
+
+func (p *parser) parseComparison() (expr.Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	// IS [NOT] NULL
+	if p.accept(tokKeyword, "IS") {
+		negate := p.accept(tokKeyword, "NOT")
+		if _, err := p.expect(tokKeyword, "NULL"); err != nil {
+			return nil, err
+		}
+		return &expr.IsNull{E: left, Negate: negate}, nil
+	}
+	negate := false
+	if p.at(tokKeyword, "NOT") {
+		// NOT IN / NOT LIKE / NOT BETWEEN
+		save := p.pos
+		p.next()
+		if p.at(tokKeyword, "IN") || p.at(tokKeyword, "LIKE") || p.at(tokKeyword, "BETWEEN") {
+			negate = true
+		} else {
+			p.pos = save
+			return left, nil
+		}
+	}
+	switch {
+	case p.accept(tokKeyword, "IN"):
+		if _, err := p.expect(tokOp, "("); err != nil {
+			return nil, err
+		}
+		in := &expr.In{E: left, Negate: negate}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			in.List = append(in.List, e)
+			if !p.accept(tokOp, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tokOp, ")"); err != nil {
+			return nil, err
+		}
+		return in, nil
+	case p.accept(tokKeyword, "LIKE"):
+		if !p.at(tokString, "") {
+			return nil, p.errorf("LIKE requires a string literal pattern")
+		}
+		pat := p.next().text
+		return &expr.Like{E: left, Pattern: pat, Negate: negate}, nil
+	case p.accept(tokKeyword, "BETWEEN"):
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		between := expr.Bin(expr.OpAnd,
+			expr.Bin(expr.OpGe, left, lo),
+			expr.Bin(expr.OpLe, left, hi))
+		if negate {
+			return &expr.Unary{Op: expr.OpNot, E: between}, nil
+		}
+		return between, nil
+	}
+	if p.peek().kind == tokOp {
+		if op, ok := compOps[p.peek().text]; ok {
+			p.next()
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return expr.Bin(op, left, right), nil
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdditive() (expr.Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op expr.Op
+		switch {
+		case p.accept(tokOp, "+"):
+			op = expr.OpAdd
+		case p.accept(tokOp, "-"):
+			op = expr.OpSub
+		default:
+			return left, nil
+		}
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		left = expr.Bin(op, left, right)
+	}
+}
+
+func (p *parser) parseMultiplicative() (expr.Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op expr.Op
+		switch {
+		case p.accept(tokOp, "*"):
+			op = expr.OpMul
+		case p.accept(tokOp, "/"):
+			op = expr.OpDiv
+		case p.accept(tokOp, "%"):
+			op = expr.OpMod
+		default:
+			return left, nil
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = expr.Bin(op, left, right)
+	}
+}
+
+func (p *parser) parseUnary() (expr.Expr, error) {
+	if p.accept(tokOp, "-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if lit, ok := e.(*expr.Literal); ok && !lit.Value.Null {
+			v := lit.Value
+			switch v.K.Physical() {
+			case types.Int64:
+				v.I = -v.I
+				return expr.Lit(v), nil
+			case types.Float64:
+				v.F = -v.F
+				return expr.Lit(v), nil
+			}
+		}
+		return &expr.Unary{Op: expr.OpNeg, E: e}, nil
+	}
+	p.accept(tokOp, "+")
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (expr.Expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokNumber:
+		p.next()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errorf("bad number %q", t.text)
+			}
+			return expr.FloatLit(f), nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("bad number %q", t.text)
+		}
+		return expr.IntLit(n), nil
+	case t.kind == tokString:
+		p.next()
+		return expr.StrLit(t.text), nil
+	case t.kind == tokKeyword:
+		switch t.text {
+		case "NULL":
+			p.next()
+			return expr.Lit(types.NullDatum(types.Unknown)), nil
+		case "TRUE":
+			p.next()
+			return expr.Lit(types.NewBool(true)), nil
+		case "FALSE":
+			p.next()
+			return expr.Lit(types.NewBool(false)), nil
+		case "DATE":
+			p.next()
+			if !p.at(tokString, "") {
+				return nil, p.errorf("DATE requires a string literal")
+			}
+			s := p.next().text
+			tm, err := time.Parse("2006-01-02", s)
+			if err != nil {
+				return nil, p.errorf("bad date %q", s)
+			}
+			return expr.Lit(types.NewDate(tm.Unix() / 86400)), nil
+		case "TIMESTAMP":
+			p.next()
+			if !p.at(tokString, "") {
+				return nil, p.errorf("TIMESTAMP requires a string literal")
+			}
+			s := p.next().text
+			tm, err := time.Parse("2006-01-02 15:04:05", s)
+			if err != nil {
+				return nil, p.errorf("bad timestamp %q", s)
+			}
+			return expr.Lit(types.NewTimestamp(tm.UnixMicro())), nil
+		case "CASE":
+			return p.parseCase()
+		case "EXTRACT":
+			p.next()
+			if _, err := p.expect(tokOp, "("); err != nil {
+				return nil, err
+			}
+			var field string
+			if p.at(tokString, "") || p.at(tokIdent, "") {
+				field = p.next().text
+			} else {
+				return nil, p.errorf("expected EXTRACT field")
+			}
+			if !p.accept(tokKeyword, "FROM") {
+				p.accept(tokOp, ",")
+			}
+			arg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokOp, ")"); err != nil {
+				return nil, err
+			}
+			return &expr.Func{Name: "EXTRACT", Args: []expr.Expr{expr.StrLit(field), arg}}, nil
+		case "HASH", "MIN", "MAX": // HASH(...) as scalar; MIN/MAX only in select items
+			if t.text == "HASH" {
+				p.next()
+				return p.parseCallArgs("HASH")
+			}
+		}
+		return nil, p.errorf("unexpected keyword %q in expression", t.text)
+	case t.kind == tokIdent:
+		name := p.next().text
+		// Function call?
+		if p.at(tokOp, "(") {
+			return p.parseCallArgs(name)
+		}
+		// Qualified column t.c?
+		if p.accept(tokOp, ".") {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return expr.Col(name + "." + col), nil
+		}
+		return expr.Col(name), nil
+	case t.kind == tokOp && t.text == "(":
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokOp, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, p.errorf("unexpected token %q in expression", t.text)
+}
+
+func (p *parser) parseCallArgs(name string) (expr.Expr, error) {
+	if _, err := p.expect(tokOp, "("); err != nil {
+		return nil, err
+	}
+	f := &expr.Func{Name: strings.ToUpper(name)}
+	if !p.at(tokOp, ")") {
+		for {
+			a, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			f.Args = append(f.Args, a)
+			if !p.accept(tokOp, ",") {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(tokOp, ")"); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (p *parser) parseCase() (expr.Expr, error) {
+	p.next() // CASE
+	c := &expr.Case{}
+	for p.accept(tokKeyword, "WHEN") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "THEN"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, expr.When{Cond: cond, Then: then})
+	}
+	if len(c.Whens) == 0 {
+		return nil, p.errorf("CASE requires at least one WHEN")
+	}
+	if p.accept(tokKeyword, "ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if _, err := p.expect(tokKeyword, "END"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,133 @@
+package sql
+
+import (
+	"testing"
+
+	"eon/internal/types"
+)
+
+func TestParseSetUsing(t *testing.T) {
+	stmt := mustParse(t, `CREATE TABLE f (
+		id INTEGER, dim_id INTEGER,
+		label VARCHAR SET USING dims.name ON dim_id = dims.d_id
+	)`)
+	ct := stmt.(*CreateTable)
+	if len(ct.Cols) != 3 {
+		t.Fatalf("cols = %d", len(ct.Cols))
+	}
+	su := ct.Cols[2].SetUsing
+	if su == nil {
+		t.Fatal("SetUsing missing")
+	}
+	if su.DimTable != "dims" || su.DimValue != "name" || su.FactKey != "dim_id" || su.DimKey != "d_id" {
+		t.Errorf("spec = %+v", su)
+	}
+}
+
+func TestParseSetUsingErrors(t *testing.T) {
+	bad := []string{
+		`CREATE TABLE f (x VARCHAR SET dims.name ON a = dims.b)`,     // missing USING
+		`CREATE TABLE f (x VARCHAR SET USING dims ON a = dims.b)`,    // missing .value
+		`CREATE TABLE f (x VARCHAR SET USING dims.v ON a = other.b)`, // table mismatch
+		`CREATE TABLE f (x VARCHAR SET USING dims.v ON a)`,           // missing join
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("%q should fail", q)
+		}
+	}
+}
+
+func TestParseLiveAggProjection(t *testing.T) {
+	stmt := mustParse(t, `CREATE PROJECTION p AS SELECT region, COUNT(*) AS n, SUM(x) AS s, MIN(x), MAX(x)
+		FROM t GROUP BY region`)
+	cp := stmt.(*CreateProjection)
+	if len(cp.Cols) != 1 || cp.Cols[0] != "region" {
+		t.Errorf("cols = %v", cp.Cols)
+	}
+	if len(cp.Aggs) != 4 {
+		t.Fatalf("aggs = %v", cp.Aggs)
+	}
+	if cp.Aggs[0].Op != AggCountStar || cp.Aggs[0].Alias != "n" {
+		t.Errorf("agg0 = %+v", cp.Aggs[0])
+	}
+	if cp.Aggs[1].Op != AggSum || cp.Aggs[1].Col != "x" || cp.Aggs[1].Alias != "s" {
+		t.Errorf("agg1 = %+v", cp.Aggs[1])
+	}
+	if cp.Aggs[2].Op != AggMin || cp.Aggs[2].Alias != "" {
+		t.Errorf("agg2 = %+v", cp.Aggs[2])
+	}
+	if len(cp.GroupBy) != 1 || cp.GroupBy[0] != "region" {
+		t.Errorf("groupby = %v", cp.GroupBy)
+	}
+}
+
+func TestParseMoreErrors(t *testing.T) {
+	bad := []string{
+		`CREATE PROJECTION p AS SELECT COUNT( FROM t`,
+		`CREATE PROJECTION p AS SELECT a FROM t SEGMENTED BY HASH() ALL NODES`,
+		`CREATE PROJECTION p AS SELECT a FROM t KSAFE x`,
+		`ALTER TABLE t DROP COLUMN c`, // only ADD COLUMN supported
+		`INSERT INTO t VALUES (1,)`,
+		`SELECT a FROM t JOIN`,
+		`SELECT a FROM t ORDER BY`,
+		`UPDATE t WHERE a = 1`,
+		`SELECT a, FROM t`,
+		`SELECT CASE WHEN a THEN b FROM t`, // missing END
+		`SELECT EXTRACT() FROM t`,
+		`DELETE FROM`,
+		`DROP t`,
+		`CREATE VIEW v AS SELECT 1`,
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("%q should fail", q)
+		}
+	}
+}
+
+func TestParseTimestampLiteral(t *testing.T) {
+	stmt := mustParse(t, `SELECT a FROM t WHERE ts > TIMESTAMP '2018-06-10 12:00:00'`)
+	_ = stmt
+	if _, err := Parse(`SELECT a FROM t WHERE ts > TIMESTAMP 'bogus'`); err == nil {
+		t.Error("bad timestamp should fail")
+	}
+	if _, err := Parse(`SELECT a FROM t WHERE d > DATE 'bogus'`); err == nil {
+		t.Error("bad date should fail")
+	}
+}
+
+func TestParseNotPrecedence(t *testing.T) {
+	// NOT binds tighter than AND.
+	stmt := mustParse(t, `SELECT a FROM t WHERE NOT a = 1 AND b = 2`)
+	_ = stmt
+}
+
+func TestParseVarcharLength(t *testing.T) {
+	stmt := mustParse(t, `CREATE TABLE t (s VARCHAR(255), n NUMERIC)`)
+	ct := stmt.(*CreateTable)
+	if ct.Cols[0].Type != types.Varchar || ct.Cols[1].Type != types.Float64 {
+		t.Errorf("types = %+v", ct.Cols)
+	}
+}
+
+func TestAggOpString(t *testing.T) {
+	names := map[AggOp]string{
+		AggCountStar: "COUNT", AggCount: "COUNT", AggCountDistinct: "COUNT DISTINCT",
+		AggSum: "SUM", AggAvg: "AVG", AggMin: "MIN", AggMax: "MAX",
+	}
+	for op, want := range names {
+		if op.String() != want {
+			t.Errorf("%d.String() = %q", op, op.String())
+		}
+	}
+}
+
+func TestTableRefName(t *testing.T) {
+	if (TableRef{Table: "t"}).Name() != "t" {
+		t.Error("bare name")
+	}
+	if (TableRef{Table: "t", Alias: "x"}).Name() != "x" {
+		t.Error("alias wins")
+	}
+}

@@ -1,0 +1,382 @@
+package sql
+
+import (
+	"testing"
+
+	"eon/internal/expr"
+	"eon/internal/types"
+)
+
+func mustParse(t *testing.T, src string) Statement {
+	t.Helper()
+	stmt, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return stmt
+}
+
+func TestCreateTable(t *testing.T) {
+	stmt := mustParse(t, `CREATE TABLE sales (
+		sale_id INTEGER, customer VARCHAR(64), sale_date DATE, price FLOAT, ok BOOLEAN
+	)`)
+	ct, ok := stmt.(*CreateTable)
+	if !ok {
+		t.Fatalf("got %T", stmt)
+	}
+	if ct.Name != "sales" || len(ct.Cols) != 5 {
+		t.Fatalf("ct = %+v", ct)
+	}
+	if ct.Cols[2].Type != types.Date || ct.Cols[3].Type != types.Float64 {
+		t.Errorf("types = %+v", ct.Cols)
+	}
+	if ct.PartitionBy != nil {
+		t.Error("no partition clause expected")
+	}
+}
+
+func TestCreateTablePartitionBy(t *testing.T) {
+	stmt := mustParse(t, `CREATE TABLE events (ts DATE, v INTEGER) PARTITION BY EXTRACT('month', ts)`)
+	ct := stmt.(*CreateTable)
+	if ct.PartitionBy == nil {
+		t.Fatal("partition expression missing")
+	}
+	f, ok := ct.PartitionBy.(*expr.Func)
+	if !ok || f.Name != "EXTRACT" {
+		t.Errorf("partition expr = %v", ct.PartitionBy)
+	}
+}
+
+func TestCreateProjection(t *testing.T) {
+	stmt := mustParse(t, `CREATE PROJECTION sales_p1 AS SELECT sale_id, customer, price FROM sales
+		ORDER BY customer, sale_id SEGMENTED BY HASH(sale_id) ALL NODES KSAFE 1`)
+	cp := stmt.(*CreateProjection)
+	if cp.Name != "sales_p1" || cp.Table != "sales" {
+		t.Fatalf("cp = %+v", cp)
+	}
+	if len(cp.Cols) != 3 || len(cp.OrderBy) != 2 || len(cp.SegmentBy) != 1 {
+		t.Errorf("cp = %+v", cp)
+	}
+	if cp.SegmentBy[0] != "sale_id" || cp.KSafe != 1 || cp.Replicated {
+		t.Errorf("cp = %+v", cp)
+	}
+}
+
+func TestCreateProjectionReplicated(t *testing.T) {
+	stmt := mustParse(t, `CREATE PROJECTION dim_p AS SELECT * FROM dim UNSEGMENTED ALL NODES`)
+	cp := stmt.(*CreateProjection)
+	if !cp.Replicated || len(cp.Cols) != 0 {
+		t.Errorf("cp = %+v", cp)
+	}
+}
+
+func TestInsert(t *testing.T) {
+	stmt := mustParse(t, `INSERT INTO sales VALUES (1, 'Grace', DATE '2018-02-01', 50.5), (2, 'Ada', NULL, 40)`)
+	ins := stmt.(*Insert)
+	if ins.Table != "sales" || len(ins.Rows) != 2 || len(ins.Rows[0]) != 4 {
+		t.Fatalf("ins = %+v", ins)
+	}
+	d := ins.Rows[0][2].(*expr.Literal).Value
+	if d.K != types.Date {
+		t.Errorf("date literal type = %v", d.K)
+	}
+	if !ins.Rows[1][2].(*expr.Literal).Value.Null {
+		t.Error("NULL literal")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	stmt := mustParse(t, `DELETE FROM sales WHERE price > 100 AND customer = 'Ada'`)
+	d := stmt.(*Delete)
+	if d.Table != "sales" || d.Where == nil {
+		t.Fatalf("d = %+v", d)
+	}
+	stmt = mustParse(t, `DELETE FROM sales`)
+	if stmt.(*Delete).Where != nil {
+		t.Error("where should be nil")
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	stmt := mustParse(t, `UPDATE sales SET price = price * 2, customer = 'X' WHERE sale_id = 5`)
+	u := stmt.(*Update)
+	if u.Table != "sales" || len(u.Set) != 2 || u.Where == nil {
+		t.Fatalf("u = %+v", u)
+	}
+	if u.Set[0].Column != "price" || u.Set[1].Column != "customer" {
+		t.Errorf("set = %+v", u.Set)
+	}
+}
+
+func TestAlterAddColumn(t *testing.T) {
+	stmt := mustParse(t, `ALTER TABLE sales ADD COLUMN region VARCHAR DEFAULT 'unknown'`)
+	a := stmt.(*AlterAddColumn)
+	if a.Table != "sales" || a.Col.Name != "region" || a.Col.Type != types.Varchar {
+		t.Fatalf("a = %+v", a)
+	}
+	if a.Default == nil {
+		t.Error("default missing")
+	}
+	stmt = mustParse(t, `ALTER TABLE sales ADD COLUMN n INTEGER`)
+	if stmt.(*AlterAddColumn).Default != nil {
+		t.Error("default should be nil")
+	}
+}
+
+func TestDropTable(t *testing.T) {
+	stmt := mustParse(t, `DROP TABLE sales;`)
+	if stmt.(*DropTable).Name != "sales" {
+		t.Error("drop table name")
+	}
+}
+
+func TestSelectBasic(t *testing.T) {
+	stmt := mustParse(t, `SELECT customer, price FROM sales WHERE price > 10 ORDER BY price DESC LIMIT 5`)
+	s := stmt.(*Select)
+	if len(s.Items) != 2 || s.From.Table != "sales" || s.Where == nil {
+		t.Fatalf("s = %+v", s)
+	}
+	if len(s.OrderBy) != 1 || !s.OrderBy[0].Desc || s.Limit != 5 {
+		t.Errorf("orderby/limit = %+v %d", s.OrderBy, s.Limit)
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	s := mustParse(t, `SELECT * FROM sales`).(*Select)
+	if len(s.Items) != 1 || !s.Items[0].Star {
+		t.Errorf("items = %+v", s.Items)
+	}
+	if s.Limit != -1 {
+		t.Error("default limit -1")
+	}
+}
+
+func TestSelectAggregates(t *testing.T) {
+	s := mustParse(t, `SELECT customer, COUNT(*), SUM(price * (1 - discount)) AS revenue,
+		AVG(price), MIN(price), MAX(price), COUNT(DISTINCT customer) c
+		FROM sales GROUP BY customer HAVING revenue > 100`).(*Select)
+	if len(s.Items) != 7 {
+		t.Fatalf("items = %d", len(s.Items))
+	}
+	if s.Items[1].Agg == nil || s.Items[1].Agg.Op != AggCountStar {
+		t.Errorf("count(*) = %+v", s.Items[1])
+	}
+	if s.Items[2].Agg.Op != AggSum || s.Items[2].Alias != "revenue" {
+		t.Errorf("sum = %+v", s.Items[2])
+	}
+	if s.Items[3].Agg.Op != AggAvg || s.Items[4].Agg.Op != AggMin || s.Items[5].Agg.Op != AggMax {
+		t.Error("avg/min/max")
+	}
+	if s.Items[6].Agg.Op != AggCountDistinct || s.Items[6].Alias != "c" {
+		t.Errorf("count distinct = %+v", s.Items[6])
+	}
+	if len(s.GroupBy) != 1 || s.Having == nil {
+		t.Error("group/having")
+	}
+}
+
+func TestSelectJoins(t *testing.T) {
+	s := mustParse(t, `SELECT o.id, c.name FROM orders o JOIN customers AS c ON o.cust_id = c.id
+		INNER JOIN items i ON i.order_id = o.id WHERE c.name LIKE 'A%'`).(*Select)
+	if s.From.Table != "orders" || s.From.Alias != "o" {
+		t.Fatalf("from = %+v", s.From)
+	}
+	if len(s.Joins) != 2 || s.Joins[0].Table.Alias != "c" || s.Joins[1].Table.Name() != "i" {
+		t.Fatalf("joins = %+v", s.Joins)
+	}
+	cr, ok := s.Items[0].Expr.(*expr.ColumnRef)
+	if !ok || cr.Name != "o.id" {
+		t.Errorf("qualified column = %+v", s.Items[0].Expr)
+	}
+}
+
+func TestSelectDistinct(t *testing.T) {
+	s := mustParse(t, `SELECT DISTINCT customer FROM sales`).(*Select)
+	if !s.Distinct {
+		t.Error("distinct flag")
+	}
+}
+
+func TestOrderByPosition(t *testing.T) {
+	s := mustParse(t, `SELECT a, b FROM t ORDER BY 2 DESC, a`).(*Select)
+	if s.OrderBy[0].Position != 2 || !s.OrderBy[0].Desc {
+		t.Errorf("order = %+v", s.OrderBy)
+	}
+	if s.OrderBy[1].Expr == nil || s.OrderBy[1].Desc {
+		t.Errorf("order = %+v", s.OrderBy)
+	}
+}
+
+func TestExprPrecedence(t *testing.T) {
+	e, err := ParseExpr(`1 + 2 * 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := expr.Bind(e, nil); err != nil {
+		t.Fatal(err)
+	}
+	d, err := expr.EvalRow(e, nil)
+	if err != nil || d.I != 7 {
+		t.Errorf("1+2*3 = %v, %v", d, err)
+	}
+	e, _ = ParseExpr(`(1 + 2) * 3`)
+	expr.Bind(e, nil)
+	d, _ = expr.EvalRow(e, nil)
+	if d.I != 9 {
+		t.Errorf("(1+2)*3 = %v", d)
+	}
+}
+
+func TestExprBooleanPrecedence(t *testing.T) {
+	// a OR b AND c parses as a OR (b AND c).
+	e, err := ParseExpr(`TRUE OR FALSE AND FALSE`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expr.Bind(e, nil)
+	d, _ := expr.EvalRow(e, nil)
+	if !d.B {
+		t.Error("OR/AND precedence wrong")
+	}
+}
+
+func TestExprBetween(t *testing.T) {
+	e, err := ParseExpr(`5 BETWEEN 1 AND 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expr.Bind(e, nil)
+	d, _ := expr.EvalRow(e, nil)
+	if !d.B {
+		t.Error("between")
+	}
+	e, _ = ParseExpr(`5 NOT BETWEEN 1 AND 10`)
+	expr.Bind(e, nil)
+	d, _ = expr.EvalRow(e, nil)
+	if d.B {
+		t.Error("not between")
+	}
+}
+
+func TestExprInNotIn(t *testing.T) {
+	e, _ := ParseExpr(`3 IN (1, 2, 3)`)
+	expr.Bind(e, nil)
+	d, _ := expr.EvalRow(e, nil)
+	if !d.B {
+		t.Error("in")
+	}
+	e, _ = ParseExpr(`3 NOT IN (1, 2)`)
+	expr.Bind(e, nil)
+	d, _ = expr.EvalRow(e, nil)
+	if !d.B {
+		t.Error("not in")
+	}
+}
+
+func TestExprCase(t *testing.T) {
+	e, err := ParseExpr(`CASE WHEN 1 > 2 THEN 'a' WHEN 2 > 1 THEN 'b' ELSE 'c' END`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expr.Bind(e, nil)
+	d, _ := expr.EvalRow(e, nil)
+	if d.S != "b" {
+		t.Errorf("case = %v", d)
+	}
+}
+
+func TestExprUnaryMinus(t *testing.T) {
+	e, _ := ParseExpr(`-5`)
+	if lit, ok := e.(*expr.Literal); !ok || lit.Value.I != -5 {
+		t.Errorf("negative literal folding: %v", e)
+	}
+	e, _ = ParseExpr(`-1.5`)
+	if lit, ok := e.(*expr.Literal); !ok || lit.Value.F != -1.5 {
+		t.Errorf("negative float folding: %v", e)
+	}
+}
+
+func TestExprStringEscape(t *testing.T) {
+	e, err := ParseExpr(`'it''s'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.(*expr.Literal).Value.S != "it's" {
+		t.Errorf("escaped string = %v", e)
+	}
+}
+
+func TestExprIsNull(t *testing.T) {
+	e, _ := ParseExpr(`NULL IS NULL`)
+	expr.Bind(e, nil)
+	d, _ := expr.EvalRow(e, nil)
+	if !d.B {
+		t.Error("null is null")
+	}
+	e, _ = ParseExpr(`1 IS NOT NULL`)
+	expr.Bind(e, nil)
+	d, _ = expr.EvalRow(e, nil)
+	if !d.B {
+		t.Error("1 is not null")
+	}
+}
+
+func TestCommentsSkipped(t *testing.T) {
+	s := mustParse(t, "SELECT a -- trailing comment\nFROM t")
+	if s.(*Select).From.Table != "t" {
+		t.Error("comment handling")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM t",
+		"CREATE TABLE t",
+		"CREATE TABLE t (a blob)",
+		"INSERT INTO t",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t LIMIT x",
+		"SELECT a FROM t GROUP",
+		"'unterminated",
+		"SELECT a FROM t; extra",
+		"UPDATE t SET",
+		"DELETE t",
+		"SELECT CASE END FROM t",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestTrailingSemicolonOK(t *testing.T) {
+	mustParse(t, "SELECT a FROM t;")
+}
+
+func TestHashFunctionInExpr(t *testing.T) {
+	e, err := ParseExpr(`HASH(a, b)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, ok := e.(*expr.Func)
+	if !ok || f.Name != "HASH" || len(f.Args) != 2 {
+		t.Errorf("hash = %v", e)
+	}
+}
+
+func TestExtractFromSyntax(t *testing.T) {
+	e, err := ParseExpr(`EXTRACT(year FROM d)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := e.(*expr.Func)
+	if f.Name != "EXTRACT" || len(f.Args) != 2 {
+		t.Errorf("extract = %v", e)
+	}
+	if f.Args[0].(*expr.Literal).Value.S != "year" {
+		t.Errorf("field = %v", f.Args[0])
+	}
+}

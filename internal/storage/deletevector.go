@@ -1,0 +1,116 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"eon/internal/catalog"
+	"eon/internal/cluster"
+	"eon/internal/rosfile"
+	"eon/internal/types"
+)
+
+// DeleteVectorPath names a delete vector file in the shared namespace.
+func DeleteVectorPath(sid string) string {
+	return fmt.Sprintf("data/%s/%s_dv", sid[:2], sid)
+}
+
+// BuildDeleteVector encodes a set of deleted tuple positions (offsets
+// within one container) as a sorted int64 ROS column — "stored using the
+// same format as regular columns" (§2.3).
+func BuildDeleteVector(positions []int64) []byte {
+	sorted := append([]int64(nil), positions...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	v := types.NewVector(types.Int64, len(sorted))
+	prev := int64(-1)
+	for _, p := range sorted {
+		if p == prev {
+			continue // dedupe
+		}
+		v.Append(types.NewInt(p))
+		prev = p
+	}
+	return rosfile.WriteColumn(v, rosfile.WriteOptions{Sorted: true})
+}
+
+// ReadDeleteVector decodes delete vector file bytes into sorted
+// positions.
+func ReadDeleteVector(data []byte) ([]int64, error) {
+	r, err := rosfile.NewReader(data)
+	if err != nil {
+		return nil, err
+	}
+	v, err := r.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	return v.Ints, nil
+}
+
+// NewDeleteVectorMeta builds the catalog object for a delete vector file.
+func NewDeleteVectorMeta(alloc OIDAllocator, inst cluster.InstanceID, sc *catalog.StorageContainer, positions []int64, ownerNode string) (*catalog.DeleteVector, []byte) {
+	data := BuildDeleteVector(positions)
+	oid := alloc.NewOID()
+	path := DeleteVectorPath(SID(inst, oid))
+	return &catalog.DeleteVector{
+		OID:          oid,
+		ContainerOID: sc.OID,
+		ProjOID:      sc.ProjOID,
+		ShardIndex:   sc.ShardIndex,
+		File:         catalog.FileRef{Path: path, Size: int64(len(data))},
+		Count:        int64(countDistinct(positions)),
+		OwnerNode:    ownerNode,
+	}, data
+}
+
+func countDistinct(positions []int64) int {
+	seen := make(map[int64]struct{}, len(positions))
+	for _, p := range positions {
+		seen[p] = struct{}{}
+	}
+	return len(seen)
+}
+
+// DeleteSet is the merged view of all delete vectors over one container.
+type DeleteSet struct {
+	positions map[int64]struct{}
+}
+
+// NewDeleteSet merges position lists.
+func NewDeleteSet(lists ...[]int64) *DeleteSet {
+	ds := &DeleteSet{positions: map[int64]struct{}{}}
+	for _, l := range lists {
+		for _, p := range l {
+			ds.positions[p] = struct{}{}
+		}
+	}
+	return ds
+}
+
+// Len returns the number of deleted positions.
+func (d *DeleteSet) Len() int { return len(d.positions) }
+
+// Contains reports whether tuple position p is deleted.
+func (d *DeleteSet) Contains(p int64) bool {
+	_, ok := d.positions[p]
+	return ok
+}
+
+// LivePositions returns, for rows [base, base+n), the in-batch indexes of
+// rows that are not deleted.
+func (d *DeleteSet) LivePositions(base int64, n int) []int {
+	if len(d.positions) == 0 {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if !d.Contains(base + int64(i)) {
+			out = append(out, i)
+		}
+	}
+	return out
+}

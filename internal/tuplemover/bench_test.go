@@ -1,0 +1,112 @@
+package tuplemover
+
+import (
+	"testing"
+
+	"eon/internal/catalog"
+)
+
+// simState drives a synthetic load/merge loop and reports total rows
+// written by mergeout (the write-amplification proxy).
+type simState struct {
+	rows    []int64
+	nextOID catalog.OID
+	written int64
+}
+
+func (s *simState) containers() []*catalog.StorageContainer {
+	out := make([]*catalog.StorageContainer, len(s.rows))
+	for i, r := range s.rows {
+		out[i] = &catalog.StorageContainer{OID: s.nextOID + catalog.OID(i), RowCount: r}
+	}
+	return out
+}
+
+func (s *simState) apply(jobs []Job) {
+	drop := map[catalog.OID]bool{}
+	var merged []int64
+	for _, j := range jobs {
+		var rows int64
+		for _, sc := range j.Containers {
+			drop[sc.OID] = true
+			rows += sc.RowCount
+		}
+		s.written += rows
+		merged = append(merged, rows)
+	}
+	var kept []int64
+	for i, r := range s.rows {
+		if !drop[s.nextOID+catalog.OID(i)] {
+			kept = append(kept, r)
+		}
+	}
+	s.nextOID += catalog.OID(len(s.rows))
+	s.rows = append(kept, merged...)
+}
+
+// runSim loads `loads` single-row containers, running policy-selected
+// mergeout to quiescence after each, and returns rows written.
+func runSim(loads int, policy Policy) int64 {
+	s := &simState{nextOID: 1}
+	for i := 0; i < loads; i++ {
+		s.rows = append(s.rows, 1)
+		for {
+			jobs := SelectJobs(s.containers(), nil, policy)
+			if len(jobs) == 0 {
+				break
+			}
+			s.apply(jobs)
+		}
+	}
+	return s.written
+}
+
+// naivePolicy merges everything into one container whenever more than
+// one exists — the strawman the strata algorithm avoids.
+func naiveMergeAll(loads int) int64 {
+	s := &simState{nextOID: 1}
+	for i := 0; i < loads; i++ {
+		s.rows = append(s.rows, 1)
+		if len(s.rows) > 1 {
+			var total int64
+			for _, r := range s.rows {
+				total += r
+			}
+			s.written += total
+			s.nextOID += catalog.OID(len(s.rows))
+			s.rows = []int64{total}
+		}
+	}
+	return s.written
+}
+
+// BenchmarkStrataVsNaive reports the write amplification (rows written
+// per row loaded) of tiered-strata mergeout against naive
+// merge-everything. The paper's strata algorithm merges "each tuple a
+// small fixed number of times" (§2.3); naive merging is quadratic.
+func BenchmarkStrataVsNaive(b *testing.B) {
+	const loads = 256
+	b.Run("strata", func(b *testing.B) {
+		var written int64
+		for i := 0; i < b.N; i++ {
+			written = runSim(loads, Policy{StrataBase: 8, FanIn: 8, MaxFanIn: 8})
+		}
+		b.ReportMetric(float64(written)/float64(loads), "rows_written_per_row")
+	})
+	b.Run("naive", func(b *testing.B) {
+		var written int64
+		for i := 0; i < b.N; i++ {
+			written = naiveMergeAll(loads)
+		}
+		b.ReportMetric(float64(written)/float64(loads), "rows_written_per_row")
+	})
+}
+
+func TestStrataWriteAmplificationBeatsNaive(t *testing.T) {
+	const loads = 256
+	strata := runSim(loads, Policy{StrataBase: 8, FanIn: 8, MaxFanIn: 8})
+	naive := naiveMergeAll(loads)
+	if strata*4 > naive {
+		t.Errorf("strata wrote %d rows, naive %d; expected >4x reduction", strata, naive)
+	}
+}

@@ -1,0 +1,167 @@
+// Package tuplemover implements mergeout planning (paper §2.3, §6.2):
+// selecting ROS containers to compact using an exponentially tiered
+// strata algorithm, so each tuple is merged only a small fixed number of
+// times, while aggressively bounding container count and purging deleted
+// rows.
+//
+// Selection is pure planning over catalog metadata; the core package
+// executes jobs (read → merge-sort → write → swap) and, in Eon mode, a
+// per-shard mergeout coordinator chooses and farms out jobs.
+package tuplemover
+
+import (
+	"math"
+	"sort"
+
+	"eon/internal/catalog"
+)
+
+// Policy tunes mergeout selection.
+type Policy struct {
+	// StrataBase is the exponential tier base: containers with row counts
+	// in [base^k, base^(k+1)) share stratum k.
+	StrataBase float64
+	// FanIn is the minimum number of same-stratum containers worth
+	// merging.
+	FanIn int
+	// MaxFanIn caps containers per job, avoiding expensive large fan-in
+	// merges.
+	MaxFanIn int
+	// PurgeFraction triggers a single-container rewrite when the deleted
+	// row fraction exceeds it (deleted records are "a factor in its
+	// selection for mergeout").
+	PurgeFraction float64
+	// MaxContainers, when >0, forces merging the smallest containers
+	// whenever a projection-shard's container count exceeds it,
+	// constraining metadata size (§2.3).
+	MaxContainers int
+}
+
+// DefaultPolicy mirrors sensible production defaults.
+func DefaultPolicy() Policy {
+	return Policy{
+		StrataBase:    8,
+		FanIn:         4,
+		MaxFanIn:      16,
+		PurgeFraction: 0.2,
+		MaxContainers: 64,
+	}
+}
+
+// Job is one planned mergeout: the input containers are merged into one
+// new container and dropped in the same transaction.
+type Job struct {
+	Containers []*catalog.StorageContainer
+	// Purge marks a job selected for delete-purge rather than strata
+	// compaction (it may contain a single container).
+	Purge bool
+}
+
+// Stratum returns the tier of a container by row count.
+func Stratum(rows int64, base float64) int {
+	if rows <= 1 {
+		return 0
+	}
+	if base <= 1 {
+		base = 2
+	}
+	return int(math.Log(float64(rows)) / math.Log(base))
+}
+
+// SelectJobs plans mergeout for one projection-shard's containers.
+// dvCounts supplies deleted row counts per container OID.
+func SelectJobs(containers []*catalog.StorageContainer, dvCounts map[catalog.OID]int64, p Policy) []Job {
+	if p.FanIn < 2 {
+		p.FanIn = 2
+	}
+	if p.MaxFanIn < p.FanIn {
+		p.MaxFanIn = p.FanIn
+	}
+
+	var jobs []Job
+	used := map[catalog.OID]bool{}
+
+	// 1. Purge-driven selection: containers whose deleted fraction
+	// exceeds the threshold are rewritten.
+	if p.PurgeFraction > 0 {
+		for _, sc := range containers {
+			if sc.RowCount == 0 {
+				continue
+			}
+			if float64(dvCounts[sc.OID])/float64(sc.RowCount) > p.PurgeFraction {
+				jobs = append(jobs, Job{Containers: []*catalog.StorageContainer{sc}, Purge: true})
+				used[sc.OID] = true
+			}
+		}
+	}
+
+	// 2. Strata compaction: group unused containers by stratum; merge
+	// groups reaching the fan-in.
+	strata := map[int][]*catalog.StorageContainer{}
+	for _, sc := range containers {
+		if used[sc.OID] {
+			continue
+		}
+		s := Stratum(sc.RowCount, p.StrataBase)
+		strata[s] = append(strata[s], sc)
+	}
+	var levels []int
+	for s := range strata {
+		levels = append(levels, s)
+	}
+	sort.Ints(levels)
+	for _, s := range levels {
+		group := strata[s]
+		sort.Slice(group, func(i, j int) bool {
+			if group[i].RowCount != group[j].RowCount {
+				return group[i].RowCount < group[j].RowCount
+			}
+			return group[i].OID < group[j].OID
+		})
+		for len(group) >= p.FanIn {
+			n := p.MaxFanIn
+			if n > len(group) {
+				n = len(group)
+			}
+			job := Job{Containers: group[:n]}
+			for _, sc := range job.Containers {
+				used[sc.OID] = true
+			}
+			jobs = append(jobs, job)
+			group = group[n:]
+		}
+	}
+
+	// 3. Container-count pressure: if still over the cap, merge the
+	// smallest remaining containers regardless of strata.
+	if p.MaxContainers > 0 {
+		remaining := 0
+		var free []*catalog.StorageContainer
+		for _, sc := range containers {
+			if !used[sc.OID] {
+				free = append(free, sc)
+				remaining++
+			}
+		}
+		if remaining > p.MaxContainers && len(free) >= 2 {
+			sort.Slice(free, func(i, j int) bool {
+				if free[i].RowCount != free[j].RowCount {
+					return free[i].RowCount < free[j].RowCount
+				}
+				return free[i].OID < free[j].OID
+			})
+			n := remaining - p.MaxContainers + 1
+			if n < 2 {
+				n = 2
+			}
+			if n > p.MaxFanIn {
+				n = p.MaxFanIn
+			}
+			if n > len(free) {
+				n = len(free)
+			}
+			jobs = append(jobs, Job{Containers: free[:n]})
+		}
+	}
+	return jobs
+}

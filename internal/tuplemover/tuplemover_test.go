@@ -1,0 +1,195 @@
+package tuplemover
+
+import (
+	"testing"
+
+	"eon/internal/catalog"
+)
+
+func containers(rows ...int64) []*catalog.StorageContainer {
+	out := make([]*catalog.StorageContainer, len(rows))
+	for i, r := range rows {
+		out[i] = &catalog.StorageContainer{OID: catalog.OID(i + 1), RowCount: r}
+	}
+	return out
+}
+
+func TestStratum(t *testing.T) {
+	base := 8.0
+	cases := map[int64]int{1: 0, 7: 0, 8: 1, 63: 1, 64: 2, 511: 2, 512: 3}
+	for rows, want := range cases {
+		if got := Stratum(rows, base); got != want {
+			t.Errorf("Stratum(%d) = %d, want %d", rows, got, want)
+		}
+	}
+	if Stratum(0, base) != 0 {
+		t.Error("zero rows is stratum 0")
+	}
+}
+
+func TestSelectJobsSameStratumMerged(t *testing.T) {
+	// Four containers of ~same size: one job merging all four.
+	cs := containers(10, 12, 11, 13)
+	jobs := SelectJobs(cs, nil, Policy{StrataBase: 8, FanIn: 4, MaxFanIn: 16})
+	if len(jobs) != 1 || len(jobs[0].Containers) != 4 {
+		t.Fatalf("jobs = %+v", jobs)
+	}
+}
+
+func TestSelectJobsBelowFanInNotMerged(t *testing.T) {
+	cs := containers(10, 12, 11)
+	jobs := SelectJobs(cs, nil, Policy{StrataBase: 8, FanIn: 4, MaxFanIn: 16})
+	if len(jobs) != 0 {
+		t.Fatalf("3 containers below fan-in should not merge: %+v", jobs)
+	}
+}
+
+func TestSelectJobsRespectsStrata(t *testing.T) {
+	// Two small + two huge: different strata, no merging at fan-in 4,
+	// and never merged together at fan-in 2.
+	cs := containers(2, 3, 100000, 120000)
+	jobs := SelectJobs(cs, nil, Policy{StrataBase: 8, FanIn: 2, MaxFanIn: 16})
+	for _, j := range jobs {
+		st := Stratum(j.Containers[0].RowCount, 8)
+		for _, sc := range j.Containers {
+			if Stratum(sc.RowCount, 8) != st {
+				t.Errorf("job mixes strata: %+v", j)
+			}
+		}
+	}
+	if len(jobs) != 2 {
+		t.Errorf("expected 2 same-stratum jobs, got %d", len(jobs))
+	}
+}
+
+func TestSelectJobsMaxFanIn(t *testing.T) {
+	cs := containers(1, 1, 1, 1, 1, 1, 1, 1, 1, 1)
+	jobs := SelectJobs(cs, nil, Policy{StrataBase: 8, FanIn: 2, MaxFanIn: 4})
+	for _, j := range jobs {
+		if len(j.Containers) > 4 {
+			t.Errorf("job exceeds max fan-in: %d", len(j.Containers))
+		}
+	}
+}
+
+func TestSelectJobsPurge(t *testing.T) {
+	cs := containers(100, 100)
+	dv := map[catalog.OID]int64{cs[0].OID: 50} // 50% deleted
+	jobs := SelectJobs(cs, dv, Policy{StrataBase: 8, FanIn: 4, MaxFanIn: 16, PurgeFraction: 0.2})
+	foundPurge := false
+	for _, j := range jobs {
+		if j.Purge {
+			foundPurge = true
+			if len(j.Containers) != 1 || j.Containers[0].OID != cs[0].OID {
+				t.Errorf("purge job = %+v", j)
+			}
+		}
+	}
+	if !foundPurge {
+		t.Error("high-delete container should be selected for purge")
+	}
+}
+
+func TestSelectJobsContainerCountPressure(t *testing.T) {
+	// 6 containers in different strata (no fan-in merging), cap at 4.
+	cs := containers(1, 10, 100, 1000, 10000, 100000)
+	jobs := SelectJobs(cs, nil, Policy{StrataBase: 2, FanIn: 4, MaxFanIn: 8, MaxContainers: 4})
+	if len(jobs) == 0 {
+		t.Fatal("container-count pressure should force a merge")
+	}
+	// The forced job merges the smallest containers.
+	j := jobs[len(jobs)-1]
+	if len(j.Containers) < 2 {
+		t.Errorf("forced job too small: %+v", j)
+	}
+	if j.Containers[0].RowCount != 1 {
+		t.Errorf("forced merge should start with smallest: %+v", j.Containers)
+	}
+}
+
+func TestSelectJobsNoDoubleUse(t *testing.T) {
+	cs := containers(10, 11, 12, 13, 100, 100)
+	dv := map[catalog.OID]int64{cs[4].OID: 90}
+	jobs := SelectJobs(cs, dv, Policy{StrataBase: 8, FanIn: 2, MaxFanIn: 4, PurgeFraction: 0.5, MaxContainers: 2})
+	seen := map[catalog.OID]bool{}
+	for _, j := range jobs {
+		for _, sc := range j.Containers {
+			if seen[sc.OID] {
+				t.Errorf("container %d in two jobs", sc.OID)
+			}
+			seen[sc.OID] = true
+		}
+	}
+}
+
+// Each tuple is merged a small fixed number of times: simulate repeated
+// loads + mergeout rounds and track per-tuple merge counts.
+func TestMergeAmplificationBounded(t *testing.T) {
+	type sim struct {
+		rows   int64
+		merges int // max merges any tuple in this container experienced
+	}
+	var live []sim
+	policy := Policy{StrataBase: 8, FanIn: 8, MaxFanIn: 8, MaxContainers: 0}
+	nextOID := catalog.OID(1)
+
+	maxMerges := 0
+	for load := 0; load < 512; load++ {
+		live = append(live, sim{rows: 1})
+		// Run mergeout until quiescent.
+		for {
+			cs := make([]*catalog.StorageContainer, len(live))
+			for i, s := range live {
+				cs[i] = &catalog.StorageContainer{OID: nextOID + catalog.OID(i), RowCount: s.rows}
+			}
+			jobs := SelectJobs(cs, nil, policy)
+			if len(jobs) == 0 {
+				break
+			}
+			// Apply the jobs.
+			drop := map[catalog.OID]bool{}
+			var newContainers []sim
+			for _, j := range jobs {
+				var rows int64
+				merges := 0
+				for _, sc := range j.Containers {
+					drop[sc.OID] = true
+					idx := int(sc.OID - nextOID)
+					rows += live[idx].rows
+					if live[idx].merges > merges {
+						merges = live[idx].merges
+					}
+				}
+				newContainers = append(newContainers, sim{rows: rows, merges: merges + 1})
+			}
+			var kept []sim
+			for i, s := range live {
+				if !drop[nextOID+catalog.OID(i)] {
+					kept = append(kept, s)
+				}
+			}
+			nextOID += catalog.OID(len(live))
+			live = append(kept, newContainers...)
+		}
+		for _, s := range live {
+			if s.merges > maxMerges {
+				maxMerges = s.merges
+			}
+		}
+	}
+	// 512 loads at fan-in 8: tuples should be merged about log8(512)=3
+	// times; allow slack but reject linear behaviour.
+	if maxMerges > 6 {
+		t.Errorf("merge amplification %d too high for 512 loads at fan-in 8", maxMerges)
+	}
+	if maxMerges == 0 {
+		t.Error("simulation never merged anything")
+	}
+}
+
+func TestDefaultPolicySane(t *testing.T) {
+	p := DefaultPolicy()
+	if p.FanIn < 2 || p.MaxFanIn < p.FanIn || p.StrataBase <= 1 {
+		t.Errorf("default policy = %+v", p)
+	}
+}

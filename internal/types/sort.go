@@ -1,0 +1,59 @@
+package types
+
+import "sort"
+
+// SortPerm returns the permutation of row indexes that orders the batch
+// by the given key columns ascending (NULLs first, matching Datum.Compare).
+// The sort is stable so equal keys preserve input order.
+func SortPerm(b *Batch, keys []int) []int {
+	n := b.NumRows()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(x, y int) bool {
+		i, j := perm[x], perm[y]
+		for _, k := range keys {
+			c := b.Cols[k].Datum(i).Compare(b.Cols[k].Datum(j))
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	return perm
+}
+
+// SortBatch returns a new batch with rows ordered by the key columns.
+// A batch already in order is returned as-is (no copy).
+func SortBatch(b *Batch, keys []int) *Batch {
+	perm := SortPerm(b, keys)
+	inOrder := true
+	for i, p := range perm {
+		if p != i {
+			inOrder = false
+			break
+		}
+	}
+	if inOrder {
+		return b
+	}
+	return b.Gather(perm)
+}
+
+// IsSorted reports whether the batch is ordered by the key columns.
+func IsSorted(b *Batch, keys []int) bool {
+	n := b.NumRows()
+	for i := 1; i < n; i++ {
+		for _, k := range keys {
+			c := b.Cols[k].Datum(i - 1).Compare(b.Cols[k].Datum(i))
+			if c < 0 {
+				break
+			}
+			if c > 0 {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,61 @@
+package types
+
+// ColumnStats summarizes one column of a storage unit (a ROS block or a
+// whole container): the minimum and maximum non-null values and whether
+// any NULLs are present. AllNull set means every value is NULL, in which
+// case Min and Max are meaningless.
+type ColumnStats struct {
+	Min      Datum `json:"min"`
+	Max      Datum `json:"max"`
+	HasNulls bool  `json:"hasNulls,omitempty"`
+	AllNull  bool  `json:"allNull,omitempty"`
+}
+
+// Merge widens s to cover o.
+func (s *ColumnStats) Merge(o ColumnStats) {
+	if o.AllNull {
+		s.HasNulls = true
+		if !s.AllNull {
+			return
+		}
+		s.AllNull = true
+		return
+	}
+	if s.AllNull {
+		s.Min, s.Max = o.Min, o.Max
+		s.AllNull = false
+		s.HasNulls = s.HasNulls || o.HasNulls
+		return
+	}
+	if o.Min.Compare(s.Min) < 0 {
+		s.Min = o.Min
+	}
+	if o.Max.Compare(s.Max) > 0 {
+		s.Max = o.Max
+	}
+	s.HasNulls = s.HasNulls || o.HasNulls
+}
+
+// StatsOf computes ColumnStats over a vector.
+func StatsOf(v *Vector) ColumnStats {
+	st := ColumnStats{AllNull: true}
+	for i := 0; i < v.Len(); i++ {
+		d := v.Datum(i)
+		if d.Null {
+			st.HasNulls = true
+			continue
+		}
+		if st.AllNull {
+			st.Min, st.Max = d, d
+			st.AllNull = false
+			continue
+		}
+		if d.Compare(st.Min) < 0 {
+			st.Min = d
+		}
+		if d.Compare(st.Max) > 0 {
+			st.Max = d
+		}
+	}
+	return st
+}

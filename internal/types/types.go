@@ -1,0 +1,269 @@
+// Package types defines the scalar type system, single-value datums, typed
+// column vectors and relational schemas used throughout the engine.
+//
+// The engine is columnar: data flows between operators as Batches of
+// Vectors, each Vector holding one column for a run of rows. A small
+// row-oriented Datum/Row representation exists for loading, literals and
+// test construction.
+package types
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Type identifies a scalar SQL type.
+type Type uint8
+
+// The supported scalar types. Date and Timestamp share int64 physical
+// storage with Int64 (days and microseconds since the Unix epoch).
+const (
+	Unknown Type = iota
+	Int64
+	Float64
+	Varchar
+	Bool
+	Date
+	Timestamp
+)
+
+// String returns the SQL spelling of the type.
+func (t Type) String() string {
+	switch t {
+	case Int64:
+		return "INTEGER"
+	case Float64:
+		return "FLOAT"
+	case Varchar:
+		return "VARCHAR"
+	case Bool:
+		return "BOOLEAN"
+	case Date:
+		return "DATE"
+	case Timestamp:
+		return "TIMESTAMP"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Physical returns the physical storage class of the type: Int64, Float64,
+// Varchar or Bool. Date and Timestamp are physically Int64.
+func (t Type) Physical() Type {
+	switch t {
+	case Date, Timestamp:
+		return Int64
+	default:
+		return t
+	}
+}
+
+// ParseType converts a SQL type name to a Type. It accepts the common
+// aliases (INT, BIGINT, DOUBLE, TEXT, ...).
+func ParseType(s string) (Type, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "INT", "INTEGER", "BIGINT", "INT8", "SMALLINT", "TINYINT":
+		return Int64, nil
+	case "FLOAT", "FLOAT8", "DOUBLE", "DOUBLE PRECISION", "REAL", "NUMERIC":
+		return Float64, nil
+	case "VARCHAR", "CHAR", "TEXT", "STRING":
+		return Varchar, nil
+	case "BOOL", "BOOLEAN":
+		return Bool, nil
+	case "DATE":
+		return Date, nil
+	case "TIMESTAMP", "DATETIME", "TIMESTAMPTZ":
+		return Timestamp, nil
+	default:
+		return Unknown, fmt.Errorf("types: unknown type %q", s)
+	}
+}
+
+// Datum is a single nullable scalar value. The K field selects which value
+// field is meaningful; Null overrides all of them.
+type Datum struct {
+	K    Type
+	Null bool
+	I    int64
+	F    float64
+	S    string
+	B    bool
+}
+
+// NullDatum returns the NULL datum of type t.
+func NullDatum(t Type) Datum { return Datum{K: t, Null: true} }
+
+// NewInt returns an Int64 datum.
+func NewInt(v int64) Datum { return Datum{K: Int64, I: v} }
+
+// NewFloat returns a Float64 datum.
+func NewFloat(v float64) Datum { return Datum{K: Float64, F: v} }
+
+// NewString returns a Varchar datum.
+func NewString(v string) Datum { return Datum{K: Varchar, S: v} }
+
+// NewBool returns a Bool datum.
+func NewBool(v bool) Datum { return Datum{K: Bool, B: v} }
+
+// NewDate returns a Date datum holding days since the Unix epoch.
+func NewDate(days int64) Datum { return Datum{K: Date, I: days} }
+
+// NewTimestamp returns a Timestamp datum holding microseconds since the
+// Unix epoch.
+func NewTimestamp(micros int64) Datum { return Datum{K: Timestamp, I: micros} }
+
+// DateFromTime converts a time.Time to a Date datum (UTC day).
+func DateFromTime(t time.Time) Datum {
+	return NewDate(t.UTC().Unix() / 86400)
+}
+
+// IsNull reports whether the datum is NULL.
+func (d Datum) IsNull() bool { return d.Null }
+
+// String renders the datum for display and CSV output.
+func (d Datum) String() string {
+	if d.Null {
+		return "NULL"
+	}
+	switch d.K.Physical() {
+	case Int64:
+		if d.K == Date {
+			return time.Unix(d.I*86400, 0).UTC().Format("2006-01-02")
+		}
+		if d.K == Timestamp {
+			return time.Unix(d.I/1e6, (d.I%1e6)*1000).UTC().Format("2006-01-02 15:04:05")
+		}
+		return strconv.FormatInt(d.I, 10)
+	case Float64:
+		return strconv.FormatFloat(d.F, 'g', -1, 64)
+	case Varchar:
+		return d.S
+	case Bool:
+		return strconv.FormatBool(d.B)
+	}
+	return "?"
+}
+
+// Compare orders two datums of the same type. NULL sorts before all
+// non-NULL values. The result is -1, 0 or +1.
+func (d Datum) Compare(o Datum) int {
+	if d.Null || o.Null {
+		switch {
+		case d.Null && o.Null:
+			return 0
+		case d.Null:
+			return -1
+		default:
+			return 1
+		}
+	}
+	switch d.K.Physical() {
+	case Int64:
+		switch {
+		case d.I < o.I:
+			return -1
+		case d.I > o.I:
+			return 1
+		}
+		return 0
+	case Float64:
+		switch {
+		case d.F < o.F:
+			return -1
+		case d.F > o.F:
+			return 1
+		}
+		return 0
+	case Varchar:
+		return strings.Compare(d.S, o.S)
+	case Bool:
+		switch {
+		case !d.B && o.B:
+			return -1
+		case d.B && !o.B:
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+// Equal reports whether two datums are equal (NULL equals NULL here; SQL
+// three-valued logic is applied at the expression layer, not in storage).
+func (d Datum) Equal(o Datum) bool { return d.Compare(o) == 0 }
+
+// Row is a tuple of datums, positionally aligned with a Schema.
+type Row []Datum
+
+// Clone returns a deep copy of the row.
+func (r Row) Clone() Row {
+	c := make(Row, len(r))
+	copy(c, r)
+	return c
+}
+
+// String renders the row as a pipe-separated record.
+func (r Row) String() string {
+	parts := make([]string, len(r))
+	for i, d := range r {
+		parts[i] = d.String()
+	}
+	return strings.Join(parts, "|")
+}
+
+// Column describes one attribute of a relation.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// Schema is an ordered list of columns.
+type Schema []Column
+
+// ColumnIndex returns the position of the named column, or -1.
+func (s Schema) ColumnIndex(name string) int {
+	for i, c := range s {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Names returns the column names in order.
+func (s Schema) Names() []string {
+	out := make([]string, len(s))
+	for i, c := range s {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Types returns the column types in order.
+func (s Schema) Types() []Type {
+	out := make([]Type, len(s))
+	for i, c := range s {
+		out[i] = c.Type
+	}
+	return out
+}
+
+// Project returns the schema restricted to the given column positions.
+func (s Schema) Project(idx []int) Schema {
+	out := make(Schema, len(idx))
+	for i, j := range idx {
+		out[i] = s[j]
+	}
+	return out
+}
+
+// String renders the schema as "name TYPE, ...".
+func (s Schema) String() string {
+	parts := make([]string, len(s))
+	for i, c := range s {
+		parts[i] = c.Name + " " + c.Type.String()
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,258 @@
+package types
+
+import "fmt"
+
+// Vector is a typed column of values. Exactly one of the value slices is
+// populated, selected by the physical class of Typ. Nulls, when non-nil,
+// marks NULL positions; a nil Nulls slice means no value is NULL.
+type Vector struct {
+	Typ    Type
+	Nulls  []bool
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+	Bools  []bool
+}
+
+// NewVector returns an empty vector of type t with capacity hint capHint.
+func NewVector(t Type, capHint int) *Vector {
+	v := &Vector{Typ: t}
+	switch t.Physical() {
+	case Int64:
+		v.Ints = make([]int64, 0, capHint)
+	case Float64:
+		v.Floats = make([]float64, 0, capHint)
+	case Varchar:
+		v.Strs = make([]string, 0, capHint)
+	case Bool:
+		v.Bools = make([]bool, 0, capHint)
+	}
+	return v
+}
+
+// Len returns the number of values in the vector.
+func (v *Vector) Len() int {
+	switch v.Typ.Physical() {
+	case Int64:
+		return len(v.Ints)
+	case Float64:
+		return len(v.Floats)
+	case Varchar:
+		return len(v.Strs)
+	case Bool:
+		return len(v.Bools)
+	}
+	return 0
+}
+
+// IsNull reports whether position i is NULL. The null bitmap may be
+// shorter than the vector; positions beyond it are non-NULL.
+func (v *Vector) IsNull(i int) bool {
+	return v.Nulls != nil && i < len(v.Nulls) && v.Nulls[i]
+}
+
+// setNull extends the null bitmap (if needed) and marks position i NULL.
+func (v *Vector) setNull(i int) {
+	if v.Nulls == nil {
+		v.Nulls = make([]bool, i+1)
+	}
+	for len(v.Nulls) <= i {
+		v.Nulls = append(v.Nulls, false)
+	}
+	v.Nulls[i] = true
+}
+
+// Append adds a datum to the end of the vector. The datum's physical class
+// must match the vector's.
+func (v *Vector) Append(d Datum) {
+	n := v.Len()
+	switch v.Typ.Physical() {
+	case Int64:
+		v.Ints = append(v.Ints, d.I)
+	case Float64:
+		v.Floats = append(v.Floats, d.F)
+	case Varchar:
+		v.Strs = append(v.Strs, d.S)
+	case Bool:
+		v.Bools = append(v.Bools, d.B)
+	}
+	if d.Null {
+		v.setNull(n)
+	} else if v.Nulls != nil {
+		for len(v.Nulls) <= n {
+			v.Nulls = append(v.Nulls, false)
+		}
+	}
+}
+
+// Datum returns the value at position i as a Datum.
+func (v *Vector) Datum(i int) Datum {
+	d := Datum{K: v.Typ}
+	if v.IsNull(i) {
+		d.Null = true
+		return d
+	}
+	switch v.Typ.Physical() {
+	case Int64:
+		d.I = v.Ints[i]
+	case Float64:
+		d.F = v.Floats[i]
+	case Varchar:
+		d.S = v.Strs[i]
+	case Bool:
+		d.B = v.Bools[i]
+	}
+	return d
+}
+
+// Gather returns a new vector containing the values at the given positions,
+// in order.
+func (v *Vector) Gather(idx []int) *Vector {
+	out := NewVector(v.Typ, len(idx))
+	for _, i := range idx {
+		out.Append(v.Datum(i))
+	}
+	return out
+}
+
+// Slice returns a new vector holding positions [lo, hi).
+func (v *Vector) Slice(lo, hi int) *Vector {
+	out := &Vector{Typ: v.Typ}
+	switch v.Typ.Physical() {
+	case Int64:
+		out.Ints = v.Ints[lo:hi]
+	case Float64:
+		out.Floats = v.Floats[lo:hi]
+	case Varchar:
+		out.Strs = v.Strs[lo:hi]
+	case Bool:
+		out.Bools = v.Bools[lo:hi]
+	}
+	if v.Nulls != nil && lo < len(v.Nulls) {
+		// The bitmap may be shorter than the vector; positions beyond it
+		// are non-NULL, so a truncated slice preserves semantics.
+		end := hi
+		if end > len(v.Nulls) {
+			end = len(v.Nulls)
+		}
+		out.Nulls = v.Nulls[lo:end]
+	}
+	return out
+}
+
+// AppendVector appends all values of o (which must have the same physical
+// class) to v.
+func (v *Vector) AppendVector(o *Vector) {
+	base := v.Len()
+	switch v.Typ.Physical() {
+	case Int64:
+		v.Ints = append(v.Ints, o.Ints...)
+	case Float64:
+		v.Floats = append(v.Floats, o.Floats...)
+	case Varchar:
+		v.Strs = append(v.Strs, o.Strs...)
+	case Bool:
+		v.Bools = append(v.Bools, o.Bools...)
+	}
+	if o.Nulls != nil {
+		// The bitmap may be shorter than the vector; IsNull handles it.
+		for i := 0; i < o.Len(); i++ {
+			if o.IsNull(i) {
+				v.setNull(base + i)
+			}
+		}
+	} else if v.Nulls != nil {
+		for len(v.Nulls) < v.Len() {
+			v.Nulls = append(v.Nulls, false)
+		}
+	}
+}
+
+// Batch is a horizontal slice of a relation: one vector per column, all the
+// same length.
+type Batch struct {
+	Cols []*Vector
+}
+
+// NewBatch returns an empty batch with one vector per schema column.
+func NewBatch(s Schema, capHint int) *Batch {
+	b := &Batch{Cols: make([]*Vector, len(s))}
+	for i, c := range s {
+		b.Cols[i] = NewVector(c.Type, capHint)
+	}
+	return b
+}
+
+// NumRows returns the row count of the batch.
+func (b *Batch) NumRows() int {
+	if len(b.Cols) == 0 {
+		return 0
+	}
+	return b.Cols[0].Len()
+}
+
+// NumCols returns the column count of the batch.
+func (b *Batch) NumCols() int { return len(b.Cols) }
+
+// AppendRow adds one row of datums to the batch.
+func (b *Batch) AppendRow(r Row) {
+	if len(r) != len(b.Cols) {
+		panic(fmt.Sprintf("types: row arity %d != batch arity %d", len(r), len(b.Cols)))
+	}
+	for i, d := range r {
+		b.Cols[i].Append(d)
+	}
+}
+
+// Row materializes row i as a Row of datums.
+func (b *Batch) Row(i int) Row {
+	r := make(Row, len(b.Cols))
+	for j, c := range b.Cols {
+		r[j] = c.Datum(i)
+	}
+	return r
+}
+
+// Rows materializes every row of the batch. Intended for tests and small
+// result sets.
+func (b *Batch) Rows() []Row {
+	out := make([]Row, b.NumRows())
+	for i := range out {
+		out[i] = b.Row(i)
+	}
+	return out
+}
+
+// Gather returns a new batch containing the given row positions, in order.
+func (b *Batch) Gather(idx []int) *Batch {
+	out := &Batch{Cols: make([]*Vector, len(b.Cols))}
+	for i, c := range b.Cols {
+		out.Cols[i] = c.Gather(idx)
+	}
+	return out
+}
+
+// Slice returns a batch view of rows [lo, hi).
+func (b *Batch) Slice(lo, hi int) *Batch {
+	out := &Batch{Cols: make([]*Vector, len(b.Cols))}
+	for i, c := range b.Cols {
+		out.Cols[i] = c.Slice(lo, hi)
+	}
+	return out
+}
+
+// AppendBatch appends all rows of o to b (schemas must match positionally).
+func (b *Batch) AppendBatch(o *Batch) {
+	for i, c := range b.Cols {
+		c.AppendVector(o.Cols[i])
+	}
+}
+
+// BatchFromRows builds a batch from a schema and a slice of rows.
+func BatchFromRows(s Schema, rows []Row) *Batch {
+	b := NewBatch(s, len(rows))
+	for _, r := range rows {
+		b.AppendRow(r)
+	}
+	return b
+}

@@ -1,0 +1,57 @@
+package workload
+
+import (
+	"math/rand"
+
+	"eon/internal/types"
+)
+
+// IoT models the Figure 11b workload: many tables loaded concurrently
+// with small batches — "the scenario is typical of an internet of things
+// workload". Each COPY statement loads a batch whose logical size stands
+// in for the paper's 50 MB input files.
+type IoT struct {
+	// RowsPerLoad is the batch size of one COPY.
+	RowsPerLoad int
+	Seed        int64
+}
+
+// DefaultIoT returns the standard configuration.
+func DefaultIoT() IoT { return IoT{RowsPerLoad: 2000, Seed: 7} }
+
+// DDL returns the sensor-readings schema.
+func (w IoT) DDL() []string {
+	return []string{
+		`CREATE TABLE readings (device_id INTEGER, ts INTEGER, metric VARCHAR, value FLOAT)`,
+		`CREATE PROJECTION readings_super AS SELECT * FROM readings ORDER BY device_id, ts SEGMENTED BY HASH(device_id) ALL NODES`,
+	}
+}
+
+// Schema returns the readings schema for batch construction.
+func (w IoT) Schema() types.Schema {
+	return types.Schema{
+		{Name: "device_id", Type: types.Int64},
+		{Name: "ts", Type: types.Int64},
+		{Name: "metric", Type: types.Varchar},
+		{Name: "value", Type: types.Float64},
+	}
+}
+
+var metrics = []string{"temp", "humidity", "pressure", "voltage"}
+
+// Batch generates one load's rows; seq distinguishes concurrent loads so
+// data stays unique and deterministic.
+func (w IoT) Batch(seq int64) *types.Batch {
+	rng := rand.New(rand.NewSource(w.Seed + seq))
+	b := types.NewBatch(w.Schema(), w.RowsPerLoad)
+	base := seq * int64(w.RowsPerLoad)
+	for i := 0; i < w.RowsPerLoad; i++ {
+		b.AppendRow(types.Row{
+			types.NewInt(int64(rng.Intn(1000))),
+			types.NewInt(base + int64(i)),
+			types.NewString(metrics[rng.Intn(len(metrics))]),
+			types.NewFloat(rng.Float64() * 100),
+		})
+	}
+	return b
+}

@@ -1,0 +1,96 @@
+package workload
+
+// Query is one named benchmark query.
+type Query struct {
+	Name string
+	SQL  string
+}
+
+// TPCHQueries returns the twenty analytic queries of the Figure 10
+// experiment, written in the engine's SQL dialect over the TPC-H-shaped
+// schema. They cover the paper's workload spectrum: wide scans with
+// selective date predicates, single and multi-way joins (co-segmented,
+// replicated-dimension and reshuffled), grouped and global aggregation,
+// top-k, DISTINCT and CASE arithmetic.
+func TPCHQueries() []Query {
+	return []Query{
+		{"Q1", `SELECT l_returnflag, l_linestatus, SUM(l_quantity) AS sum_qty,
+			SUM(l_extendedprice) AS sum_base, SUM(l_extendedprice * (1 - l_discount)) AS sum_disc,
+			AVG(l_quantity) AS avg_qty, AVG(l_extendedprice) AS avg_price, COUNT(*) AS n
+			FROM lineitem WHERE l_shipdate <= DATE '1998-06-01'
+			GROUP BY l_returnflag, l_linestatus ORDER BY 1, 2`},
+		{"Q2", `SELECT p_brand, MIN(p_retailprice) AS lo, MAX(p_retailprice) AS hi, COUNT(*) AS n
+			FROM part WHERE p_type LIKE '%STEEL%' GROUP BY p_brand ORDER BY p_brand`},
+		{"Q3", `SELECT o.o_orderkey, SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue, o.o_orderdate
+			FROM orders o JOIN lineitem l ON l.l_orderkey = o.o_orderkey
+			WHERE o.o_orderdate < DATE '1995-03-15'
+			GROUP BY o.o_orderkey, o.o_orderdate ORDER BY revenue DESC LIMIT 10`},
+		{"Q4", `SELECT o_orderpriority, COUNT(*) AS order_count
+			FROM orders WHERE o_orderdate >= DATE '1993-07-01' AND o_orderdate < DATE '1993-10-01'
+			GROUP BY o_orderpriority ORDER BY o_orderpriority`},
+		{"Q5", `SELECT c.c_mktsegment, SUM(o.o_totalprice) AS revenue
+			FROM orders o JOIN customer c ON o.o_custkey = c.c_custkey
+			WHERE o.o_orderdate >= DATE '1994-01-01' AND o.o_orderdate < DATE '1995-01-01'
+			GROUP BY c.c_mktsegment ORDER BY revenue DESC`},
+		{"Q6", `SELECT SUM(l_extendedprice * l_discount) AS revenue
+			FROM lineitem WHERE l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01'
+			AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24`},
+		{"Q7", `SELECT s.s_name, COUNT(*) AS shipments
+			FROM lineitem l JOIN supplier s ON l.l_suppkey = s.s_suppkey
+			WHERE l.l_shipdate >= DATE '1995-01-01'
+			GROUP BY s.s_name ORDER BY shipments DESC LIMIT 10`},
+		{"Q8", `SELECT n.n_name, SUM(c.c_acctbal) AS total_bal, COUNT(*) AS customers
+			FROM customer c JOIN nation n ON c.c_nationkey = n.n_nationkey
+			GROUP BY n.n_name ORDER BY n.n_name`},
+		{"Q9", `SELECT p.p_brand, SUM(l.l_extendedprice * (1 - l.l_discount)) AS profit
+			FROM lineitem l JOIN part p ON l.l_partkey = p.p_partkey
+			GROUP BY p.p_brand ORDER BY profit DESC`},
+		{"Q10", `SELECT c.c_custkey, c.c_name, SUM(o.o_totalprice) AS spent
+			FROM orders o JOIN customer c ON o.o_custkey = c.c_custkey
+			WHERE o.o_orderdate >= DATE '1993-10-01'
+			GROUP BY c.c_custkey, c.c_name ORDER BY spent DESC LIMIT 20`},
+		{"Q11", `SELECT l_returnflag, COUNT(DISTINCT l_orderkey) AS orders
+			FROM lineitem GROUP BY l_returnflag ORDER BY l_returnflag`},
+		{"Q12", `SELECT o.o_orderpriority, COUNT(*) AS n
+			FROM lineitem l JOIN orders o ON l.l_orderkey = o.o_orderkey
+			WHERE l.l_shipdate > o.o_orderdate AND l.l_shipdate < DATE '1997-01-01'
+			GROUP BY o.o_orderpriority ORDER BY 1`},
+		{"Q13", `SELECT o_orderstatus, COUNT(*) AS n, AVG(o_totalprice) AS avg_price
+			FROM orders GROUP BY o_orderstatus ORDER BY o_orderstatus`},
+		{"Q14", `SELECT SUM(CASE WHEN p.p_type LIKE '%BRASS%' THEN l.l_extendedprice * (1 - l.l_discount) ELSE 0 END) AS promo,
+			SUM(l.l_extendedprice * (1 - l.l_discount)) AS total
+			FROM lineitem l JOIN part p ON l.l_partkey = p.p_partkey
+			WHERE l.l_shipdate >= DATE '1995-09-01' AND l.l_shipdate < DATE '1995-12-01'`},
+		{"Q15", `SELECT l_suppkey, SUM(l_extendedprice * (1 - l_discount)) AS total_revenue
+			FROM lineitem WHERE l_shipdate >= DATE '1996-01-01' AND l_shipdate < DATE '1996-04-01'
+			GROUP BY l_suppkey ORDER BY total_revenue DESC LIMIT 5`},
+		{"Q16", `SELECT p_brand, p_type, COUNT(DISTINCT p_partkey) AS cnt
+			FROM part WHERE p_brand <> 'Brand#45' GROUP BY p_brand, p_type ORDER BY cnt DESC, 1, 2 LIMIT 20`},
+		{"Q17", `SELECT AVG(l_quantity) AS avg_qty, SUM(l_extendedprice) AS total_price, COUNT(*) AS n
+			FROM lineitem WHERE l_quantity < 10`},
+		{"Q18", `SELECT o.o_orderkey, o.o_totalprice, SUM(l.l_quantity) AS total_qty
+			FROM orders o JOIN lineitem l ON l.l_orderkey = o.o_orderkey
+			GROUP BY o.o_orderkey, o.o_totalprice HAVING total_qty > 150
+			ORDER BY o.o_totalprice DESC LIMIT 10`},
+		{"Q19", `SELECT SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue
+			FROM lineitem l JOIN part p ON l.l_partkey = p.p_partkey
+			WHERE p.p_brand IN ('Brand#11', 'Brand#22') AND l.l_quantity BETWEEN 5 AND 35`},
+		{"Q20", `SELECT n.n_name, s.s_name, s.s_acctbal
+			FROM supplier s JOIN nation n ON s.s_nationkey = n.n_nationkey
+			WHERE s.s_acctbal > 0 ORDER BY s.s_acctbal DESC LIMIT 15`},
+	}
+}
+
+// DashboardQuery is the customer-supplied short query of Figure 11a:
+// multiple joins and aggregations over co-segmented data that normally
+// runs in about 100 milliseconds.
+const DashboardQuery = `SELECT c.c_mktsegment, COUNT(*) AS orders, SUM(o.o_totalprice) AS revenue
+	FROM orders o JOIN customer c ON o.o_custkey = c.c_custkey
+	WHERE o.o_orderdate >= DATE '1997-01-01'
+	GROUP BY c.c_mktsegment ORDER BY revenue DESC`
+
+// NodeDownQuery is the Figure 12 workload: a TPC-H-style query with
+// multiple aggregations and a group by.
+const NodeDownQuery = `SELECT l_returnflag, COUNT(*) AS n, SUM(l_quantity) AS qty,
+	SUM(l_extendedprice * (1 - l_discount)) AS revenue, AVG(l_discount) AS disc
+	FROM lineitem WHERE l_shipdate > DATE '1993-01-01' GROUP BY l_returnflag`

@@ -1,0 +1,234 @@
+// Package workload supplies the evaluation workloads of paper §8: a
+// deterministic TPC-H-shaped dataset and twenty analytic queries over it
+// (Figure 10), the short customer dashboard query used for elastic
+// throughput scaling (Figure 11a), and the IoT-style small-batch COPY
+// workload (Figure 11b).
+//
+// The generator is scaled down from TPC-H SF200 to laptop size; the
+// shapes the figures depend on (selectivity of date predicates, join
+// fan-outs, group cardinalities) are preserved.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"eon/internal/types"
+)
+
+// Exec is a minimal statement runner; adapt any session's Execute.
+type Exec func(sql string) error
+
+// TPCH parameterizes the dataset.
+type TPCH struct {
+	Customers int
+	Orders    int
+	// LineitemsPerOrder is the average lineitem fan-out.
+	LineitemsPerOrder int
+	Parts             int
+	Suppliers         int
+	Seed              int64
+}
+
+// DefaultTPCH returns a dataset sized by a scale factor; scale 1 is
+// about 40k lineitems.
+func DefaultTPCH(scale float64) TPCH {
+	if scale <= 0 {
+		scale = 1
+	}
+	return TPCH{
+		Customers:         int(1000 * scale),
+		Orders:            int(10000 * scale),
+		LineitemsPerOrder: 4,
+		Parts:             int(500 * scale),
+		Suppliers:         int(100 * scale),
+		Seed:              42,
+	}
+}
+
+// dateDays converts a calendar date to Date datum days.
+func dateDays(y, m, d int) int64 {
+	return time.Date(y, time.Month(m), d, 0, 0, 0, 0, time.UTC).Unix() / 86400
+}
+
+// DDL returns the schema statements: tables plus projections designed
+// like a Database Designer would — lineitem and orders co-segmented on
+// the order key for local joins, a second orders projection segmented by
+// customer for the dashboard join, dimensions replicated.
+func (w TPCH) DDL() []string {
+	return []string{
+		`CREATE TABLE customer (c_custkey INTEGER, c_name VARCHAR, c_nationkey INTEGER, c_acctbal FLOAT, c_mktsegment VARCHAR)`,
+		`CREATE PROJECTION customer_super AS SELECT * FROM customer ORDER BY c_custkey SEGMENTED BY HASH(c_custkey) ALL NODES`,
+
+		`CREATE TABLE orders (o_orderkey INTEGER, o_custkey INTEGER, o_orderstatus VARCHAR, o_totalprice FLOAT, o_orderdate DATE, o_orderpriority VARCHAR)`,
+		`CREATE PROJECTION orders_super AS SELECT * FROM orders ORDER BY o_orderdate SEGMENTED BY HASH(o_orderkey) ALL NODES`,
+		`CREATE PROJECTION orders_bycust AS SELECT o_orderkey, o_custkey, o_totalprice, o_orderdate FROM orders ORDER BY o_custkey SEGMENTED BY HASH(o_custkey) ALL NODES`,
+
+		`CREATE TABLE lineitem (l_orderkey INTEGER, l_partkey INTEGER, l_suppkey INTEGER, l_linenumber INTEGER, l_quantity FLOAT, l_extendedprice FLOAT, l_discount FLOAT, l_tax FLOAT, l_returnflag VARCHAR, l_linestatus VARCHAR, l_shipdate DATE)`,
+		`CREATE PROJECTION lineitem_super AS SELECT * FROM lineitem ORDER BY l_shipdate SEGMENTED BY HASH(l_orderkey) ALL NODES`,
+
+		`CREATE TABLE part (p_partkey INTEGER, p_name VARCHAR, p_brand VARCHAR, p_type VARCHAR, p_retailprice FLOAT)`,
+		`CREATE PROJECTION part_rep AS SELECT * FROM part ORDER BY p_partkey UNSEGMENTED ALL NODES`,
+
+		`CREATE TABLE supplier (s_suppkey INTEGER, s_name VARCHAR, s_nationkey INTEGER, s_acctbal FLOAT)`,
+		`CREATE PROJECTION supplier_rep AS SELECT * FROM supplier ORDER BY s_suppkey UNSEGMENTED ALL NODES`,
+
+		`CREATE TABLE nation (n_nationkey INTEGER, n_name VARCHAR)`,
+		`CREATE PROJECTION nation_rep AS SELECT * FROM nation ORDER BY n_nationkey UNSEGMENTED ALL NODES`,
+	}
+}
+
+var (
+	segments   = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"}
+	priorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	statuses   = []string{"F", "O", "P"}
+	flags      = []string{"A", "N", "R"}
+	brands     = []string{"Brand#11", "Brand#22", "Brand#33", "Brand#44", "Brand#55"}
+	ptypes     = []string{"ECONOMY ANODIZED STEEL", "LARGE BRUSHED BRASS", "MEDIUM POLISHED COPPER", "SMALL PLATED TIN", "STANDARD BURNISHED NICKEL"}
+	nations    = []string{"ALGERIA", "BRAZIL", "CANADA", "EGYPT", "FRANCE", "GERMANY", "INDIA", "JAPAN", "KENYA", "PERU"}
+)
+
+// Tables generates every table's data deterministically.
+func (w TPCH) Tables() map[string]*types.Batch {
+	rng := rand.New(rand.NewSource(w.Seed))
+	out := map[string]*types.Batch{}
+
+	customer := types.NewBatch(types.Schema{
+		{Name: "c_custkey", Type: types.Int64},
+		{Name: "c_name", Type: types.Varchar},
+		{Name: "c_nationkey", Type: types.Int64},
+		{Name: "c_acctbal", Type: types.Float64},
+		{Name: "c_mktsegment", Type: types.Varchar},
+	}, w.Customers)
+	for i := 1; i <= w.Customers; i++ {
+		customer.AppendRow(types.Row{
+			types.NewInt(int64(i)),
+			types.NewString(fmt.Sprintf("Customer#%06d", i)),
+			types.NewInt(int64(rng.Intn(len(nations)))),
+			types.NewFloat(float64(rng.Intn(100000))/10 - 1000),
+			types.NewString(segments[rng.Intn(len(segments))]),
+		})
+	}
+	out["customer"] = customer
+
+	startDate := dateDays(1992, 1, 1)
+	endDate := dateDays(1998, 8, 2)
+	span := int(endDate - startDate)
+
+	orders := types.NewBatch(types.Schema{
+		{Name: "o_orderkey", Type: types.Int64},
+		{Name: "o_custkey", Type: types.Int64},
+		{Name: "o_orderstatus", Type: types.Varchar},
+		{Name: "o_totalprice", Type: types.Float64},
+		{Name: "o_orderdate", Type: types.Date},
+		{Name: "o_orderpriority", Type: types.Varchar},
+	}, w.Orders)
+	orderDates := make([]int64, w.Orders+1)
+	for i := 1; i <= w.Orders; i++ {
+		od := startDate + int64(rng.Intn(span))
+		orderDates[i] = od
+		orders.AppendRow(types.Row{
+			types.NewInt(int64(i)),
+			types.NewInt(int64(rng.Intn(w.Customers) + 1)),
+			types.NewString(statuses[rng.Intn(len(statuses))]),
+			types.NewFloat(float64(rng.Intn(400000))/10 + 100),
+			types.NewDate(od),
+			types.NewString(priorities[rng.Intn(len(priorities))]),
+		})
+	}
+	out["orders"] = orders
+
+	liCount := w.Orders * w.LineitemsPerOrder
+	lineitem := types.NewBatch(types.Schema{
+		{Name: "l_orderkey", Type: types.Int64},
+		{Name: "l_partkey", Type: types.Int64},
+		{Name: "l_suppkey", Type: types.Int64},
+		{Name: "l_linenumber", Type: types.Int64},
+		{Name: "l_quantity", Type: types.Float64},
+		{Name: "l_extendedprice", Type: types.Float64},
+		{Name: "l_discount", Type: types.Float64},
+		{Name: "l_tax", Type: types.Float64},
+		{Name: "l_returnflag", Type: types.Varchar},
+		{Name: "l_linestatus", Type: types.Varchar},
+		{Name: "l_shipdate", Type: types.Date},
+	}, liCount)
+	for i := 0; i < liCount; i++ {
+		orderkey := int64(i/w.LineitemsPerOrder + 1)
+		ship := orderDates[orderkey] + int64(rng.Intn(120)+1)
+		lineitem.AppendRow(types.Row{
+			types.NewInt(orderkey),
+			types.NewInt(int64(rng.Intn(w.Parts) + 1)),
+			types.NewInt(int64(rng.Intn(w.Suppliers) + 1)),
+			types.NewInt(int64(i%w.LineitemsPerOrder + 1)),
+			types.NewFloat(float64(rng.Intn(50) + 1)),
+			types.NewFloat(float64(rng.Intn(100000))/10 + 1),
+			types.NewFloat(float64(rng.Intn(11)) / 100),
+			types.NewFloat(float64(rng.Intn(9)) / 100),
+			types.NewString(flags[rng.Intn(len(flags))]),
+			types.NewString(statuses[rng.Intn(2)]),
+			types.NewDate(ship),
+		})
+	}
+	out["lineitem"] = lineitem
+
+	part := types.NewBatch(types.Schema{
+		{Name: "p_partkey", Type: types.Int64},
+		{Name: "p_name", Type: types.Varchar},
+		{Name: "p_brand", Type: types.Varchar},
+		{Name: "p_type", Type: types.Varchar},
+		{Name: "p_retailprice", Type: types.Float64},
+	}, w.Parts)
+	for i := 1; i <= w.Parts; i++ {
+		part.AppendRow(types.Row{
+			types.NewInt(int64(i)),
+			types.NewString(fmt.Sprintf("part %d %s", i, ptypes[rng.Intn(len(ptypes))])),
+			types.NewString(brands[rng.Intn(len(brands))]),
+			types.NewString(ptypes[rng.Intn(len(ptypes))]),
+			types.NewFloat(float64(rng.Intn(20000))/10 + 1),
+		})
+	}
+	out["part"] = part
+
+	supplier := types.NewBatch(types.Schema{
+		{Name: "s_suppkey", Type: types.Int64},
+		{Name: "s_name", Type: types.Varchar},
+		{Name: "s_nationkey", Type: types.Int64},
+		{Name: "s_acctbal", Type: types.Float64},
+	}, w.Suppliers)
+	for i := 1; i <= w.Suppliers; i++ {
+		supplier.AppendRow(types.Row{
+			types.NewInt(int64(i)),
+			types.NewString(fmt.Sprintf("Supplier#%05d", i)),
+			types.NewInt(int64(rng.Intn(len(nations)))),
+			types.NewFloat(float64(rng.Intn(100000))/10 - 1000),
+		})
+	}
+	out["supplier"] = supplier
+
+	nation := types.NewBatch(types.Schema{
+		{Name: "n_nationkey", Type: types.Int64},
+		{Name: "n_name", Type: types.Varchar},
+	}, len(nations))
+	for i, n := range nations {
+		nation.AppendRow(types.Row{types.NewInt(int64(i)), types.NewString(n)})
+	}
+	out["nation"] = nation
+
+	return out
+}
+
+// Setup creates the schema and loads every table.
+func (w TPCH) Setup(exec Exec, load func(table string, b *types.Batch) error) error {
+	for _, stmt := range w.DDL() {
+		if err := exec(stmt); err != nil {
+			return fmt.Errorf("workload: %s: %w", stmt[:24], err)
+		}
+	}
+	for table, batch := range w.Tables() {
+		if err := load(table, batch); err != nil {
+			return fmt.Errorf("workload: load %s: %w", table, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+// Package wos implements the Write Optimized Store (paper §2.3): a
+// per-node, in-memory, unencoded row buffer that absorbs small inserts so
+// physical ROS writes contain enough rows to amortize their cost. The WOS
+// exists only in Enterprise mode — Eon mode disables it because memory
+// divergence between peers would let node storage diverge (§5.1).
+package wos
+
+import (
+	"sync"
+
+	"eon/internal/catalog"
+	"eon/internal/types"
+)
+
+// Store is one node's WOS, holding buffered rows per projection.
+type Store struct {
+	mu      sync.Mutex
+	data    map[catalog.OID]*types.Batch
+	schemas map[catalog.OID]types.Schema
+}
+
+// New returns an empty WOS.
+func New() *Store {
+	return &Store{
+		data:    map[catalog.OID]*types.Batch{},
+		schemas: map[catalog.OID]types.Schema{},
+	}
+}
+
+// Insert buffers rows for a projection. The batch's columns must align
+// with the projection schema. Data is neither sorted nor encoded in the
+// WOS.
+func (s *Store) Insert(proj catalog.OID, schema types.Schema, batch *types.Batch) {
+	if batch == nil || batch.NumRows() == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur, ok := s.data[proj]
+	if !ok {
+		cur = types.NewBatch(schema, batch.NumRows())
+		s.data[proj] = cur
+		s.schemas[proj] = schema
+	}
+	cur.AppendBatch(batch)
+}
+
+// Rows returns a copy of the buffered rows for a projection (queries must
+// see WOS contents). Returns nil when empty.
+func (s *Store) Rows(proj catalog.OID) *types.Batch {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur, ok := s.data[proj]
+	if !ok || cur.NumRows() == 0 {
+		return nil
+	}
+	out := types.NewBatch(s.schemas[proj], cur.NumRows())
+	out.AppendBatch(cur)
+	return out
+}
+
+// RowCount returns the buffered row count for a projection.
+func (s *Store) RowCount(proj catalog.OID) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cur, ok := s.data[proj]; ok {
+		return cur.NumRows()
+	}
+	return 0
+}
+
+// TotalRows returns the buffered row count across all projections.
+func (s *Store) TotalRows() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, b := range s.data {
+		n += b.NumRows()
+	}
+	return n
+}
+
+// Drain removes and returns all buffered rows of a projection — the
+// moveout operation's input (§2.3). Returns nil when empty.
+func (s *Store) Drain(proj catalog.OID) *types.Batch {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur, ok := s.data[proj]
+	if !ok || cur.NumRows() == 0 {
+		return nil
+	}
+	delete(s.data, proj)
+	return cur
+}
+
+// RemoveWhere deletes buffered rows matching pred and returns them (in
+// projection column order). The WOS is volatile, unencoded memory, so
+// deletion rewrites the buffer in place rather than using delete vectors.
+func (s *Store) RemoveWhere(proj catalog.OID, pred func(types.Row) (bool, error)) (*types.Batch, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur, ok := s.data[proj]
+	if !ok || cur.NumRows() == 0 {
+		return nil, nil
+	}
+	schema := s.schemas[proj]
+	var keep, remove []int
+	for i := 0; i < cur.NumRows(); i++ {
+		match, err := pred(cur.Row(i))
+		if err != nil {
+			return nil, err
+		}
+		if match {
+			remove = append(remove, i)
+		} else {
+			keep = append(keep, i)
+		}
+	}
+	if len(remove) == 0 {
+		return nil, nil
+	}
+	removed := cur.Gather(remove)
+	if len(keep) == 0 {
+		delete(s.data, proj)
+	} else {
+		s.data[proj] = cur.Gather(keep)
+	}
+	_ = schema
+	return removed, nil
+}
+
+// Transform rewrites a projection's buffered rows in place (used by
+// flattened-column refresh to recompute denormalized values that only
+// exist in memory). fn receives the current batch and returns the
+// replacement; a nil return empties the buffer.
+func (s *Store) Transform(proj catalog.OID, fn func(*types.Batch) (*types.Batch, error)) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur, ok := s.data[proj]
+	if !ok || cur.NumRows() == 0 {
+		return nil
+	}
+	next, err := fn(cur)
+	if err != nil {
+		return err
+	}
+	if next == nil || next.NumRows() == 0 {
+		delete(s.data, proj)
+		return nil
+	}
+	s.data[proj] = next
+	return nil
+}
+
+// Projections lists projections with buffered rows.
+func (s *Store) Projections() []catalog.OID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]catalog.OID, 0, len(s.data))
+	for oid, b := range s.data {
+		if b.NumRows() > 0 {
+			out = append(out, oid)
+		}
+	}
+	return out
+}

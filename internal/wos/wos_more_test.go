@@ -1,0 +1,99 @@
+package wos
+
+import (
+	"errors"
+	"testing"
+
+	"eon/internal/types"
+)
+
+func TestRemoveWhere(t *testing.T) {
+	s := New()
+	s.Insert(1, schema, batchOf(1, 2, 3, 4, 5))
+	removed, err := s.RemoveWhere(1, func(r types.Row) (bool, error) {
+		return r[0].I%2 == 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed.NumRows() != 2 {
+		t.Fatalf("removed = %v", removed.Rows())
+	}
+	if s.RowCount(1) != 3 {
+		t.Errorf("remaining = %d", s.RowCount(1))
+	}
+	// Removing everything empties the projection.
+	if _, err := s.RemoveWhere(1, func(types.Row) (bool, error) { return true, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if s.RowCount(1) != 0 {
+		t.Error("buffer should be empty")
+	}
+	// Removing from an empty buffer is a no-op.
+	removed, err = s.RemoveWhere(1, func(types.Row) (bool, error) { return true, nil })
+	if err != nil || removed != nil {
+		t.Errorf("empty remove = %v, %v", removed, err)
+	}
+}
+
+func TestRemoveWhereNoMatch(t *testing.T) {
+	s := New()
+	s.Insert(1, schema, batchOf(1, 2))
+	removed, err := s.RemoveWhere(1, func(types.Row) (bool, error) { return false, nil })
+	if err != nil || removed != nil {
+		t.Errorf("no-match remove = %v, %v", removed, err)
+	}
+	if s.RowCount(1) != 2 {
+		t.Error("rows lost")
+	}
+}
+
+func TestRemoveWherePredicateError(t *testing.T) {
+	s := New()
+	s.Insert(1, schema, batchOf(1))
+	boom := errors.New("boom")
+	if _, err := s.RemoveWhere(1, func(types.Row) (bool, error) { return false, boom }); !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestTransform(t *testing.T) {
+	s := New()
+	s.Insert(1, schema, batchOf(1, 2, 3))
+	err := s.Transform(1, func(b *types.Batch) (*types.Batch, error) {
+		for i := range b.Cols[0].Ints {
+			b.Cols[0].Ints[i] *= 10
+		}
+		return b, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.Rows(1)
+	if got.Cols[0].Ints[0] != 10 || got.Cols[0].Ints[2] != 30 {
+		t.Errorf("transformed = %v", got.Cols[0].Ints)
+	}
+	// Nil return empties the buffer.
+	if err := s.Transform(1, func(*types.Batch) (*types.Batch, error) { return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if s.RowCount(1) != 0 {
+		t.Error("nil transform should empty")
+	}
+	// Transform on missing projection is a no-op.
+	if err := s.Transform(99, func(*types.Batch) (*types.Batch, error) { return nil, nil }); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransformError(t *testing.T) {
+	s := New()
+	s.Insert(1, schema, batchOf(1))
+	boom := errors.New("boom")
+	if err := s.Transform(1, func(*types.Batch) (*types.Batch, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+	if s.RowCount(1) != 1 {
+		t.Error("failed transform must not lose rows")
+	}
+}

@@ -1,0 +1,77 @@
+package wos
+
+import (
+	"testing"
+
+	"eon/internal/types"
+)
+
+var schema = types.Schema{{Name: "id", Type: types.Int64}}
+
+func batchOf(xs ...int64) *types.Batch {
+	rows := make([]types.Row, len(xs))
+	for i, x := range xs {
+		rows[i] = types.Row{types.NewInt(x)}
+	}
+	return types.BatchFromRows(schema, rows)
+}
+
+func TestInsertAndRows(t *testing.T) {
+	s := New()
+	s.Insert(1, schema, batchOf(1, 2))
+	s.Insert(1, schema, batchOf(3))
+	got := s.Rows(1)
+	if got == nil || got.NumRows() != 3 {
+		t.Fatalf("rows = %v", got)
+	}
+	if s.RowCount(1) != 3 || s.TotalRows() != 3 {
+		t.Error("counts wrong")
+	}
+}
+
+func TestRowsReturnsCopy(t *testing.T) {
+	s := New()
+	s.Insert(1, schema, batchOf(1))
+	got := s.Rows(1)
+	got.AppendRow(types.Row{types.NewInt(99)})
+	if s.RowCount(1) != 1 {
+		t.Error("Rows must return an independent copy")
+	}
+}
+
+func TestDrain(t *testing.T) {
+	s := New()
+	s.Insert(1, schema, batchOf(1, 2))
+	got := s.Drain(1)
+	if got == nil || got.NumRows() != 2 {
+		t.Fatalf("drain = %v", got)
+	}
+	if s.RowCount(1) != 0 || s.Rows(1) != nil {
+		t.Error("drain must empty the buffer")
+	}
+	if s.Drain(1) != nil {
+		t.Error("second drain is nil")
+	}
+}
+
+func TestMultipleProjections(t *testing.T) {
+	s := New()
+	s.Insert(1, schema, batchOf(1))
+	s.Insert(2, schema, batchOf(2, 3))
+	projs := s.Projections()
+	if len(projs) != 2 {
+		t.Errorf("projections = %v", projs)
+	}
+	if s.TotalRows() != 3 {
+		t.Error("total")
+	}
+}
+
+func TestEmptyInsertIgnored(t *testing.T) {
+	s := New()
+	s.Insert(1, schema, nil)
+	s.Insert(1, schema, types.NewBatch(schema, 0))
+	if s.RowCount(1) != 0 || len(s.Projections()) != 0 {
+		t.Error("empty inserts should be ignored")
+	}
+}

@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all vet build test race chaos bench
+
+all: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Full suite under the race detector.
+race:
+	$(GO) test -race ./...
+
+# Chaos smoke: the deterministic fault drill (load + query stream +
+# node kill + revive under injected shared-storage faults) plus the
+# resilience layer's unit tests, race-checked.
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos|TestQueryDeadlinePropagates|TestCacheBreakerDegradesToSharedStorage' ./internal/core/
+	$(GO) test -race -count=1 ./internal/resilience/ ./internal/objstore/ ./internal/netsim/
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' .

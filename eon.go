@@ -27,7 +27,38 @@ import (
 	"eon/internal/core"
 	"eon/internal/netsim"
 	"eon/internal/objstore"
+	"eon/internal/resilience"
 	"eon/internal/types"
+)
+
+// ResilienceStats is a snapshot of the resilient shared-storage layer's
+// counters.
+type ResilienceStats = resilience.Stats
+
+// ResilienceConfig tunes the shared-storage retry/hedge/breaker layer
+// (set Config.Resilience).
+type ResilienceConfig = resilience.Config
+
+// RetryPolicy tunes the shared-storage retry loop (attempts, capped
+// full-jitter backoff, per-attempt deadline budget).
+type RetryPolicy = resilience.Policy
+
+// BreakerConfig tunes a circuit breaker (window, trip ratio, cooldown,
+// probabilistic half-open probes).
+type BreakerConfig = resilience.BreakerConfig
+
+// FaultSchedule is a deterministic, seedable schedule of injected
+// shared-storage faults for chaos testing (set SimConfig.Faults).
+type FaultSchedule = objstore.FaultSchedule
+
+// Fault-schedule building blocks.
+type (
+	// OpRange is a half-open interval [From, To) of store op indices.
+	OpRange = objstore.OpRange
+	// FaultWindow fails requests at a rate within an op range.
+	FaultWindow = objstore.FaultWindow
+	// LatencySpike adds service time to requests in an op range.
+	LatencySpike = objstore.LatencySpike
 )
 
 // Mode selects the architecture: ModeEnterprise (shared-nothing, buddy
@@ -196,6 +227,11 @@ func (db *DB) IsShutdown() bool { return db.inner.IsShutdown() }
 // TruncationVersion returns the catalog version up to which shared
 // storage holds a complete, revivable record.
 func (db *DB) TruncationVersion() uint64 { return db.inner.TruncationVersion() }
+
+// ResilienceStats snapshots the shared-storage resilience counters:
+// attempts, retries, hedged reads fired/won, circuit-breaker opens,
+// shed requests and degradation fallbacks (paper §5.3).
+func (db *DB) ResilienceStats() ResilienceStats { return db.inner.ResilienceStats() }
 
 // NewMemStore returns an in-memory shared object store, optionally
 // wrapped in the latency/failure simulator via NewSimStore.

@@ -136,30 +136,23 @@ func (t *SyncTracker) Snapshot() map[string]SyncInterval {
 // metadata is fully present on shared storage. ok is false when some
 // shard has no subscriber with an upload.
 func ComputeTruncationVersion(shardSubscribers map[int][]string, intervals map[string]SyncInterval) (uint64, bool) {
-	first := true
-	var consensus uint64
-	for shardIdx, subs := range shardSubscribers {
-		var best uint64
-		found := false
+	if len(shardSubscribers) == 0 {
+		return 0, false
+	}
+	consensus := ^uint64(0)
+	for _, subs := range shardSubscribers {
+		best, found := uint64(0), false
 		for _, node := range subs {
-			if iv, ok := intervals[node]; ok {
-				if !found || iv.Upper > best {
-					best = iv.Upper
-					found = true
-				}
+			if iv, ok := intervals[node]; ok && (!found || iv.Upper > best) {
+				best, found = iv.Upper, true
 			}
 		}
 		if !found {
-			return 0, false
+			return 0, false // a shard with no subscriber upload blocks consensus
 		}
-		_ = shardIdx
-		if first || best < consensus {
+		if best < consensus {
 			consensus = best
-			first = false
 		}
-	}
-	if first {
-		return 0, false // no shards at all
 	}
 	return consensus, true
 }

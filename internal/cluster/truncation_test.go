@@ -1,0 +1,85 @@
+package cluster
+
+import "testing"
+
+// Table-driven edge cases of the Figure 5 consensus computation.
+func TestComputeTruncationVersionTable(t *testing.T) {
+	cases := []struct {
+		name      string
+		shardSubs map[int][]string
+		intervals map[string]SyncInterval
+		want      uint64
+		wantOK    bool
+	}{
+		{
+			name:      "empty shard map",
+			shardSubs: map[int][]string{},
+			intervals: map[string]SyncInterval{"n1": {Lower: 1, Upper: 9}},
+			wantOK:    false,
+		},
+		{
+			name:      "nil inputs",
+			shardSubs: nil,
+			intervals: nil,
+			wantOK:    false,
+		},
+		{
+			name: "shard with no subscriber upload blocks consensus",
+			shardSubs: map[int][]string{
+				0: {"n1"},
+				1: {"n2"}, // n2 never uploaded
+			},
+			intervals: map[string]SyncInterval{"n1": {Upper: 7}},
+			wantOK:    false,
+		},
+		{
+			name: "shard with empty subscriber list blocks consensus",
+			shardSubs: map[int][]string{
+				0: {"n1"},
+				1: {},
+			},
+			intervals: map[string]SyncInterval{"n1": {Upper: 7}},
+			wantOK:    false,
+		},
+		{
+			name: "consensus is min over shards of best subscriber upper",
+			shardSubs: map[int][]string{
+				0: {"n1", "n2"}, // best 9
+				1: {"n2", "n3"}, // best 6
+				2: {"n1", "n3"}, // best 9
+			},
+			intervals: map[string]SyncInterval{
+				"n1": {Upper: 9},
+				"n2": {Upper: 4},
+				"n3": {Upper: 6},
+			},
+			want:   6,
+			wantOK: true,
+		},
+		{
+			name:      "single shard single subscriber",
+			shardSubs: map[int][]string{0: {"n1"}},
+			intervals: map[string]SyncInterval{"n1": {Upper: 3}},
+			want:      3,
+			wantOK:    true,
+		},
+		{
+			name:      "subscriber with zero upper still counts as an upload",
+			shardSubs: map[int][]string{0: {"n1"}},
+			intervals: map[string]SyncInterval{"n1": {Upper: 0}},
+			want:      0,
+			wantOK:    true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v, ok := ComputeTruncationVersion(tc.shardSubs, tc.intervals)
+			if ok != tc.wantOK {
+				t.Fatalf("ok = %v, want %v", ok, tc.wantOK)
+			}
+			if ok && v != tc.want {
+				t.Errorf("version = %d, want %d", v, tc.want)
+			}
+		})
+	}
+}

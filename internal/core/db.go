@@ -20,6 +20,7 @@ import (
 	"eon/internal/hashring"
 	"eon/internal/netsim"
 	"eon/internal/objstore"
+	"eon/internal/resilience"
 	"eon/internal/tuplemover"
 	"eon/internal/udfs"
 	"eon/internal/wos"
@@ -101,6 +102,27 @@ type Config struct {
 	Seed int64
 	// Now overrides the wall clock (lease tests).
 	Now func() time.Time
+	// Resilience tunes the shared-storage retry/hedge/breaker layer
+	// (§5.3). nil uses resilience.DefaultConfig.
+	Resilience *resilience.Config
+}
+
+// resilienceConfig resolves the shared-storage resilience configuration,
+// installing the objstore error classifier and the cluster seed.
+func (c *Config) resilienceConfig() resilience.Config {
+	var rc resilience.Config
+	if c.Resilience != nil {
+		rc = *c.Resilience
+	} else {
+		rc = resilience.DefaultConfig(objstore.IsRetryable)
+	}
+	if rc.Policy.Retryable == nil {
+		rc.Policy.Retryable = objstore.IsRetryable
+	}
+	if rc.Seed == 0 {
+		rc.Seed = c.Seed + 1
+	}
+	return rc
 }
 
 func (c *Config) fillDefaults() error {
@@ -248,10 +270,22 @@ type DB struct {
 	nodes   map[string]*Node
 	order   []string // creation order; the Enterprise logical ring
 
-	shared   objstore.Store
-	sharedFS *udfs.ObjectFS
-	net      *netsim.Network
-	ring     *hashring.Ring
+	// shared is the resilient view of shared storage: every access below
+	// retries with jittered backoff, hedges GETs and trips the store
+	// breaker on sustained pressure (§5.3).
+	shared    objstore.Store
+	resilient *resilience.Store[objstore.Info]
+	// peerBreakers guard node-to-node interactions (commit-time cache
+	// shipping, peer cache warming): a dead or struggling peer is skipped
+	// and the read path degrades to shared storage.
+	peerBreakers *resilience.Group
+	// cacheBreakers guard each node's local cache admission; sustained
+	// admission failures bypass the cache rather than failing the load
+	// or scan.
+	cacheBreakers *resilience.Group
+	sharedFS      *udfs.ObjectFS
+	net           *netsim.Network
+	ring          *hashring.Ring
 
 	// slots allocates per-node execution slots (§4.2).
 	slots *slotManager
@@ -305,11 +339,33 @@ func lowerASCII(s string) string {
 	return string(b)
 }
 
+// installResilience installs the resilient shared-storage wrapper and
+// the per-node breaker groups; all groups aggregate into the wrapper's
+// counters so ResilienceStats is one coherent snapshot.
+func (db *DB) installResilience(rs *resilience.Store[objstore.Info], cfg resilience.Config) {
+	db.resilient = rs
+	db.shared = rs
+	bc := cfg.Breaker
+	bc.Seed = cfg.Seed + 2
+	db.peerBreakers = resilience.NewGroup(bc, rs.Counters())
+	bc.Seed = cfg.Seed + 3
+	db.cacheBreakers = resilience.NewGroup(bc, rs.Counters())
+}
+
 // Mode returns the database mode.
 func (db *DB) Mode() Mode { return db.mode }
 
-// SharedStore returns the shared object store (Eon).
+// SharedStore returns the shared object store (Eon), viewed through the
+// resilience layer.
 func (db *DB) SharedStore() objstore.Store { return db.shared }
+
+// ResilienceStats returns a snapshot of the shared-storage resilience
+// counters: retries, hedges, breaker transitions, sheds and
+// degradation fallbacks.
+func (db *DB) ResilienceStats() resilience.Stats { return db.resilient.Stats() }
+
+// SharedBreaker returns the shared-storage circuit breaker.
+func (db *DB) SharedBreaker() *resilience.Breaker { return db.resilient.Breaker() }
 
 // Net returns the simulated network.
 func (db *DB) Net() *netsim.Network { return db.net }
@@ -412,11 +468,12 @@ func Create(cfg Config) (*DB, error) {
 		cfg:         cfg,
 		mode:        cfg.Mode,
 		nodes:       map[string]*Node{},
-		shared:      cfg.Shared,
 		net:         cfg.Net,
 		ring:        hashring.NewRing(cfg.ShardCount),
 		incarnation: cluster.NewIncarnationID(),
 	}
+	rc := cfg.resilienceConfig()
+	db.installResilience(resilience.Wrap[objstore.Info](cfg.Shared, rc), rc)
 	db.sharedFS = udfs.NewObjectFS(db.shared)
 	db.slots = newSlotManager()
 	for _, spec := range cfg.Nodes {

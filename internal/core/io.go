@@ -3,23 +3,21 @@ package core
 import (
 	"context"
 	"sync"
-	"time"
 
-	"eon/internal/objstore"
+	"eon/internal/resilience"
 	"eon/internal/storage"
-)
-
-// uploadRetries and uploadBackoff tune the balanced retry loop around
-// shared-storage access (§5.3).
-const (
-	uploadRetries = 5
-	uploadBackoff = 2 * time.Millisecond
 )
 
 // persistFiles makes a built container's files durable before commit.
 // Eon (Figure 8): write into the writer's cache, upload to shared
 // storage, and ship to peer subscribers' caches so node-down performance
 // stays warm. Enterprise: write to the owner's local disk.
+//
+// Shared-storage writes go through the resilient store view (retries
+// with jittered backoff, breaker; §5.3), so no extra retry loop wraps
+// them here. Cache and peer interactions are best-effort: a failing
+// local cache degrades the load to shared-storage-only instead of
+// failing it, and a struggling peer is skipped via its breaker.
 func (db *DB) persistFiles(ctx context.Context, writer *Node, files map[string][]byte, shardIdx int, noCache bool) error {
 	if db.mode == ModeEnterprise {
 		for path, data := range files {
@@ -29,24 +27,31 @@ func (db *DB) persistFiles(ctx context.Context, writer *Node, files map[string][
 		}
 		return nil
 	}
+	cacheBrk := db.cacheBreakers.For(writer.name)
 	for path, data := range files {
 		// 1-2. Write data in the cache (unless the table's shaping
-		// policy turns write-through off, §5.2).
+		// policy turns write-through off, §5.2). The cache is an
+		// optimization, not a durability point: admission failures count
+		// against the node's cache breaker and fall through.
 		if !noCache {
-			if err := writer.cache.Put(ctx, path, data); err != nil {
-				return err
+			if cacheBrk.Allow() {
+				err := writer.cache.Put(ctx, path, data)
+				cacheBrk.Record(err != nil)
+				if err != nil {
+					db.resilient.Counters().Fallback()
+				}
+			} else {
+				db.resilient.Counters().Fallback()
 			}
 		}
 		// 3a. Flush to shared storage (the commit point prerequisite).
-		err := objstore.WithRetry(ctx, uploadRetries, uploadBackoff, func() error {
-			return db.shared.Put(ctx, path, data)
-		})
-		if err != nil {
+		if err := db.shared.Put(ctx, path, data); err != nil {
 			return err
 		}
 	}
 	// 3b. Send to peer subscribers of the shard, in parallel, so their
-	// caches are already warm if they take over (§5.2).
+	// caches are already warm if they take over (§5.2). A peer whose
+	// breaker is open is skipped; it will warm from shared storage later.
 	if noCache {
 		return nil
 	}
@@ -55,16 +60,22 @@ func (db *DB) persistFiles(ctx context.Context, writer *Node, files map[string][
 		if peer == writer || !peer.Up() {
 			continue
 		}
+		brk := db.peerBreakers.For(peer.name)
+		if !brk.Allow() {
+			continue
+		}
 		wg.Add(1)
-		go func(peer *Node) {
+		go func(peer *Node, brk *resilience.Breaker) {
 			defer wg.Done()
 			for path, data := range files {
-				if err := db.net.Transfer(ctx, writer.name, peer.name, int64(len(data))); err != nil {
+				err := db.net.Transfer(ctx, writer.name, peer.name, int64(len(data)))
+				brk.Record(err != nil)
+				if err != nil {
 					continue // peer went down mid-ship; it will warm later
 				}
 				_ = peer.cache.Put(ctx, path, data)
 			}
-		}(peer)
+		}(peer, brk)
 	}
 	wg.Wait()
 	return nil
@@ -89,23 +100,25 @@ func (db *DB) subscriberNodes(shardIdx int) []*Node {
 
 // fetchFunc builds the file-read path for scans on a node. Eon reads
 // through the node's cache with a shared-storage fallback (optionally
-// bypassing the cache, §5.2); Enterprise reads node-local disk.
+// bypassing the cache, §5.2); Enterprise reads node-local disk. When the
+// node's cache breaker is open the read path degrades gracefully: scans
+// go straight to shared storage instead of failing (§5.3).
 func (db *DB) fetchFunc(n *Node, bypassCache bool) storage.FetchFunc {
 	if db.mode == ModeEnterprise {
 		return func(ctx context.Context, path string) ([]byte, error) {
 			return n.fs.ReadFile(ctx, "data/"+path)
 		}
 	}
+	// Shared-storage reads already retry and hedge inside db.shared.
 	fromShared := func(ctx context.Context, path string) ([]byte, error) {
-		var data []byte
-		err := objstore.WithRetry(ctx, uploadRetries, uploadBackoff, func() error {
-			var e error
-			data, e = db.shared.Get(ctx, path)
-			return e
-		})
-		return data, err
+		return db.shared.Get(ctx, path)
 	}
+	cacheBrk := db.cacheBreakers.For(n.name)
 	return func(ctx context.Context, path string) ([]byte, error) {
+		if !cacheBrk.Allow() {
+			db.resilient.Counters().Fallback()
+			return fromShared(ctx, path)
+		}
 		return n.cache.Get(ctx, path, fromShared, bypassCache)
 	}
 }

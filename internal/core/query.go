@@ -49,6 +49,11 @@ type Session struct {
 	BypassCache bool
 	// Crunch enables crunch scaling (§4.4).
 	Crunch CrunchMode
+	// Timeout bounds each query: the deadline context threads through
+	// scans into shared-storage requests, so a query stuck behind a slow
+	// or failing store cancels promptly instead of retrying forever
+	// (§5.3). 0 means no deadline.
+	Timeout time.Duration
 }
 
 // NewSession opens a session against the cluster.
@@ -175,6 +180,11 @@ func (s *Session) tryQuery(sel *sql.Select) (*Result, error) {
 	env, err := s.selectParticipants(init)
 	if err != nil {
 		return nil, err
+	}
+	if s.Timeout > 0 {
+		ctx, cancel := context.WithTimeout(env.ctx, s.Timeout)
+		defer cancel()
+		env.ctx = ctx
 	}
 
 	plan, err := planner.PlanSelect(sel, planner.Options{

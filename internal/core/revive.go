@@ -9,6 +9,8 @@ import (
 	"eon/internal/catalog"
 	"eon/internal/cluster"
 	"eon/internal/hashring"
+	"eon/internal/objstore"
+	"eon/internal/resilience"
 	"eon/internal/udfs"
 )
 
@@ -28,8 +30,14 @@ func Revive(cfg Config) (*DB, error) {
 	cfg.Mode = ModeEon
 	ctx := contextBackground()
 
+	// Revive is all shared-storage I/O, the paper's "any filesystem
+	// access can and will fail" case (§5.3): wrap the store before the
+	// very first read so the whole procedure retries and hedges.
+	rc := cfg.resilienceConfig()
+	rs := resilience.Wrap[objstore.Info](cfg.Shared, rc)
+
 	// Read the commit-point file.
-	data, err := cfg.Shared.Get(ctx, cluster.InfoFileName)
+	data, err := rs.Get(ctx, cluster.InfoFileName)
 	if err != nil {
 		return nil, fmt.Errorf("core: no %s on shared storage: %w", cluster.InfoFileName, err)
 	}
@@ -55,10 +63,10 @@ func Revive(cfg Config) (*DB, error) {
 		cfg:         cfg,
 		mode:        ModeEon,
 		nodes:       map[string]*Node{},
-		shared:      cfg.Shared,
 		net:         cfg.Net,
 		incarnation: cluster.NewIncarnationID(), // new incarnation per revive
 	}
+	db.installResilience(rs, rc)
 	db.sharedFS = udfs.NewObjectFS(db.shared)
 	db.slots = newSlotManager()
 	for _, spec := range cfg.Nodes {

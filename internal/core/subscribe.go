@@ -269,10 +269,20 @@ func (db *DB) completeSubscriptions(n *Node, warmCache bool) error {
 
 // warmFromPeer performs the byte-based peer cache warm (§6.1): fetch the
 // peer's MRU files from the peer itself, falling back to shared storage.
+// The peer's breaker shields the warm from a flapping donor: transfer
+// failures are recorded, and once the breaker opens remaining files are
+// fetched from shared storage directly (§5.3).
 func warmFromPeer(db *DB, n *Node, peer *Node, list []string) int {
+	brk := db.peerBreakers.For(peer.name)
 	return n.cache.Warm(db.Context(), list, func(ctx context.Context, path string) ([]byte, error) {
+		if !brk.Allow() {
+			db.resilient.Counters().Fallback()
+			return db.shared.Get(ctx, path)
+		}
 		if data, ok := peer.cache.ReadCached(ctx, path); ok {
-			if err := db.net.Transfer(ctx, peer.name, n.name, int64(len(data))); err == nil {
+			err := db.net.Transfer(ctx, peer.name, n.name, int64(len(data)))
+			brk.Record(err != nil)
+			if err == nil {
 				return data, nil
 			}
 		}

@@ -8,7 +8,6 @@ import (
 
 	"eon/internal/catalog"
 	"eon/internal/cluster"
-	"eon/internal/objstore"
 )
 
 // metadataPrefix is the shared-storage namespace for catalog uploads,
@@ -68,15 +67,10 @@ func (db *DB) syncNode(ctx context.Context, n *Node) error {
 			return err
 		}
 		key := db.metadataPrefix(n.name) + base
-		err = objstore.WithRetry(ctx, uploadRetries, uploadBackoff, func() error {
-			e := db.shared.Put(ctx, key, data)
-			if e != nil && strings.Contains(e.Error(), "already exists") {
-				return nil
-			}
+		// db.shared already retries transient failures; a duplicate upload
+		// from an earlier partially-failed sync round is success.
+		if e := db.shared.Put(ctx, key, data); e != nil && !strings.Contains(e.Error(), "already exists") {
 			return e
-		})
-		if err != nil {
-			return err
 		}
 		n.syncSeen[base] = true
 		switch kind {
@@ -159,9 +153,7 @@ func (db *DB) writeClusterInfo(ctx context.Context, truncation uint64, lease tim
 	if err := db.shared.Delete(ctx, cluster.InfoFileName); err != nil && !isNotFound(err) {
 		return err
 	}
-	return objstore.WithRetry(ctx, uploadRetries, uploadBackoff, func() error {
-		return db.shared.Put(ctx, cluster.InfoFileName, data)
-	})
+	return db.shared.Put(ctx, cluster.InfoFileName, data)
 }
 
 // TruncationVersion returns the current durable truncation version.

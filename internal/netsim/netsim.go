@@ -9,6 +9,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -27,6 +28,70 @@ type LinkCost struct {
 type Stats struct {
 	Messages int64
 	Bytes    int64
+	// Drops counts transfers rejected by the fault schedule.
+	Drops int64
+}
+
+// OpRange is a half-open interval [From, To) of transfer indices.
+type OpRange struct {
+	From, To int64
+}
+
+func (r OpRange) contains(op int64) bool { return op >= r.From && op < r.To }
+
+// DropWindow fails transfers with ErrUnreachable at the given rate
+// within an op range.
+type DropWindow struct {
+	OpRange
+	Rate float64
+}
+
+// LatencySpike adds Extra latency to transfers in an op range.
+type LatencySpike struct {
+	OpRange
+	Extra time.Duration
+}
+
+// Faults is a deterministic, seedable schedule of injected network
+// faults, mirroring objstore.FaultSchedule for the interconnect. Every
+// decision is a pure function of (Seed, op index, endpoints).
+type Faults struct {
+	Seed          int64
+	DropWindows   []DropWindow
+	LatencySpikes []LatencySpike
+}
+
+// netVerdict is the schedule's decision for one transfer.
+type netVerdict struct {
+	drop  bool
+	extra time.Duration
+}
+
+// eval decides the fate of transfer op between from and to.
+func (f *Faults) eval(op int64, from, to string) netVerdict {
+	if f == nil {
+		return netVerdict{}
+	}
+	var v netVerdict
+	for i, w := range f.DropWindows {
+		if w.contains(op) && roll(f.Seed, op, from+"->"+to, i) < w.Rate {
+			v.drop = true
+		}
+	}
+	for _, s := range f.LatencySpikes {
+		if s.contains(op) {
+			v.extra += s.Extra
+		}
+	}
+	return v
+}
+
+// roll derives a uniform value in [0,1) from the seed, op index, link
+// and rule index.
+func roll(seed, op int64, link string, idx int) float64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d\x00%d\x00%s\x00%d", seed, op, link, idx)
+	return float64(h.Sum64()>>11) / (1 << 53)
 }
 
 // Network is the simulated interconnect. The zero cost configuration
@@ -39,9 +104,12 @@ type Network struct {
 	crossRk LinkCost            // cost override for cross-rack links
 	hasXRk  bool
 	down    map[string]bool
+	faults  *Faults
 
+	ops      atomic.Int64 // transfer index for the fault schedule
 	messages atomic.Int64
 	bytes    atomic.Int64
+	drops    atomic.Int64
 }
 
 // New returns a network with the given default link cost.
@@ -116,14 +184,33 @@ func (n *Network) costFor(from, to string) LinkCost {
 	return n.def
 }
 
+// SetFaults installs (or clears, with nil) the network fault schedule.
+func (n *Network) SetFaults(f *Faults) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.faults = f
+}
+
 // Transfer accounts for moving size bytes from one node to another,
-// sleeping for the modeled cost. It fails if either endpoint is down.
+// sleeping for the modeled cost. It fails if either endpoint is down or
+// the fault schedule drops the transfer.
 func (n *Network) Transfer(ctx context.Context, from, to string, size int64) error {
 	if n.IsDown(from) || n.IsDown(to) {
 		return fmt.Errorf("%w: %s -> %s", ErrUnreachable, from, to)
 	}
+	n.mu.RLock()
+	faults := n.faults
+	n.mu.RUnlock()
+	var verdict netVerdict
+	if faults != nil {
+		verdict = faults.eval(n.ops.Add(1)-1, from, to)
+	}
+	if verdict.drop {
+		n.drops.Add(1)
+		return fmt.Errorf("%w: %s -> %s (injected fault)", ErrUnreachable, from, to)
+	}
 	c := n.costFor(from, to)
-	d := c.Latency
+	d := c.Latency + verdict.extra
 	if c.Bandwidth > 0 && size > 0 {
 		d += time.Duration(float64(size) / c.Bandwidth * float64(time.Second))
 	}
@@ -146,11 +233,13 @@ func (n *Network) Transfer(ctx context.Context, from, to string, size int64) err
 
 // Stats returns traffic totals.
 func (n *Network) Stats() Stats {
-	return Stats{Messages: n.messages.Load(), Bytes: n.bytes.Load()}
+	return Stats{Messages: n.messages.Load(), Bytes: n.bytes.Load(), Drops: n.drops.Load()}
 }
 
-// ResetStats zeroes traffic totals.
+// ResetStats zeroes traffic totals (the fault-schedule op index is a
+// schedule position, not a stat, and is not reset).
 func (n *Network) ResetStats() {
 	n.messages.Store(0)
 	n.bytes.Store(0)
+	n.drops.Store(0)
 }

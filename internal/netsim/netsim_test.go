@@ -108,3 +108,56 @@ func TestResetStats(t *testing.T) {
 		t.Error("reset failed")
 	}
 }
+
+func TestFaultScheduleDropsDeterministically(t *testing.T) {
+	run := func(seed int64) []bool {
+		n := New(LinkCost{})
+		n.SetFaults(&Faults{Seed: seed, DropWindows: []DropWindow{{OpRange{0, 100}, 0.3}}})
+		var out []bool
+		for i := 0; i < 100; i++ {
+			err := n.Transfer(context.Background(), "a", "b", 10)
+			out = append(out, err != nil)
+		}
+		return out
+	}
+	a, b := run(9), run(9)
+	drops := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("transfer %d differs under same seed", i)
+		}
+		if a[i] {
+			drops++
+		}
+	}
+	if drops == 0 || drops == 100 {
+		t.Errorf("drop rate 0.3 produced %d/100 drops", drops)
+	}
+	c := run(10)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds yielded identical drop patterns")
+	}
+}
+
+func TestFaultScheduleDropCounted(t *testing.T) {
+	n := New(LinkCost{})
+	n.SetFaults(&Faults{Seed: 1, DropWindows: []DropWindow{{OpRange{0, 10}, 1.0}}})
+	err := n.Transfer(context.Background(), "a", "b", 1)
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v", err)
+	}
+	if n.Stats().Drops != 1 {
+		t.Errorf("stats = %+v", n.Stats())
+	}
+	n.SetFaults(nil)
+	if err := n.Transfer(context.Background(), "a", "b", 1); err != nil {
+		t.Errorf("cleared faults must pass: %v", err)
+	}
+}

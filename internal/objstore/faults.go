@@ -1,0 +1,111 @@
+package objstore
+
+import (
+	"hash/fnv"
+	"strconv"
+	"time"
+)
+
+// OpRange is a half-open interval [From, To) of request indices. The
+// simulator numbers every request (across all operation kinds) with a
+// monotonically increasing op index, so a schedule expressed in op
+// ranges replays identically for identical workloads regardless of wall
+// clock speed.
+type OpRange struct {
+	From, To int64
+}
+
+// contains reports whether op falls in the range.
+func (r OpRange) contains(op int64) bool { return op >= r.From && op < r.To }
+
+// FaultWindow injects transient failures at the given rate within an op
+// range ("timed failure windows").
+type FaultWindow struct {
+	OpRange
+	// Rate is the probability in [0,1] that a request in the window
+	// fails with ErrTransient.
+	Rate float64
+}
+
+// LatencySpike adds Extra service time to every request in an op range.
+type LatencySpike struct {
+	OpRange
+	Extra time.Duration
+}
+
+// FaultSchedule is a deterministic, seedable schedule of injected
+// shared-storage faults. Every decision is a pure function of
+// (Seed, op index, key), so the same seed yields the identical schedule
+// on every run — the property chaos tests assert.
+type FaultSchedule struct {
+	// Seed drives every probabilistic decision.
+	Seed int64
+	// Windows are op-index ranges with elevated transient-failure rates.
+	Windows []FaultWindow
+	// PrefixRates fail requests whose key starts with a prefix at the
+	// given rate (e.g. target only "data/" or one node's metadata).
+	PrefixRates map[string]float64
+	// ThrottleBursts reject every request in the range with ErrThrottled
+	// (S3 SlowDown storms).
+	ThrottleBursts []OpRange
+	// LatencySpikes add service time within op ranges (heavy-tailed GET
+	// latency that hedged reads absorb).
+	LatencySpikes []LatencySpike
+}
+
+// Verdict is the schedule's decision for one request.
+type Verdict struct {
+	Fail         bool // reject with ErrTransient
+	Throttle     bool // reject with ErrThrottled
+	ExtraLatency time.Duration
+}
+
+// Eval decides the fate of request op on key. It is a pure function:
+// calling it twice with the same arguments returns the same verdict.
+func (f *FaultSchedule) Eval(op int64, key string) Verdict {
+	if f == nil {
+		return Verdict{}
+	}
+	var v Verdict
+	for _, b := range f.ThrottleBursts {
+		if b.contains(op) {
+			v.Throttle = true
+		}
+	}
+	for i, w := range f.Windows {
+		if w.contains(op) && f.roll(op, key, "window", i) < w.Rate {
+			v.Fail = true
+		}
+	}
+	for prefix, rate := range f.PrefixRates {
+		// The salt embeds the prefix itself so map iteration order cannot
+		// affect the decision.
+		if len(key) >= len(prefix) && key[:len(prefix)] == prefix &&
+			f.roll(op, key, "prefix:"+prefix, 0) < rate {
+			v.Fail = true
+		}
+	}
+	for _, s := range f.LatencySpikes {
+		if s.contains(op) {
+			v.ExtraLatency += s.Extra
+		}
+	}
+	return v
+}
+
+// roll derives a uniform value in [0,1) from the schedule seed, the op
+// index, the key and a salt identifying the deciding rule, so distinct
+// rules draw independent values.
+func (f *FaultSchedule) roll(op int64, key, salt string, idx int) float64 {
+	h := fnv.New64a()
+	h.Write([]byte(strconv.FormatInt(f.Seed, 10)))
+	h.Write([]byte{0})
+	h.Write([]byte(strconv.FormatInt(op, 10)))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	h.Write([]byte{0})
+	h.Write([]byte(salt))
+	h.Write([]byte{0})
+	h.Write([]byte(strconv.Itoa(idx)))
+	return float64(h.Sum64()>>11) / (1 << 53)
+}

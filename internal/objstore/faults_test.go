@@ -1,0 +1,127 @@
+package objstore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// The same seed must yield the identical fault schedule; a different
+// seed must not.
+func TestFaultScheduleDeterminism(t *testing.T) {
+	build := func(seed int64) []Verdict {
+		f := &FaultSchedule{
+			Seed:           seed,
+			Windows:        []FaultWindow{{OpRange{0, 1000}, 0.2}},
+			PrefixRates:    map[string]float64{"data/": 0.1, "metadata/": 0.05},
+			ThrottleBursts: []OpRange{{100, 120}},
+			LatencySpikes:  []LatencySpike{{OpRange{200, 300}, time.Millisecond}},
+		}
+		var out []Verdict
+		for op := int64(0); op < 1000; op++ {
+			out = append(out, f.Eval(op, fmt.Sprintf("data/file-%d", op%17)))
+			out = append(out, f.Eval(op, fmt.Sprintf("metadata/n%d/txn", op%3)))
+		}
+		return out
+	}
+	a, b := build(42), build(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("verdict %d differs under same seed: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := build(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds yielded identical schedules")
+	}
+}
+
+func TestFaultScheduleWindowsAndBursts(t *testing.T) {
+	f := &FaultSchedule{
+		Seed:           1,
+		Windows:        []FaultWindow{{OpRange{10, 20}, 1.0}},
+		ThrottleBursts: []OpRange{{30, 35}},
+		LatencySpikes:  []LatencySpike{{OpRange{40, 41}, 5 * time.Millisecond}},
+	}
+	if v := f.Eval(5, "k"); v.Fail || v.Throttle || v.ExtraLatency != 0 {
+		t.Errorf("outside all windows: %+v", v)
+	}
+	if v := f.Eval(15, "k"); !v.Fail {
+		t.Error("rate-1.0 window must fail")
+	}
+	if v := f.Eval(32, "k"); !v.Throttle {
+		t.Error("burst must throttle")
+	}
+	if v := f.Eval(40, "k"); v.ExtraLatency != 5*time.Millisecond {
+		t.Errorf("spike latency = %v", v.ExtraLatency)
+	}
+}
+
+func TestFaultSchedulePrefixRates(t *testing.T) {
+	f := &FaultSchedule{Seed: 7, PrefixRates: map[string]float64{"data/": 1.0}}
+	if v := f.Eval(0, "data/x"); !v.Fail {
+		t.Error("matching prefix at rate 1.0 must fail")
+	}
+	if v := f.Eval(0, "metadata/x"); v.Fail {
+		t.Error("non-matching prefix must not fail")
+	}
+}
+
+func TestSimAppliesFaultSchedule(t *testing.T) {
+	ctx := context.Background()
+	s := NewSim(NewMem(), SimConfig{Faults: &FaultSchedule{
+		Seed:           3,
+		ThrottleBursts: []OpRange{{1, 2}}, // the second request only
+	}})
+	if err := s.Put(ctx, "k", []byte("v")); err != nil {
+		t.Fatalf("op 0 should pass: %v", err)
+	}
+	if _, err := s.Get(ctx, "k"); !errors.Is(err, ErrThrottled) {
+		t.Fatalf("op 1 should be throttled, got %v", err)
+	}
+	if _, err := s.Get(ctx, "k"); err != nil {
+		t.Fatalf("op 2 should pass: %v", err)
+	}
+	st := s.Stats()
+	if st.Throttled != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// Counter semantics match S3 billing: requests and bytes are counted
+// even when the request is canceled during its service time.
+func TestSimCountsCanceledRequests(t *testing.T) {
+	s := NewSim(NewMem(), SimConfig{GetLatency: 50 * time.Millisecond})
+	if err := s.Put(context.Background(), "k", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if _, err := s.Get(ctx, "k"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	st := s.Stats()
+	if st.Gets != 1 || st.BytesRead != 5 {
+		t.Errorf("canceled get must still be billed: %+v", st)
+	}
+}
+
+// A Get for a missing key is still a billed request (S3 bills 404s).
+func TestSimCountsFailedRequests(t *testing.T) {
+	s := NewSim(NewMem(), SimConfig{})
+	if _, err := s.Get(context.Background(), "nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	if st := s.Stats(); st.Gets != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}

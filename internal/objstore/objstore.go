@@ -19,6 +19,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"eon/internal/resilience"
 )
 
 // Errors returned by stores. Transient and throttle errors are retryable;
@@ -172,24 +174,21 @@ func IsRetryable(err error) bool {
 	return errors.Is(err, ErrThrottled) || errors.Is(err, ErrTransient)
 }
 
-// WithRetry runs op with a balanced exponential-backoff retry loop,
-// retrying only retryable errors and respecting context cancellation.
+// retryDelayCap bounds WithRetry's doubling backoff.
+const retryDelayCap = 200 * time.Millisecond
+
+// WithRetry runs op with a capped full-jitter exponential-backoff retry
+// loop, retrying only retryable errors and respecting context
+// cancellation. It is a thin wrapper over resilience.Policy; exhaustion
+// returns immediately with no trailing backoff sleep.
 func WithRetry(ctx context.Context, attempts int, base time.Duration, op func() error) error {
-	var err error
-	delay := base
-	for i := 0; i < attempts; i++ {
-		err = op()
-		if err == nil || !IsRetryable(err) {
-			return err
-		}
-		select {
-		case <-ctx.Done():
-			return ctx.Err()
-		case <-time.After(delay):
-		}
-		delay *= 2
+	p := resilience.Policy{
+		MaxAttempts: attempts,
+		BaseDelay:   base,
+		MaxDelay:    retryDelayCap,
+		Retryable:   IsRetryable,
 	}
-	return err
+	return p.Do(ctx, nil, func(context.Context) error { return op() })
 }
 
 // Exists checks for a key using the List API with the key as prefix. The

@@ -29,6 +29,10 @@ type SimConfig struct {
 	ThrottleConcurrency int
 	// Seed makes failure injection deterministic.
 	Seed int64
+	// Faults is an optional deterministic fault schedule layered on top
+	// of the probabilistic knobs above (timed failure windows, per-prefix
+	// rates, throttle bursts, latency spikes).
+	Faults *FaultSchedule
 }
 
 // Costs is the request pricing used for cost accounting, loosely modeled
@@ -76,6 +80,7 @@ type Sim struct {
 
 	inflight chan struct{}
 
+	ops                        atomic.Int64 // global request index for Faults
 	gets, puts, lists, deletes atomic.Int64
 	bytesRead, bytesWritten    atomic.Int64
 	throttled, failed          atomic.Int64
@@ -112,15 +117,25 @@ func (s *Sim) ResetStats() {
 	s.failed.Store(0)
 }
 
-// begin applies throttling and failure injection; it returns a release
-// function, or an error if the request was rejected.
-func (s *Sim) begin() (func(), error) {
+// begin applies throttling and failure injection for a request on key;
+// it returns a release function and any scheduled extra latency, or an
+// error if the request was rejected. The fault schedule is consulted
+// before the probabilistic knobs so chaos runs stay deterministic.
+func (s *Sim) begin(key string) (func(), time.Duration, error) {
+	var verdict Verdict
+	if s.cfg.Faults != nil {
+		verdict = s.cfg.Faults.Eval(s.ops.Add(1)-1, key)
+	}
+	if verdict.Throttle {
+		s.throttled.Add(1)
+		return nil, 0, ErrThrottled
+	}
 	if s.inflight != nil {
 		select {
 		case s.inflight <- struct{}{}:
 		default:
 			s.throttled.Add(1)
-			return nil, ErrThrottled
+			return nil, 0, ErrThrottled
 		}
 	}
 	release := func() {
@@ -128,17 +143,18 @@ func (s *Sim) begin() (func(), error) {
 			<-s.inflight
 		}
 	}
-	if s.cfg.FailureRate > 0 {
+	fail := verdict.Fail
+	if !fail && s.cfg.FailureRate > 0 {
 		s.mu.Lock()
-		fail := s.rng.Float64() < s.cfg.FailureRate
+		fail = s.rng.Float64() < s.cfg.FailureRate
 		s.mu.Unlock()
-		if fail {
-			release()
-			s.failed.Add(1)
-			return nil, ErrTransient
-		}
 	}
-	return release, nil
+	if fail {
+		release()
+		s.failed.Add(1)
+		return nil, 0, ErrTransient
+	}
+	return release, verdict.ExtraLatency, nil
 }
 
 // wait simulates service time for a request moving n payload bytes.
@@ -158,93 +174,87 @@ func (s *Sim) wait(ctx context.Context, base time.Duration, n int64) error {
 	}
 }
 
-// Put implements Store.
+// Put implements Store. The request and its payload bytes are counted at
+// request start — a canceled or failed upload is still billed, matching
+// S3 billing semantics.
 func (s *Sim) Put(ctx context.Context, key string, data []byte) error {
-	release, err := s.begin()
+	release, extra, err := s.begin(key)
 	if err != nil {
 		return err
 	}
 	defer release()
-	if err := s.wait(ctx, s.cfg.PutLatency, int64(len(data))); err != nil {
-		return err
-	}
-	if err := s.backend.Put(ctx, key, data); err != nil {
-		return err
-	}
 	s.puts.Add(1)
 	s.bytesWritten.Add(int64(len(data)))
-	return nil
+	if err := s.wait(ctx, s.cfg.PutLatency+extra, int64(len(data))); err != nil {
+		return err
+	}
+	return s.backend.Put(ctx, key, data)
 }
 
-// Get implements Store.
+// Get implements Store. The request is counted as soon as it reaches the
+// backend and its bytes as soon as the object size is known, before the
+// service-time wait — a request canceled mid-transfer is still billed.
 func (s *Sim) Get(ctx context.Context, key string) ([]byte, error) {
-	release, err := s.begin()
+	release, extra, err := s.begin(key)
 	if err != nil {
 		return nil, err
 	}
 	defer release()
+	s.gets.Add(1)
 	data, err := s.backend.Get(ctx, key)
 	if err != nil {
 		return nil, err
 	}
-	if err := s.wait(ctx, s.cfg.GetLatency, int64(len(data))); err != nil {
+	s.bytesRead.Add(int64(len(data)))
+	if err := s.wait(ctx, s.cfg.GetLatency+extra, int64(len(data))); err != nil {
 		return nil, err
 	}
-	s.gets.Add(1)
-	s.bytesRead.Add(int64(len(data)))
 	return data, nil
 }
 
-// GetRange implements Store.
+// GetRange implements Store. Counting follows Get.
 func (s *Sim) GetRange(ctx context.Context, key string, offset, length int64) ([]byte, error) {
-	release, err := s.begin()
+	release, extra, err := s.begin(key)
 	if err != nil {
 		return nil, err
 	}
 	defer release()
+	s.gets.Add(1)
 	data, err := s.backend.GetRange(ctx, key, offset, length)
 	if err != nil {
 		return nil, err
 	}
-	if err := s.wait(ctx, s.cfg.GetLatency, int64(len(data))); err != nil {
+	s.bytesRead.Add(int64(len(data)))
+	if err := s.wait(ctx, s.cfg.GetLatency+extra, int64(len(data))); err != nil {
 		return nil, err
 	}
-	s.gets.Add(1)
-	s.bytesRead.Add(int64(len(data)))
 	return data, nil
 }
 
-// List implements Store.
+// List implements Store. The request is counted at request start.
 func (s *Sim) List(ctx context.Context, prefix string) ([]Info, error) {
-	release, err := s.begin()
+	release, extra, err := s.begin(prefix)
 	if err != nil {
 		return nil, err
 	}
 	defer release()
-	if err := s.wait(ctx, s.cfg.ListLatency, 0); err != nil {
-		return nil, err
-	}
-	out, err := s.backend.List(ctx, prefix)
-	if err != nil {
-		return nil, err
-	}
 	s.lists.Add(1)
-	return out, nil
+	if err := s.wait(ctx, s.cfg.ListLatency+extra, 0); err != nil {
+		return nil, err
+	}
+	return s.backend.List(ctx, prefix)
 }
 
-// Delete implements Store.
+// Delete implements Store. The request is counted at request start.
 func (s *Sim) Delete(ctx context.Context, key string) error {
-	release, err := s.begin()
+	release, extra, err := s.begin(key)
 	if err != nil {
 		return err
 	}
 	defer release()
-	if err := s.wait(ctx, s.cfg.DeleteLatency, 0); err != nil {
-		return err
-	}
-	if err := s.backend.Delete(ctx, key); err != nil {
-		return err
-	}
 	s.deletes.Add(1)
-	return nil
+	if err := s.wait(ctx, s.cfg.DeleteLatency+extra, 0); err != nil {
+		return err
+	}
+	return s.backend.Delete(ctx, key)
 }

@@ -1,0 +1,233 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker state machine position.
+type BreakerState uint8
+
+// Breaker states.
+const (
+	// Closed passes all requests through, watching the failure rate.
+	Closed BreakerState = iota
+	// Open sheds every request until the cooldown elapses.
+	Open
+	// HalfOpen lets a probabilistic fraction of requests probe the
+	// backend; one success closes, one failure reopens.
+	HalfOpen
+)
+
+// String names the state.
+func (s BreakerState) String() string {
+	switch s {
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}
+
+// BreakerConfig tunes a circuit breaker.
+type BreakerConfig struct {
+	// Window is the sliding count of recent outcomes examined (default
+	// 20).
+	Window int
+	// TripRatio is the failure fraction within the window that opens the
+	// breaker (default 0.5).
+	TripRatio float64
+	// MinSamples is the minimum outcomes in the window before the
+	// breaker may trip (default 10).
+	MinSamples int
+	// OpenFor is the shed duration before the breaker half-opens
+	// (default 200ms).
+	OpenFor time.Duration
+	// ProbeProb is the probability a half-open breaker admits a probe
+	// (default 0.2): probabilistic half-opening avoids a thundering herd
+	// of simultaneous probes from many callers.
+	ProbeProb float64
+	// Seed makes probe selection deterministic.
+	Seed int64
+	// Now overrides the clock for tests.
+	Now func() time.Time
+	// Disabled turns the breaker into a pass-through.
+	Disabled bool
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Window <= 0 {
+		c.Window = 20
+	}
+	if c.TripRatio <= 0 {
+		c.TripRatio = 0.5
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 10
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = 200 * time.Millisecond
+	}
+	if c.ProbeProb <= 0 {
+		c.ProbeProb = 0.2
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Breaker is a circuit breaker over one backend (a store, or one peer
+// node). Safe for concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+	rng *lockedRand
+
+	mu       sync.Mutex
+	state    BreakerState
+	ring     []bool // true = failure
+	ringIdx  int
+	samples  int
+	failures int
+	openedAt time.Time
+
+	c *Counters
+}
+
+// NewBreaker builds a breaker recording transitions into c (may be nil).
+func NewBreaker(cfg BreakerConfig, c *Counters) *Breaker {
+	cfg = cfg.withDefaults()
+	return &Breaker{
+		cfg:  cfg,
+		rng:  newLockedRand(cfg.Seed + 1),
+		ring: make([]bool, cfg.Window),
+		c:    c,
+	}
+}
+
+// State returns the current state (advancing open->half-open if the
+// cooldown has elapsed).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.advanceLocked()
+	return b.state
+}
+
+// advanceLocked moves Open to HalfOpen once the cooldown elapses.
+func (b *Breaker) advanceLocked() {
+	if b.state == Open && b.cfg.Now().Sub(b.openedAt) >= b.cfg.OpenFor {
+		b.state = HalfOpen
+	}
+}
+
+// Allow reports whether a request may proceed. While open it sheds;
+// while half-open it admits a probabilistic probe.
+func (b *Breaker) Allow() bool {
+	if b == nil || b.cfg.Disabled {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.advanceLocked()
+	switch b.state {
+	case Open:
+		b.c.Shed()
+		return false
+	case HalfOpen:
+		if b.rng.float64() < b.cfg.ProbeProb {
+			b.c.Probe()
+			return true
+		}
+		b.c.Shed()
+		return false
+	}
+	return true
+}
+
+// Record feeds one request outcome. Only failures the caller classifies
+// as backend pressure (throttle/transient) should count as failure=true;
+// not-found or context cancellation must not trip the breaker.
+func (b *Breaker) Record(failure bool) {
+	if b == nil || b.cfg.Disabled {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.advanceLocked()
+	switch b.state {
+	case HalfOpen:
+		if failure {
+			b.state = Open
+			b.openedAt = b.cfg.Now()
+			b.c.BreakerOpened()
+		} else {
+			b.state = Closed
+			b.resetLocked()
+		}
+		return
+	case Open:
+		return // outcomes of straggler requests while open are ignored
+	}
+	// Closed: slide the outcome window.
+	if b.samples == len(b.ring) {
+		if b.ring[b.ringIdx] {
+			b.failures--
+		}
+	} else {
+		b.samples++
+	}
+	b.ring[b.ringIdx] = failure
+	if failure {
+		b.failures++
+	}
+	b.ringIdx = (b.ringIdx + 1) % len(b.ring)
+	if b.samples >= b.cfg.MinSamples &&
+		float64(b.failures) >= b.cfg.TripRatio*float64(b.samples) {
+		b.state = Open
+		b.openedAt = b.cfg.Now()
+		b.c.BreakerOpened()
+	}
+}
+
+// resetLocked clears the outcome window.
+func (b *Breaker) resetLocked() {
+	for i := range b.ring {
+		b.ring[i] = false
+	}
+	b.ringIdx, b.samples, b.failures = 0, 0, 0
+}
+
+// Group is a set of breakers keyed by name (one per peer node), created
+// on demand with a shared configuration.
+type Group struct {
+	cfg BreakerConfig
+	c   *Counters
+
+	mu       sync.Mutex
+	breakers map[string]*Breaker
+}
+
+// NewGroup builds an empty breaker group.
+func NewGroup(cfg BreakerConfig, c *Counters) *Group {
+	return &Group{cfg: cfg, c: c, breakers: map[string]*Breaker{}}
+}
+
+// For returns the breaker for a name, creating it on first use. Each
+// member's probe selection is independently seeded from its name so
+// probes do not synchronize across peers.
+func (g *Group) For(name string) *Breaker {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if b, ok := g.breakers[name]; ok {
+		return b
+	}
+	cfg := g.cfg
+	for _, ch := range name {
+		cfg.Seed = cfg.Seed*131 + int64(ch)
+	}
+	b := NewBreaker(cfg, g.c)
+	g.breakers[name] = b
+	return b
+}

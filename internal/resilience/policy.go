@@ -1,0 +1,148 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// Policy is a retry policy for one class of operations: bounded attempts
+// with capped exponential backoff, full jitter, and a per-attempt
+// deadline budget carved from the caller's context.
+type Policy struct {
+	// MaxAttempts is the total number of attempts including the first
+	// (minimum 1; 0 means the default of 4).
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt; it doubles per
+	// retry. 0 means the default of 2ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the doubling backoff. 0 means the default of 250ms.
+	MaxDelay time.Duration
+	// OpTimeout bounds each individual attempt with a deadline carved
+	// from the caller's context, so one hung request cannot consume the
+	// whole query budget. 0 disables the per-attempt bound.
+	OpTimeout time.Duration
+	// Retryable classifies errors; nil retries nothing. Context
+	// cancellation is never retried regardless of the classifier.
+	Retryable func(error) bool
+	// Jitter overrides the backoff jitter for tests: it receives the
+	// capped exponential delay and returns the sleep. nil applies full
+	// jitter (uniform in [0, delay)) from rng.
+	Jitter func(d time.Duration) time.Duration
+
+	rng *lockedRand
+}
+
+// DefaultPolicy returns the policy used for shared-storage access when
+// the caller does not tune one.
+func DefaultPolicy(retryable func(error) bool) Policy {
+	return Policy{
+		MaxAttempts: 4,
+		BaseDelay:   2 * time.Millisecond,
+		MaxDelay:    250 * time.Millisecond,
+		Retryable:   retryable,
+	}
+}
+
+// withDefaults fills zero fields.
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 2 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 250 * time.Millisecond
+	}
+	if p.rng == nil {
+		p.rng = newLockedRand(1)
+	}
+	return p
+}
+
+// Seeded returns a copy of the policy with a deterministic jitter source.
+func (p Policy) Seeded(seed int64) Policy {
+	p.rng = newLockedRand(seed)
+	return p
+}
+
+// backoff returns the capped exponential delay before retry i (0-based).
+func (p Policy) backoff(i int) time.Duration {
+	d := p.BaseDelay
+	for ; i > 0 && d < p.MaxDelay; i-- {
+		d *= 2
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	return d
+}
+
+// Do runs op under the policy, recording attempts in c (which may be
+// nil). Each attempt receives a context bounded by OpTimeout; an attempt
+// that times out while the parent context is still live counts as
+// retryable. There is no sleep after the final attempt, and the backoff
+// never exceeds MaxDelay.
+func (p Policy) Do(ctx context.Context, c *Counters, op func(ctx context.Context) error) error {
+	p = p.withDefaults()
+	var err error
+	for attempt := 0; attempt < p.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			c.Retry()
+		}
+		c.Attempt()
+		err = p.runOnce(ctx, op)
+		if err == nil {
+			return nil
+		}
+		if !p.retryable(ctx, err) {
+			return err
+		}
+		c.Failure()
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if attempt == p.MaxAttempts-1 {
+			break // exhausted: return the error, do not sleep first
+		}
+		delay := p.backoff(attempt)
+		if p.Jitter != nil {
+			delay = p.Jitter(delay)
+		} else {
+			delay = p.rng.durationIn(delay)
+		}
+		if delay > 0 {
+			t := time.NewTimer(delay)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return ctx.Err()
+			case <-t.C:
+			}
+		}
+	}
+	return err
+}
+
+// runOnce executes one attempt under the per-attempt deadline budget.
+func (p Policy) runOnce(ctx context.Context, op func(ctx context.Context) error) error {
+	if p.OpTimeout <= 0 {
+		return op(ctx)
+	}
+	actx, cancel := context.WithTimeout(ctx, p.OpTimeout)
+	defer cancel()
+	return op(actx)
+}
+
+// retryable classifies an attempt error: the injected classifier, plus
+// per-attempt timeouts whose parent context is still live.
+func (p Policy) retryable(ctx context.Context, err error) bool {
+	if p.Retryable != nil && p.Retryable(err) {
+		return true
+	}
+	if p.OpTimeout > 0 && errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+		return true // the attempt budget expired, not the query budget
+	}
+	return false
+}

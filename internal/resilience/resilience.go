@@ -1,0 +1,179 @@
+// Package resilience is the fault-tolerance substrate for shared-storage
+// access (paper §5.3: "any filesystem access can and will fail", and
+// queries must stay cancelable while the store throttles and flakes).
+//
+// It layers three mechanisms over any object-store-shaped API:
+//
+//   - Policy: capped exponential backoff with full jitter and a
+//     per-operation deadline budget carved from the caller's context.
+//   - Hedged reads: after a configurable delay a backup request is
+//     issued and the first success wins, absorbing the heavy latency
+//     tail of shared-storage GETs.
+//   - Breaker: a circuit breaker that trips on sustained retryable
+//     failure rates, sheds retries while open (so retry storms cannot
+//     amplify an S3 SlowDown), and half-opens probabilistically.
+//
+// The package deliberately imports nothing from the rest of the system
+// so the lower layers (objstore) can build on it without cycles; the
+// error classifier is injected by the caller.
+package resilience
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrOpen is returned without touching the underlying store while a
+// circuit breaker is open: retries are shed, not issued.
+var ErrOpen = errors.New("resilience: circuit breaker open")
+
+// Stats is a snapshot of resilience counters.
+type Stats struct {
+	// Attempts counts operations issued to the underlying store,
+	// including retries and hedges.
+	Attempts int64
+	// Retries counts attempts beyond the first for an operation.
+	Retries int64
+	// Failures counts attempts that returned a retryable error.
+	Failures int64
+	// HedgesFired counts backup requests launched after the hedge delay.
+	HedgesFired int64
+	// HedgesWon counts hedged operations where the backup finished first.
+	HedgesWon int64
+	// BreakerOpens counts closed->open breaker transitions.
+	BreakerOpens int64
+	// Shed counts operations rejected while a breaker was open.
+	Shed int64
+	// Probes counts half-open trial requests allowed through.
+	Probes int64
+	// Fallbacks counts graceful degradations: reads that skipped a
+	// failing layer (peer or cache) and went straight to shared storage.
+	Fallbacks int64
+}
+
+// Counters accumulates Stats atomically. The zero value is ready to use;
+// a nil *Counters discards all counts.
+type Counters struct {
+	attempts, retries, failures atomic.Int64
+	hedgesFired, hedgesWon      atomic.Int64
+	breakerOpens, shed, probes  atomic.Int64
+	fallbacks                   atomic.Int64
+}
+
+func (c *Counters) add(f *atomic.Int64, n int64) {
+	if c != nil {
+		f.Add(n)
+	}
+}
+
+// Attempt records one issued operation attempt.
+func (c *Counters) Attempt() {
+	if c != nil {
+		c.attempts.Add(1)
+	}
+}
+
+// Retry records an attempt beyond the first.
+func (c *Counters) Retry() {
+	if c != nil {
+		c.retries.Add(1)
+	}
+}
+
+// Failure records an attempt that failed with a retryable error.
+func (c *Counters) Failure() {
+	if c != nil {
+		c.failures.Add(1)
+	}
+}
+
+// HedgeFired records a launched backup request.
+func (c *Counters) HedgeFired() {
+	if c != nil {
+		c.hedgesFired.Add(1)
+	}
+}
+
+// HedgeWon records a hedged operation won by the backup request.
+func (c *Counters) HedgeWon() {
+	if c != nil {
+		c.hedgesWon.Add(1)
+	}
+}
+
+// BreakerOpened records a closed->open transition.
+func (c *Counters) BreakerOpened() {
+	if c != nil {
+		c.breakerOpens.Add(1)
+	}
+}
+
+// Shed records an operation rejected by an open breaker.
+func (c *Counters) Shed() {
+	if c != nil {
+		c.shed.Add(1)
+	}
+}
+
+// Probe records a half-open trial request.
+func (c *Counters) Probe() {
+	if c != nil {
+		c.probes.Add(1)
+	}
+}
+
+// Fallback records a graceful degradation to shared storage.
+func (c *Counters) Fallback() {
+	if c != nil {
+		c.fallbacks.Add(1)
+	}
+}
+
+// Snapshot returns the current counter values.
+func (c *Counters) Snapshot() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{
+		Attempts:     c.attempts.Load(),
+		Retries:      c.retries.Load(),
+		Failures:     c.failures.Load(),
+		HedgesFired:  c.hedgesFired.Load(),
+		HedgesWon:    c.hedgesWon.Load(),
+		BreakerOpens: c.breakerOpens.Load(),
+		Shed:         c.shed.Load(),
+		Probes:       c.probes.Load(),
+		Fallbacks:    c.fallbacks.Load(),
+	}
+}
+
+// lockedRand is a small goroutine-safe linear-congruential source; the
+// quality bar is "spread retry wakeups", not cryptography, and keeping it
+// local avoids fighting over math/rand's global lock.
+type lockedRand struct {
+	mu    sync.Mutex
+	state uint64
+}
+
+func newLockedRand(seed int64) *lockedRand {
+	return &lockedRand{state: uint64(seed)*2862933555777941757 + 3037000493}
+}
+
+// float64 returns a uniform value in [0, 1).
+func (r *lockedRand) float64() float64 {
+	r.mu.Lock()
+	r.state = r.state*6364136223846793005 + 1442695040888963407
+	v := r.state >> 11 // top 53 bits
+	r.mu.Unlock()
+	return float64(v) / (1 << 53)
+}
+
+// durationIn returns a uniform duration in [0, max).
+func (r *lockedRand) durationIn(max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	return time.Duration(r.float64() * float64(max))
+}

@@ -1,0 +1,346 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+var errFlaky = errors.New("flaky")
+
+func retryFlaky(err error) bool { return errors.Is(err, errFlaky) }
+
+func noJitter(d time.Duration) time.Duration { return 0 }
+
+func TestPolicyRetriesUntilSuccess(t *testing.T) {
+	p := Policy{MaxAttempts: 5, Retryable: retryFlaky, Jitter: noJitter}
+	var c Counters
+	calls := 0
+	err := p.Do(context.Background(), &c, func(ctx context.Context) error {
+		calls++
+		if calls < 3 {
+			return errFlaky
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+	st := c.Snapshot()
+	if st.Attempts != 3 || st.Retries != 2 || st.Failures != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestPolicyPermanentErrorNoRetry(t *testing.T) {
+	p := Policy{MaxAttempts: 5, Retryable: retryFlaky, Jitter: noJitter}
+	perm := errors.New("permanent")
+	calls := 0
+	err := p.Do(context.Background(), nil, func(ctx context.Context) error {
+		calls++
+		return perm
+	})
+	if !errors.Is(err, perm) || calls != 1 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+// The fixed WithRetry semantics: exhaustion returns immediately with no
+// trailing backoff sleep.
+func TestPolicyNoTrailingSleepOnExhaustion(t *testing.T) {
+	p := Policy{
+		MaxAttempts: 3,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    time.Millisecond,
+		Retryable:   retryFlaky,
+		// A jitter this large would be visible if the final attempt slept.
+		Jitter: func(d time.Duration) time.Duration { return 500 * time.Millisecond },
+	}
+	// Only the two inter-attempt sleeps should happen; make them tiny by
+	// overriding after construction.
+	p.Jitter = func(d time.Duration) time.Duration { return 0 }
+	start := time.Now()
+	err := p.Do(context.Background(), nil, func(ctx context.Context) error { return errFlaky })
+	if !errors.Is(err, errFlaky) {
+		t.Fatalf("err=%v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Errorf("exhaustion slept %v; trailing sleep not removed", elapsed)
+	}
+}
+
+func TestPolicyBackoffIsCapped(t *testing.T) {
+	p := Policy{MaxAttempts: 30, BaseDelay: time.Millisecond, MaxDelay: 8 * time.Millisecond}.withDefaults()
+	if d := p.backoff(20); d != 8*time.Millisecond {
+		t.Errorf("backoff(20) = %v, want capped 8ms", d)
+	}
+	if d := p.backoff(0); d != time.Millisecond {
+		t.Errorf("backoff(0) = %v", d)
+	}
+}
+
+func TestPolicyHonorsContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := Policy{MaxAttempts: 10, BaseDelay: time.Hour, Retryable: retryFlaky}
+	err := p.Do(ctx, nil, func(ctx context.Context) error { return errFlaky })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want Canceled", err)
+	}
+}
+
+func TestPolicyOpTimeoutBudget(t *testing.T) {
+	// Each attempt hangs; the per-attempt budget carves it up and the
+	// parent deadline ends the operation promptly.
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer cancel()
+	p := Policy{MaxAttempts: 10, OpTimeout: 10 * time.Millisecond, Jitter: noJitter, Retryable: retryFlaky}
+	var c Counters
+	start := time.Now()
+	err := p.Do(ctx, &c, func(actx context.Context) error {
+		<-actx.Done()
+		return actx.Err()
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err=%v", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("took %v; deadline not honored promptly", elapsed)
+	}
+	if st := c.Snapshot(); st.Retries == 0 {
+		t.Errorf("attempt timeouts should retry while budget remains: %+v", st)
+	}
+}
+
+func TestBreakerTripShedHalfOpenRecover(t *testing.T) {
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	var c Counters
+	b := NewBreaker(BreakerConfig{
+		Window: 10, TripRatio: 0.5, MinSamples: 4,
+		OpenFor: time.Second, ProbeProb: 1.0, Now: clock,
+	}, &c)
+
+	if b.State() != Closed || !b.Allow() {
+		t.Fatal("new breaker must be closed")
+	}
+	for i := 0; i < 4; i++ {
+		b.Record(true)
+	}
+	if b.State() != Open {
+		t.Fatalf("state = %v after sustained failures", b.State())
+	}
+	if b.Allow() {
+		t.Error("open breaker must shed")
+	}
+	if st := c.Snapshot(); st.BreakerOpens != 1 || st.Shed == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+
+	// Cooldown elapses: half-open probes (ProbeProb=1 admits all).
+	now = now.Add(2 * time.Second)
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %v after cooldown", b.State())
+	}
+	if !b.Allow() {
+		t.Error("half-open with ProbeProb=1 must admit the probe")
+	}
+	b.Record(true) // probe fails: reopen
+	if b.State() != Open {
+		t.Fatalf("failed probe must reopen, state = %v", b.State())
+	}
+	now = now.Add(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("want probe admitted")
+	}
+	b.Record(false) // probe succeeds: close
+	if b.State() != Closed {
+		t.Fatalf("successful probe must close, state = %v", b.State())
+	}
+	// The window reset: old failures must not trip it again immediately.
+	b.Record(true)
+	if b.State() != Closed {
+		t.Error("single failure after reset must not trip")
+	}
+}
+
+func TestBreakerIgnoresBenignOutcomes(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Window: 8, MinSamples: 4, TripRatio: 0.5}, nil)
+	for i := 0; i < 100; i++ {
+		b.Record(false)
+	}
+	if b.State() != Closed {
+		t.Error("successes must not trip the breaker")
+	}
+}
+
+func TestBreakerGroupIsPerName(t *testing.T) {
+	g := NewGroup(BreakerConfig{Window: 4, MinSamples: 2, TripRatio: 0.5, OpenFor: time.Hour}, nil)
+	for i := 0; i < 4; i++ {
+		g.For("peerA").Record(true)
+	}
+	if g.For("peerA").State() != Open {
+		t.Error("peerA should be open")
+	}
+	if g.For("peerB").State() != Closed {
+		t.Error("peerB must be independent")
+	}
+	if g.For("peerA") != g.For("peerA") {
+		t.Error("group must memoize breakers")
+	}
+}
+
+// fakeStore is a scriptable ObjectStore for wrapper tests.
+type fakeStore struct {
+	mu      sync.Mutex
+	getErrs int           // fail this many gets with errFlaky
+	getWait time.Duration // latency of the first request only
+	slowFor int           // number of requests that see getWait
+	gets    int
+	objects map[string][]byte
+}
+
+type fakeInfo struct{ Key string }
+
+func (f *fakeStore) Put(ctx context.Context, key string, data []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.objects == nil {
+		f.objects = map[string][]byte{}
+	}
+	f.objects[key] = data
+	return nil
+}
+
+func (f *fakeStore) Get(ctx context.Context, key string) ([]byte, error) {
+	f.mu.Lock()
+	f.gets++
+	wait := time.Duration(0)
+	if f.slowFor > 0 {
+		f.slowFor--
+		wait = f.getWait
+	}
+	fail := f.getErrs > 0
+	if fail {
+		f.getErrs--
+	}
+	data := f.objects[key]
+	f.mu.Unlock()
+	if wait > 0 {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(wait):
+		}
+	}
+	if fail {
+		return nil, errFlaky
+	}
+	return data, nil
+}
+
+func (f *fakeStore) GetRange(ctx context.Context, key string, offset, length int64) ([]byte, error) {
+	return f.Get(ctx, key)
+}
+
+func (f *fakeStore) List(ctx context.Context, prefix string) ([]fakeInfo, error) {
+	return nil, nil
+}
+
+func (f *fakeStore) Delete(ctx context.Context, key string) error { return nil }
+
+func TestStoreRetriesGets(t *testing.T) {
+	fs := &fakeStore{getErrs: 2, objects: map[string][]byte{"k": []byte("v")}}
+	s := Wrap[fakeInfo](fs, Config{
+		Policy: Policy{MaxAttempts: 4, Retryable: retryFlaky, Jitter: noJitter},
+	})
+	data, err := s.Get(context.Background(), "k")
+	if err != nil || string(data) != "v" {
+		t.Fatalf("get = %q, %v", data, err)
+	}
+	st := s.Stats()
+	if st.Retries != 2 || st.Failures != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestStoreHedgeWinsSlowPrimary(t *testing.T) {
+	// First request is slow (200ms), the hedge is instant: the hedged
+	// read should complete fast and count a fired+won hedge.
+	fs := &fakeStore{getWait: 200 * time.Millisecond, slowFor: 1,
+		objects: map[string][]byte{"k": []byte("v")}}
+	s := Wrap[fakeInfo](fs, Config{
+		Policy:     Policy{MaxAttempts: 2, Retryable: retryFlaky, Jitter: noJitter},
+		HedgeDelay: 10 * time.Millisecond,
+	})
+	start := time.Now()
+	data, err := s.Get(context.Background(), "k")
+	if err != nil || string(data) != "v" {
+		t.Fatalf("get = %q, %v", data, err)
+	}
+	if elapsed := time.Since(start); elapsed > 150*time.Millisecond {
+		t.Errorf("hedge did not absorb slow primary: %v", elapsed)
+	}
+	st := s.Stats()
+	if st.HedgesFired != 1 || st.HedgesWon != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestStoreShedsWhileBreakerOpen(t *testing.T) {
+	fs := &fakeStore{getErrs: 1 << 30, objects: map[string][]byte{"k": []byte("v")}}
+	s := Wrap[fakeInfo](fs, Config{
+		Policy: Policy{MaxAttempts: 3, Retryable: retryFlaky, Jitter: noJitter},
+		Breaker: BreakerConfig{
+			Window: 8, MinSamples: 4, TripRatio: 0.5, OpenFor: time.Hour,
+		},
+	})
+	ctx := context.Background()
+	for i := 0; i < 4; i++ {
+		s.Get(ctx, "k")
+	}
+	if s.Breaker().State() != Open {
+		t.Fatalf("breaker = %v after sustained failures", s.Breaker().State())
+	}
+	before := fs.gets
+	_, err := s.Get(ctx, "k")
+	if !errors.Is(err, ErrOpen) {
+		t.Fatalf("err = %v, want ErrOpen", err)
+	}
+	if fs.gets != before {
+		t.Errorf("open breaker leaked %d requests to the store", fs.gets-before)
+	}
+	if st := s.Stats(); st.Shed == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestStorePutListDeleteGoThroughPolicy(t *testing.T) {
+	fs := &fakeStore{}
+	s := Wrap[fakeInfo](fs, Config{Policy: Policy{MaxAttempts: 2, Retryable: retryFlaky, Jitter: noJitter}})
+	ctx := context.Background()
+	if err := s.Put(ctx, "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.List(ctx, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(ctx, "k"); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Attempts != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestCountersNilSafe(t *testing.T) {
+	var c *Counters
+	c.Attempt()
+	c.Retry()
+	c.HedgeFired()
+	if c.Snapshot() != (Stats{}) {
+		t.Error("nil counters must snapshot zero")
+	}
+}

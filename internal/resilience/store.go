@@ -1,0 +1,205 @@
+package resilience
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// ObjectStore is the object-store shape the resilient wrapper covers. It
+// is generic over the listing Info type so this package needs no import
+// of the concrete store package; objstore.Store satisfies
+// ObjectStore[objstore.Info].
+type ObjectStore[I any] interface {
+	Put(ctx context.Context, key string, data []byte) error
+	Get(ctx context.Context, key string) ([]byte, error)
+	GetRange(ctx context.Context, key string, offset, length int64) ([]byte, error)
+	List(ctx context.Context, prefix string) ([]I, error)
+	Delete(ctx context.Context, key string) error
+}
+
+// Config tunes a resilient store wrapper.
+type Config struct {
+	// Policy is the retry policy applied to every operation.
+	Policy Policy
+	// HedgeDelay launches a backup Get/GetRange after this delay, taking
+	// the first success (PushdownDB-style tail absorption). 0 disables
+	// hedging.
+	HedgeDelay time.Duration
+	// Breaker guards the store against retry storms.
+	Breaker BreakerConfig
+	// Seed derives deterministic jitter and probe randomness.
+	Seed int64
+}
+
+// DefaultConfig returns the shared-storage defaults: 4 attempts with
+// 2ms..250ms full-jitter backoff, a 2s per-attempt budget, 25ms hedge
+// delay, and a breaker tripping at a 50% failure rate over 20 requests.
+func DefaultConfig(retryable func(error) bool) Config {
+	p := DefaultPolicy(retryable)
+	p.OpTimeout = 2 * time.Second
+	return Config{
+		Policy:     p,
+		HedgeDelay: 25 * time.Millisecond,
+	}
+}
+
+// Store wraps an ObjectStore with retry, hedging and a circuit breaker.
+// All methods are safe for concurrent use.
+type Store[I any] struct {
+	inner   ObjectStore[I]
+	cfg     Config
+	breaker *Breaker
+	c       Counters
+}
+
+// Wrap builds a resilient wrapper around inner.
+func Wrap[I any](inner ObjectStore[I], cfg Config) *Store[I] {
+	cfg.Policy = cfg.Policy.withDefaults().Seeded(cfg.Seed)
+	if cfg.Breaker.Seed == 0 {
+		cfg.Breaker.Seed = cfg.Seed
+	}
+	s := &Store[I]{inner: inner, cfg: cfg}
+	s.breaker = NewBreaker(cfg.Breaker, &s.c)
+	return s
+}
+
+// Inner returns the wrapped store.
+func (s *Store[I]) Inner() ObjectStore[I] { return s.inner }
+
+// Stats returns a snapshot of the wrapper's resilience counters.
+func (s *Store[I]) Stats() Stats { return s.c.Snapshot() }
+
+// Counters exposes the live counters so collaborating layers (peer
+// breakers, degradation fallbacks) aggregate into one snapshot.
+func (s *Store[I]) Counters() *Counters { return &s.c }
+
+// Breaker returns the store's circuit breaker.
+func (s *Store[I]) Breaker() *Breaker { return s.breaker }
+
+// do runs one operation under breaker + retry policy. The breaker is
+// consulted per attempt: when it opens mid-retry-loop the remaining
+// retries are shed (ErrOpen is not retryable).
+func (s *Store[I]) do(ctx context.Context, op func(ctx context.Context) error) error {
+	return s.cfg.Policy.Do(ctx, &s.c, func(actx context.Context) error {
+		if !s.breaker.Allow() {
+			return fmt.Errorf("%w", ErrOpen)
+		}
+		err := op(actx)
+		s.breaker.Record(err != nil && s.isRetryable(err))
+		return err
+	})
+}
+
+func (s *Store[I]) isRetryable(err error) bool {
+	return s.cfg.Policy.Retryable != nil && s.cfg.Policy.Retryable(err)
+}
+
+// Put implements ObjectStore with retries.
+func (s *Store[I]) Put(ctx context.Context, key string, data []byte) error {
+	return s.do(ctx, func(actx context.Context) error {
+		return s.inner.Put(actx, key, data)
+	})
+}
+
+// Get implements ObjectStore with hedged, retried reads.
+func (s *Store[I]) Get(ctx context.Context, key string) ([]byte, error) {
+	return s.hedged(ctx, func(actx context.Context) ([]byte, error) {
+		return s.inner.Get(actx, key)
+	})
+}
+
+// GetRange implements ObjectStore with hedged, retried reads.
+func (s *Store[I]) GetRange(ctx context.Context, key string, offset, length int64) ([]byte, error) {
+	return s.hedged(ctx, func(actx context.Context) ([]byte, error) {
+		return s.inner.GetRange(actx, key, offset, length)
+	})
+}
+
+// List implements ObjectStore with retries.
+func (s *Store[I]) List(ctx context.Context, prefix string) ([]I, error) {
+	var out []I
+	err := s.do(ctx, func(actx context.Context) error {
+		var e error
+		out, e = s.inner.List(actx, prefix)
+		return e
+	})
+	return out, err
+}
+
+// Delete implements ObjectStore with retries.
+func (s *Store[I]) Delete(ctx context.Context, key string) error {
+	return s.do(ctx, func(actx context.Context) error {
+		return s.inner.Delete(actx, key)
+	})
+}
+
+// hedged runs a read under the retry policy where each attempt is a
+// hedged pair: the primary request, and after HedgeDelay a backup; the
+// first success wins and the loser is canceled.
+func (s *Store[I]) hedged(ctx context.Context, read func(ctx context.Context) ([]byte, error)) ([]byte, error) {
+	var data []byte
+	err := s.do(ctx, func(actx context.Context) error {
+		var e error
+		data, e = s.hedgeOnce(actx, read)
+		return e
+	})
+	return data, err
+}
+
+// hedgeOnce issues one hedged attempt.
+func (s *Store[I]) hedgeOnce(ctx context.Context, read func(ctx context.Context) ([]byte, error)) ([]byte, error) {
+	if s.cfg.HedgeDelay <= 0 {
+		return read(ctx)
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel() // cancels the losing request
+	type result struct {
+		data   []byte
+		err    error
+		backup bool
+	}
+	ch := make(chan result, 2) // buffered: the loser must not leak
+	launch := func(backup bool) {
+		go func() {
+			d, e := read(hctx)
+			ch <- result{d, e, backup}
+		}()
+	}
+	launch(false)
+	timer := time.NewTimer(s.cfg.HedgeDelay)
+	defer timer.Stop()
+	outstanding := 1
+	fired := false
+	var firstErr error
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-timer.C:
+			if !fired {
+				fired = true
+				outstanding++
+				s.c.HedgeFired()
+				launch(true)
+			}
+		case r := <-ch:
+			outstanding--
+			if r.err == nil {
+				if r.backup {
+					s.c.HedgeWon()
+				}
+				return r.data, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if !fired || outstanding == 0 {
+				// Primary failed before the hedge launched, or both
+				// requests failed: fail the attempt (the retry policy
+				// decides what happens next).
+				return nil, firstErr
+			}
+		}
+	}
+}

@@ -1,8 +1,12 @@
 GO ?= go
 
-.PHONY: all vet build test race chaos bench
+.PHONY: all vet build test race chaos check bench bench-all
 
-all: vet build test
+all: check
+
+# Default gate: vet + build + tests, then the full suite under the race
+# detector (the scan pipeline is concurrent; races are tier-1 failures).
+check: vet build test race
 
 vet:
 	$(GO) vet ./...
@@ -24,5 +28,16 @@ chaos:
 	$(GO) test -race -count=1 -run 'TestChaos|TestQueryDeadlinePropagates|TestCacheBreakerDegradesToSharedStorage' ./internal/core/
 	$(GO) test -race -count=1 ./internal/resilience/ ./internal/objstore/ ./internal/netsim/
 
+# Fig-10 plus the ScanConcurrency sweep (cold/warm caches), with
+# allocation stats; the raw `go test -json` event stream is kept in
+# BENCH_scan.json for later comparison.
 bench:
+	$(GO) test -json -bench 'BenchmarkFig10_TPCH|BenchmarkScanParallelism' -benchmem -benchtime=1x -run '^$$' . > BENCH_scan.json
+	@grep -oE '"Output":"[^"]*"' BENCH_scan.json \
+		| sed 's/"Output":"//; s/"$$//; s/\\t/ /g; s/\\n//' \
+		| awk '/^Benchmark/ && !/ns\/op/ {name=$$1; next} /ns\/op/ {if ($$0 ~ /^Benchmark/) print; else printf "%s %s\n", name, $$0}'
+	@echo "wrote BENCH_scan.json"
+
+# Every benchmark in the repository (figures + ablations).
+bench-all:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .

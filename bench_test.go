@@ -15,6 +15,7 @@ import (
 
 	"eon/internal/core"
 	"eon/internal/experiments"
+	"eon/internal/objstore"
 	"eon/internal/types"
 	"eon/internal/workload"
 )
@@ -305,6 +306,100 @@ func BenchmarkAblation_LiveAggregate(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- Scan pipeline parallelism (ScanConcurrency sweep) ---
+
+// scanBenchDB builds a single-node Eon cluster whose scans have plenty
+// of independent I/O: bundling disabled (every column a separate file),
+// a wide table loaded in several batches so each shard holds multiple
+// containers.
+func scanBenchDB(b *testing.B, scanConc int) *core.DB {
+	b.Helper()
+	sim := objstore.NewSim(objstore.NewMem(), experiments.SharedStorageSim(1))
+	db, err := core.Create(core.Config{
+		Mode:            core.ModeEon,
+		Nodes:           []core.NodeSpec{{Name: "node1"}},
+		ShardCount:      4,
+		Shared:          sim,
+		Net:             experiments.ClusterNet(),
+		BundleThreshold: -1,
+		ScanConcurrency: scanConc,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const cols = 8
+	ddl := `CREATE TABLE wide (c0 INTEGER`
+	proj := `CREATE PROJECTION wide_p AS SELECT * FROM wide ORDER BY c0 SEGMENTED BY HASH(c0) ALL NODES`
+	schema := types.Schema{{Name: "c0", Type: types.Int64}}
+	for i := 1; i < cols; i++ {
+		ddl += fmt.Sprintf(", c%d INTEGER", i)
+		schema = append(schema, types.Column{Name: fmt.Sprintf("c%d", i), Type: types.Int64})
+	}
+	ddl += `)`
+	s := db.NewSession()
+	for _, q := range []string{ddl, proj} {
+		if _, err := s.Execute(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	id := 0
+	for load := 0; load < 6; load++ {
+		batch := types.NewBatch(schema, 2000)
+		for r := 0; r < 2000; r++ {
+			id++
+			row := make(types.Row, cols)
+			row[0] = types.NewInt(int64(id))
+			for c := 1; c < cols; c++ {
+				row[c] = types.NewInt(int64(id * c))
+			}
+			batch.AppendRow(row)
+		}
+		if err := db.LoadRows("wide", batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return db
+}
+
+// scanBenchQuery touches every column so a cold scan fetches every
+// column file of every container.
+const scanBenchQuery = `SELECT SUM(c0), SUM(c1), SUM(c2), SUM(c3), SUM(c4), SUM(c5), SUM(c6), SUM(c7) FROM wide`
+
+// BenchmarkScanParallelism sweeps ScanConcurrency over cold and warm
+// caches. Cold scans are dominated by shared-storage round trips
+// (containers x columns fetches at the simulated 3 ms GET latency), so
+// they shrink near-linearly with concurrency; warm scans measure the
+// decode+filter pipeline alone.
+func BenchmarkScanParallelism(b *testing.B) {
+	for _, conc := range []int{1, 2, 4, 8, 16} {
+		db := scanBenchDB(b, conc)
+		s := db.NewSession()
+		b.Run(fmt.Sprintf("cold/conc-%d", conc), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				for _, n := range db.Nodes() {
+					n.Cache().Clear(db.Context())
+				}
+				b.StartTimer()
+				if _, err := s.Query(scanBenchQuery); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("warm/conc-%d", conc), func(b *testing.B) {
+			if _, err := s.Query(scanBenchQuery); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Query(scanBenchQuery); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 func makeClicks(n int) *types.Batch {

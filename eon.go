@@ -97,6 +97,11 @@ const (
 // MergeoutStats reports one tuple-mover pass.
 type MergeoutStats = core.MergeoutStats
 
+// ScanStats is scan-path instrumentation: pruning effectiveness, bytes
+// fetched, cache behaviour and the I/O/decode/filter time split. Per
+// query via Session.LastScanStats, cumulative via DB.ScanStats.
+type ScanStats = core.ScanStats
+
 // DB is a database cluster.
 type DB struct {
 	inner *core.DB
@@ -128,6 +133,10 @@ func (db *DB) Internal() *core.DB { return db.inner }
 
 // Mode returns the cluster's architecture.
 func (db *DB) Mode() Mode { return db.inner.Mode() }
+
+// ScanStats returns the cumulative scan instrumentation across every
+// query the database has executed.
+func (db *DB) ScanStats() ScanStats { return db.inner.ScanStats() }
 
 // NewSession opens a session.
 func (db *DB) NewSession() *Session { return db.inner.NewSession() }

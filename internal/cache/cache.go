@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sync"
 
+	"eon/internal/parallel"
 	"eon/internal/udfs"
 )
 
@@ -36,11 +37,28 @@ const (
 // Fetcher reads a file from shared storage on cache miss.
 type Fetcher func(ctx context.Context, path string) ([]byte, error)
 
+// Outcome classifies how a Get was served.
+type Outcome uint8
+
+// Get outcomes.
+const (
+	// OutcomeHit served from the cached file.
+	OutcomeHit Outcome = iota
+	// OutcomeMiss issued its own shared-storage fetch.
+	OutcomeMiss
+	// OutcomeCoalesced joined another caller's in-flight fetch of the
+	// same path instead of issuing its own.
+	OutcomeCoalesced
+)
+
 // Stats counts cache traffic.
 type Stats struct {
 	Hits, Misses, Evictions int64
-	BytesCached             int64
-	Files                   int
+	// CoalescedFetches counts misses that piggybacked on another
+	// caller's in-flight fetch of the same path (single-flight).
+	CoalescedFetches int64
+	BytesCached      int64
+	Files            int
 }
 
 type entry struct {
@@ -48,6 +66,14 @@ type entry struct {
 	size   int64
 	pinned bool
 	elem   *list.Element
+}
+
+// flight is one in-progress shared-storage fetch that concurrent misses
+// on the same path share.
+type flight struct {
+	done chan struct{} // closed once data/err are set
+	data []byte
+	err  error
 }
 
 // Cache is one node's file cache. The file bytes live on the node's local
@@ -64,7 +90,16 @@ type Cache struct {
 	lru      *list.List // front = most recently used
 	policy   func(path string) Policy
 
-	hits, misses, evictions int64
+	// pending holds byte reservations for admissions whose file write is
+	// still in progress: the space is claimed (so eviction accounting is
+	// correct) but the entry is not yet readable. Readers treat pending
+	// paths as misses; the single-flight layer keeps them from stampeding
+	// shared storage.
+	pending map[string]int64
+	// inflight tracks one shared fetch per missing path (single-flight).
+	inflight map[string]*flight
+
+	hits, misses, evictions, coalesced int64
 }
 
 // New returns a cache of the given byte capacity backed by dir on fs.
@@ -75,6 +110,8 @@ func New(fs udfs.FileSystem, dir string, capacity int64) *Cache {
 		capacity: capacity,
 		entries:  map[string]*entry{},
 		lru:      list.New(),
+		pending:  map[string]int64{},
+		inflight: map[string]*flight{},
 	}
 }
 
@@ -102,6 +139,20 @@ func (c *Cache) local(path string) string { return c.dir + "/" + path }
 // PolicyBypass for this call regardless of the shaping policy ("don't use
 // the cache for this query").
 func (c *Cache) Get(ctx context.Context, path string, fetch Fetcher, bypass bool) ([]byte, error) {
+	data, _, err := c.GetTracked(ctx, path, fetch, bypass)
+	return data, err
+}
+
+// GetTracked is Get plus the outcome classification (hit, miss,
+// coalesced miss), which scan statistics record per query.
+//
+// Concurrent misses on one path are single-flighted: the first caller
+// issues the shared-storage fetch; later callers wait on it and share
+// the result, so N concurrent cold scans of a file cost exactly one
+// fetch. If the leading fetch fails, each waiter falls back to its own
+// fetch — the leader's failure may be its own cancellation rather than
+// the file's.
+func (c *Cache) GetTracked(ctx context.Context, path string, fetch Fetcher, bypass bool) ([]byte, Outcome, error) {
 	c.mu.Lock()
 	if e, ok := c.entries[path]; ok {
 		c.lru.MoveToFront(e.elem)
@@ -109,23 +160,69 @@ func (c *Cache) Get(ctx context.Context, path string, fetch Fetcher, bypass bool
 		c.mu.Unlock()
 		data, err := c.fs.ReadFile(ctx, c.local(path))
 		if err == nil {
-			return data, nil
+			return data, OutcomeHit, nil
 		}
 		// The entry raced with a concurrent eviction; fall through to a
-		// shared-storage fetch.
-	} else {
-		c.misses++
+		// shared-storage fetch (not counted as a second miss).
+		c.mu.Lock()
+		return c.getMiss(ctx, path, fetch, bypass, false)
+	}
+	c.misses++
+	return c.getMiss(ctx, path, fetch, bypass, true)
+}
+
+// getMiss resolves a cache miss with single-flight coalescing. Called
+// with c.mu held; returns with it released. coalesce is false on the
+// hit-then-read-failed path, which must not wait on a flight it may
+// itself have led.
+func (c *Cache) getMiss(ctx context.Context, path string, fetch Fetcher, bypass bool, coalesce bool) ([]byte, Outcome, error) {
+	if f, ok := c.inflight[path]; ok && coalesce {
+		c.coalesced++
 		c.mu.Unlock()
+		select {
+		case <-f.done:
+		case <-ctx.Done():
+			return nil, OutcomeCoalesced, ctx.Err()
+		}
+		if f.err == nil {
+			return f.data, OutcomeCoalesced, nil
+		}
+		// The leader failed (possibly just canceled); fetch independently.
+		data, err := fetch(ctx, path)
+		if err != nil {
+			return nil, OutcomeCoalesced, err
+		}
+		if !bypass && c.policyFor(path) != PolicyBypass {
+			_ = c.admit(ctx, path, data)
+		}
+		return data, OutcomeCoalesced, nil
 	}
 
+	var f *flight
+	if coalesce {
+		f = &flight{done: make(chan struct{})}
+		c.inflight[path] = f
+	}
+	c.mu.Unlock()
+
 	data, err := fetch(ctx, path)
+	if err == nil && !bypass && c.policyFor(path) != PolicyBypass {
+		// Admit before publishing the flight result so a follower's next
+		// Get finds the entry instead of refetching. Admission failure
+		// must not fail the read.
+		_ = c.admit(ctx, path, data)
+	}
+	if f != nil {
+		f.data, f.err = data, err
+		c.mu.Lock()
+		delete(c.inflight, path)
+		c.mu.Unlock()
+		close(f.done)
+	}
 	if err != nil {
-		return nil, err
+		return nil, OutcomeMiss, err
 	}
-	if !bypass && c.policyFor(path) != PolicyBypass {
-		_ = c.admit(ctx, path, data) // admission failure must not fail the read
-	}
-	return data, nil
+	return data, OutcomeMiss, nil
 }
 
 // Put write-through inserts a newly written file (data load and mergeout
@@ -139,6 +236,12 @@ func (c *Cache) Put(ctx context.Context, path string, data []byte) error {
 
 // admit stores the file and evicts LRU entries to fit. Files larger than
 // the whole cache are not admitted.
+//
+// The index entry is published only after the file is durably written:
+// until then the path holds a pending byte reservation (visible to
+// eviction accounting, invisible to readers), so a concurrent Get never
+// sees an entry whose backing file does not exist yet and never takes
+// the read-fail-refetch path against a half-admitted file.
 func (c *Cache) admit(ctx context.Context, path string, data []byte) error {
 	size := int64(len(data))
 	if size > c.capacity {
@@ -149,7 +252,12 @@ func (c *Cache) admit(ctx context.Context, path string, data []byte) error {
 		c.mu.Unlock()
 		return nil // already cached; files are immutable
 	}
-	// Evict from the LRU tail, skipping pinned entries.
+	if _, ok := c.pending[path]; ok {
+		c.mu.Unlock()
+		return nil // another caller is admitting the same immutable file
+	}
+	// Evict from the LRU tail, skipping pinned entries. Pending
+	// reservations are not in the LRU, so they cannot be evicted.
 	var evict []string
 	need := c.used + size - c.capacity
 	for el := c.lru.Back(); el != nil && need > 0; el = el.Prev() {
@@ -171,16 +279,37 @@ func (c *Cache) admit(ctx context.Context, path string, data []byte) error {
 		c.used -= e.size
 		c.evictions++
 	}
-	e := &entry{path: path, size: size, pinned: c.policyFor(path) == PolicyPin}
-	e.elem = c.lru.PushFront(e)
-	c.entries[path] = e
+	c.pending[path] = size
 	c.used += size
 	c.mu.Unlock()
 
 	for _, p := range evict {
 		_ = c.fs.Remove(ctx, c.local(p))
 	}
-	return c.fs.WriteFile(ctx, c.local(path), data)
+	err := c.fs.WriteFile(ctx, c.local(path), data)
+
+	c.mu.Lock()
+	if _, ok := c.pending[path]; !ok {
+		// The reservation was wiped by Clear while the write was in
+		// flight; the admission is abandoned (Clear already reset the
+		// byte accounting).
+		c.mu.Unlock()
+		if err == nil {
+			_ = c.fs.Remove(ctx, c.local(path))
+		}
+		return err
+	}
+	delete(c.pending, path)
+	if err != nil {
+		c.used -= size
+		c.mu.Unlock()
+		return err
+	}
+	e := &entry{path: path, size: size, pinned: c.policyFor(path) == PolicyPin}
+	e.elem = c.lru.PushFront(e)
+	c.entries[path] = e
+	c.mu.Unlock()
+	return nil
 }
 
 // Contains reports whether the file is cached (without touching LRU
@@ -217,6 +346,9 @@ func (c *Cache) Clear(ctx context.Context) {
 	c.entries = map[string]*entry{}
 	c.lru.Init()
 	c.used = 0
+	// Abandon in-flight admissions: their completion sees the missing
+	// reservation and discards the write instead of resurrecting state.
+	c.pending = map[string]int64{}
 	c.mu.Unlock()
 	for _, p := range paths {
 		_ = c.fs.Remove(ctx, c.local(p))
@@ -229,7 +361,8 @@ func (c *Cache) Stats() Stats {
 	defer c.mu.Unlock()
 	return Stats{
 		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
-		BytesCached: c.used, Files: len(c.entries),
+		CoalescedFetches: c.coalesced,
+		BytesCached:      c.used, Files: len(c.entries),
 	}
 }
 
@@ -269,23 +402,40 @@ func (c *Cache) ReadCached(ctx context.Context, path string) ([]byte, bool) {
 	return data, true
 }
 
-// Warm fetches each listed file into the cache in order (most recently
-// used first), stopping silently on fetch errors for individual files.
-// It returns the number of files admitted.
-func (c *Cache) Warm(ctx context.Context, paths []string, fetch Fetcher) int {
+// Warm fetches the listed files into the cache (most recently used
+// first), skipping files that fail to fetch, and returns the number of
+// files admitted. Fetches fan out across at most concurrency workers;
+// admissions happen in reverse list order regardless, so the peer's MRU
+// file still ends up most recent here and the resulting LRU order is
+// deterministic. The fetched set is bounded by the warm budget the MRU
+// list was built under, so buffering it before admission is safe.
+func (c *Cache) Warm(ctx context.Context, paths []string, fetch Fetcher, concurrency int) int {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	fetched := make([][]byte, len(paths))
+	_ = parallel.ForEach(ctx, len(paths), concurrency, func(ctx context.Context, _, i int) error {
+		if c.Contains(paths[i]) {
+			return nil // admitted lazily below
+		}
+		data, err := fetch(ctx, paths[i])
+		if err != nil {
+			return nil // skip this file; warm the rest
+		}
+		fetched[i] = data
+		return nil
+	})
 	warmed := 0
 	// Admit in reverse so the peer's MRU file ends up most recent here.
 	for i := len(paths) - 1; i >= 0; i-- {
-		p := paths[i]
-		if c.Contains(p) {
+		if c.Contains(paths[i]) {
 			warmed++
 			continue
 		}
-		data, err := fetch(ctx, p)
-		if err != nil {
+		if fetched[i] == nil {
 			continue
 		}
-		if err := c.admit(ctx, p, data); err == nil {
+		if err := c.admit(ctx, paths[i], fetched[i]); err == nil {
 			warmed++
 		}
 	}

@@ -229,7 +229,7 @@ func TestPeerWarming(t *testing.T) {
 			return data, nil
 		}
 		return nil, errors.New("peer miss")
-	})
+	}, 4)
 	if warmed != 2 {
 		t.Fatalf("warmed %d files", warmed)
 	}
@@ -251,7 +251,7 @@ func TestWarmSkipsFailures(t *testing.T) {
 			return nil, errors.New("fetch failed")
 		}
 		return []byte("v"), nil
-	})
+	}, 1)
 	if warmed != 1 || !c.Contains("ok") || c.Contains("broken") {
 		t.Errorf("warm with failure: warmed=%d", warmed)
 	}

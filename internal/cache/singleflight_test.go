@@ -1,0 +1,305 @@
+package cache
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"eon/internal/udfs"
+)
+
+// blockingFS wraps a FileSystem and lets a test hold WriteFile calls
+// open (gate) or fail them (failWrites), while counting ReadFile calls
+// per path.
+type blockingFS struct {
+	udfs.FileSystem
+	gate       chan struct{} // if non-nil, WriteFile blocks until closed
+	entered    chan struct{} // signaled once a WriteFile is in progress
+	failWrites atomic.Bool
+
+	mu    sync.Mutex
+	reads map[string]int
+}
+
+func newBlockingFS() *blockingFS {
+	return &blockingFS{FileSystem: udfs.NewMemFS(), reads: map[string]int{}}
+}
+
+func (b *blockingFS) WriteFile(ctx context.Context, path string, data []byte) error {
+	if b.entered != nil {
+		select {
+		case b.entered <- struct{}{}:
+		default:
+		}
+	}
+	if b.gate != nil {
+		<-b.gate
+	}
+	if b.failWrites.Load() {
+		return errors.New("disk full")
+	}
+	return b.FileSystem.WriteFile(ctx, path, data)
+}
+
+func (b *blockingFS) ReadFile(ctx context.Context, path string) ([]byte, error) {
+	b.mu.Lock()
+	b.reads[path]++
+	b.mu.Unlock()
+	return b.FileSystem.ReadFile(ctx, path)
+}
+
+func (b *blockingFS) readCount(path string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.reads[path]
+}
+
+// N concurrent misses on one path must issue exactly one shared-storage
+// fetch; the rest coalesce onto it.
+func TestSingleFlightCoalescesConcurrentMisses(t *testing.T) {
+	ctx := context.Background()
+	c := newTestCache(1 << 20)
+
+	const waiters = 8
+	var fetches atomic.Int64
+	release := make(chan struct{})
+	fetch := func(ctx context.Context, path string) ([]byte, error) {
+		fetches.Add(1)
+		<-release // hold the fetch open so every goroutine arrives mid-flight
+		return []byte("payload"), nil
+	}
+
+	var wg sync.WaitGroup
+	results := make([][]byte, waiters)
+	errs := make([]error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = c.Get(ctx, "f", fetch, false)
+		}(i)
+	}
+	// Wait until every goroutine has registered (1 leader + 7 coalesced),
+	// then let the single fetch complete.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s := c.Stats()
+		if s.Misses == waiters {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines stuck: stats=%+v", s)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	for i := 0; i < waiters; i++ {
+		if errs[i] != nil || !bytes.Equal(results[i], []byte("payload")) {
+			t.Fatalf("waiter %d: %q, %v", i, results[i], errs[i])
+		}
+	}
+	if n := fetches.Load(); n != 1 {
+		t.Errorf("issued %d fetches for one path, want 1", n)
+	}
+	st := c.Stats()
+	if st.CoalescedFetches != waiters-1 {
+		t.Errorf("CoalescedFetches = %d, want %d", st.CoalescedFetches, waiters-1)
+	}
+	if !c.Contains("f") {
+		t.Error("file not admitted after coalesced fetch")
+	}
+}
+
+// A failed leading fetch must not poison the waiters: each falls back to
+// its own fetch.
+func TestSingleFlightLeaderFailureFallsBack(t *testing.T) {
+	ctx := context.Background()
+	c := newTestCache(1 << 20)
+
+	var calls atomic.Int64
+	release := make(chan struct{})
+	fetch := func(ctx context.Context, path string) ([]byte, error) {
+		n := calls.Add(1)
+		if n == 1 {
+			<-release
+			return nil, errors.New("transient")
+		}
+		return []byte("ok"), nil
+	}
+
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, err := c.Get(ctx, "f", fetch, false)
+		leaderErr <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Stats().Misses == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("leader never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	done := make(chan struct{})
+	var data []byte
+	var err error
+	go func() {
+		data, err = c.Get(ctx, "f", fetch, false)
+		close(done)
+	}()
+	for c.Stats().CoalescedFetches == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never coalesced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	<-done
+	if err != nil || string(data) != "ok" {
+		t.Fatalf("waiter fallback = %q, %v", data, err)
+	}
+	if e := <-leaderErr; e == nil {
+		t.Fatal("leader should have failed")
+	}
+}
+
+// Regression for the admit ordering bug: the map entry must not be
+// visible while the file write is still in progress, so a concurrent Get
+// never takes the read-fail-refetch path against a half-admitted file.
+func TestAdmitPublishesEntryOnlyAfterWrite(t *testing.T) {
+	ctx := context.Background()
+	fs := newBlockingFS()
+	fs.gate = make(chan struct{})
+	fs.entered = make(chan struct{}, 1)
+	c := New(fs, "cache", 1<<20)
+
+	putDone := make(chan error, 1)
+	go func() { putDone <- c.Put(ctx, "f", []byte("data")) }()
+	<-fs.entered // the admit's WriteFile is now in progress
+
+	if c.Contains("f") {
+		t.Fatal("entry visible before the file write completed")
+	}
+	// A Get during the pending write must go to the fetcher, not to a
+	// ReadFile of the not-yet-written local file.
+	f := &countingFetcher{data: map[string][]byte{"f": []byte("data")}}
+	got, err := c.Get(ctx, "f", f.fetch, false)
+	if err != nil || string(got) != "data" {
+		t.Fatalf("get during pending admit = %q, %v", got, err)
+	}
+	if f.calls != 1 {
+		t.Fatalf("fetcher calls = %d, want 1", f.calls)
+	}
+	if n := fs.readCount("cache/f"); n != 0 {
+		t.Fatalf("Get read the half-admitted local file %d times", n)
+	}
+
+	close(fs.gate)
+	if err := <-putDone; err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if !c.Contains("f") {
+		t.Fatal("entry not published after the write completed")
+	}
+	if _, err := c.Get(ctx, "f", f.fetch, false); err != nil {
+		t.Fatal(err)
+	}
+	if f.calls != 1 {
+		t.Fatalf("post-admit Get refetched (calls=%d)", f.calls)
+	}
+}
+
+// A failed write must leave no entry and no leaked byte reservation.
+func TestAdmitWriteFailureRollsBack(t *testing.T) {
+	ctx := context.Background()
+	fs := newBlockingFS()
+	fs.failWrites.Store(true)
+	c := New(fs, "cache", 100)
+
+	if err := c.Put(ctx, "f", []byte("0123456789")); err == nil {
+		t.Fatal("put should fail when the write fails")
+	}
+	if c.Contains("f") {
+		t.Fatal("failed admit left an entry")
+	}
+	if st := c.Stats(); st.BytesCached != 0 {
+		t.Fatalf("leaked reservation: %d bytes cached", st.BytesCached)
+	}
+	// With writes healthy again the same file admits normally.
+	fs.failWrites.Store(false)
+	if err := c.Put(ctx, "f", []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Contains("f") {
+		t.Fatal("re-admit after failure did not succeed")
+	}
+}
+
+// Clear during a pending admit abandons the admission instead of
+// resurrecting the entry afterwards.
+func TestClearDuringPendingAdmit(t *testing.T) {
+	ctx := context.Background()
+	fs := newBlockingFS()
+	fs.gate = make(chan struct{})
+	fs.entered = make(chan struct{}, 1)
+	c := New(fs, "cache", 1<<20)
+
+	putDone := make(chan error, 1)
+	go func() { putDone <- c.Put(ctx, "f", []byte("data")) }()
+	<-fs.entered
+	c.Clear(ctx)
+	close(fs.gate)
+	<-putDone
+
+	if c.Contains("f") {
+		t.Fatal("cleared cache resurrected a pending admission")
+	}
+	if st := c.Stats(); st.BytesCached != 0 {
+		t.Fatalf("byte accounting off after clear: %d", st.BytesCached)
+	}
+	// The path stays admissible.
+	if err := c.Put(ctx, "f", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Contains("f") {
+		t.Fatal("re-admit after clear failed")
+	}
+}
+
+// Warm with a concurrent fetch pool preserves the deterministic MRU
+// admission order.
+func TestWarmParallelPreservesOrder(t *testing.T) {
+	ctx := context.Background()
+	peer := newTestCache(1 << 20)
+	var paths []string
+	for _, p := range []string{"e", "d", "c", "b", "a"} { // admit a last => MRU front
+		if err := peer.Put(ctx, p, []byte(p+p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	paths = peer.MostRecentlyUsed(1 << 20)
+
+	n := newTestCache(1 << 20)
+	warmed := n.Warm(ctx, paths, func(ctx context.Context, path string) ([]byte, error) {
+		time.Sleep(time.Duration(len(path)) * time.Microsecond)
+		data, ok := peer.ReadCached(ctx, path)
+		if !ok {
+			return nil, errors.New("miss")
+		}
+		return data, nil
+	}, 4)
+	if warmed != 5 {
+		t.Fatalf("warmed %d of 5", warmed)
+	}
+	got := n.MostRecentlyUsed(1 << 20)
+	for i := range paths {
+		if got[i] != paths[i] {
+			t.Fatalf("MRU order after parallel warm = %v, want %v", got, paths)
+		}
+	}
+}

@@ -10,6 +10,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -69,6 +70,12 @@ type Config struct {
 	ReplicationFactor int
 	// ExecSlots is the per-node concurrent query slot count E (§4.2).
 	ExecSlots int
+	// ScanConcurrency bounds the intra-node scan fan-out: containers of a
+	// fragment scanned in parallel, column files and delete vectors of a
+	// container fetched in parallel, and files uploaded in parallel on
+	// the write path. <= 0 derives the default from runtime.GOMAXPROCS.
+	// 1 reproduces the fully serial pipeline.
+	ScanConcurrency int
 	// CacheBytes is the per-node cache capacity (Eon).
 	CacheBytes int64
 	// WOSMaxRows: Enterprise loads smaller than this buffer in the WOS;
@@ -151,6 +158,12 @@ func (c *Config) fillDefaults() error {
 	}
 	if c.ExecSlots <= 0 {
 		c.ExecSlots = 4
+	}
+	if c.ScanConcurrency <= 0 {
+		c.ScanConcurrency = runtime.GOMAXPROCS(0)
+		if c.ScanConcurrency < 2 {
+			c.ScanConcurrency = 2
+		}
 	}
 	if c.CacheBytes <= 0 {
 		c.CacheBytes = 256 << 20
@@ -309,7 +322,18 @@ type DB struct {
 	// at load (write-through off) and at scan.
 	policyMu   sync.RWMutex
 	neverCache map[string]bool
+
+	// scanTotals accumulates every query's ScanStats (the cumulative
+	// database view of the scan pipeline).
+	scanTotals scanTally
 }
+
+// scanConc returns the configured intra-node scan/upload fan-out bound.
+func (db *DB) scanConc() int { return db.cfg.ScanConcurrency }
+
+// ScanStats returns the cumulative scan statistics across all queries
+// run against this database; Wall sums the wall time of every query.
+func (db *DB) ScanStats() ScanStats { return db.scanTotals.snapshot() }
 
 // SetNeverCacheTable installs the "never cache table T" shaping policy
 // (§5.2): the table's files are not admitted at load or scan time, so

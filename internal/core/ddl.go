@@ -279,7 +279,7 @@ func (db *DB) AlterAddColumn(stmt *sql.AlterAddColumn) error {
 				if node == nil {
 					return fmt.Errorf("core: no node can read container %d", sc.OID)
 				}
-				rows, err := storage.ReadColumns(ctx, sc, projSchema, db.fetchFunc(node, false))
+				rows, err := storage.ReadColumns(ctx, sc, projSchema, db.fetchFunc(node, false), db.scanConc())
 				if err != nil {
 					return err
 				}
@@ -374,7 +374,8 @@ func (db *DB) nodeForStorage(sc *catalog.StorageContainer) *Node {
 }
 
 // openContainerColumns opens the requested columns of a container
-// (storage handles per-column files, bundles and mixes of both).
-func openContainerColumns(ctx context.Context, sc *catalog.StorageContainer, cols []string, fetch storage.FetchFunc) (map[string]*rosfile.Reader, error) {
-	return storage.OpenColumns(ctx, sc, cols, fetch)
+// (storage handles per-column files, bundles and mixes of both),
+// fetching at most concurrency files at once.
+func openContainerColumns(ctx context.Context, sc *catalog.StorageContainer, cols []string, fetch storage.FetchFunc, concurrency int) (map[string]*rosfile.Reader, error) {
+	return storage.OpenColumns(ctx, sc, cols, fetch, concurrency)
 }

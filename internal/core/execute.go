@@ -40,7 +40,7 @@ func (db *DB) execScan(env *queryEnv, scan *planner.Scan) (*distResult, error) {
 		// Replicated projections are read once — preferentially on the
 		// initiator, which always subscribes to the replica shard.
 		node := env.initiator
-		batches, err := db.scanFragment(env.ctx, node, scan, []scanTask{{Shard: catalog.ReplicaShard, Of: 1}}, env.version, bypass, CrunchOff)
+		batches, err := db.scanFragment(env.ctx, node, scan, []scanTask{{Shard: catalog.ReplicaShard, Of: 1}}, env.version, bypass, CrunchOff, env.stats)
 		if err != nil {
 			return nil, err
 		}
@@ -62,7 +62,7 @@ func (db *DB) execScan(env *queryEnv, scan *planner.Scan) (*distResult, error) {
 		if !ok || !n.Up() {
 			return nil, fmt.Errorf("%w: %s", errNodeDown, name)
 		}
-		return db.scanFragment(env.ctx, n, scan, env.nodeTasks(name), env.version, bypass, env.session.Crunch)
+		return db.scanFragment(env.ctx, n, scan, env.nodeTasks(name), env.version, bypass, env.session.Crunch, env.stats)
 	})
 	if err != nil {
 		return nil, err

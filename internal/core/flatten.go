@@ -76,7 +76,7 @@ func (db *DB) readTableRows(snap *catalog.Snapshot, tbl *catalog.Table) (*types.
 			return nil, fmt.Errorf("core: no node can read container %d", sc.OID)
 		}
 		fetch := db.fetchFunc(node, false)
-		rows, err := storage.ReadColumns(ctx, sc, projSchema, fetch)
+		rows, err := storage.ReadColumns(ctx, sc, projSchema, fetch, db.scanConc())
 		if err != nil {
 			return nil, err
 		}
@@ -266,7 +266,7 @@ func (db *DB) RefreshColumns(tableName string) (int, error) {
 				return rewritten, fmt.Errorf("core: no node can read container %d", sc.OID)
 			}
 			fetch := db.fetchFunc(node, false)
-			rows, err := storage.ReadColumns(ctx, sc, projSchema, fetch)
+			rows, err := storage.ReadColumns(ctx, sc, projSchema, fetch, db.scanConc())
 			if err != nil {
 				return rewritten, err
 			}

@@ -2,8 +2,12 @@ package core
 
 import (
 	"context"
+	"sort"
 	"sync"
+	"time"
 
+	"eon/internal/cache"
+	"eon/internal/parallel"
 	"eon/internal/resilience"
 	"eon/internal/storage"
 )
@@ -13,22 +17,33 @@ import (
 // storage, and ship to peer subscribers' caches so node-down performance
 // stays warm. Enterprise: write to the owner's local disk.
 //
+// Uploads fan out across the node's scan worker pool (ScanConcurrency):
+// a wide container's per-column files upload concurrently instead of
+// paying one shared-storage round trip per file. Paths are walked in
+// sorted order so cache admission order stays deterministic.
+//
 // Shared-storage writes go through the resilient store view (retries
 // with jittered backoff, breaker; §5.3), so no extra retry loop wraps
 // them here. Cache and peer interactions are best-effort: a failing
 // local cache degrades the load to shared-storage-only instead of
 // failing it, and a struggling peer is skipped via its breaker.
 func (db *DB) persistFiles(ctx context.Context, writer *Node, files map[string][]byte, shardIdx int, noCache bool) error {
+	paths := make([]string, 0, len(files))
+	for p := range files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	conc := db.scanConc()
+
 	if db.mode == ModeEnterprise {
-		for path, data := range files {
-			if err := writer.fs.WriteFile(ctx, "data/"+path, data); err != nil {
-				return err
-			}
-		}
-		return nil
+		return parallel.ForEach(ctx, len(paths), conc, func(ctx context.Context, _, i int) error {
+			return writer.fs.WriteFile(ctx, "data/"+paths[i], files[paths[i]])
+		})
 	}
 	cacheBrk := db.cacheBreakers.For(writer.name)
-	for path, data := range files {
+	err := parallel.ForEach(ctx, len(paths), conc, func(ctx context.Context, _, i int) error {
+		path := paths[i]
+		data := files[path]
 		// 1-2. Write data in the cache (unless the table's shaping
 		// policy turns write-through off, §5.2). The cache is an
 		// optimization, not a durability point: admission failures count
@@ -45,13 +60,15 @@ func (db *DB) persistFiles(ctx context.Context, writer *Node, files map[string][
 			}
 		}
 		// 3a. Flush to shared storage (the commit point prerequisite).
-		if err := db.shared.Put(ctx, path, data); err != nil {
-			return err
-		}
+		return db.shared.Put(ctx, path, data)
+	})
+	if err != nil {
+		return err
 	}
 	// 3b. Send to peer subscribers of the shard, in parallel, so their
 	// caches are already warm if they take over (§5.2). A peer whose
 	// breaker is open is skipped; it will warm from shared storage later.
+	// Each peer's files ship through the same bounded pool.
 	if noCache {
 		return nil
 	}
@@ -67,14 +84,17 @@ func (db *DB) persistFiles(ctx context.Context, writer *Node, files map[string][
 		wg.Add(1)
 		go func(peer *Node, brk *resilience.Breaker) {
 			defer wg.Done()
-			for path, data := range files {
+			_ = parallel.ForEach(ctx, len(paths), conc, func(ctx context.Context, _, i int) error {
+				path := paths[i]
+				data := files[path]
 				err := db.net.Transfer(ctx, writer.name, peer.name, int64(len(data)))
 				brk.Record(err != nil)
 				if err != nil {
-					continue // peer went down mid-ship; it will warm later
+					return nil // peer went down mid-ship; it will warm later
 				}
 				_ = peer.cache.Put(ctx, path, data)
-			}
+				return nil
+			})
 		}(peer, brk)
 	}
 	wg.Wait()
@@ -98,15 +118,30 @@ func (db *DB) subscriberNodes(shardIdx int) []*Node {
 	return out
 }
 
-// fetchFunc builds the file-read path for scans on a node. Eon reads
-// through the node's cache with a shared-storage fallback (optionally
-// bypassing the cache, §5.2); Enterprise reads node-local disk. When the
-// node's cache breaker is open the read path degrades gracefully: scans
-// go straight to shared storage instead of failing (§5.3).
+// fetchFunc builds the file-read path for scans on a node, without
+// instrumentation (maintenance paths: mergeout, flatten, revive).
 func (db *DB) fetchFunc(n *Node, bypassCache bool) storage.FetchFunc {
+	return db.trackedFetch(n, bypassCache, nil)
+}
+
+// trackedFetch builds the file-read path for scans on a node, recording
+// fetch counts, bytes, I/O wait and cache outcomes into st (nil st drops
+// the records). Eon reads through the node's cache with a shared-storage
+// fallback (optionally bypassing the cache, §5.2); Enterprise reads
+// node-local disk. When the node's cache breaker is open the read path
+// degrades gracefully: scans go straight to shared storage instead of
+// failing (§5.3).
+func (db *DB) trackedFetch(n *Node, bypassCache bool, st *scanTally) storage.FetchFunc {
 	if db.mode == ModeEnterprise {
 		return func(ctx context.Context, path string) ([]byte, error) {
-			return n.fs.ReadFile(ctx, "data/"+path)
+			start := time.Now()
+			data, err := n.fs.ReadFile(ctx, "data/"+path)
+			if st != nil && err == nil {
+				st.fetches.Add(1)
+				st.bytesFetched.Add(int64(len(data)))
+				st.addIOWait(time.Since(start))
+			}
+			return data, err
 		}
 	}
 	// Shared-storage reads already retry and hedge inside db.shared.
@@ -115,11 +150,32 @@ func (db *DB) fetchFunc(n *Node, bypassCache bool) storage.FetchFunc {
 	}
 	cacheBrk := db.cacheBreakers.For(n.name)
 	return func(ctx context.Context, path string) ([]byte, error) {
+		start := time.Now()
+		var data []byte
+		var outcome cache.Outcome
+		var err error
 		if !cacheBrk.Allow() {
 			db.resilient.Counters().Fallback()
-			return fromShared(ctx, path)
+			data, err = fromShared(ctx, path)
+			outcome = cache.OutcomeMiss
+		} else {
+			data, outcome, err = n.cache.GetTracked(ctx, path, fromShared, bypassCache)
 		}
-		return n.cache.Get(ctx, path, fromShared, bypassCache)
+		if st != nil && err == nil {
+			st.fetches.Add(1)
+			st.bytesFetched.Add(int64(len(data)))
+			st.addIOWait(time.Since(start))
+			switch outcome {
+			case cache.OutcomeHit:
+				st.cacheHits.Add(1)
+			case cache.OutcomeCoalesced:
+				st.cacheMisses.Add(1)
+				st.coalescedFetches.Add(1)
+			default:
+				st.cacheMisses.Add(1)
+			}
+		}
+		return data, err
 	}
 }
 

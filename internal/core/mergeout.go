@@ -233,7 +233,7 @@ func (db *DB) executeMergeJob(runner *Node, tbl *catalog.Table, proj *catalog.Pr
 			return 0, fmt.Errorf("core: container %d vanished before mergeout", sc.OID)
 		}
 		sc = cur.(*catalog.StorageContainer)
-		rows, err := storage.ReadColumns(ctx, sc, projSchema, fetch)
+		rows, err := storage.ReadColumns(ctx, sc, projSchema, fetch, db.scanConc())
 		if err != nil {
 			return 0, err
 		}

@@ -285,5 +285,5 @@ func readContainer(t *testing.T, db *DB, node *Node, sc *catalog.StorageContaine
 	proj := po.(*catalog.Projection)
 	to, _ := snap.Get(proj.TableOID)
 	tbl := to.(*catalog.Table)
-	return storage.ReadColumns(db.Context(), sc, projectionSchema(tbl, proj.Columns), db.fetchFunc(node, false))
+	return storage.ReadColumns(db.Context(), sc, projectionSchema(tbl, proj.Columns), db.fetchFunc(node, false), 4)
 }

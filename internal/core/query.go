@@ -54,6 +54,19 @@ type Session struct {
 	// or failing store cancels promptly instead of retrying forever
 	// (§5.3). 0 means no deadline.
 	Timeout time.Duration
+
+	statsMu  sync.Mutex
+	lastScan ScanStats
+}
+
+// LastScanStats returns the scan instrumentation of the session's most
+// recent successfully executed query: containers and blocks pruned vs
+// scanned, bytes fetched, cache behaviour, and the I/O / decode / filter
+// time split.
+func (s *Session) LastScanStats() ScanStats {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.lastScan
 }
 
 // NewSession opens a session against the cluster.
@@ -109,6 +122,9 @@ type queryEnv struct {
 	initiator *Node
 	version   uint64
 	snapshots map[string]*catalog.Snapshot
+	// stats accumulates the query's scan instrumentation across all
+	// participating nodes' workers (nil on paths without instrumentation).
+	stats *scanTally
 }
 
 // nodeTasks returns the scan tasks a node serves, in shard order.
@@ -181,6 +197,8 @@ func (s *Session) tryQuery(sel *sql.Select) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	env.stats = &scanTally{}
+	queryStart := time.Now()
 	if s.Timeout > 0 {
 		ctx, cancel := context.WithTimeout(env.ctx, s.Timeout)
 		defer cancel()
@@ -229,6 +247,14 @@ func (s *Session) tryQuery(sel *sql.Select) (*Result, error) {
 	if final == nil {
 		final = types.NewBatch(plan.Schema(), 0)
 	}
+	// Publish the query's scan stats: on the session (most recent query)
+	// and into the database's cumulative totals.
+	env.stats.wallNanos.Store(int64(time.Since(queryStart)))
+	snap := env.stats.snapshot()
+	db.scanTotals.add(snap)
+	s.statsMu.Lock()
+	s.lastScan = snap
+	s.statsMu.Unlock()
 	return &Result{Columns: plan.OutputNames, Batch: final}, nil
 }
 

@@ -3,15 +3,26 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"eon/internal/catalog"
 	"eon/internal/expr"
 	"eon/internal/hashring"
+	"eon/internal/parallel"
 	"eon/internal/planner"
 	"eon/internal/rosfile"
 	"eon/internal/storage"
 	"eon/internal/types"
 )
+
+// containerWork is one unit of scan work: a container of one scan task,
+// tagged with its position in the fragment's deterministic output order.
+type containerWork struct {
+	task scanTask
+	sc   *catalog.StorageContainer
+	// hashFilter marks crunch hash-filter post-processing (§4.4).
+	hashFilter bool
+}
 
 // scanFragment reads one node's share of a scan: the containers of the
 // chosen projection whose shards (or shard sub-partitions, under crunch
@@ -19,14 +30,21 @@ import (
 // block-level min/max pruning, delete-vector filtering and predicate
 // evaluation. The executor "attaches storage for the shards the session
 // has instructed it to serve" from its own catalog (§4).
-func (db *DB) scanFragment(ctx context.Context, node *Node, scan *planner.Scan, tasks []scanTask, version uint64, bypassCache bool, mode CrunchMode) ([]*types.Batch, error) {
+//
+// Containers are scanned through a bounded worker pool (ScanConcurrency)
+// so cold scans overlap their shared-storage fetches instead of paying
+// containers x columns round trips serially. Output order is
+// deterministic regardless of concurrency: results are reassembled in
+// (task, container) order, exactly the order the serial pipeline
+// produces.
+func (db *DB) scanFragment(ctx context.Context, node *Node, scan *planner.Scan, tasks []scanTask, version uint64, bypassCache bool, mode CrunchMode, st *scanTally) ([]*types.Batch, error) {
 	snap := node.catalog.Snapshot()
 	if snap.Version() < version {
 		return nil, fmt.Errorf("core: node %s catalog at v%d behind query v%d", node.name, snap.Version(), version)
 	}
-	var out []*types.Batch
 	wosProjs := map[catalog.OID]bool{}
 	var shards []int
+	var work []containerWork
 	for _, task := range tasks {
 		shardIdx := task.Shard
 		shards = append(shards, shardIdx)
@@ -56,20 +74,44 @@ func (db *DB) scanFragment(ctx context.Context, node *Node, scan *planner.Scan, 
 			if useContainerSplit && ci%task.Of != task.Part {
 				continue
 			}
-			batches, err := db.scanContainer(ctx, node, scan, snap, sc, bypassCache)
-			if err != nil {
-				return nil, err
-			}
-			// Hash filter (§4.4): "applying a new hash segmentation
-			// predicate to each row as it is read" — selective
-			// predicates were already applied by the scan, reducing the
-			// hashing burden.
-			if task.Of > 1 && !useContainerSplit {
-				batches = hashFilterBatches(batches, scan.SegmentCols, task.Part, task.Of)
-			}
-			out = append(out, batches...)
+			work = append(work, containerWork{
+				task: task,
+				sc:   sc,
+				// Hash filter (§4.4): "applying a new hash segmentation
+				// predicate to each row as it is read" — selective
+				// predicates were already applied by the scan, reducing
+				// the hashing burden.
+				hashFilter: task.Of > 1 && !useContainerSplit,
+			})
 		}
 	}
+
+	// Scan the containers through the worker pool. Each worker keeps its
+	// own hash-filter scratch state (ring + hash buffer) so crunch
+	// hash-filtering allocates once per worker, not once per batch.
+	conc := db.scanConc()
+	results := make([][]*types.Batch, len(work))
+	filters := make([]hashFilterState, conc)
+	err := parallel.ForEach(ctx, len(work), conc, func(ctx context.Context, worker, i int) error {
+		w := work[i]
+		batches, err := db.scanContainer(ctx, node, scan, snap, w.sc, bypassCache, st)
+		if err != nil {
+			return err
+		}
+		if w.hashFilter {
+			batches = filters[worker].filter(batches, scan.SegmentCols, w.task.Part, w.task.Of)
+		}
+		results[i] = batches
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []*types.Batch
+	for _, batches := range results {
+		out = append(out, batches...)
+	}
+
 	if scan.Replicated {
 		wosProjs = map[catalog.OID]bool{scan.Proj.OID: true}
 	}
@@ -92,26 +134,42 @@ func (db *DB) scanFragment(ctx context.Context, node *Node, scan *planner.Scan, 
 	return out, nil
 }
 
-// hashFilterBatches keeps only rows whose segmentation-column hash lands
-// in sub-partition part of of.
-func hashFilterBatches(batches []*types.Batch, segCols []int, part, of int) []*types.Batch {
-	ring := hashring.NewRing(of)
+// hashFilterState is one scan worker's reusable crunch hash-filter
+// scratch: the segmentation ring (rebuilt only when the sub-partition
+// count changes) and the per-batch hash buffer.
+type hashFilterState struct {
+	of      int
+	ring    *hashring.Ring
+	hashes  []uint32
+	keepBuf []int
+}
+
+// filter keeps only rows whose segmentation-column hash lands in
+// sub-partition part of of.
+func (h *hashFilterState) filter(batches []*types.Batch, segCols []int, part, of int) []*types.Batch {
+	if h.ring == nil || h.of != of {
+		h.ring = hashring.NewRing(of)
+		h.of = of
+	}
 	var out []*types.Batch
 	for _, b := range batches {
 		if b == nil || b.NumRows() == 0 {
 			continue
 		}
-		hashes := hashring.HashBatchCols(b, segCols, nil)
-		var keep []int
-		for i, h := range hashes {
-			if ring.SegmentFor(h) == part {
+		h.hashes = hashring.HashBatchCols(b, segCols, h.hashes[:0])
+		keep := h.keepBuf[:0]
+		for i, hash := range h.hashes {
+			if h.ring.SegmentFor(hash) == part {
 				keep = append(keep, i)
 			}
 		}
+		h.keepBuf = keep[:0]
 		if len(keep) == b.NumRows() {
 			out = append(out, b)
 		} else if len(keep) > 0 {
-			out = append(out, b.Gather(keep))
+			// Gather retains the selection internally, so hand it an
+			// owned copy rather than the reusable scratch buffer.
+			out = append(out, b.Gather(append([]int(nil), keep...)))
 		}
 	}
 	return out
@@ -146,11 +204,25 @@ func containerStats(scan *planner.Scan, sc *catalog.StorageContainer) expr.Stats
 	}
 }
 
-// scanContainer reads the needed columns of one container.
-func (db *DB) scanContainer(ctx context.Context, node *Node, scan *planner.Scan, snap *catalog.Snapshot, sc *catalog.StorageContainer, bypassCache bool) ([]*types.Batch, error) {
+// decodedBlock is one block decoded by the scan pipeline's producer,
+// awaiting delete-vector and predicate filtering by the consumer.
+type decodedBlock struct {
+	blk   rosfile.BlockMeta
+	batch *types.Batch
+	err   error
+}
+
+// scanContainer reads the needed columns of one container. Column files
+// and delete vectors are fetched with a bounded concurrent fan-out, and
+// block decode is pipelined with filtering: block i+1 decodes while the
+// delete-vector and predicate evaluation of block i runs.
+func (db *DB) scanContainer(ctx context.Context, node *Node, scan *planner.Scan, snap *catalog.Snapshot, sc *catalog.StorageContainer, bypassCache bool, st *scanTally) ([]*types.Batch, error) {
 	// Container-level pruning from catalog stats — no file access
 	// needed (§2.1).
 	if scan.Pred != nil && !expr.CouldMatch(scan.Pred, containerStats(scan, sc)) {
+		if st != nil {
+			st.containersPruned.Add(1)
+		}
 		return nil, nil
 	}
 
@@ -158,54 +230,106 @@ func (db *DB) scanContainer(ctx context.Context, node *Node, scan *planner.Scan,
 	if db.neverCacheTable(scan.Table.Name) {
 		bypassCache = true
 	}
-	fetch := db.fetchFunc(node, bypassCache)
-	readers, err := openContainerColumns(ctx, sc, scan.Cols, fetch)
+	conc := db.scanConc()
+	fetch := db.trackedFetch(node, bypassCache, st)
+	readers, err := openContainerColumns(ctx, sc, scan.Cols, fetch, conc)
 	if err != nil {
 		return nil, err
 	}
 
-	// Merge delete vectors covering this container.
-	var dvLists [][]int64
+	// Fetch and merge the delete vectors covering this container,
+	// concurrently — cold containers often carry several.
+	var dvFiles []string
 	for _, dv := range snap.DeleteVectorsOf(sc.OID) {
 		if db.mode == ModeEnterprise && dv.OwnerNode != node.name {
 			continue
 		}
-		data, err := fetch(ctx, dv.File.Path)
+		dvFiles = append(dvFiles, dv.File.Path)
+	}
+	dvLists := make([][]int64, len(dvFiles))
+	if err := parallel.ForEach(ctx, len(dvFiles), conc, func(ctx context.Context, _, i int) error {
+		data, err := fetch(ctx, dvFiles[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		positions, err := storage.ReadDeleteVector(data)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		dvLists = append(dvLists, positions)
+		dvLists[i] = positions
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	deletes := storage.NewDeleteSet(dvLists...)
+	if st != nil {
+		st.containersScanned.Add(1)
+	}
 
-	// Read block by block with footer min/max pruning on the first
-	// predicate column's reader (block boundaries are aligned across a
-	// container's columns).
+	// Read block by block with footer min/max pruning on the scanned
+	// columns' readers (block boundaries are aligned across a
+	// container's columns). The producer goroutine decodes blocks in
+	// order into a small channel; this goroutine filters them, so decode
+	// and filter overlap.
 	first := readers[scan.Cols[0]]
 	nBlocks := len(first.Footer().Blocks)
-	var out []*types.Batch
-	for bi := 0; bi < nBlocks; bi++ {
-		blk := first.Footer().Blocks[bi]
-		if scan.Pred != nil && !blockCouldMatch(scan, readers, bi) {
-			continue
-		}
-		batch := &types.Batch{Cols: make([]*types.Vector, len(scan.Cols))}
-		for ci, col := range scan.Cols {
-			v, err := readers[col].ReadBlock(bi)
-			if err != nil {
-				return nil, err
+	pctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	blocks := make(chan decodedBlock, 2)
+	go func() {
+		defer close(blocks)
+		for bi := 0; bi < nBlocks; bi++ {
+			if scan.Pred != nil && !blockCouldMatch(scan, readers, bi) {
+				if st != nil {
+					st.blocksPruned.Add(1)
+				}
+				continue
 			}
-			v.Typ = scan.OutSchema[ci].Type
-			batch.Cols[ci] = v
+			start := time.Now()
+			batch := &types.Batch{Cols: make([]*types.Vector, len(scan.Cols))}
+			var decodeErr error
+			for ci, col := range scan.Cols {
+				v, err := readers[col].ReadBlock(bi)
+				if err != nil {
+					decodeErr = err
+					break
+				}
+				v.Typ = scan.OutSchema[ci].Type
+				batch.Cols[ci] = v
+			}
+			if st != nil {
+				st.addDecode(time.Since(start))
+			}
+			d := decodedBlock{blk: first.Footer().Blocks[bi], batch: batch, err: decodeErr}
+			select {
+			case blocks <- d:
+			case <-pctx.Done():
+				return
+			}
+			if decodeErr != nil {
+				return
+			}
 		}
+	}()
+
+	var out []*types.Batch
+	for d := range blocks {
+		if d.err != nil {
+			return nil, d.err
+		}
+		if st != nil {
+			st.blocksScanned.Add(1)
+			st.rowsScanned.Add(int64(d.batch.NumRows()))
+		}
+		start := time.Now()
+		batch := d.batch
 		// Delete-vector filtering.
 		if deletes.Len() > 0 {
-			live := deletes.LivePositions(blk.RowStart, batch.NumRows())
+			live := deletes.LivePositions(d.blk.RowStart, batch.NumRows())
 			if len(live) == 0 {
+				if st != nil {
+					st.addFilter(time.Since(start))
+				}
 				continue
 			}
 			if len(live) < batch.NumRows() {
@@ -219,13 +343,22 @@ func (db *DB) scanContainer(ctx context.Context, node *Node, scan *planner.Scan,
 				return nil, err
 			}
 			if len(sel) == 0 {
+				if st != nil {
+					st.addFilter(time.Since(start))
+				}
 				continue
 			}
 			if len(sel) < batch.NumRows() {
 				batch = batch.Gather(sel)
 			}
 		}
+		if st != nil {
+			st.addFilter(time.Since(start))
+		}
 		out = append(out, batch)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

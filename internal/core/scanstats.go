@@ -1,0 +1,125 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// ScanStats is a snapshot of scan-path instrumentation: what a query (or
+// the whole database, for the cumulative view) did against storage —
+// pruning effectiveness, bytes moved, cache behaviour, and where the
+// time went. Time counters are cumulative across the scan's concurrent
+// workers, so under a parallel scan they can exceed the query's wall
+// time; the ratio IO/(IO+Decode+Filter) still shows where the work is.
+type ScanStats struct {
+	// ContainersScanned / ContainersPruned count containers read vs
+	// skipped whole by catalog min/max stats (§2.1).
+	ContainersScanned int64
+	ContainersPruned  int64
+	// BlocksScanned / BlocksPruned count blocks decoded vs skipped by
+	// the position index's per-block min/max (§2.3).
+	BlocksScanned int64
+	BlocksPruned  int64
+	// RowsScanned counts rows decoded before delete/predicate filtering.
+	RowsScanned int64
+	// Fetches and BytesFetched count storage-file reads issued by the
+	// scan (through the cache or directly) and the bytes they returned.
+	Fetches      int64
+	BytesFetched int64
+	// CacheHits/CacheMisses/CoalescedFetches classify the cache reads;
+	// a coalesced fetch is a miss that joined another scan's in-flight
+	// fetch of the same path instead of issuing its own (single-flight).
+	CacheHits        int64
+	CacheMisses      int64
+	CoalescedFetches int64
+	// IOWait / Decode / Filter split the scan's working time: blocked on
+	// file reads, decoding blocks, and evaluating deletes + predicates.
+	IOWait time.Duration
+	Decode time.Duration
+	Filter time.Duration
+	// Wall is the end-to-end execution wall time of the query (only set
+	// on per-query snapshots, not on the cumulative database view).
+	Wall time.Duration
+}
+
+// Add accumulates other into s.
+func (s *ScanStats) Add(other ScanStats) {
+	s.ContainersScanned += other.ContainersScanned
+	s.ContainersPruned += other.ContainersPruned
+	s.BlocksScanned += other.BlocksScanned
+	s.BlocksPruned += other.BlocksPruned
+	s.RowsScanned += other.RowsScanned
+	s.Fetches += other.Fetches
+	s.BytesFetched += other.BytesFetched
+	s.CacheHits += other.CacheHits
+	s.CacheMisses += other.CacheMisses
+	s.CoalescedFetches += other.CoalescedFetches
+	s.IOWait += other.IOWait
+	s.Decode += other.Decode
+	s.Filter += other.Filter
+	s.Wall += other.Wall
+}
+
+// scanTally is the mutable, concurrency-safe accumulator behind
+// ScanStats. One lives per query (hung off the queryEnv and written by
+// every scan worker) and one per DB (the cumulative totals). A nil
+// *scanTally is valid and drops all records, so maintenance paths can
+// share the scan helpers without instrumentation.
+type scanTally struct {
+	containersScanned atomic.Int64
+	containersPruned  atomic.Int64
+	blocksScanned     atomic.Int64
+	blocksPruned      atomic.Int64
+	rowsScanned       atomic.Int64
+	fetches           atomic.Int64
+	bytesFetched      atomic.Int64
+	cacheHits         atomic.Int64
+	cacheMisses       atomic.Int64
+	coalescedFetches  atomic.Int64
+	ioWaitNanos       atomic.Int64
+	decodeNanos       atomic.Int64
+	filterNanos       atomic.Int64
+	wallNanos         atomic.Int64
+}
+
+func (t *scanTally) addIOWait(d time.Duration) { t.ioWaitNanos.Add(int64(d)) }
+func (t *scanTally) addDecode(d time.Duration) { t.decodeNanos.Add(int64(d)) }
+func (t *scanTally) addFilter(d time.Duration) { t.filterNanos.Add(int64(d)) }
+
+// snapshot converts the tally into a ScanStats value.
+func (t *scanTally) snapshot() ScanStats {
+	return ScanStats{
+		ContainersScanned: t.containersScanned.Load(),
+		ContainersPruned:  t.containersPruned.Load(),
+		BlocksScanned:     t.blocksScanned.Load(),
+		BlocksPruned:      t.blocksPruned.Load(),
+		RowsScanned:       t.rowsScanned.Load(),
+		Fetches:           t.fetches.Load(),
+		BytesFetched:      t.bytesFetched.Load(),
+		CacheHits:         t.cacheHits.Load(),
+		CacheMisses:       t.cacheMisses.Load(),
+		CoalescedFetches:  t.coalescedFetches.Load(),
+		IOWait:            time.Duration(t.ioWaitNanos.Load()),
+		Decode:            time.Duration(t.decodeNanos.Load()),
+		Filter:            time.Duration(t.filterNanos.Load()),
+		Wall:              time.Duration(t.wallNanos.Load()),
+	}
+}
+
+// add accumulates a per-query snapshot into the tally (the DB totals).
+func (t *scanTally) add(s ScanStats) {
+	t.containersScanned.Add(s.ContainersScanned)
+	t.containersPruned.Add(s.ContainersPruned)
+	t.blocksScanned.Add(s.BlocksScanned)
+	t.blocksPruned.Add(s.BlocksPruned)
+	t.rowsScanned.Add(s.RowsScanned)
+	t.fetches.Add(s.Fetches)
+	t.bytesFetched.Add(s.BytesFetched)
+	t.cacheHits.Add(s.CacheHits)
+	t.cacheMisses.Add(s.CacheMisses)
+	t.coalescedFetches.Add(s.CoalescedFetches)
+	t.ioWaitNanos.Add(int64(s.IOWait))
+	t.decodeNanos.Add(int64(s.Decode))
+	t.filterNanos.Add(int64(s.Filter))
+	t.wallNanos.Add(int64(s.Wall))
+}

@@ -274,7 +274,7 @@ func (db *DB) completeSubscriptions(n *Node, warmCache bool) error {
 // fetched from shared storage directly (§5.3).
 func warmFromPeer(db *DB, n *Node, peer *Node, list []string) int {
 	brk := db.peerBreakers.For(peer.name)
-	return n.cache.Warm(db.Context(), list, func(ctx context.Context, path string) ([]byte, error) {
+	warm := func(ctx context.Context, path string) ([]byte, error) {
 		if !brk.Allow() {
 			db.resilient.Counters().Fallback()
 			return db.shared.Get(ctx, path)
@@ -287,5 +287,8 @@ func warmFromPeer(db *DB, n *Node, peer *Node, list []string) int {
 			}
 		}
 		return db.shared.Get(ctx, path)
-	})
+	}
+	// Warm through the node's scan worker pool: the per-file transfers
+	// overlap, which matters when a takeover warms a large MRU list.
+	return n.cache.Warm(db.Context(), list, warm, db.scanConc())
 }

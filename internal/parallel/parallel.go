@@ -1,0 +1,78 @@
+// Package parallel provides the bounded fan-out primitive used by the
+// scan and upload hot paths: run n independent work items through a
+// fixed-size worker pool, cancel the rest on the first error, and return
+// that error. It is errgroup-shaped but passes each worker its identity,
+// so callers can keep cheap per-worker scratch state (hash buffers,
+// rings) without synchronization.
+package parallel
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(ctx, worker, idx) for every idx in [0, n) using at most
+// conc concurrent workers. Workers are numbered 0..conc-1; each index is
+// processed by exactly one worker. On the first error the shared context
+// is canceled, remaining unstarted items are skipped, and the first error
+// is returned. With conc <= 1 (or n <= 1) the items run serially on the
+// caller's goroutine in index order.
+func ForEach(ctx context.Context, n, conc int, fn func(ctx context.Context, worker, idx int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if conc > n {
+		conc = n
+	}
+	if conc <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, 0, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	wg.Add(conc)
+	for w := 0; w < conc; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				idx := int(next.Add(1)) - 1
+				if idx >= n {
+					return
+				}
+				if err := wctx.Err(); err != nil {
+					return
+				}
+				if err := fn(wctx, worker, idx); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}

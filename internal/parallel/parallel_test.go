@@ -1,0 +1,141 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	for _, conc := range []int{1, 2, 4, 16} {
+		const n = 100
+		var mu sync.Mutex
+		seen := make(map[int]int)
+		err := ForEach(context.Background(), n, conc, func(ctx context.Context, worker, idx int) error {
+			mu.Lock()
+			seen[idx]++
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("conc=%d: %v", conc, err)
+		}
+		if len(seen) != n {
+			t.Fatalf("conc=%d: covered %d of %d indices", conc, len(seen), n)
+		}
+		for idx, c := range seen {
+			if c != 1 {
+				t.Fatalf("conc=%d: index %d ran %d times", conc, idx, c)
+			}
+		}
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	called := false
+	if err := ForEach(context.Background(), 0, 8, func(ctx context.Context, worker, idx int) error {
+		called = true
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Fatal("fn called with n=0")
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const conc = 3
+	var cur, peak atomic.Int64
+	err := ForEach(context.Background(), 50, conc, func(ctx context.Context, worker, idx int) error {
+		v := cur.Add(1)
+		for {
+			p := peak.Load()
+			if v <= p || peak.CompareAndSwap(p, v) {
+				break
+			}
+		}
+		time.Sleep(200 * time.Microsecond)
+		cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > conc {
+		t.Fatalf("peak concurrency %d exceeds limit %d", p, conc)
+	}
+}
+
+func TestForEachWorkerIDsWithinPool(t *testing.T) {
+	const conc = 4
+	var mu sync.Mutex
+	workers := map[int]bool{}
+	err := ForEach(context.Background(), 64, conc, func(ctx context.Context, worker, idx int) error {
+		mu.Lock()
+		workers[worker] = true
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := range workers {
+		if w < 0 || w >= conc {
+			t.Fatalf("worker id %d outside [0,%d)", w, conc)
+		}
+	}
+}
+
+func TestForEachFirstErrorCancelsRest(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	err := ForEach(context.Background(), 1000, 4, func(ctx context.Context, worker, idx int) error {
+		ran.Add(1)
+		if idx == 5 {
+			return boom
+		}
+		time.Sleep(100 * time.Microsecond)
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if r := ran.Load(); r >= 1000 {
+		t.Fatalf("error did not stop the pool: %d items ran", r)
+	}
+}
+
+func TestForEachSerialStopsOnError(t *testing.T) {
+	boom := errors.New("boom")
+	var ran int
+	err := ForEach(context.Background(), 10, 1, func(ctx context.Context, worker, idx int) error {
+		ran++
+		if idx == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if ran != 4 {
+		t.Fatalf("ran %d items after error at index 3", ran)
+	}
+}
+
+func TestForEachHonorsCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := ForEach(ctx, 100, 4, func(ctx context.Context, worker, idx int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

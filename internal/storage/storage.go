@@ -11,6 +11,7 @@ import (
 
 	"eon/internal/catalog"
 	"eon/internal/cluster"
+	"eon/internal/parallel"
 	"eon/internal/rosfile"
 	"eon/internal/types"
 )
@@ -165,21 +166,16 @@ type FetchFunc func(ctx context.Context, path string) ([]byte, error)
 // OpenColumns returns a rosfile reader per requested column of the
 // container. Columns may live in per-column files, a bundle, or a mix
 // (side files appear when ALTER TABLE ADD COLUMN extends a bundled
-// container).
-func OpenColumns(ctx context.Context, sc *catalog.StorageContainer, cols []string, fetch FetchFunc) (map[string]*rosfile.Reader, error) {
-	out := make(map[string]*rosfile.Reader, len(cols))
+// container). The per-column file fetches (plus the bundle fetch, when
+// one is needed) fan out across at most concurrency concurrent requests,
+// hiding shared-storage latency on cold scans; concurrency <= 1 fetches
+// serially.
+func OpenColumns(ctx context.Context, sc *catalog.StorageContainer, cols []string, fetch FetchFunc, concurrency int) (map[string]*rosfile.Reader, error) {
+	var perFile []string // column names with their own files, in cols order
 	var fromBundle []string
 	for _, c := range cols {
-		if ref, ok := sc.Files[c]; ok {
-			data, err := fetch(ctx, ref.Path)
-			if err != nil {
-				return nil, fmt.Errorf("storage: fetch %s: %w", ref.Path, err)
-			}
-			r, err := rosfile.NewReader(data)
-			if err != nil {
-				return nil, err
-			}
-			out[c] = r
+		if _, ok := sc.Files[c]; ok {
+			perFile = append(perFile, c)
 			continue
 		}
 		if sc.Bundle.Path == "" {
@@ -187,31 +183,63 @@ func OpenColumns(ctx context.Context, sc *catalog.StorageContainer, cols []strin
 		}
 		fromBundle = append(fromBundle, c)
 	}
+
+	// One fetch job per column file, plus one for the bundle if needed.
+	jobs := len(perFile)
 	if len(fromBundle) > 0 {
-		data, err := fetch(ctx, sc.Bundle.Path)
-		if err != nil {
-			return nil, fmt.Errorf("storage: fetch bundle %s: %w", sc.Bundle.Path, err)
+		jobs++
+	}
+	readers := make([]*rosfile.Reader, len(perFile))
+	var bundle *rosfile.Bundle
+	err := parallel.ForEach(ctx, jobs, concurrency, func(ctx context.Context, _, i int) error {
+		if i == len(perFile) { // the bundle job
+			data, err := fetch(ctx, sc.Bundle.Path)
+			if err != nil {
+				return fmt.Errorf("storage: fetch bundle %s: %w", sc.Bundle.Path, err)
+			}
+			b, err := rosfile.OpenBundle(data)
+			if err != nil {
+				return err
+			}
+			bundle = b
+			return nil
 		}
-		bundle, err := rosfile.OpenBundle(data)
+		ref := sc.Files[perFile[i]]
+		data, err := fetch(ctx, ref.Path)
+		if err != nil {
+			return fmt.Errorf("storage: fetch %s: %w", ref.Path, err)
+		}
+		r, err := rosfile.NewReader(data)
+		if err != nil {
+			return err
+		}
+		readers[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := make(map[string]*rosfile.Reader, len(cols))
+	for i, c := range perFile {
+		out[c] = readers[i]
+	}
+	for _, c := range fromBundle {
+		r, err := bundle.Open(c)
 		if err != nil {
 			return nil, err
 		}
-		for _, c := range fromBundle {
-			r, err := bundle.Open(c)
-			if err != nil {
-				return nil, err
-			}
-			out[c] = r
-		}
+		out[c] = r
 	}
 	return out, nil
 }
 
 // ReadColumns materializes whole columns of a container as a batch in the
-// given column order.
-func ReadColumns(ctx context.Context, sc *catalog.StorageContainer, schema types.Schema, fetch FetchFunc) (*types.Batch, error) {
+// given column order, fetching column files with at most concurrency
+// concurrent requests.
+func ReadColumns(ctx context.Context, sc *catalog.StorageContainer, schema types.Schema, fetch FetchFunc, concurrency int) (*types.Batch, error) {
 	names := schema.Names()
-	readers, err := OpenColumns(ctx, sc, names, fetch)
+	readers, err := OpenColumns(ctx, sc, names, fetch, concurrency)
 	if err != nil {
 		return nil, err
 	}

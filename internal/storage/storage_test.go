@@ -88,7 +88,7 @@ func TestBuildContainerSortsAndStats(t *testing.T) {
 	fetch := func(ctx context.Context, path string) ([]byte, error) {
 		return built.Files[path], nil
 	}
-	b, err := ReadColumns(context.Background(), built.Meta, s, fetch)
+	b, err := ReadColumns(context.Background(), built.Meta, s, fetch, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +120,7 @@ func TestBuildContainerBundlesSmall(t *testing.T) {
 	fetch := func(ctx context.Context, path string) ([]byte, error) {
 		return built.Files[path], nil
 	}
-	b, err := ReadColumns(context.Background(), built.Meta, s, fetch)
+	b, err := ReadColumns(context.Background(), built.Meta, s, fetch, 2)
 	if err != nil || b.NumRows() != 3 {
 		t.Fatalf("bundle read: %v", err)
 	}
@@ -151,11 +151,11 @@ func TestOpenColumnsSubset(t *testing.T) {
 	fetch := func(ctx context.Context, path string) ([]byte, error) {
 		return built.Files[path], nil
 	}
-	readers, err := OpenColumns(context.Background(), built.Meta, []string{"amount"}, fetch)
+	readers, err := OpenColumns(context.Background(), built.Meta, []string{"amount"}, fetch, 2)
 	if err != nil || len(readers) != 1 {
 		t.Fatalf("open subset: %v", err)
 	}
-	if _, err := OpenColumns(context.Background(), built.Meta, []string{"bogus"}, fetch); err == nil {
+	if _, err := OpenColumns(context.Background(), built.Meta, []string{"bogus"}, fetch, 2); err == nil {
 		t.Error("unknown column should fail")
 	}
 }

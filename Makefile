@@ -30,13 +30,19 @@ chaos:
 
 # Fig-10 plus the ScanConcurrency sweep (cold/warm caches), with
 # allocation stats; the raw `go test -json` event stream is kept in
-# BENCH_scan.json for later comparison.
+# BENCH_scan.json for later comparison. The vectorized-vs-row kernel
+# comparison runs separately into BENCH_query.json.
 bench:
 	$(GO) test -json -bench 'BenchmarkFig10_TPCH|BenchmarkScanParallelism' -benchmem -benchtime=1x -run '^$$' . > BENCH_scan.json
 	@grep -oE '"Output":"[^"]*"' BENCH_scan.json \
 		| sed 's/"Output":"//; s/"$$//; s/\\t/ /g; s/\\n//' \
 		| awk '/^Benchmark/ && !/ns\/op/ {name=$$1; next} /ns\/op/ {if ($$0 ~ /^Benchmark/) print; else printf "%s %s\n", name, $$0}'
 	@echo "wrote BENCH_scan.json"
+	$(GO) test -json -bench 'BenchmarkQueryKernels' -benchmem -benchtime=10x -run '^$$' . > BENCH_query.json
+	@grep -oE '"Output":"[^"]*"' BENCH_query.json \
+		| sed 's/"Output":"//; s/"$$//; s/\\t/ /g; s/\\n//' \
+		| awk '/^Benchmark/ && !/ns\/op/ {name=$$1; next} /ns\/op/ {if ($$0 ~ /^Benchmark/) print; else printf "%s %s\n", name, $$0}'
+	@echo "wrote BENCH_query.json"
 
 # Every benchmark in the repository (figures + ablations).
 bench-all:

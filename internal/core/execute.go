@@ -40,7 +40,7 @@ func (db *DB) execScan(env *queryEnv, scan *planner.Scan) (*distResult, error) {
 		// Replicated projections are read once — preferentially on the
 		// initiator, which always subscribes to the replica shard.
 		node := env.initiator
-		batches, err := db.scanFragment(env.ctx, node, scan, []scanTask{{Shard: catalog.ReplicaShard, Of: 1}}, env.version, bypass, CrunchOff, env.stats)
+		batches, err := db.scanFragment(env.ctx, node, scan, []scanTask{{Shard: catalog.ReplicaShard, Of: 1}}, env.version, bypass, CrunchOff, env.session.RowEngine, env.stats)
 		if err != nil {
 			return nil, err
 		}
@@ -62,7 +62,7 @@ func (db *DB) execScan(env *queryEnv, scan *planner.Scan) (*distResult, error) {
 		if !ok || !n.Up() {
 			return nil, fmt.Errorf("%w: %s", errNodeDown, name)
 		}
-		return db.scanFragment(env.ctx, n, scan, env.nodeTasks(name), env.version, bypass, env.session.Crunch, env.stats)
+		return db.scanFragment(env.ctx, n, scan, env.nodeTasks(name), env.version, bypass, env.session.Crunch, env.session.RowEngine, env.stats)
 	})
 	if err != nil {
 		return nil, err
@@ -77,6 +77,7 @@ func (db *DB) execFilter(env *queryEnv, f *planner.Filter) (*distResult, error) 
 	}
 	apply := func(batches []*types.Batch) ([]*types.Batch, error) {
 		op := exec.NewFilter(exec.NewSource(f.Schema(), batches...), f.Pred)
+		op.Eng = env.eng()
 		out, err := exec.Collect(op)
 		if err != nil {
 			return nil, err
@@ -106,6 +107,7 @@ func (db *DB) execProject(env *queryEnv, p *planner.Project) (*distResult, error
 	}
 	apply := func(batches []*types.Batch) ([]*types.Batch, error) {
 		op := exec.NewProject(exec.NewSource(p.Input.Schema(), batches...), p.Exprs, p.Names)
+		op.Eng = env.eng()
 		out, err := exec.Collect(op)
 		if err != nil {
 			return nil, err
@@ -143,9 +145,12 @@ func (db *DB) execJoin(env *queryEnv, j *planner.Join) (*distResult, error) {
 			exec.NewSource(j.Left.Schema(), lb...),
 			exec.NewSource(j.Right.Schema(), rb...),
 			j.LeftKeys, j.RightKeys)
+		op.Eng = env.eng()
 		var post exec.Operator = op
 		if j.ResidualPred != nil {
-			post = exec.NewFilter(op, j.ResidualPred)
+			f := exec.NewFilter(op, j.ResidualPred)
+			f.Eng = env.eng()
+			post = f
 		}
 		out, err := exec.Collect(post)
 		if err != nil {
@@ -324,6 +329,7 @@ func (db *DB) execAggregate(env *queryEnv, a *planner.Aggregate) (*distResult, e
 
 	finalOver := func(batches []*types.Batch, partial bool) (*types.Batch, error) {
 		op := exec.NewHashAggregate(exec.NewSource(inSchema, batches...), a.Keys, a.KeyNames, a.Aggs, partial)
+		op.Eng = env.eng()
 		return exec.Collect(op)
 	}
 
@@ -369,6 +375,7 @@ func (db *DB) execAggregate(env *queryEnv, a *planner.Aggregate) (*distResult, e
 		partialSchema = partialOp.Schema()
 		if err := db.runPerNode(env, in, func(name string, bs []*types.Batch) ([]*types.Batch, error) {
 			op := exec.NewHashAggregate(exec.NewSource(inSchema, bs...), a.Keys, a.KeyNames, a.Aggs, true)
+			op.Eng = env.eng()
 			out, err := exec.Collect(op)
 			if err != nil {
 				return nil, err
@@ -388,6 +395,7 @@ func (db *DB) execAggregate(env *queryEnv, a *planner.Aggregate) (*distResult, e
 			return nil, err
 		}
 		op := exec.NewHashAggregate(exec.NewSource(partialSchema, gathered), mergeKeys, a.KeyNames, mergeAggs, false)
+		op.Eng = env.eng()
 		out, err := exec.Collect(op)
 		if err != nil {
 			return nil, err
@@ -445,7 +453,11 @@ func (db *DB) execDistinct(env *queryEnv, d *planner.DistinctNode) (*distResult,
 		return nil, err
 	}
 	if in.gathered() {
-		in.single = distinctBatch(in.single)
+		out, err := distinctBatch(in.single, env.eng())
+		if err != nil {
+			return nil, err
+		}
+		in.single = out
 		return in, nil
 	}
 	// Local dedupe per node; the global pass happens at gather unless the
@@ -454,6 +466,7 @@ func (db *DB) execDistinct(env *queryEnv, d *planner.DistinctNode) (*distResult,
 	// distinct+count in that case).
 	if err := db.runPerNode(env, in, func(name string, bs []*types.Batch) ([]*types.Batch, error) {
 		op := exec.NewDistinct(exec.NewSource(in.schema, bs...))
+		op.Eng = env.eng()
 		out, err := exec.Collect(op)
 		if err != nil {
 			return nil, err
@@ -466,20 +479,17 @@ func (db *DB) execDistinct(env *queryEnv, d *planner.DistinctNode) (*distResult,
 	return in, nil
 }
 
-func distinctBatch(b *types.Batch) *types.Batch {
+func distinctBatch(b *types.Batch, eng exec.Engine) (*types.Batch, error) {
 	if b == nil {
-		return nil
+		return nil, nil
 	}
 	schema := make(types.Schema, len(b.Cols))
 	for i, c := range b.Cols {
 		schema[i] = types.Column{Name: fmt.Sprintf("c%d", i), Type: c.Typ}
 	}
 	op := exec.NewDistinct(exec.NewSource(schema, b))
-	out, err := exec.Collect(op)
-	if err != nil {
-		return b
-	}
-	return out
+	op.Eng = eng
+	return exec.Collect(op)
 }
 
 func (db *DB) execSort(env *queryEnv, s *planner.Sort) (*distResult, error) {

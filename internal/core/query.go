@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"eon/internal/catalog"
+	"eon/internal/exec"
 	"eon/internal/flowassign"
 	"eon/internal/planner"
 	"eon/internal/sql"
@@ -49,6 +50,11 @@ type Session struct {
 	BypassCache bool
 	// Crunch enables crunch scaling (§4.4).
 	Crunch CrunchMode
+	// RowEngine disables the vectorized expression kernels and runs
+	// scans and operators row-at-a-time (the reference engine). Both
+	// engines produce byte-identical results; the flag exists for
+	// differential testing and benchmarking.
+	RowEngine bool
 	// Timeout bounds each query: the deadline context threads through
 	// scans into shared-storage requests, so a query stuck behind a slow
 	// or failing store cancels promptly instead of retrying forever
@@ -125,6 +131,13 @@ type queryEnv struct {
 	// stats accumulates the query's scan instrumentation across all
 	// participating nodes' workers (nil on paths without instrumentation).
 	stats *scanTally
+}
+
+// eng is the execution-engine selector handed to every exec operator
+// this query builds: the session's row/vectorized choice plus the
+// query's vectorized-row counters.
+func (env *queryEnv) eng() exec.Engine {
+	return exec.Engine{Row: env.session.RowEngine, Stats: env.stats.vecStats()}
 }
 
 // nodeTasks returns the scan tasks a node serves, in shard order.
@@ -526,7 +539,11 @@ func (db *DB) gather(env *queryEnv, res *distResult) (*types.Batch, error) {
 		}
 	}
 	if res.needGlobalDistinct {
-		out = distinctBatch(out)
+		var err error
+		out, err = distinctBatch(out, env.eng())
+		if err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }

@@ -37,7 +37,7 @@ type containerWork struct {
 // deterministic regardless of concurrency: results are reassembled in
 // (task, container) order, exactly the order the serial pipeline
 // produces.
-func (db *DB) scanFragment(ctx context.Context, node *Node, scan *planner.Scan, tasks []scanTask, version uint64, bypassCache bool, mode CrunchMode, st *scanTally) ([]*types.Batch, error) {
+func (db *DB) scanFragment(ctx context.Context, node *Node, scan *planner.Scan, tasks []scanTask, version uint64, bypassCache bool, mode CrunchMode, rowEngine bool, st *scanTally) ([]*types.Batch, error) {
 	snap := node.catalog.Snapshot()
 	if snap.Version() < version {
 		return nil, fmt.Errorf("core: node %s catalog at v%d behind query v%d", node.name, snap.Version(), version)
@@ -94,7 +94,7 @@ func (db *DB) scanFragment(ctx context.Context, node *Node, scan *planner.Scan, 
 	filters := make([]hashFilterState, conc)
 	err := parallel.ForEach(ctx, len(work), conc, func(ctx context.Context, worker, i int) error {
 		w := work[i]
-		batches, err := db.scanContainer(ctx, node, scan, snap, w.sc, bypassCache, st)
+		batches, err := db.scanContainer(ctx, node, scan, snap, w.sc, bypassCache, rowEngine, st)
 		if err != nil {
 			return err
 		}
@@ -122,7 +122,7 @@ func (db *DB) scanFragment(ctx context.Context, node *Node, scan *planner.Scan, 
 			if wb == nil || wb.NumRows() == 0 {
 				continue
 			}
-			b, err := db.filterWOSRows(node, scan, wb, shards)
+			b, err := db.filterWOSRows(node, scan, wb, shards, rowEngine, st)
 			if err != nil {
 				return nil, err
 			}
@@ -216,7 +216,7 @@ type decodedBlock struct {
 // and delete vectors are fetched with a bounded concurrent fan-out, and
 // block decode is pipelined with filtering: block i+1 decodes while the
 // delete-vector and predicate evaluation of block i runs.
-func (db *DB) scanContainer(ctx context.Context, node *Node, scan *planner.Scan, snap *catalog.Snapshot, sc *catalog.StorageContainer, bypassCache bool, st *scanTally) ([]*types.Batch, error) {
+func (db *DB) scanContainer(ctx context.Context, node *Node, scan *planner.Scan, snap *catalog.Snapshot, sc *catalog.StorageContainer, bypassCache, rowEngine bool, st *scanTally) ([]*types.Batch, error) {
 	// Container-level pruning from catalog stats — no file access
 	// needed (§2.1).
 	if scan.Pred != nil && !expr.CouldMatch(scan.Pred, containerStats(scan, sc)) {
@@ -322,45 +322,82 @@ func (db *DB) scanContainer(ctx context.Context, node *Node, scan *planner.Scan,
 			st.rowsScanned.Add(int64(d.batch.NumRows()))
 		}
 		start := time.Now()
-		batch := d.batch
-		// Delete-vector filtering.
+		batch, err := filterScanBatch(scan, deletes, d, rowEngine, st)
+		if st != nil {
+			st.addFilter(time.Since(start))
+		}
+		if err != nil {
+			return nil, err
+		}
+		if batch != nil {
+			out = append(out, batch)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// filterScanBatch applies delete-vector and predicate filtering to one
+// decoded block. On the vectorized engine the delete vector's live
+// positions feed the predicate kernels as the initial selection vector,
+// so the surviving rows are materialized with a single Gather at the
+// end; the row engine gathers after each stage (the reference path).
+// Returns a nil batch when no rows survive.
+func filterScanBatch(scan *planner.Scan, deletes *storage.DeleteSet, d decodedBlock, rowEngine bool, st *scanTally) (*types.Batch, error) {
+	batch := d.batch
+	if rowEngine {
 		if deletes.Len() > 0 {
 			live := deletes.LivePositions(d.blk.RowStart, batch.NumRows())
 			if len(live) == 0 {
-				if st != nil {
-					st.addFilter(time.Since(start))
-				}
-				continue
+				return nil, nil
 			}
 			if len(live) < batch.NumRows() {
 				batch = batch.Gather(live)
 			}
 		}
-		// Predicate evaluation.
 		if scan.Pred != nil {
 			sel, err := expr.FilterBatch(scan.Pred, batch)
 			if err != nil {
 				return nil, err
 			}
 			if len(sel) == 0 {
-				if st != nil {
-					st.addFilter(time.Since(start))
-				}
-				continue
+				return nil, nil
 			}
 			if len(sel) < batch.NumRows() {
 				batch = batch.Gather(sel)
 			}
 		}
-		if st != nil {
-			st.addFilter(time.Since(start))
+		return batch, nil
+	}
+	// sel == nil means every row is selected; hasSel distinguishes a real
+	// (possibly shorter) selection that still needs gathering.
+	var sel []int
+	hasSel := false
+	if deletes.Len() > 0 {
+		live := deletes.LivePositions(d.blk.RowStart, batch.NumRows())
+		if len(live) == 0 {
+			return nil, nil
 		}
-		out = append(out, batch)
+		if len(live) < batch.NumRows() {
+			sel, hasSel = live, true
+		}
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
+	if scan.Pred != nil {
+		s, err := expr.FilterVec(scan.Pred, batch, sel, st.vecStats())
+		if err != nil {
+			return nil, err
+		}
+		if len(s) == 0 {
+			return nil, nil
+		}
+		sel, hasSel = s, len(s) < batch.NumRows()
 	}
-	return out, nil
+	if hasSel {
+		batch = batch.Gather(sel)
+	}
+	return batch, nil
 }
 
 // blockCouldMatch applies min/max pruning using the footers of every
@@ -388,7 +425,7 @@ func blockCouldMatch(scan *planner.Scan, readers map[string]*rosfile.Reader, bi 
 
 // filterWOSRows projects WOS rows to the scan's columns, restricts them
 // to the node's shards, and applies the predicate.
-func (db *DB) filterWOSRows(node *Node, scan *planner.Scan, wb *types.Batch, shards []int) (*types.Batch, error) {
+func (db *DB) filterWOSRows(node *Node, scan *planner.Scan, wb *types.Batch, shards []int, rowEngine bool, st *scanTally) (*types.Batch, error) {
 	projSchema := make(types.Schema, len(scan.Proj.Columns))
 	// WOS batches are stored in projection column order.
 	for i, c := range scan.Proj.Columns {
@@ -408,7 +445,13 @@ func (db *DB) filterWOSRows(node *Node, scan *planner.Scan, wb *types.Batch, sha
 	// node owns, so no further shard filtering is needed.
 	_ = shards
 	if scan.Pred != nil {
-		idx, err := expr.FilterBatch(scan.Pred, sel)
+		var idx []int
+		var err error
+		if rowEngine {
+			idx, err = expr.FilterBatch(scan.Pred, sel)
+		} else {
+			idx, err = expr.FilterVec(scan.Pred, sel, nil, st.vecStats())
+		}
 		if err != nil {
 			return nil, err
 		}

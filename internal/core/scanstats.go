@@ -3,6 +3,8 @@ package core
 import (
 	"sync/atomic"
 	"time"
+
+	"eon/internal/expr"
 )
 
 // ScanStats is a snapshot of scan-path instrumentation: what a query (or
@@ -32,6 +34,14 @@ type ScanStats struct {
 	CacheHits        int64
 	CacheMisses      int64
 	CoalescedFetches int64
+	// RowsVectorized / RowsFallback split expression evaluation between
+	// the typed batch kernels and the per-row fallback: RowsVectorized
+	// counts rows entering a vectorized evaluation (scan predicates and
+	// operator expressions alike) and RowsFallback counts rows that had
+	// to be re-evaluated row-at-a-time because an expression node had no
+	// kernel. RowsFallback == 0 means full kernel coverage.
+	RowsVectorized int64
+	RowsFallback   int64
 	// IOWait / Decode / Filter split the scan's working time: blocked on
 	// file reads, decoding blocks, and evaluating deletes + predicates.
 	IOWait time.Duration
@@ -54,6 +64,8 @@ func (s *ScanStats) Add(other ScanStats) {
 	s.CacheHits += other.CacheHits
 	s.CacheMisses += other.CacheMisses
 	s.CoalescedFetches += other.CoalescedFetches
+	s.RowsVectorized += other.RowsVectorized
+	s.RowsFallback += other.RowsFallback
 	s.IOWait += other.IOWait
 	s.Decode += other.Decode
 	s.Filter += other.Filter
@@ -66,6 +78,10 @@ func (s *ScanStats) Add(other ScanStats) {
 // *scanTally is valid and drops all records, so maintenance paths can
 // share the scan helpers without instrumentation.
 type scanTally struct {
+	// vec holds the vectorized/fallback row counters; expression
+	// evaluation writes it directly (it is handed to EvalVec/FilterVec).
+	vec expr.VecStats
+
 	containersScanned atomic.Int64
 	containersPruned  atomic.Int64
 	blocksScanned     atomic.Int64
@@ -80,6 +96,15 @@ type scanTally struct {
 	decodeNanos       atomic.Int64
 	filterNanos       atomic.Int64
 	wallNanos         atomic.Int64
+}
+
+// vecStats exposes the vectorized-row counters for handing to
+// expr.EvalVec/FilterVec. Nil-safe (a nil *expr.VecStats drops counts).
+func (t *scanTally) vecStats() *expr.VecStats {
+	if t == nil {
+		return nil
+	}
+	return &t.vec
 }
 
 func (t *scanTally) addIOWait(d time.Duration) { t.ioWaitNanos.Add(int64(d)) }
@@ -99,6 +124,8 @@ func (t *scanTally) snapshot() ScanStats {
 		CacheHits:         t.cacheHits.Load(),
 		CacheMisses:       t.cacheMisses.Load(),
 		CoalescedFetches:  t.coalescedFetches.Load(),
+		RowsVectorized:    t.vec.Vectorized.Load(),
+		RowsFallback:      t.vec.Fallback.Load(),
 		IOWait:            time.Duration(t.ioWaitNanos.Load()),
 		Decode:            time.Duration(t.decodeNanos.Load()),
 		Filter:            time.Duration(t.filterNanos.Load()),
@@ -118,6 +145,8 @@ func (t *scanTally) add(s ScanStats) {
 	t.cacheHits.Add(s.CacheHits)
 	t.cacheMisses.Add(s.CacheMisses)
 	t.coalescedFetches.Add(s.CoalescedFetches)
+	t.vec.Vectorized.Add(s.RowsVectorized)
+	t.vec.Fallback.Add(s.RowsFallback)
 	t.ioWaitNanos.Add(int64(s.IOWait))
 	t.decodeNanos.Add(int64(s.Decode))
 	t.filterNanos.Add(int64(s.Filter))

@@ -12,6 +12,7 @@ import (
 	"encoding/binary"
 	"math"
 
+	"eon/internal/expr"
 	"eon/internal/types"
 )
 
@@ -20,6 +21,49 @@ import (
 type Operator interface {
 	Schema() types.Schema
 	Next() (*types.Batch, error)
+}
+
+// Engine selects an operator's evaluation strategy. The zero value is
+// the vectorized engine (typed kernels over selection vectors); Row
+// forces the original row-at-a-time path (EvalBatch/FilterBatch), kept
+// for differential testing and benchmarking. Stats, when set, receives
+// the vectorized/fallback row counters from expression evaluation.
+type Engine struct {
+	Row   bool
+	Stats *expr.VecStats
+}
+
+// selOperator is implemented by operators that can hand their output to
+// a downstream consumer as an un-gathered batch plus a selection vector
+// (nil = every row), deferring or eliminating the copy. Consumers use
+// pullSel, which degrades to Next for plain operators.
+type selOperator interface {
+	nextSel() (*types.Batch, []int, error)
+}
+
+// pullSel pulls the next batch from op in (batch, selection) form.
+func pullSel(op Operator) (*types.Batch, []int, error) {
+	if so, ok := op.(selOperator); ok {
+		return so.nextSel()
+	}
+	b, err := op.Next()
+	return b, nil, err
+}
+
+// selRow maps a dense position to a batch row index.
+func selRow(sel []int, j int) int {
+	if sel == nil {
+		return j
+	}
+	return sel[j]
+}
+
+// selLen returns the number of rows a selection covers.
+func selLen(b *types.Batch, sel []int) int {
+	if sel == nil {
+		return b.NumRows()
+	}
+	return len(sel)
 }
 
 // Source replays a fixed list of batches (used for materialized inputs,
@@ -163,6 +207,10 @@ type Distinct struct {
 	input Operator
 	seen  map[string]struct{}
 	done  bool
+	Eng   Engine
+
+	seenInt  map[int64]struct{} // typed path: single Int64-physical column
+	seenNull bool
 }
 
 // NewDistinct wraps input with duplicate elimination.
@@ -178,6 +226,65 @@ func (d *Distinct) Next() (*types.Batch, error) {
 	if d.done {
 		return nil, nil
 	}
+	if d.Eng.Row {
+		return d.nextRow()
+	}
+	schema := d.input.Schema()
+	intKey := len(schema) == 1 && schema[0].Type.Physical() == types.Int64
+	if intKey && d.seenInt == nil {
+		d.seenInt = map[int64]struct{}{}
+	}
+	allCols := make([]int, len(schema))
+	for i := range allCols {
+		allCols[i] = i
+	}
+	var key []byte
+	for {
+		b, sel, err := pullSel(d.input)
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			d.done = true
+			return nil, nil
+		}
+		m := selLen(b, sel)
+		var keep []int
+		if intKey {
+			col := b.Cols[0]
+			for j := 0; j < m; j++ {
+				i := selRow(sel, j)
+				if col.IsNull(i) {
+					if !d.seenNull {
+						d.seenNull = true
+						keep = append(keep, i)
+					}
+					continue
+				}
+				v := col.Ints[i]
+				if _, ok := d.seenInt[v]; !ok {
+					d.seenInt[v] = struct{}{}
+					keep = append(keep, i)
+				}
+			}
+		} else {
+			for j := 0; j < m; j++ {
+				i := selRow(sel, j)
+				key = rowKey(key, b, i, allCols)
+				if _, ok := d.seen[string(key)]; !ok {
+					d.seen[string(key)] = struct{}{}
+					keep = append(keep, i)
+				}
+			}
+		}
+		if len(keep) > 0 {
+			return b.Gather(keep), nil
+		}
+	}
+}
+
+// nextRow is the original row-engine path.
+func (d *Distinct) nextRow() (*types.Batch, error) {
 	allCols := make([]int, len(d.input.Schema()))
 	for i := range allCols {
 		allCols[i] = i

@@ -71,6 +71,7 @@ type HashAggregate struct {
 	aggs    []AggDef
 	partial bool
 	schema  types.Schema
+	Eng     Engine
 
 	done bool
 }
@@ -84,11 +85,9 @@ func NewHashAggregate(input Operator, keys []expr.Expr, keyNames []string, aggs 
 	}
 	for _, a := range aggs {
 		if partial && a.Kind == AggAvg {
-			ft := types.Float64
-			if a.Arg.Type().Physical() == types.Int64 {
-				ft = types.Float64
-			}
-			schema = append(schema, types.Column{Name: a.Name, Type: ft})
+			// The partial AVG sum column is always Float64 (avgSum
+			// accumulates in float regardless of the argument type).
+			schema = append(schema, types.Column{Name: a.Name, Type: types.Float64})
 			schema = append(schema, types.Column{Name: a.Name + "_cnt", Type: types.Int64})
 			continue
 		}
@@ -106,14 +105,245 @@ func (h *HashAggregate) Next() (*types.Batch, error) {
 		return nil, nil
 	}
 	h.done = true
+	if h.Eng.Row {
+		return h.nextRow()
+	}
+	return h.nextVec()
+}
 
+// nextVec is the vectorized aggregation path: key and argument
+// expressions evaluate densely over the upstream selection, group
+// indexes resolve through typed maps where the key shape allows, and
+// accumulation runs column-at-a-time per aggregate. Group output order
+// (first-seen) is identical to the row path.
+func (h *HashAggregate) nextVec() (*types.Batch, error) {
+	var keyRows []types.Row
+	var states [][]aggState
+	var keyBuf []byte
+
+	singleInt := len(h.keys) == 1 && h.keys[0].Type().Physical() == types.Int64
+	singleStr := len(h.keys) == 1 && h.keys[0].Type().Physical() == types.Varchar
+	var intGroups map[int64]int
+	var strGroups map[string]int
+	var groups map[string]int
+	nullGroup := -1
+	switch {
+	case singleInt:
+		intGroups = map[int64]int{}
+	case singleStr:
+		strGroups = map[string]int{}
+	default:
+		groups = map[string]int{}
+	}
+	allKeyCols := make([]int, len(h.keys))
+	for i := range allKeyCols {
+		allKeyCols[i] = i
+	}
+
+	for {
+		b, sel, err := pullSel(h.input)
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		m := selLen(b, sel)
+		if m == 0 {
+			continue
+		}
+		keyVals := make([]*types.Vector, len(h.keys))
+		for i, k := range h.keys {
+			v, err := expr.EvalVec(k, b, sel, h.Eng.Stats)
+			if err != nil {
+				return nil, err
+			}
+			keyVals[i] = v
+		}
+		argVals := make([]*types.Vector, len(h.aggs))
+		cntVals := make([]*types.Vector, len(h.aggs))
+		for i, a := range h.aggs {
+			if a.Arg != nil {
+				v, err := expr.EvalVec(a.Arg, b, sel, h.Eng.Stats)
+				if err != nil {
+					return nil, err
+				}
+				argVals[i] = v
+			}
+			if a.ArgCount != nil {
+				v, err := expr.EvalVec(a.ArgCount, b, sel, h.Eng.Stats)
+				if err != nil {
+					return nil, err
+				}
+				cntVals[i] = v
+			}
+		}
+		keyBatch := &types.Batch{Cols: keyVals}
+
+		// Resolve every row's group index for this batch.
+		gis := make([]int, m)
+		newGroup := func(j int) int {
+			gi := len(keyRows)
+			if len(h.keys) > 0 {
+				keyRows = append(keyRows, keyBatch.Row(j))
+			} else {
+				keyRows = append(keyRows, nil)
+			}
+			states = append(states, make([]aggState, len(h.aggs)))
+			return gi
+		}
+		switch {
+		case len(h.keys) == 0:
+			if len(states) == 0 {
+				newGroup(0)
+			}
+			// gis are all zero already.
+		case singleInt:
+			kv := keyVals[0]
+			ints := kv.Ints
+			for j := 0; j < m; j++ {
+				if kv.IsNull(j) {
+					if nullGroup < 0 {
+						nullGroup = newGroup(j)
+					}
+					gis[j] = nullGroup
+					continue
+				}
+				gi, ok := intGroups[ints[j]]
+				if !ok {
+					gi = newGroup(j)
+					intGroups[ints[j]] = gi
+				}
+				gis[j] = gi
+			}
+		case singleStr:
+			kv := keyVals[0]
+			strs := kv.Strs
+			for j := 0; j < m; j++ {
+				if kv.IsNull(j) {
+					if nullGroup < 0 {
+						nullGroup = newGroup(j)
+					}
+					gis[j] = nullGroup
+					continue
+				}
+				gi, ok := strGroups[strs[j]]
+				if !ok {
+					gi = newGroup(j)
+					strGroups[strs[j]] = gi
+				}
+				gis[j] = gi
+			}
+		default:
+			for j := 0; j < m; j++ {
+				keyBuf = rowKey(keyBuf, keyBatch, j, allKeyCols)
+				gi, ok := groups[string(keyBuf)]
+				if !ok {
+					gi = newGroup(j)
+					groups[string(keyBuf)] = gi
+				}
+				gis[j] = gi
+			}
+		}
+
+		// Columnar accumulation: one pass per aggregate over the batch,
+		// with typed fast paths for the count/sum/avg family.
+		for ai := range h.aggs {
+			a := h.aggs[ai]
+			argv, cntv := argVals[ai], cntVals[ai]
+			switch a.Kind {
+			case AggCountStar:
+				for _, gi := range gis {
+					states[gi][ai].count++
+				}
+			case AggCount:
+				for j, gi := range gis {
+					if !argv.IsNull(j) {
+						states[gi][ai].count++
+					}
+				}
+			case AggSum, AggAvg:
+				if argv.Typ.Physical() == types.Float64 {
+					fs := argv.Floats
+					for j, gi := range gis {
+						if argv.IsNull(j) {
+							continue
+						}
+						st := &states[gi][ai]
+						st.count++
+						st.sumF += fs[j]
+						st.init = true
+					}
+				} else {
+					is := argv.Ints // nil for non-numeric args, which sum as 0
+					for j, gi := range gis {
+						if argv.IsNull(j) {
+							continue
+						}
+						var v int64
+						if is != nil {
+							v = is[j]
+						}
+						st := &states[gi][ai]
+						st.count++
+						st.sumI += v
+						st.sumF += float64(v)
+						st.init = true
+					}
+				}
+			default:
+				// Min/Max and the merge kinds keep the Datum-based
+				// update, whose semantics are shared with the row path.
+				for j, gi := range gis {
+					var arg, cnt types.Datum
+					if argv != nil {
+						arg = argv.Datum(j)
+					}
+					if cntv != nil {
+						cnt = cntv.Datum(j)
+					}
+					if err := states[gi][ai].update(a.Kind, arg, cnt); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+
+	return h.assemble(keyRows, states)
+}
+
+// assemble renders the accumulated groups in first-seen order, adding
+// the implicit single group for a global aggregate over no rows.
+func (h *HashAggregate) assemble(keyRows []types.Row, states [][]aggState) (*types.Batch, error) {
+	if len(h.keys) == 0 && len(states) == 0 {
+		keyRows = append(keyRows, nil)
+		states = append(states, make([]aggState, len(h.aggs)))
+	}
+	out := types.NewBatch(h.schema, len(keyRows))
+	for gi := range keyRows {
+		r := make(types.Row, 0, len(h.schema))
+		r = append(r, keyRows[gi]...)
+		for ai, a := range h.aggs {
+			st := &states[gi][ai]
+			if h.partial && a.Kind == AggAvg {
+				r = append(r, types.NewFloat(st.avgSum()), types.NewInt(st.count))
+				continue
+			}
+			r = append(r, st.result(a))
+		}
+		out.AppendRow(r)
+	}
+	return out, nil
+}
+
+// nextRow is the original row-engine aggregation path.
+func (h *HashAggregate) nextRow() (*types.Batch, error) {
 	groups := map[string]int{} // key -> group index
 	var keyRows []types.Row    // materialized group key values
 	var states [][]aggState
 
-	row := make(types.Row, 0, 16)
 	var keyBuf []byte
-	sawRows := false
 	for {
 		b, err := h.input.Next()
 		if err != nil {
@@ -122,7 +352,6 @@ func (h *HashAggregate) Next() (*types.Batch, error) {
 		if b == nil {
 			break
 		}
-		sawRows = sawRows || b.NumRows() > 0
 		// Evaluate key expressions and aggregate arguments per batch.
 		keyVals := make([]*types.Vector, len(h.keys))
 		for i, k := range h.keys {
@@ -188,31 +417,9 @@ func (h *HashAggregate) Next() (*types.Batch, error) {
 				}
 			}
 		}
-		_ = row
 	}
 
-	// Global aggregation with no groups still yields one row (COUNT(*)=0).
-	if len(h.keys) == 0 && len(states) == 0 {
-		keyRows = append(keyRows, nil)
-		states = append(states, make([]aggState, len(h.aggs)))
-	}
-	_ = sawRows
-
-	out := types.NewBatch(h.schema, len(keyRows))
-	for gi := range keyRows {
-		r := make(types.Row, 0, len(h.schema))
-		r = append(r, keyRows[gi]...)
-		for ai, a := range h.aggs {
-			st := &states[gi][ai]
-			if h.partial && a.Kind == AggAvg {
-				r = append(r, types.NewFloat(st.avgSum()), types.NewInt(st.count))
-				continue
-			}
-			r = append(r, st.result(a))
-		}
-		out.AppendRow(r)
-	}
-	return out, nil
+	return h.assemble(keyRows, states)
 }
 
 func (s *aggState) update(kind AggKind, arg, cnt types.Datum) error {

@@ -14,9 +14,12 @@ type HashJoin struct {
 	buildKeys []int
 	probeKeys []int
 	schema    types.Schema
+	Eng       Engine
 
 	built    bool
 	table    map[string][]int // key -> build row indexes
+	tableInt map[int64][]int  // typed path: single Int64-physical key
+	intKey   bool
 	buildAll *types.Batch
 }
 
@@ -39,10 +42,28 @@ func (h *HashJoin) buildTable() error {
 		return err
 	}
 	h.buildAll = all
+	// A single Int64-physical key pair hashes on the raw int64 instead
+	// of an encoded byte string. (Mismatched physical classes keep the
+	// tagged encoding, which correctly never matches across classes.)
+	h.intKey = !h.Eng.Row && len(h.buildKeys) == 1 &&
+		h.build.Schema()[h.buildKeys[0]].Type.Physical() == types.Int64 &&
+		h.probe.Schema()[h.probeKeys[0]].Type.Physical() == types.Int64
+	if h.intKey {
+		h.tableInt = make(map[int64][]int, all.NumRows())
+		col := all.Cols[h.buildKeys[0]]
+		for i := 0; i < all.NumRows(); i++ {
+			// SQL join semantics: NULL keys never match.
+			if col.IsNull(i) {
+				continue
+			}
+			h.tableInt[col.Ints[i]] = append(h.tableInt[col.Ints[i]], i)
+		}
+		h.built = true
+		return nil
+	}
 	h.table = make(map[string][]int, all.NumRows())
 	var key []byte
 	for i := 0; i < all.NumRows(); i++ {
-		// SQL join semantics: NULL keys never match.
 		if anyNull(all, i, h.buildKeys) {
 			continue
 		}
@@ -71,19 +92,42 @@ func (h *HashJoin) Next() (*types.Batch, error) {
 	}
 	var key []byte
 	for {
-		pb, err := h.probe.Next()
+		var pb *types.Batch
+		var sel []int
+		var err error
+		if h.Eng.Row {
+			pb, err = h.probe.Next()
+		} else {
+			pb, sel, err = pullSel(h.probe)
+		}
 		if err != nil || pb == nil {
 			return nil, err
 		}
 		var leftIdx, rightIdx []int
-		for i := 0; i < pb.NumRows(); i++ {
-			if anyNull(pb, i, h.probeKeys) {
-				continue
+		m := selLen(pb, sel)
+		if h.intKey {
+			col := pb.Cols[h.probeKeys[0]]
+			for j := 0; j < m; j++ {
+				i := selRow(sel, j)
+				if col.IsNull(i) {
+					continue
+				}
+				for _, bi := range h.tableInt[col.Ints[i]] {
+					leftIdx = append(leftIdx, bi)
+					rightIdx = append(rightIdx, i)
+				}
 			}
-			key = rowKey(key, pb, i, h.probeKeys)
-			for _, bi := range h.table[string(key)] {
-				leftIdx = append(leftIdx, bi)
-				rightIdx = append(rightIdx, i)
+		} else {
+			for j := 0; j < m; j++ {
+				i := selRow(sel, j)
+				if anyNull(pb, i, h.probeKeys) {
+					continue
+				}
+				key = rowKey(key, pb, i, h.probeKeys)
+				for _, bi := range h.table[string(key)] {
+					leftIdx = append(leftIdx, bi)
+					rightIdx = append(rightIdx, i)
+				}
 			}
 		}
 		if len(leftIdx) == 0 {

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"eon/internal/core"
+	"eon/internal/types"
+	"eon/internal/workload"
+)
+
+// allQueries is the full workload: the twenty TPC-H queries plus the
+// dashboard and node-down queries.
+func allQueries() []workload.Query {
+	qs := workload.TPCHQueries()
+	return append(qs,
+		workload.Query{Name: "Dashboard", SQL: workload.DashboardQuery},
+		workload.Query{Name: "NodeDown", SQL: workload.NodeDownQuery},
+	)
+}
+
+// runEngineDiff executes every workload query on the row engine and on
+// the vectorized engine and compares results. With exact set, rows must
+// be byte-identical positionally (both engines emit rows in
+// deterministic order: filters and joins preserve stream order,
+// aggregates emit groups in first-seen order, gather visits nodes in
+// sorted order). Without it, rows are compared as multisets with floats
+// rounded to 9 significant digits: the per-query seeded shard
+// assignment regroups rows across nodes between runs, shifting both
+// first-seen group order and float summation order by an ulp — a
+// multi-node row-engine run differs from itself the same way.
+func runEngineDiff(t *testing.T, db *core.DB, exact bool) {
+	t.Helper()
+	row := db.NewSession()
+	row.RowEngine = true
+	vec := db.NewSession()
+
+	var totalVectorized int64
+	for _, q := range allQueries() {
+		want, err := row.Query(q.SQL)
+		if err != nil {
+			t.Fatalf("%s: row engine: %v", q.Name, err)
+		}
+		if st := row.LastScanStats(); st.RowsVectorized != 0 {
+			t.Errorf("%s: row engine entered vectorized kernels (%d rows)", q.Name, st.RowsVectorized)
+		}
+		got, err := vec.Query(q.SQL)
+		if err != nil {
+			t.Fatalf("%s: vectorized engine: %v", q.Name, err)
+		}
+		st := vec.LastScanStats()
+		if st.RowsFallback != 0 {
+			t.Errorf("%s: vectorized engine fell back on %d rows (want full kernel coverage)", q.Name, st.RowsFallback)
+		}
+		totalVectorized += st.RowsVectorized
+
+		if got.NumRows() != want.NumRows() {
+			t.Fatalf("%s: %d rows vectorized vs %d row engine", q.Name, got.NumRows(), want.NumRows())
+		}
+		wantRows, gotRows := want.Rows(), got.Rows()
+		if exact {
+			for i := range wantRows {
+				for c := range wantRows[i] {
+					wd, gd := wantRows[i][c], gotRows[i][c]
+					if wd.Null != gd.Null || (!wd.Null && wd.Compare(gd) != 0) {
+						t.Fatalf("%s: row %d col %d: vectorized=%v row engine=%v", q.Name, i, c, gd, wd)
+					}
+				}
+			}
+			continue
+		}
+		counts := map[string]int{}
+		for _, r := range wantRows {
+			counts[renderRow(r)]++
+		}
+		for _, r := range gotRows {
+			key := renderRow(r)
+			if counts[key] == 0 {
+				t.Fatalf("%s: vectorized row %s not produced by the row engine", q.Name, key)
+			}
+			counts[key]--
+		}
+	}
+	if totalVectorized == 0 {
+		t.Error("no rows went through the vectorized kernels across the whole workload")
+	}
+}
+
+// renderRow formats a row as a comparison key, rounding floats to 9
+// significant digits.
+func renderRow(r types.Row) string {
+	var sb strings.Builder
+	for i, d := range r {
+		if i > 0 {
+			sb.WriteByte('|')
+		}
+		switch {
+		case d.Null:
+			sb.WriteString("NULL")
+		case d.K.Physical() == types.Float64:
+			fmt.Fprintf(&sb, "%.9g", d.F)
+		default:
+			fmt.Fprintf(&sb, "%v", d)
+		}
+	}
+	return sb.String()
+}
+
+// TestVectorizedEngineMatchesRowEngineSingleNode pins every shard to
+// one node, making both engines fully deterministic, and requires
+// byte-identical results (values, NULLs, row order) plus zero
+// row-fallback on every workload query.
+func TestVectorizedEngineMatchesRowEngineSingleNode(t *testing.T) {
+	db, _, err := NewEonCluster(1, 3, 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadTPCH(db, 0.02); err != nil {
+		t.Fatal(err)
+	}
+	runEngineDiff(t, db, true)
+}
+
+// TestVectorizedEngineMatchesRowEngineCluster runs the same diff on a
+// three-node cluster (distributed scans, two-phase aggregation,
+// broadcast and reshuffle joins), with float sums compared at 1e-9
+// relative tolerance because the seeded per-query shard assignment
+// regroups rows between runs.
+func TestVectorizedEngineMatchesRowEngineCluster(t *testing.T) {
+	db, _, err := NewEonCluster(3, 3, 2, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadTPCH(db, 0.02); err != nil {
+		t.Fatal(err)
+	}
+	runEngineDiff(t, db, false)
+}

@@ -165,6 +165,16 @@ type In struct {
 	E      Expr
 	List   []Expr
 	Negate bool
+
+	// Constant-list state hoisted by Bind when every list element is a
+	// literal: a typed hash set when the operand/list types allow, plus
+	// the non-NULL literal datums for the generic membership loop.
+	// Read-only after Bind (Clone shares it).
+	constOK   bool
+	constNull bool
+	constInts map[int64]struct{}
+	constStrs map[string]struct{}
+	constList []types.Datum
 }
 
 // Type implements Expr.
@@ -188,6 +198,19 @@ type Like struct {
 	E       Expr
 	Pattern string
 	Negate  bool
+
+	// compiled caches the pattern's compiled matcher, filled by Bind.
+	// Read-only after Bind (Clone shares it).
+	compiled *likeMatcher
+}
+
+// matcher returns the compiled pattern, compiling on the fly for nodes
+// evaluated without a Bind pass.
+func (l *Like) matcher() likeMatcher {
+	if l.compiled != nil {
+		return *l.compiled
+	}
+	return compileLike(l.Pattern)
 }
 
 // Type implements Expr.
@@ -334,8 +357,11 @@ func Bind(e Expr, schema types.Schema) error {
 				return err
 			}
 		}
+		n.hoistConstList()
 		return nil
 	case *Like:
+		m := compileLike(n.Pattern)
+		n.compiled = &m
 		return Bind(n.E, schema)
 	case *Case:
 		for _, w := range n.Whens {
@@ -364,6 +390,54 @@ func Bind(e Expr, schema types.Schema) error {
 		return bindFuncType(n)
 	}
 	return fmt.Errorf("expr: unknown node %T", e)
+}
+
+// hoistConstList pre-computes membership state for an all-literal IN
+// list: the non-NULL datums, a NULL flag, and — when the operand and
+// every list element share an exactly comparable physical class — a
+// typed hash set for O(1) membership.
+func (n *In) hoistConstList() {
+	n.constOK = false
+	n.constNull = false
+	n.constInts = nil
+	n.constStrs = nil
+	n.constList = nil
+	datums := make([]types.Datum, 0, len(n.List))
+	for _, x := range n.List {
+		lit, ok := x.(*Literal)
+		if !ok {
+			return
+		}
+		if lit.Value.Null {
+			n.constNull = true
+			continue
+		}
+		datums = append(datums, lit.Value)
+	}
+	n.constOK = true
+	n.constList = datums
+	switch n.E.Type().Physical() {
+	case types.Int64:
+		for _, d := range datums {
+			if d.K.Physical() != types.Int64 {
+				return
+			}
+		}
+		n.constInts = make(map[int64]struct{}, len(datums))
+		for _, d := range datums {
+			n.constInts[d.I] = struct{}{}
+		}
+	case types.Varchar:
+		for _, d := range datums {
+			if d.K.Physical() != types.Varchar {
+				return
+			}
+		}
+		n.constStrs = make(map[string]struct{}, len(datums))
+		for _, d := range datums {
+			n.constStrs[d.S] = struct{}{}
+		}
+	}
 }
 
 func bindBinaryType(n *Binary) error {

@@ -61,7 +61,7 @@ func EvalRow(e Expr, row types.Row) (types.Datum, error) {
 		if v.Null {
 			return types.NullDatum(types.Bool), nil
 		}
-		return types.NewBool(likeMatch(v.S, n.Pattern) != n.Negate), nil
+		return types.NewBool(n.matcher().match(v.S) != n.Negate), nil
 	case *Case:
 		for _, w := range n.Whens {
 			c, err := EvalRow(w.Cond, row)
@@ -227,6 +227,9 @@ func evalIn(n *In, row types.Row) (types.Datum, error) {
 	if v.Null {
 		return types.NullDatum(types.Bool), nil
 	}
+	if n.constOK {
+		return n.constMember(v), nil
+	}
 	sawNull := false
 	for _, le := range n.List {
 		x, err := EvalRow(le, row)
@@ -245,6 +248,33 @@ func evalIn(n *In, row types.Row) (types.Datum, error) {
 		return types.NullDatum(types.Bool), nil
 	}
 	return types.NewBool(n.Negate), nil
+}
+
+// constMember resolves membership of a non-NULL value against the
+// hoisted constant list (set lookup when typed, compareMixed loop
+// otherwise), applying SQL IN's NULL-in-list semantics.
+func (n *In) constMember(v types.Datum) types.Datum {
+	found := false
+	switch {
+	case n.constInts != nil:
+		_, found = n.constInts[v.I]
+	case n.constStrs != nil:
+		_, found = n.constStrs[v.S]
+	default:
+		for _, d := range n.constList {
+			if compareMixed(v, d) == 0 {
+				found = true
+				break
+			}
+		}
+	}
+	if found {
+		return types.NewBool(!n.Negate)
+	}
+	if n.constNull {
+		return types.NullDatum(types.Bool)
+	}
+	return types.NewBool(n.Negate)
 }
 
 func evalFunc(n *Func, row types.Row) (types.Datum, error) {
@@ -392,40 +422,12 @@ func idxRange(n int) []int {
 	return out
 }
 
-// likeMatch implements SQL LIKE with % (any run) and _ (any single rune).
+// likeMatch implements SQL LIKE with % (any run) and _ (any single byte).
+// The pattern is compiled (prefix/suffix/contains fast paths, iterative
+// general walk) — see like.go. Bound Like nodes cache the compiled form;
+// this helper compiles per call for direct row evaluation.
 func likeMatch(s, pattern string) bool {
-	return likeRec(s, pattern)
-}
-
-func likeRec(s, p string) bool {
-	for len(p) > 0 {
-		switch p[0] {
-		case '%':
-			for len(p) > 0 && p[0] == '%' {
-				p = p[1:]
-			}
-			if len(p) == 0 {
-				return true
-			}
-			for i := 0; i <= len(s); i++ {
-				if likeRec(s[i:], p) {
-					return true
-				}
-			}
-			return false
-		case '_':
-			if len(s) == 0 {
-				return false
-			}
-			s, p = s[1:], p[1:]
-		default:
-			if len(s) == 0 || s[0] != p[0] {
-				return false
-			}
-			s, p = s[1:], p[1:]
-		}
-	}
-	return len(s) == 0
+	return compileLike(pattern).match(s)
 }
 
 // EvalBatch evaluates a bound expression over every row of a batch,

@@ -1,0 +1,101 @@
+package expr
+
+import "strings"
+
+// likeShape classifies a compiled LIKE pattern so common shapes match
+// with a single strings call instead of the general wildcard walk.
+type likeShape uint8
+
+const (
+	// likeExact: no wildcards at all — plain string equality.
+	likeExact likeShape = iota
+	// likePrefix: "abc%" — match by prefix.
+	likePrefix
+	// likeSuffix: "%abc" — match by suffix.
+	likeSuffix
+	// likeContains: "%abc%" — match by substring search.
+	likeContains
+	// likeAny: "%", "%%", ... — matches everything.
+	likeAny
+	// likeGeneral: anything else (interior %, multiple runs, _) — handled
+	// by the iterative two-pointer walk.
+	likeGeneral
+)
+
+// likeMatcher is a compiled LIKE pattern. Compilation is O(len(pattern))
+// and matching is O(len(s) * len(pattern)) worst case — never the
+// exponential blow-up the old recursive matcher hit on patterns like
+// "%a%a%a%…a".
+type likeMatcher struct {
+	shape   likeShape
+	lit     string // the literal for exact/prefix/suffix/contains shapes
+	pattern string // the raw pattern for the general walk
+}
+
+// compileLike builds a matcher for a LIKE pattern with % (any run of
+// bytes) and _ (any single byte) wildcards.
+func compileLike(pattern string) likeMatcher {
+	if strings.IndexByte(pattern, '_') < 0 {
+		first := strings.IndexByte(pattern, '%')
+		switch {
+		case first < 0:
+			return likeMatcher{shape: likeExact, lit: pattern}
+		case strings.Count(pattern, "%") == len(pattern):
+			// Only percent signs.
+			return likeMatcher{shape: likeAny}
+		case first == 0 && pattern[len(pattern)-1] == '%' &&
+			strings.IndexByte(pattern[1:len(pattern)-1], '%') < 0:
+			return likeMatcher{shape: likeContains, lit: pattern[1 : len(pattern)-1]}
+		case first == 0 && strings.IndexByte(pattern[1:], '%') < 0:
+			return likeMatcher{shape: likeSuffix, lit: pattern[1:]}
+		case first == len(pattern)-1:
+			return likeMatcher{shape: likePrefix, lit: pattern[:len(pattern)-1]}
+		}
+	}
+	return likeMatcher{shape: likeGeneral, pattern: pattern}
+}
+
+// match reports whether s matches the compiled pattern.
+func (m likeMatcher) match(s string) bool {
+	switch m.shape {
+	case likeExact:
+		return s == m.lit
+	case likePrefix:
+		return strings.HasPrefix(s, m.lit)
+	case likeSuffix:
+		return strings.HasSuffix(s, m.lit)
+	case likeContains:
+		return strings.Contains(s, m.lit)
+	case likeAny:
+		return true
+	}
+	return likeWalk(s, m.pattern)
+}
+
+// likeWalk is the general matcher: a two-pointer walk that remembers the
+// most recent % and, on mismatch, restarts just past the position that %
+// last absorbed. Each restart advances the string pointer, so the walk is
+// O(len(s) * len(p)) worst case.
+func likeWalk(s, p string) bool {
+	si, pi := 0, 0
+	starP, starS := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(p) && p[pi] == '%':
+			starP, starS = pi, si
+			pi++
+		case pi < len(p) && (p[pi] == '_' || p[pi] == s[si]):
+			si++
+			pi++
+		case starP >= 0:
+			starS++
+			si, pi = starS, starP+1
+		default:
+			return false
+		}
+	}
+	for pi < len(p) && p[pi] == '%' {
+		pi++
+	}
+	return pi == len(p)
+}

@@ -1,0 +1,104 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// likeRefRec is the original recursive matcher, kept as the semantic
+// reference for the compiled matcher (only exercised on short inputs
+// where its exponential worst case cannot bite).
+func likeRefRec(s, p string) bool {
+	for len(p) > 0 {
+		switch p[0] {
+		case '%':
+			for len(p) > 0 && p[0] == '%' {
+				p = p[1:]
+			}
+			if len(p) == 0 {
+				return true
+			}
+			for i := 0; i <= len(s); i++ {
+				if likeRefRec(s[i:], p) {
+					return true
+				}
+			}
+			return false
+		case '_':
+			if len(s) == 0 {
+				return false
+			}
+			s, p = s[1:], p[1:]
+		default:
+			if len(s) == 0 || s[0] != p[0] {
+				return false
+			}
+			s, p = s[1:], p[1:]
+		}
+	}
+	return len(s) == 0
+}
+
+func TestLikeShapes(t *testing.T) {
+	cases := []struct {
+		pattern string
+		shape   likeShape
+	}{
+		{"abc", likeExact},
+		{"abc%", likePrefix},
+		{"%abc", likeSuffix},
+		{"%abc%", likeContains},
+		{"%", likeAny},
+		{"%%", likeAny},
+		{"a%c", likeGeneral},
+		{"a_c", likeGeneral},
+		{"%a%c", likeGeneral},
+		{"_", likeGeneral},
+	}
+	for _, c := range cases {
+		if m := compileLike(c.pattern); m.shape != c.shape {
+			t.Errorf("compileLike(%q).shape = %d, want %d", c.pattern, m.shape, c.shape)
+		}
+	}
+}
+
+func TestLikeMatchesReference(t *testing.T) {
+	patterns := []string{
+		"", "%", "%%", "a", "abc", "abc%", "%abc", "%abc%", "a%c", "a_c",
+		"_bc", "ab_", "%a%b%", "a%b%c", "__", "%_%", "a%%b", "STEEL",
+		"%STEEL%", "Brand#1_", "%%a%%b%%",
+	}
+	inputs := []string{
+		"", "a", "b", "ab", "abc", "abcd", "aXc", "xxabcxx", "STEEL",
+		"SMALL STEEL CASE", "Brand#12", "Brand#1", "aab", "abab", "aaab",
+	}
+	for _, p := range patterns {
+		m := compileLike(p)
+		for _, s := range inputs {
+			got, want := m.match(s), likeRefRec(s, p)
+			if got != want {
+				t.Errorf("match(%q, %q) = %v, want %v", s, p, got, want)
+			}
+		}
+	}
+}
+
+// TestLikePathological runs the %a%a%a%… pattern that made the old
+// recursive matcher exponential. With the iterative walk it completes
+// in well under a second even at hundreds of wildcard alternations.
+func TestLikePathological(t *testing.T) {
+	s := strings.Repeat("a", 2000) + "b"
+	pattern := strings.Repeat("%a", 200) + "%c"
+	m := compileLike(pattern)
+	start := time.Now()
+	if m.match(s) {
+		t.Fatal("pathological pattern should not match")
+	}
+	if matched := m.match(strings.Repeat("a", 2000) + "c"); !matched {
+		t.Fatal("pathological pattern should match trailing c")
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("pathological LIKE took %v", d)
+	}
+}

@@ -106,11 +106,53 @@ func (v *Vector) Datum(i int) Datum {
 }
 
 // Gather returns a new vector containing the values at the given positions,
-// in order.
+// in order. The copy is typed — values move slice-to-slice without Datum
+// boxing — and the null bitmap is materialized only when a gathered
+// position is actually NULL.
 func (v *Vector) Gather(idx []int) *Vector {
-	out := NewVector(v.Typ, len(idx))
-	for _, i := range idx {
-		out.Append(v.Datum(i))
+	out := &Vector{Typ: v.Typ}
+	switch v.Typ.Physical() {
+	case Int64:
+		out.Ints = make([]int64, len(idx))
+		for j, i := range idx {
+			out.Ints[j] = v.Ints[i]
+		}
+	case Float64:
+		out.Floats = make([]float64, len(idx))
+		for j, i := range idx {
+			out.Floats[j] = v.Floats[i]
+		}
+	case Varchar:
+		out.Strs = make([]string, len(idx))
+		for j, i := range idx {
+			out.Strs[j] = v.Strs[i]
+		}
+	case Bool:
+		out.Bools = make([]bool, len(idx))
+		for j, i := range idx {
+			out.Bools[j] = v.Bools[i]
+		}
+	}
+	if v.Nulls != nil {
+		for j, i := range idx {
+			if !v.IsNull(i) {
+				continue
+			}
+			out.setNull(j)
+			// Match the Datum-append behaviour: NULL positions store the
+			// zero value, so raw-slice consumers (hashing, wire sizing)
+			// see the same bytes as before.
+			switch v.Typ.Physical() {
+			case Int64:
+				out.Ints[j] = 0
+			case Float64:
+				out.Floats[j] = 0
+			case Varchar:
+				out.Strs[j] = ""
+			case Bool:
+				out.Bools[j] = false
+			}
+		}
 	}
 	return out
 }

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race chaos check bench bench-all
+.PHONY: all vet build test race chaos obs check bench bench-all
 
 all: check
 
@@ -28,6 +28,15 @@ chaos:
 	$(GO) test -race -count=1 -run 'TestChaos|TestQueryDeadlinePropagates|TestCacheBreakerDegradesToSharedStorage' ./internal/core/
 	$(GO) test -race -count=1 ./internal/resilience/ ./internal/objstore/ ./internal/netsim/
 
+# Observability gate: the metrics/tracing package under the race
+# detector (registry and span counters are written concurrently), then
+# without it so the disabled-tracer zero-allocation test actually runs
+# (it skips under -race, which inflates allocation counts).
+obs:
+	$(GO) test -race -count=1 ./internal/obs/
+	$(GO) test -count=1 -run 'TestDisabledTracerZeroAlloc' ./internal/obs/
+	$(GO) test -race -count=1 -run 'TestSlowQuery|TestResetStats' ./internal/core/ ./internal/objstore/
+
 # Fig-10 plus the ScanConcurrency sweep (cold/warm caches), with
 # allocation stats; the raw `go test -json` event stream is kept in
 # BENCH_scan.json for later comparison. The vectorized-vs-row kernel
@@ -43,6 +52,11 @@ bench:
 		| sed 's/"Output":"//; s/"$$//; s/\\t/ /g; s/\\n//' \
 		| awk '/^Benchmark/ && !/ns\/op/ {name=$$1; next} /ns\/op/ {if ($$0 ~ /^Benchmark/) print; else printf "%s %s\n", name, $$0}'
 	@echo "wrote BENCH_query.json"
+	$(GO) test -json -bench 'BenchmarkTracingOverhead' -benchmem -benchtime=10x -run '^$$' . > BENCH_obs.json
+	@grep -oE '"Output":"[^"]*"' BENCH_obs.json \
+		| sed 's/"Output":"//; s/"$$//; s/\\t/ /g; s/\\n//' \
+		| awk '/^Benchmark/ && !/ns\/op/ {name=$$1; next} /ns\/op/ {if ($$0 ~ /^Benchmark/) print; else printf "%s %s\n", name, $$0}'
+	@echo "wrote BENCH_obs.json"
 
 # Every benchmark in the repository (figures + ablations).
 bench-all:

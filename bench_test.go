@@ -504,6 +504,38 @@ func BenchmarkQueryKernels(b *testing.B) {
 	}
 }
 
+// --- Observability: span tracing overhead ---
+
+// BenchmarkTracingOverhead measures the cost of per-query span tracing
+// on a warm kernel-bench query: "off" is the production default (nil
+// trace, every span call a no-op), "on" builds the full span tree and
+// profile per query. EXPERIMENTS.md gates "off" at <=3% vs the pre-obs
+// baseline; compare off/on here for the enabled cost.
+func BenchmarkTracingOverhead(b *testing.B) {
+	db := kernelBenchDB(b)
+	for _, cfg := range []struct {
+		name  string
+		trace bool
+	}{{"off", false}, {"on", true}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			s := db.NewSession()
+			s.Trace = cfg.trace
+			if _, err := s.Query(kernelBenchQuery); err != nil {
+				b.Fatal(err)
+			}
+			if cfg.trace && s.LastProfile() == nil {
+				b.Fatal("tracing on but no profile recorded")
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Query(kernelBenchQuery); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func makeClicks(n int) *types.Batch {
 	schema := types.Schema{
 		{Name: "region", Type: types.Varchar},

@@ -3,32 +3,51 @@
 //
 // Usage:
 //
-//	eon-bench fig10 [-scale 0.2] [-reps 3]
+//	eon-bench [-metrics addr] fig10 [-scale 0.2] [-reps 3]
 //	eon-bench fig11a [-scale 0.02] [-window 600ms]
 //	eon-bench fig11b [-window 600ms]
 //	eon-bench fig12 [-scale 0.02]
 //	eon-bench elasticity [-scale 0.2]
 //	eon-bench all
+//
+// With -metrics, an HTTP endpoint serves every live cluster's metrics
+// registry while the benchmark runs (JSON by default, ?format=text for
+// the aligned view).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"text/tabwriter"
 	"time"
 
 	"eon/internal/core"
 	"eon/internal/experiments"
+	"eon/internal/obs"
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	metrics := flag.String("metrics", "", "serve /metrics on this address while benchmarks run (e.g. :8080)")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
 		usage()
 		os.Exit(2)
 	}
-	cmd := os.Args[1]
-	args := os.Args[2:]
+	if *metrics != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.Handler())
+		go func() {
+			if err := http.ListenAndServe(*metrics, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "eon-bench: metrics endpoint:", err)
+			}
+		}()
+		fmt.Printf("serving metrics on http://%s/metrics\n", *metrics)
+	}
+	cmd := flag.Arg(0)
+	args := flag.Args()[1:]
 	var err error
 	switch cmd {
 	case "fig10":
@@ -59,7 +78,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: eon-bench <fig10|fig11a|fig11b|fig12|elasticity|all> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: eon-bench [-metrics addr] <fig10|fig11a|fig11b|fig12|elasticity|all> [flags]`)
 }
 
 func runFig10(args []string) error {

@@ -16,17 +16,23 @@
 //	\movepartition a b k  move a partition between tables
 //	\refresh t         refresh flattened columns of t
 //	\tpch <scale>      create and load the TPC-H-shaped dataset
+//	\stats [json]      dump the cluster metrics registry (text or JSON)
+//	\profile [json]    show the last query's execution profile
+//	\slow [json]       show the slow-query log
+//	\trace on|off      toggle per-query span tracing (default on)
 //	\q                 quit
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	"eon"
 	"eon/internal/workload"
@@ -36,9 +42,10 @@ func main() {
 	mode := flag.String("mode", "eon", "cluster mode: eon or enterprise")
 	nodes := flag.Int("nodes", 3, "node count")
 	shards := flag.Int("shards", 3, "segment shard count (eon)")
+	slow := flag.Duration("slow", time.Second, "slow-query log threshold (0 disables)")
 	flag.Parse()
 
-	cfg := eon.Config{ShardCount: *shards}
+	cfg := eon.Config{ShardCount: *shards, SlowQueryThreshold: *slow}
 	if *mode == "enterprise" {
 		cfg.Mode = eon.ModeEnterprise
 	} else {
@@ -55,6 +62,7 @@ func main() {
 	fmt.Printf("eonctl: %d-node %s cluster ready. Terminate statements with ';', \\q to quit.\n", *nodes, cfg.Mode)
 
 	session := db.NewSession()
+	session.Trace = true // makes \profile available after every query
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -73,7 +81,7 @@ func main() {
 			if trimmed == "\\q" {
 				return
 			}
-			if err := backslash(db, trimmed); err != nil {
+			if err := backslash(db, session, trimmed); err != nil {
 				fmt.Println("error:", err)
 			}
 			prompt()
@@ -113,9 +121,61 @@ func run(session *eon.Session, stmt string) {
 	fmt.Printf("(%d rows)\n", res.NumRows())
 }
 
-func backslash(db *eon.DB, cmd string) error {
+func backslash(db *eon.DB, session *eon.Session, cmd string) error {
 	fields := strings.Fields(cmd)
+	asJSON := len(fields) > 1 && fields[1] == "json"
 	switch fields[0] {
+	case "\\stats":
+		snap := db.Metrics()
+		if asJSON {
+			fmt.Println(string(snap.JSON()))
+		} else {
+			fmt.Print(snap.Text())
+		}
+		return nil
+	case "\\profile":
+		prof := session.LastProfile()
+		if prof == nil {
+			return fmt.Errorf("no profile recorded yet (run a query first)")
+		}
+		if asJSON {
+			b, err := json.MarshalIndent(prof, "", "  ")
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(b))
+		} else {
+			fmt.Print(prof.Text())
+		}
+		return nil
+	case "\\slow":
+		entries := db.SlowQueries()
+		if len(entries) == 0 {
+			fmt.Println("slow-query log is empty")
+			return nil
+		}
+		if asJSON {
+			b, err := json.MarshalIndent(entries, "", "  ")
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(b))
+			return nil
+		}
+		for _, e := range entries {
+			status := "ok"
+			if e.Err != "" {
+				status = "error: " + e.Err
+			}
+			fmt.Printf("%s  %v  %s  %s\n", e.Start.Format(time.RFC3339), e.Wall, status, strings.TrimSpace(e.SQL))
+		}
+		return nil
+	case "\\trace":
+		if len(fields) < 2 || (fields[1] != "on" && fields[1] != "off") {
+			return fmt.Errorf("usage: \\trace on|off")
+		}
+		session.Trace = fields[1] == "on"
+		return nil
 	case "\\kill":
 		if len(fields) < 2 {
 			return fmt.Errorf("usage: \\kill <node>")

@@ -27,6 +27,7 @@ import (
 	"eon/internal/core"
 	"eon/internal/netsim"
 	"eon/internal/objstore"
+	"eon/internal/obs"
 	"eon/internal/resilience"
 	"eon/internal/types"
 )
@@ -102,6 +103,24 @@ type MergeoutStats = core.MergeoutStats
 // query via Session.LastScanStats, cumulative via DB.ScanStats.
 type ScanStats = core.ScanStats
 
+// MetricsSnapshot is a point-in-time view of every registered metric:
+// monotonic counters, gauges and latency histograms across the object
+// store, caches, resilience layer, network, scans and the tuple mover.
+// Render with its JSON() or Text() methods.
+type MetricsSnapshot = obs.Snapshot
+
+// QueryProfile is the hierarchical execution profile of one query —
+// operator spans (scan/join/aggregate/...) down through per-node scan
+// fragments to fetch/decode/filter leaves, with wall times, row counts,
+// bytes and counter attributes. Retrieve via Session.LastProfile after
+// enabling Session.Trace (or a slow-query threshold).
+type QueryProfile = obs.Profile
+
+// SlowQuery is one slow-query log entry: the statement, when it started,
+// its wall time, the error (if it failed) and its full execution
+// profile.
+type SlowQuery = core.SlowQuery
+
 // DB is a database cluster.
 type DB struct {
 	inner *core.DB
@@ -137,6 +156,15 @@ func (db *DB) Mode() Mode { return db.inner.Mode() }
 // ScanStats returns the cumulative scan instrumentation across every
 // query the database has executed.
 func (db *DB) ScanStats() ScanStats { return db.inner.ScanStats() }
+
+// Metrics snapshots every metric the cluster has registered (counters,
+// gauges, histograms) for export as JSON or text.
+func (db *DB) Metrics() MetricsSnapshot { return db.inner.Metrics() }
+
+// SlowQueries returns the slow-query log, oldest first. Entries are
+// recorded when Config.SlowQueryThreshold > 0 and a query's wall time
+// reaches it; each carries a complete execution profile.
+func (db *DB) SlowQueries() []SlowQuery { return db.inner.SlowQueries() }
 
 // NewSession opens a session.
 func (db *DB) NewSession() *Session { return db.inner.NewSession() }

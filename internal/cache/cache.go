@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sync"
 
+	"eon/internal/obs"
 	"eon/internal/parallel"
 	"eon/internal/udfs"
 )
@@ -99,7 +100,10 @@ type Cache struct {
 	// inflight tracks one shared fetch per missing path (single-flight).
 	inflight map[string]*flight
 
-	hits, misses, evictions, coalesced int64
+	// Traffic counters are obs metrics so a node can Register them into
+	// its registry; they are incremented under c.mu (the atomics cost
+	// nothing extra and buy registry visibility).
+	hits, misses, evictions, coalesced obs.Counter
 }
 
 // New returns a cache of the given byte capacity backed by dir on fs.
@@ -156,7 +160,7 @@ func (c *Cache) GetTracked(ctx context.Context, path string, fetch Fetcher, bypa
 	c.mu.Lock()
 	if e, ok := c.entries[path]; ok {
 		c.lru.MoveToFront(e.elem)
-		c.hits++
+		c.hits.Inc()
 		c.mu.Unlock()
 		data, err := c.fs.ReadFile(ctx, c.local(path))
 		if err == nil {
@@ -167,7 +171,7 @@ func (c *Cache) GetTracked(ctx context.Context, path string, fetch Fetcher, bypa
 		c.mu.Lock()
 		return c.getMiss(ctx, path, fetch, bypass, false)
 	}
-	c.misses++
+	c.misses.Inc()
 	return c.getMiss(ctx, path, fetch, bypass, true)
 }
 
@@ -177,7 +181,7 @@ func (c *Cache) GetTracked(ctx context.Context, path string, fetch Fetcher, bypa
 // itself have led.
 func (c *Cache) getMiss(ctx context.Context, path string, fetch Fetcher, bypass bool, coalesce bool) ([]byte, Outcome, error) {
 	if f, ok := c.inflight[path]; ok && coalesce {
-		c.coalesced++
+		c.coalesced.Inc()
 		c.mu.Unlock()
 		select {
 		case <-f.done:
@@ -277,7 +281,7 @@ func (c *Cache) admit(ctx context.Context, path string, data []byte) error {
 		c.lru.Remove(e.elem)
 		delete(c.entries, p)
 		c.used -= e.size
-		c.evictions++
+		c.evictions.Inc()
 	}
 	c.pending[path] = size
 	c.used += size
@@ -360,10 +364,29 @@ func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{
-		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
-		CoalescedFetches: c.coalesced,
+		Hits: c.hits.Value(), Misses: c.misses.Value(), Evictions: c.evictions.Value(),
+		CoalescedFetches: c.coalesced.Value(),
 		BytesCached:      c.used, Files: len(c.entries),
 	}
+}
+
+// Register publishes the cache's counters and derived occupancy gauges
+// into reg under prefix (e.g. "node.n1.cache.").
+func (c *Cache) Register(reg *obs.Registry, prefix string) {
+	reg.RegisterCounter(prefix+"hits", &c.hits)
+	reg.RegisterCounter(prefix+"misses", &c.misses)
+	reg.RegisterCounter(prefix+"evictions", &c.evictions)
+	reg.RegisterCounter(prefix+"coalesced_fetches", &c.coalesced)
+	reg.GaugeFunc(prefix+"bytes_cached", func() int64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.used
+	})
+	reg.GaugeFunc(prefix+"files", func() int64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return int64(len(c.entries))
+	})
 }
 
 // MostRecentlyUsed returns cached file paths in MRU order whose summed

@@ -21,6 +21,7 @@ import (
 	"eon/internal/hashring"
 	"eon/internal/netsim"
 	"eon/internal/objstore"
+	"eon/internal/obs"
 	"eon/internal/resilience"
 	"eon/internal/tuplemover"
 	"eon/internal/udfs"
@@ -112,6 +113,13 @@ type Config struct {
 	// Resilience tunes the shared-storage retry/hedge/breaker layer
 	// (§5.3). nil uses resilience.DefaultConfig.
 	Resilience *resilience.Config
+	// SlowQueryThreshold enables the slow-query log: queries whose wall
+	// time reaches the threshold (including failed queries) are recorded
+	// with their full execution profile. A non-zero threshold forces
+	// per-query tracing on for every session. 0 disables.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLogSize bounds the slow-query log ring (default 64).
+	SlowQueryLogSize int
 }
 
 // resilienceConfig resolves the shared-storage resilience configuration,
@@ -185,6 +193,9 @@ func (c *Config) fillDefaults() error {
 	}
 	if c.LeaseDuration <= 0 {
 		c.LeaseDuration = 2 * time.Minute
+	}
+	if c.SlowQueryLogSize <= 0 {
+		c.SlowQueryLogSize = 64
 	}
 	return nil
 }
@@ -323,17 +334,73 @@ type DB struct {
 	policyMu   sync.RWMutex
 	neverCache map[string]bool
 
-	// scanTotals accumulates every query's ScanStats (the cumulative
-	// database view of the scan pipeline).
-	scanTotals scanTally
+	// reg is the database's metrics registry: every subsystem (objstore,
+	// resilience, netsim, caches, scan path, tuple mover) registers into
+	// it, and the legacy Stats accessors are derived views over it.
+	reg *obs.Registry
+	// scanM holds the cumulative scan counters (in reg).
+	scanM scanMetrics
+	// Query-level metrics (in reg).
+	queryWall   *obs.Histogram
+	queryCount  *obs.Counter
+	queryErrors *obs.Counter
+	// Tuple-mover metrics (in reg).
+	mergeoutNS   *obs.Histogram
+	mergeoutJobs *obs.Counter
+
+	// slow-query log: a bounded ring of the most recent threshold-crossing
+	// queries with their profiles.
+	slowMu   sync.Mutex
+	slowLog  []SlowQuery
+	slowNext int
 }
+
+// SlowQuery is one slow-query log entry: a query whose wall time reached
+// Config.SlowQueryThreshold, with its complete execution profile (failed
+// queries are logged too; their profiles are force-completed).
+type SlowQuery struct {
+	SQL     string        `json:"sql,omitempty"`
+	Start   time.Time     `json:"start"`
+	Wall    time.Duration `json:"wall_ns"`
+	Err     string        `json:"err,omitempty"`
+	Profile *obs.Profile  `json:"profile,omitempty"`
+}
+
+// recordSlow appends an entry to the bounded slow-query ring.
+func (db *DB) recordSlow(e SlowQuery) {
+	db.slowMu.Lock()
+	defer db.slowMu.Unlock()
+	if len(db.slowLog) < db.cfg.SlowQueryLogSize {
+		db.slowLog = append(db.slowLog, e)
+		return
+	}
+	db.slowLog[db.slowNext] = e
+	db.slowNext = (db.slowNext + 1) % len(db.slowLog)
+}
+
+// SlowQueries returns the slow-query log entries, oldest first.
+func (db *DB) SlowQueries() []SlowQuery {
+	db.slowMu.Lock()
+	defer db.slowMu.Unlock()
+	out := make([]SlowQuery, 0, len(db.slowLog))
+	out = append(out, db.slowLog[db.slowNext:]...)
+	out = append(out, db.slowLog[:db.slowNext]...)
+	return out
+}
+
+// Registry returns the database's metrics registry.
+func (db *DB) Registry() *obs.Registry { return db.reg }
+
+// Metrics snapshots every metric in the database's registry.
+func (db *DB) Metrics() obs.Snapshot { return db.reg.Snapshot() }
 
 // scanConc returns the configured intra-node scan/upload fan-out bound.
 func (db *DB) scanConc() int { return db.cfg.ScanConcurrency }
 
 // ScanStats returns the cumulative scan statistics across all queries
-// run against this database; Wall sums the wall time of every query.
-func (db *DB) ScanStats() ScanStats { return db.scanTotals.snapshot() }
+// run against this database; Wall sums the wall time of every query. It
+// is a derived view over the metrics registry's "scan." counters.
+func (db *DB) ScanStats() ScanStats { return db.scanM.snapshot() }
 
 // SetNeverCacheTable installs the "never cache table T" shaping policy
 // (§5.2): the table's files are not admitted at load or scan time, so
@@ -512,10 +579,52 @@ func Create(cfg Config) (*DB, error) {
 			db.net.SetRack(spec.Name, spec.Rack)
 		}
 	}
+	db.installMetrics()
 	if err := db.bootstrapCatalog(); err != nil {
 		return nil, err
 	}
 	return db, nil
+}
+
+// installMetrics builds the database's metrics registry and registers
+// every subsystem into it: objstore traffic and cost (when shared
+// storage is the simulator), resilience counters, interconnect traffic,
+// the scan pipeline's cumulative counters, query/mergeout timings, and
+// per-node gauges (cache occupancy, catalog version, WOS rows). The
+// registry is published process-wide under the database name for export
+// endpoints.
+func (db *DB) installMetrics() {
+	reg := obs.NewRegistry()
+	db.reg = reg
+	db.scanM.init(reg)
+	db.queryWall = reg.Histogram("query.wall_ns")
+	db.queryCount = reg.Counter("query.count")
+	db.queryErrors = reg.Counter("query.errors")
+	db.mergeoutNS = reg.Histogram("tuplemover.mergeout_ns")
+	db.mergeoutJobs = reg.Counter("tuplemover.jobs")
+	if sim, ok := db.cfg.Shared.(*objstore.Sim); ok {
+		sim.Instrument(reg)
+	}
+	db.resilient.Counters().Register(reg, "resilience.")
+	db.net.Instrument(reg)
+	for _, name := range db.order {
+		n := db.nodes[name]
+		prefix := "node." + name + "."
+		if n.cache != nil {
+			n.cache.Register(reg, prefix+"cache.")
+		}
+		cat := n.catalog
+		reg.GaugeFunc(prefix+"catalog.version", func() int64 {
+			return int64(cat.Version())
+		})
+		if n.wos != nil {
+			w := n.wos
+			reg.GaugeFunc(prefix+"wos.rows", func() int64 {
+				return int64(w.TotalRows())
+			})
+		}
+	}
+	obs.Publish(db.cfg.Name, reg)
 }
 
 // bootstrapCatalog commits the initial node, shard and subscription

@@ -6,41 +6,102 @@ import (
 	"eon/internal/catalog"
 	"eon/internal/exec"
 	"eon/internal/expr"
+	"eon/internal/obs"
 	"eon/internal/planner"
 	"eon/internal/types"
 )
 
-// executePlan recursively evaluates a physical plan node into a
-// distributed result.
-func (db *DB) executePlan(env *queryEnv, node planner.Node) (*distResult, error) {
+// spanName labels a plan node's operator span.
+func spanName(node planner.Node) string {
 	switch n := node.(type) {
 	case *planner.Scan:
-		return db.execScan(env, n)
+		return "scan:" + n.Table.Name
 	case *planner.Filter:
-		return db.execFilter(env, n)
+		return "filter"
 	case *planner.Project:
-		return db.execProject(env, n)
+		return "project"
 	case *planner.Join:
-		return db.execJoin(env, n)
+		return "join"
 	case *planner.Aggregate:
-		return db.execAggregate(env, n)
+		return "aggregate"
 	case *planner.DistinctNode:
-		return db.execDistinct(env, n)
+		return "distinct"
 	case *planner.Sort:
-		return db.execSort(env, n)
+		return "sort"
 	case *planner.Limit:
-		return db.execLimit(env, n)
+		return "limit"
 	}
-	return nil, fmt.Errorf("core: unknown plan node %T", node)
+	return fmt.Sprintf("%T", node)
 }
 
-func (db *DB) execScan(env *queryEnv, scan *planner.Scan) (*distResult, error) {
+// resultRows counts the rows of a distributed result across fragments.
+func resultRows(res *distResult) int64 {
+	if res == nil {
+		return 0
+	}
+	if res.gathered() {
+		if res.single == nil {
+			return 0
+		}
+		return int64(res.single.NumRows())
+	}
+	var total int64
+	for _, batches := range res.perNode {
+		for _, b := range batches {
+			if b != nil {
+				total += int64(b.NumRows())
+			}
+		}
+	}
+	return total
+}
+
+// executePlan recursively evaluates a physical plan node into a
+// distributed result. Each node gets an operator span under parent
+// (rows out recorded on success; rows in recorded by the operator from
+// its input result), so a traced query yields the EXPLAIN PROFILE tree.
+func (db *DB) executePlan(env *queryEnv, node planner.Node, parent *obs.Span) (*distResult, error) {
+	sp := parent.StartSpan(spanName(node))
+	defer sp.End()
+	var res *distResult
+	var err error
+	switch n := node.(type) {
+	case *planner.Scan:
+		res, err = db.execScan(env, n, sp)
+	case *planner.Filter:
+		res, err = db.execFilter(env, n, sp)
+	case *planner.Project:
+		res, err = db.execProject(env, n, sp)
+	case *planner.Join:
+		res, err = db.execJoin(env, n, sp)
+	case *planner.Aggregate:
+		res, err = db.execAggregate(env, n, sp)
+	case *planner.DistinctNode:
+		res, err = db.execDistinct(env, n, sp)
+	case *planner.Sort:
+		res, err = db.execSort(env, n, sp)
+	case *planner.Limit:
+		res, err = db.execLimit(env, n, sp)
+	default:
+		return nil, fmt.Errorf("core: unknown plan node %T", node)
+	}
+	if err != nil {
+		return nil, err
+	}
+	sp.AddRowsOut(resultRows(res))
+	return res, nil
+}
+
+func (db *DB) execScan(env *queryEnv, scan *planner.Scan, sp *obs.Span) (*distResult, error) {
 	bypass := env.session.BypassCache
 	if scan.Replicated {
 		// Replicated projections are read once — preferentially on the
 		// initiator, which always subscribes to the replica shard.
 		node := env.initiator
-		batches, err := db.scanFragment(env.ctx, node, scan, []scanTask{{Shard: catalog.ReplicaShard, Of: 1}}, env.version, bypass, CrunchOff, env.session.RowEngine, env.stats)
+		fragSp := sp.StartSpan("fragment:" + node.name)
+		ctx := obs.WithSpan(env.ctx, fragSp)
+		batches, err := db.scanFragment(ctx, node, scan, []scanTask{{Shard: catalog.ReplicaShard, Of: 1}}, env.version, bypass, CrunchOff, env.session.RowEngine, env.stats)
+		fragSp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -62,7 +123,12 @@ func (db *DB) execScan(env *queryEnv, scan *planner.Scan) (*distResult, error) {
 		if !ok || !n.Up() {
 			return nil, fmt.Errorf("%w: %s", errNodeDown, name)
 		}
-		return db.scanFragment(env.ctx, n, scan, env.nodeTasks(name), env.version, bypass, env.session.Crunch, env.session.RowEngine, env.stats)
+		// The fragment span travels to the scan via the context (the span
+		// carrier for the scan pipeline's layers below the operator tree).
+		fragSp := sp.StartSpan("fragment:" + name)
+		defer fragSp.End()
+		ctx := obs.WithSpan(env.ctx, fragSp)
+		return db.scanFragment(ctx, n, scan, env.nodeTasks(name), env.version, bypass, env.session.Crunch, env.session.RowEngine, env.stats)
 	})
 	if err != nil {
 		return nil, err
@@ -70,11 +136,12 @@ func (db *DB) execScan(env *queryEnv, scan *planner.Scan) (*distResult, error) {
 	return res, nil
 }
 
-func (db *DB) execFilter(env *queryEnv, f *planner.Filter) (*distResult, error) {
-	in, err := db.executePlan(env, f.Input)
+func (db *DB) execFilter(env *queryEnv, f *planner.Filter, sp *obs.Span) (*distResult, error) {
+	in, err := db.executePlan(env, f.Input, sp)
 	if err != nil {
 		return nil, err
 	}
+	sp.AddRowsIn(resultRows(in))
 	apply := func(batches []*types.Batch) ([]*types.Batch, error) {
 		op := exec.NewFilter(exec.NewSource(f.Schema(), batches...), f.Pred)
 		op.Eng = env.eng()
@@ -100,11 +167,12 @@ func (db *DB) execFilter(env *queryEnv, f *planner.Filter) (*distResult, error) 
 	return in, nil
 }
 
-func (db *DB) execProject(env *queryEnv, p *planner.Project) (*distResult, error) {
-	in, err := db.executePlan(env, p.Input)
+func (db *DB) execProject(env *queryEnv, p *planner.Project, sp *obs.Span) (*distResult, error) {
+	in, err := db.executePlan(env, p.Input, sp)
 	if err != nil {
 		return nil, err
 	}
+	sp.AddRowsIn(resultRows(in))
 	apply := func(batches []*types.Batch) ([]*types.Batch, error) {
 		op := exec.NewProject(exec.NewSource(p.Input.Schema(), batches...), p.Exprs, p.Names)
 		op.Eng = env.eng()
@@ -130,15 +198,16 @@ func (db *DB) execProject(env *queryEnv, p *planner.Project) (*distResult, error
 	return in, nil
 }
 
-func (db *DB) execJoin(env *queryEnv, j *planner.Join) (*distResult, error) {
-	left, err := db.executePlan(env, j.Left)
+func (db *DB) execJoin(env *queryEnv, j *planner.Join, sp *obs.Span) (*distResult, error) {
+	left, err := db.executePlan(env, j.Left, sp)
 	if err != nil {
 		return nil, err
 	}
-	right, err := db.executePlan(env, j.Right)
+	right, err := db.executePlan(env, j.Right, sp)
 	if err != nil {
 		return nil, err
 	}
+	sp.AddRowsIn(resultRows(left) + resultRows(right))
 
 	joinBatches := func(lb, rb []*types.Batch) ([]*types.Batch, error) {
 		op := exec.NewHashJoin(
@@ -320,11 +389,12 @@ func (db *DB) reshuffle(env *queryEnv, res *distResult, schema types.Schema, key
 	return out, nil
 }
 
-func (db *DB) execAggregate(env *queryEnv, a *planner.Aggregate) (*distResult, error) {
-	in, err := db.executePlan(env, a.Input)
+func (db *DB) execAggregate(env *queryEnv, a *planner.Aggregate, sp *obs.Span) (*distResult, error) {
+	in, err := db.executePlan(env, a.Input, sp)
 	if err != nil {
 		return nil, err
 	}
+	sp.AddRowsIn(resultRows(in))
 	inSchema := a.Input.Schema()
 
 	finalOver := func(batches []*types.Batch, partial bool) (*types.Batch, error) {
@@ -447,11 +517,12 @@ func mergeDefs(a *planner.Aggregate, partialSchema types.Schema) ([]expr.Expr, [
 	return keys, defs, nil
 }
 
-func (db *DB) execDistinct(env *queryEnv, d *planner.DistinctNode) (*distResult, error) {
-	in, err := db.executePlan(env, d.Input)
+func (db *DB) execDistinct(env *queryEnv, d *planner.DistinctNode, sp *obs.Span) (*distResult, error) {
+	in, err := db.executePlan(env, d.Input, sp)
 	if err != nil {
 		return nil, err
 	}
+	sp.AddRowsIn(resultRows(in))
 	if in.gathered() {
 		out, err := distinctBatch(in.single, env.eng())
 		if err != nil {
@@ -492,11 +563,12 @@ func distinctBatch(b *types.Batch, eng exec.Engine) (*types.Batch, error) {
 	return exec.Collect(op)
 }
 
-func (db *DB) execSort(env *queryEnv, s *planner.Sort) (*distResult, error) {
-	in, err := db.executePlan(env, s.Input)
+func (db *DB) execSort(env *queryEnv, s *planner.Sort, sp *obs.Span) (*distResult, error) {
+	in, err := db.executePlan(env, s.Input, sp)
 	if err != nil {
 		return nil, err
 	}
+	sp.AddRowsIn(resultRows(in))
 	gathered, err := db.gather(env, in)
 	if err != nil {
 		return nil, err
@@ -509,14 +581,15 @@ func (db *DB) execSort(env *queryEnv, s *planner.Sort) (*distResult, error) {
 	return &distResult{single: out, schema: s.Schema()}, nil
 }
 
-func (db *DB) execLimit(env *queryEnv, l *planner.Limit) (*distResult, error) {
+func (db *DB) execLimit(env *queryEnv, l *planner.Limit, sp *obs.Span) (*distResult, error) {
 	// Push a local top-k / limit below the gather when the child is a
 	// sort (dashboard top-k pattern).
 	if srt, ok := l.Input.(*planner.Sort); ok {
-		in, err := db.executePlan(env, srt.Input)
+		in, err := db.executePlan(env, srt.Input, sp)
 		if err != nil {
 			return nil, err
 		}
+		sp.AddRowsIn(resultRows(in))
 		if !in.gathered() {
 			if err := db.runPerNode(env, in, func(name string, bs []*types.Batch) ([]*types.Batch, error) {
 				op := exec.NewTopK(exec.NewSource(srt.Schema(), bs...), srt.Keys, int(l.N))
@@ -540,10 +613,11 @@ func (db *DB) execLimit(env *queryEnv, l *planner.Limit) (*distResult, error) {
 		}
 		return &distResult{single: out, schema: l.Schema()}, nil
 	}
-	in, err := db.executePlan(env, l.Input)
+	in, err := db.executePlan(env, l.Input, sp)
 	if err != nil {
 		return nil, err
 	}
+	sp.AddRowsIn(resultRows(in))
 	gathered, err := db.gather(env, in)
 	if err != nil {
 		return nil, err

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"eon/internal/cache"
+	"eon/internal/obs"
 	"eon/internal/parallel"
 	"eon/internal/resilience"
 	"eon/internal/storage"
@@ -121,25 +122,31 @@ func (db *DB) subscriberNodes(shardIdx int) []*Node {
 // fetchFunc builds the file-read path for scans on a node, without
 // instrumentation (maintenance paths: mergeout, flatten, revive).
 func (db *DB) fetchFunc(n *Node, bypassCache bool) storage.FetchFunc {
-	return db.trackedFetch(n, bypassCache, nil)
+	return db.trackedFetch(n, bypassCache, nil, nil)
 }
 
 // trackedFetch builds the file-read path for scans on a node, recording
 // fetch counts, bytes, I/O wait and cache outcomes into st (nil st drops
-// the records). Eon reads through the node's cache with a shared-storage
-// fallback (optionally bypassing the cache, §5.2); Enterprise reads
-// node-local disk. When the node's cache breaker is open the read path
-// degrades gracefully: scans go straight to shared storage instead of
-// failing (§5.3).
-func (db *DB) trackedFetch(n *Node, bypassCache bool, st *scanTally) storage.FetchFunc {
+// the records) and onto the fragment's fetch span sp (nil span no-ops).
+// Eon reads through the node's cache with a shared-storage fallback
+// (optionally bypassing the cache, §5.2); Enterprise reads node-local
+// disk. When the node's cache breaker is open the read path degrades
+// gracefully: scans go straight to shared storage instead of failing
+// (§5.3).
+func (db *DB) trackedFetch(n *Node, bypassCache bool, st *scanTally, sp *obs.Span) storage.FetchFunc {
 	if db.mode == ModeEnterprise {
 		return func(ctx context.Context, path string) ([]byte, error) {
 			start := time.Now()
 			data, err := n.fs.ReadFile(ctx, "data/"+path)
-			if st != nil && err == nil {
-				st.fetches.Add(1)
-				st.bytesFetched.Add(int64(len(data)))
-				st.addIOWait(time.Since(start))
+			if err == nil {
+				if st != nil {
+					st.fetches.Add(1)
+					st.bytesFetched.Add(int64(len(data)))
+					st.addIOWait(time.Since(start))
+				}
+				sp.AddTime(time.Since(start))
+				sp.AddBytes(int64(len(data)))
+				sp.AddAttr("fetches", 1)
 			}
 			return data, err
 		}
@@ -161,18 +168,33 @@ func (db *DB) trackedFetch(n *Node, bypassCache bool, st *scanTally) storage.Fet
 		} else {
 			data, outcome, err = n.cache.GetTracked(ctx, path, fromShared, bypassCache)
 		}
-		if st != nil && err == nil {
-			st.fetches.Add(1)
-			st.bytesFetched.Add(int64(len(data)))
-			st.addIOWait(time.Since(start))
+		if err == nil {
+			if st != nil {
+				st.fetches.Add(1)
+				st.bytesFetched.Add(int64(len(data)))
+				st.addIOWait(time.Since(start))
+			}
+			sp.AddTime(time.Since(start))
+			sp.AddBytes(int64(len(data)))
+			sp.AddAttr("fetches", 1)
 			switch outcome {
 			case cache.OutcomeHit:
-				st.cacheHits.Add(1)
+				if st != nil {
+					st.cacheHits.Add(1)
+				}
+				sp.AddAttr("cache_hits", 1)
 			case cache.OutcomeCoalesced:
-				st.cacheMisses.Add(1)
-				st.coalescedFetches.Add(1)
+				if st != nil {
+					st.cacheMisses.Add(1)
+					st.coalescedFetches.Add(1)
+				}
+				sp.AddAttr("cache_misses", 1)
+				sp.AddAttr("coalesced_fetches", 1)
 			default:
-				st.cacheMisses.Add(1)
+				if st != nil {
+					st.cacheMisses.Add(1)
+				}
+				sp.AddAttr("cache_misses", 1)
 			}
 		}
 		return data, err

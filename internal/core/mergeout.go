@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"eon/internal/catalog"
 	"eon/internal/exec"
@@ -193,7 +194,10 @@ func (db *DB) RunMergeout() (MergeoutStats, error) {
 				}
 				jobs := tuplemover.SelectJobs(containers, dvCounts, db.cfg.Mergeout)
 				for _, job := range jobs {
+					jobStart := time.Now()
 					purged, err := db.executeMergeJob(groupNode[key], tbl, proj, job)
+					db.mergeoutNS.ObserveDuration(time.Since(jobStart))
+					db.mergeoutJobs.Inc()
 					if err != nil {
 						return stats, err
 					}

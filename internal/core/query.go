@@ -11,6 +11,7 @@ import (
 	"eon/internal/catalog"
 	"eon/internal/exec"
 	"eon/internal/flowassign"
+	"eon/internal/obs"
 	"eon/internal/planner"
 	"eon/internal/sql"
 	"eon/internal/types"
@@ -60,9 +61,16 @@ type Session struct {
 	// or failing store cancels promptly instead of retrying forever
 	// (§5.3). 0 means no deadline.
 	Timeout time.Duration
+	// Trace enables per-query hierarchical span tracing: each query's
+	// plan/scan/fragment/operator timeline is captured and exposed via
+	// LastProfile (EXPLAIN PROFILE). Tracing is also forced on while the
+	// database has a slow-query threshold configured. Off (the default),
+	// the instrumented paths run a zero-allocation no-op fast path.
+	Trace bool
 
-	statsMu  sync.Mutex
-	lastScan ScanStats
+	statsMu     sync.Mutex
+	lastScan    ScanStats
+	lastProfile *obs.Profile
 }
 
 // LastScanStats returns the scan instrumentation of the session's most
@@ -73,6 +81,17 @@ func (s *Session) LastScanStats() ScanStats {
 	s.statsMu.Lock()
 	defer s.statsMu.Unlock()
 	return s.lastScan
+}
+
+// LastProfile returns the hierarchical execution profile of the
+// session's most recent query (EXPLAIN PROFILE): per-operator rows
+// in/out, wall time, bytes fetched and cache behaviour. Nil unless
+// tracing was on (Session.Trace, or a configured slow-query threshold)
+// for the query.
+func (s *Session) LastProfile() *obs.Profile {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.lastProfile
 }
 
 // NewSession opens a session against the cluster.
@@ -176,14 +195,18 @@ func (s *Session) Query(sqlText string) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("core: Query requires a SELECT; use Execute for %T", stmt)
 	}
-	return s.QuerySelect(sel)
+	return s.querySelect(sel, sqlText)
 }
 
 // QuerySelect executes a parsed SELECT.
 func (s *Session) QuerySelect(sel *sql.Select) (*Result, error) {
+	return s.querySelect(sel, "")
+}
+
+func (s *Session) querySelect(sel *sql.Select, sqlText string) (*Result, error) {
 	var lastErr error
 	for attempt := 0; attempt < 3; attempt++ {
-		res, err := s.tryQuery(sel)
+		res, err := s.tryQuery(sel, sqlText)
 		if err == nil {
 			return res, nil
 		}
@@ -200,7 +223,7 @@ func (s *Session) QuerySelect(sel *sql.Select) (*Result, error) {
 	return nil, lastErr
 }
 
-func (s *Session) tryQuery(sel *sql.Select) (*Result, error) {
+func (s *Session) tryQuery(sel *sql.Select, sqlText string) (result *Result, err error) {
 	db := s.db
 	init, err := db.anyUpNode()
 	if err != nil {
@@ -211,19 +234,59 @@ func (s *Session) tryQuery(sel *sql.Select) (*Result, error) {
 		return nil, err
 	}
 	env.stats = &scanTally{}
+
+	// Tracing is on when the session asks for it or the database needs
+	// profiles for its slow-query log; otherwise trace stays nil and every
+	// span operation below is a zero-allocation no-op.
+	var trace *obs.Trace
+	if s.Trace || db.cfg.SlowQueryThreshold > 0 {
+		trace = obs.NewTrace("query", nil)
+	}
 	queryStart := time.Now()
+	defer func() {
+		// Finalize query-level accounting on every exit path: a failed
+		// query still counts, still observes its wall time, and still
+		// leaves a complete profile (Finish force-ends dangling spans).
+		wall := time.Since(queryStart)
+		db.queryCount.Inc()
+		if err != nil {
+			db.queryErrors.Inc()
+		}
+		db.queryWall.ObserveDuration(wall)
+		if trace == nil {
+			return
+		}
+		profile := trace.Finish()
+		s.statsMu.Lock()
+		s.lastProfile = profile
+		s.statsMu.Unlock()
+		if t := db.cfg.SlowQueryThreshold; t > 0 && wall >= t {
+			var errStr string
+			if err != nil {
+				errStr = err.Error()
+			}
+			db.recordSlow(SlowQuery{
+				SQL: sqlText, Start: queryStart, Wall: wall,
+				Err: errStr, Profile: profile,
+			})
+		}
+	}()
+	root := trace.Root()
+	env.ctx = obs.WithSpan(env.ctx, root)
 	if s.Timeout > 0 {
 		ctx, cancel := context.WithTimeout(env.ctx, s.Timeout)
 		defer cancel()
 		env.ctx = ctx
 	}
 
+	planSp := root.StartSpan("plan")
 	plan, err := planner.PlanSelect(sel, planner.Options{
 		Snapshot:          env.snapshots[init.name],
 		BroadcastRowLimit: db.cfg.BroadcastRowLimit,
 		// Container split loses the segmentation property (§4.4).
 		AssumeNoSegmentation: s.Crunch == CrunchContainerSplit && len(env.crunch) > 0,
 	})
+	planSp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -249,22 +312,25 @@ func (s *Session) tryQuery(sel *sql.Select) (*Result, error) {
 		time.Sleep(db.cfg.QueryCost)
 	}
 
-	res, err := db.executePlan(env, plan.Root)
+	res, err := db.executePlan(env, plan.Root, root)
 	if err != nil {
 		return nil, err
 	}
+	gatherSp := root.StartSpan("gather")
 	final, err := db.gather(env, res)
+	gatherSp.End()
 	if err != nil {
 		return nil, err
 	}
 	if final == nil {
 		final = types.NewBatch(plan.Schema(), 0)
 	}
+	gatherSp.AddRowsOut(int64(final.NumRows()))
 	// Publish the query's scan stats: on the session (most recent query)
-	// and into the database's cumulative totals.
+	// and into the database's cumulative registry counters.
 	env.stats.wallNanos.Store(int64(time.Since(queryStart)))
 	snap := env.stats.snapshot()
-	db.scanTotals.add(snap)
+	db.scanM.add(snap)
 	s.statsMu.Lock()
 	s.lastScan = snap
 	s.statsMu.Unlock()

@@ -8,12 +8,44 @@ import (
 	"eon/internal/catalog"
 	"eon/internal/expr"
 	"eon/internal/hashring"
+	"eon/internal/obs"
 	"eon/internal/parallel"
 	"eon/internal/planner"
 	"eon/internal/rosfile"
 	"eon/internal/storage"
 	"eon/internal/types"
 )
+
+// scanSpans carries a fragment's tracing spans through the scan
+// pipeline: the fragment span itself (pruning and row attributes) plus
+// fetch/decode/filter accumulator children whose wall time is summed
+// across the fragment's concurrent workers. The zero value (tracing
+// off) no-ops everywhere.
+type scanSpans struct {
+	frag   *obs.Span
+	fetch  *obs.Span
+	decode *obs.Span
+	filter *obs.Span
+}
+
+// newScanSpans opens the accumulator children under frag (all nil when
+// frag is nil).
+func newScanSpans(frag *obs.Span) scanSpans {
+	return scanSpans{
+		frag:   frag,
+		fetch:  frag.StartSpan("fetch"),
+		decode: frag.StartSpan("decode"),
+		filter: frag.StartSpan("filter"),
+	}
+}
+
+// end closes the accumulator children (the fragment span belongs to the
+// caller).
+func (s scanSpans) end() {
+	s.fetch.End()
+	s.decode.End()
+	s.filter.End()
+}
 
 // containerWork is one unit of scan work: a container of one scan task,
 // tagged with its position in the fragment's deterministic output order.
@@ -38,6 +70,10 @@ type containerWork struct {
 // (task, container) order, exactly the order the serial pipeline
 // produces.
 func (db *DB) scanFragment(ctx context.Context, node *Node, scan *planner.Scan, tasks []scanTask, version uint64, bypassCache bool, mode CrunchMode, rowEngine bool, st *scanTally) ([]*types.Batch, error) {
+	// The fragment span arrives via the context (set by execScan); the
+	// fetch/decode/filter accumulator children aggregate worker time.
+	sps := newScanSpans(obs.SpanFrom(ctx))
+	defer sps.end()
 	snap := node.catalog.Snapshot()
 	if snap.Version() < version {
 		return nil, fmt.Errorf("core: node %s catalog at v%d behind query v%d", node.name, snap.Version(), version)
@@ -94,7 +130,7 @@ func (db *DB) scanFragment(ctx context.Context, node *Node, scan *planner.Scan, 
 	filters := make([]hashFilterState, conc)
 	err := parallel.ForEach(ctx, len(work), conc, func(ctx context.Context, worker, i int) error {
 		w := work[i]
-		batches, err := db.scanContainer(ctx, node, scan, snap, w.sc, bypassCache, rowEngine, st)
+		batches, err := db.scanContainer(ctx, node, scan, snap, w.sc, bypassCache, rowEngine, st, sps)
 		if err != nil {
 			return err
 		}
@@ -216,13 +252,14 @@ type decodedBlock struct {
 // and delete vectors are fetched with a bounded concurrent fan-out, and
 // block decode is pipelined with filtering: block i+1 decodes while the
 // delete-vector and predicate evaluation of block i runs.
-func (db *DB) scanContainer(ctx context.Context, node *Node, scan *planner.Scan, snap *catalog.Snapshot, sc *catalog.StorageContainer, bypassCache, rowEngine bool, st *scanTally) ([]*types.Batch, error) {
+func (db *DB) scanContainer(ctx context.Context, node *Node, scan *planner.Scan, snap *catalog.Snapshot, sc *catalog.StorageContainer, bypassCache, rowEngine bool, st *scanTally, sps scanSpans) ([]*types.Batch, error) {
 	// Container-level pruning from catalog stats — no file access
 	// needed (§2.1).
 	if scan.Pred != nil && !expr.CouldMatch(scan.Pred, containerStats(scan, sc)) {
 		if st != nil {
 			st.containersPruned.Add(1)
 		}
+		sps.frag.AddAttr("containers_pruned", 1)
 		return nil, nil
 	}
 
@@ -231,7 +268,7 @@ func (db *DB) scanContainer(ctx context.Context, node *Node, scan *planner.Scan,
 		bypassCache = true
 	}
 	conc := db.scanConc()
-	fetch := db.trackedFetch(node, bypassCache, st)
+	fetch := db.trackedFetch(node, bypassCache, st, sps.fetch)
 	readers, err := openContainerColumns(ctx, sc, scan.Cols, fetch, conc)
 	if err != nil {
 		return nil, err
@@ -265,6 +302,7 @@ func (db *DB) scanContainer(ctx context.Context, node *Node, scan *planner.Scan,
 	if st != nil {
 		st.containersScanned.Add(1)
 	}
+	sps.frag.AddAttr("containers_scanned", 1)
 
 	// Read block by block with footer min/max pruning on the scanned
 	// columns' readers (block boundaries are aligned across a
@@ -283,6 +321,7 @@ func (db *DB) scanContainer(ctx context.Context, node *Node, scan *planner.Scan,
 				if st != nil {
 					st.blocksPruned.Add(1)
 				}
+				sps.frag.AddAttr("blocks_pruned", 1)
 				continue
 			}
 			start := time.Now()
@@ -300,6 +339,7 @@ func (db *DB) scanContainer(ctx context.Context, node *Node, scan *planner.Scan,
 			if st != nil {
 				st.addDecode(time.Since(start))
 			}
+			sps.decode.AddTime(time.Since(start))
 			d := decodedBlock{blk: first.Footer().Blocks[bi], batch: batch, err: decodeErr}
 			select {
 			case blocks <- d:
@@ -321,11 +361,14 @@ func (db *DB) scanContainer(ctx context.Context, node *Node, scan *planner.Scan,
 			st.blocksScanned.Add(1)
 			st.rowsScanned.Add(int64(d.batch.NumRows()))
 		}
+		sps.frag.AddAttr("blocks_scanned", 1)
+		sps.frag.AddAttr("rows_scanned", int64(d.batch.NumRows()))
 		start := time.Now()
 		batch, err := filterScanBatch(scan, deletes, d, rowEngine, st)
 		if st != nil {
 			st.addFilter(time.Since(start))
 		}
+		sps.filter.AddTime(time.Since(start))
 		if err != nil {
 			return nil, err
 		}

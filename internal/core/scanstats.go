@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"eon/internal/expr"
+	"eon/internal/obs"
 )
 
 // ScanStats is a snapshot of scan-path instrumentation: what a query (or
@@ -72,11 +73,12 @@ func (s *ScanStats) Add(other ScanStats) {
 	s.Wall += other.Wall
 }
 
-// scanTally is the mutable, concurrency-safe accumulator behind
-// ScanStats. One lives per query (hung off the queryEnv and written by
-// every scan worker) and one per DB (the cumulative totals). A nil
-// *scanTally is valid and drops all records, so maintenance paths can
-// share the scan helpers without instrumentation.
+// scanTally is the mutable, concurrency-safe accumulator behind a
+// query's ScanStats, hung off the queryEnv and written by every scan
+// worker. The database's cumulative view lives in the metrics registry
+// (scanMetrics); per-query snapshots are folded into it after each
+// query. A nil *scanTally is valid and drops all records, so maintenance
+// paths can share the scan helpers without instrumentation.
 type scanTally struct {
 	// vec holds the vectorized/fallback row counters; expression
 	// evaluation writes it directly (it is handed to EvalVec/FilterVec).
@@ -133,22 +135,88 @@ func (t *scanTally) snapshot() ScanStats {
 	}
 }
 
-// add accumulates a per-query snapshot into the tally (the DB totals).
-func (t *scanTally) add(s ScanStats) {
-	t.containersScanned.Add(s.ContainersScanned)
-	t.containersPruned.Add(s.ContainersPruned)
-	t.blocksScanned.Add(s.BlocksScanned)
-	t.blocksPruned.Add(s.BlocksPruned)
-	t.rowsScanned.Add(s.RowsScanned)
-	t.fetches.Add(s.Fetches)
-	t.bytesFetched.Add(s.BytesFetched)
-	t.cacheHits.Add(s.CacheHits)
-	t.cacheMisses.Add(s.CacheMisses)
-	t.coalescedFetches.Add(s.CoalescedFetches)
-	t.vec.Vectorized.Add(s.RowsVectorized)
-	t.vec.Fallback.Add(s.RowsFallback)
-	t.ioWaitNanos.Add(int64(s.IOWait))
-	t.decodeNanos.Add(int64(s.Decode))
-	t.filterNanos.Add(int64(s.Filter))
-	t.wallNanos.Add(int64(s.Wall))
+// scanMetrics is the database's cumulative scan instrumentation, held as
+// registry counters under the "scan." prefix — DB.ScanStats() is a
+// derived snapshot over the registry, not a parallel accumulator.
+type scanMetrics struct {
+	containersScanned *obs.Counter
+	containersPruned  *obs.Counter
+	blocksScanned     *obs.Counter
+	blocksPruned      *obs.Counter
+	rowsScanned       *obs.Counter
+	fetches           *obs.Counter
+	bytesFetched      *obs.Counter
+	cacheHits         *obs.Counter
+	cacheMisses       *obs.Counter
+	coalescedFetches  *obs.Counter
+	rowsVectorized    *obs.Counter
+	rowsFallback      *obs.Counter
+	ioWaitNanos       *obs.Counter
+	decodeNanos       *obs.Counter
+	filterNanos       *obs.Counter
+	wallNanos         *obs.Counter
+}
+
+// init creates the counters in reg. A nil registry yields nil counters,
+// which drop adds.
+func (m *scanMetrics) init(reg *obs.Registry) {
+	m.containersScanned = reg.Counter("scan.containers_scanned")
+	m.containersPruned = reg.Counter("scan.containers_pruned")
+	m.blocksScanned = reg.Counter("scan.blocks_scanned")
+	m.blocksPruned = reg.Counter("scan.blocks_pruned")
+	m.rowsScanned = reg.Counter("scan.rows_scanned")
+	m.fetches = reg.Counter("scan.fetches")
+	m.bytesFetched = reg.Counter("scan.bytes_fetched")
+	m.cacheHits = reg.Counter("scan.cache_hits")
+	m.cacheMisses = reg.Counter("scan.cache_misses")
+	m.coalescedFetches = reg.Counter("scan.coalesced_fetches")
+	m.rowsVectorized = reg.Counter("scan.rows_vectorized")
+	m.rowsFallback = reg.Counter("scan.rows_fallback")
+	m.ioWaitNanos = reg.Counter("scan.io_wait_ns")
+	m.decodeNanos = reg.Counter("scan.decode_ns")
+	m.filterNanos = reg.Counter("scan.filter_ns")
+	m.wallNanos = reg.Counter("scan.wall_ns")
+}
+
+// add folds a per-query snapshot into the cumulative registry counters.
+func (m *scanMetrics) add(s ScanStats) {
+	m.containersScanned.Add(s.ContainersScanned)
+	m.containersPruned.Add(s.ContainersPruned)
+	m.blocksScanned.Add(s.BlocksScanned)
+	m.blocksPruned.Add(s.BlocksPruned)
+	m.rowsScanned.Add(s.RowsScanned)
+	m.fetches.Add(s.Fetches)
+	m.bytesFetched.Add(s.BytesFetched)
+	m.cacheHits.Add(s.CacheHits)
+	m.cacheMisses.Add(s.CacheMisses)
+	m.coalescedFetches.Add(s.CoalescedFetches)
+	m.rowsVectorized.Add(s.RowsVectorized)
+	m.rowsFallback.Add(s.RowsFallback)
+	m.ioWaitNanos.Add(int64(s.IOWait))
+	m.decodeNanos.Add(int64(s.Decode))
+	m.filterNanos.Add(int64(s.Filter))
+	m.wallNanos.Add(int64(s.Wall))
+}
+
+// snapshot derives the cumulative ScanStats view from the registry
+// counters.
+func (m *scanMetrics) snapshot() ScanStats {
+	return ScanStats{
+		ContainersScanned: m.containersScanned.Value(),
+		ContainersPruned:  m.containersPruned.Value(),
+		BlocksScanned:     m.blocksScanned.Value(),
+		BlocksPruned:      m.blocksPruned.Value(),
+		RowsScanned:       m.rowsScanned.Value(),
+		Fetches:           m.fetches.Value(),
+		BytesFetched:      m.bytesFetched.Value(),
+		CacheHits:         m.cacheHits.Value(),
+		CacheMisses:       m.cacheMisses.Value(),
+		CoalescedFetches:  m.coalescedFetches.Value(),
+		RowsVectorized:    m.rowsVectorized.Value(),
+		RowsFallback:      m.rowsFallback.Value(),
+		IOWait:            time.Duration(m.ioWaitNanos.Value()),
+		Decode:            time.Duration(m.decodeNanos.Value()),
+		Filter:            time.Duration(m.filterNanos.Value()),
+		Wall:              time.Duration(m.wallNanos.Value()),
+	}
 }

@@ -17,7 +17,8 @@ func (s *Session) Execute(sqlText string) (*Result, error) {
 	}
 	switch st := stmt.(type) {
 	case *sql.Select:
-		return s.QuerySelect(st)
+		// Thread the original text so slow-query log entries carry it.
+		return s.querySelect(st, sqlText)
 	case *sql.CreateTable:
 		return &Result{}, s.db.CreateTable(st)
 	case *sql.CreateProjection:

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"eon/internal/obs"
+	"eon/internal/workload"
+)
+
+// profileTotals sums the counter attributes and fetched bytes across a
+// profile tree — the same quantities ScanStats accumulates, derived
+// independently from the span tree.
+type profileTotals struct {
+	containersScanned int64
+	containersPruned  int64
+	blocksScanned     int64
+	blocksPruned      int64
+	rowsScanned       int64
+	fetches           int64
+	cacheHits         int64
+	cacheMisses       int64
+	coalescedFetches  int64
+	bytes             int64
+	fetchWall         time.Duration
+	decodeWall        time.Duration
+	filterWall        time.Duration
+}
+
+func sumProfile(p *obs.Profile) profileTotals {
+	var t profileTotals
+	p.Visit(func(n *obs.Profile) {
+		t.containersScanned += n.Attrs["containers_scanned"]
+		t.containersPruned += n.Attrs["containers_pruned"]
+		t.blocksScanned += n.Attrs["blocks_scanned"]
+		t.blocksPruned += n.Attrs["blocks_pruned"]
+		t.rowsScanned += n.Attrs["rows_scanned"]
+		t.fetches += n.Attrs["fetches"]
+		t.cacheHits += n.Attrs["cache_hits"]
+		t.cacheMisses += n.Attrs["cache_misses"]
+		t.coalescedFetches += n.Attrs["coalesced_fetches"]
+		switch n.Name {
+		case "fetch":
+			t.bytes += n.Bytes
+			t.fetchWall += n.Wall
+		case "decode":
+			t.decodeWall += n.Wall
+		case "filter":
+			t.filterWall += n.Wall
+		}
+	})
+	return t
+}
+
+// TestProfileMatchesScanStats is the differential check between the two
+// instrumentation paths: for every TPC-H query, the per-query execution
+// profile (span tree) must exist, be hierarchical, have no dangling
+// spans, and its summed counter attributes must equal the ScanStats
+// snapshot recorded through the independent scanTally path.
+func TestProfileMatchesScanStats(t *testing.T) {
+	db, _, err := NewEonCluster(3, 3, 2, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadTPCH(db, 0.02); err != nil {
+		t.Fatal(err)
+	}
+	s := db.NewSession()
+	s.Trace = true
+
+	for _, q := range workload.TPCHQueries() {
+		if _, err := s.Query(q.SQL); err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		prof := s.LastProfile()
+		if prof == nil {
+			t.Fatalf("%s: no profile recorded", q.Name)
+		}
+		if prof.Name != "query" {
+			t.Fatalf("%s: root span is %q, want %q", q.Name, prof.Name, "query")
+		}
+		if prof.Dangling != 0 {
+			t.Errorf("%s: %d dangling spans force-ended", q.Name, prof.Dangling)
+		}
+		// Hierarchy: plan under the root, a scan operator somewhere, a
+		// fragment under it, and the fetch/decode/filter leaves under
+		// that.
+		if prof.Find("plan") == nil {
+			t.Errorf("%s: profile has no plan span", q.Name)
+		}
+		var scan *obs.Profile
+		prof.Visit(func(n *obs.Profile) {
+			if scan == nil && strings.HasPrefix(n.Name, "scan:") {
+				scan = n
+			}
+		})
+		if scan == nil {
+			t.Fatalf("%s: profile has no scan operator span", q.Name)
+		}
+		var frag *obs.Profile
+		scan.Visit(func(n *obs.Profile) {
+			if frag == nil && strings.HasPrefix(n.Name, "fragment:") {
+				frag = n
+			}
+		})
+		if frag == nil {
+			t.Fatalf("%s: scan span has no fragment child", q.Name)
+		}
+		for _, leaf := range []string{"fetch", "decode", "filter"} {
+			if frag.Find(leaf) == nil {
+				t.Errorf("%s: fragment has no %s leaf", q.Name, leaf)
+			}
+		}
+
+		// Differential: span-tree totals vs the scanTally snapshot.
+		st := s.LastScanStats()
+		got := sumProfile(prof)
+		checks := []struct {
+			name       string
+			prof, stat int64
+		}{
+			{"containers_scanned", got.containersScanned, st.ContainersScanned},
+			{"containers_pruned", got.containersPruned, st.ContainersPruned},
+			{"blocks_scanned", got.blocksScanned, st.BlocksScanned},
+			{"blocks_pruned", got.blocksPruned, st.BlocksPruned},
+			{"rows_scanned", got.rowsScanned, st.RowsScanned},
+			{"fetches", got.fetches, st.Fetches},
+			{"cache_hits", got.cacheHits, st.CacheHits},
+			{"cache_misses", got.cacheMisses, st.CacheMisses},
+			{"coalesced_fetches", got.coalescedFetches, st.CoalescedFetches},
+			{"bytes_fetched", got.bytes, st.BytesFetched},
+		}
+		for _, c := range checks {
+			if c.prof != c.stat {
+				t.Errorf("%s: %s: profile sums to %d, ScanStats says %d", q.Name, c.name, c.prof, c.stat)
+			}
+		}
+		// Time splits: each span samples time.Since after the tally does,
+		// so the span total is never below the tally's.
+		if got.fetchWall < st.IOWait {
+			t.Errorf("%s: fetch span wall %v below ScanStats IOWait %v", q.Name, got.fetchWall, st.IOWait)
+		}
+		if got.decodeWall < st.Decode {
+			t.Errorf("%s: decode span wall %v below ScanStats Decode %v", q.Name, got.decodeWall, st.Decode)
+		}
+		if got.filterWall < st.Filter {
+			t.Errorf("%s: filter span wall %v below ScanStats Filter %v", q.Name, got.filterWall, st.Filter)
+		}
+		// The root span opens before the query timer starts and closes
+		// after it stops, so it brackets the query's wall time from
+		// above.
+		if st.Wall > 0 && prof.Wall < st.Wall {
+			t.Errorf("%s: root span wall %v below query wall %v", q.Name, prof.Wall, st.Wall)
+		}
+	}
+}

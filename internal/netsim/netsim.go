@@ -13,6 +13,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"eon/internal/obs"
 )
 
 // ErrUnreachable is returned when an endpoint is down or partitioned.
@@ -106,10 +108,17 @@ type Network struct {
 	down    map[string]bool
 	faults  *Faults
 
-	ops      atomic.Int64 // transfer index for the fault schedule
-	messages atomic.Int64
-	bytes    atomic.Int64
-	drops    atomic.Int64
+	ops atomic.Int64 // transfer index for the fault schedule
+
+	// Traffic counters are monotonic (the registry view); ResetStats
+	// captures a baseline for the Stats() view instead of zeroing, so a
+	// concurrent reader can never observe a torn reset.
+	messages obs.Counter
+	bytes    obs.Counter
+	drops    obs.Counter
+
+	statsMu  sync.Mutex
+	baseline Stats
 }
 
 // New returns a network with the given default link cost.
@@ -231,15 +240,39 @@ func (n *Network) Transfer(ctx context.Context, from, to string, size int64) err
 	return nil
 }
 
-// Stats returns traffic totals.
-func (n *Network) Stats() Stats {
-	return Stats{Messages: n.messages.Load(), Bytes: n.bytes.Load(), Drops: n.drops.Load()}
+// read takes a raw snapshot of the monotonic counters, bytes before
+// messages (Transfer counts messages before bytes, so a snapshot never
+// shows more bytes than its message count accounts for).
+func (n *Network) read() Stats {
+	b := n.bytes.Value()
+	return Stats{Messages: n.messages.Value(), Bytes: b, Drops: n.drops.Value()}
 }
 
-// ResetStats zeroes traffic totals (the fault-schedule op index is a
-// schedule position, not a stat, and is not reset).
+// Stats returns traffic totals since the last ResetStats.
+func (n *Network) Stats() Stats {
+	n.statsMu.Lock()
+	defer n.statsMu.Unlock()
+	cur := n.read()
+	return Stats{
+		Messages: cur.Messages - n.baseline.Messages,
+		Bytes:    cur.Bytes - n.baseline.Bytes,
+		Drops:    cur.Drops - n.baseline.Drops,
+	}
+}
+
+// ResetStats zeroes the Stats() view by capturing a baseline (the
+// fault-schedule op index is a schedule position, not a stat, and is not
+// reset; the underlying counters stay monotonic for the registry).
 func (n *Network) ResetStats() {
-	n.messages.Store(0)
-	n.bytes.Store(0)
-	n.drops.Store(0)
+	n.statsMu.Lock()
+	n.baseline = n.read()
+	n.statsMu.Unlock()
+}
+
+// Instrument registers the interconnect's traffic counters into reg
+// under the "net." prefix.
+func (n *Network) Instrument(reg *obs.Registry) {
+	reg.RegisterCounter("net.messages", &n.messages)
+	reg.RegisterCounter("net.bytes", &n.bytes)
+	reg.RegisterCounter("net.drops", &n.drops)
 }

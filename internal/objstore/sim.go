@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"eon/internal/obs"
 )
 
 // SimConfig tunes the shared-storage simulator. Zero values disable each
@@ -80,10 +82,18 @@ type Sim struct {
 
 	inflight chan struct{}
 
-	ops                        atomic.Int64 // global request index for Faults
-	gets, puts, lists, deletes atomic.Int64
-	bytesRead, bytesWritten    atomic.Int64
-	throttled, failed          atomic.Int64
+	ops atomic.Int64 // global request index for Faults
+
+	// Traffic counters are monotonic for the life of the Sim (that is what
+	// a metrics registry sees); Stats()/ResetStats() derive a resettable
+	// view by subtracting a baseline captured under statsMu.
+	gets, puts, lists, deletes obs.Counter
+	bytesRead, bytesWritten    obs.Counter
+	throttled, failed          obs.Counter
+	getNS, putNS               obs.Histogram
+
+	statsMu  sync.Mutex
+	baseline Stats
 }
 
 // NewSim wraps backend with the given configuration.
@@ -95,26 +105,62 @@ func NewSim(backend Store, cfg SimConfig) *Sim {
 	return s
 }
 
-// Stats returns a snapshot of traffic counters.
-func (s *Sim) Stats() Stats {
+// read takes a raw snapshot of the monotonic counters. Byte counters are
+// read before request counters: each operation increments its request
+// counter before its byte counter, so a snapshot can never show more
+// bytes than its request counts account for.
+func (s *Sim) read() Stats {
+	br, bw := s.bytesRead.Value(), s.bytesWritten.Value()
 	return Stats{
-		Gets: s.gets.Load(), Puts: s.puts.Load(),
-		Lists: s.lists.Load(), Deletes: s.deletes.Load(),
-		BytesRead: s.bytesRead.Load(), BytesWritten: s.bytesWritten.Load(),
-		Throttled: s.throttled.Load(), Failed: s.failed.Load(),
+		Gets: s.gets.Value(), Puts: s.puts.Value(),
+		Lists: s.lists.Value(), Deletes: s.deletes.Value(),
+		BytesRead: br, BytesWritten: bw,
+		Throttled: s.throttled.Value(), Failed: s.failed.Value(),
 	}
 }
 
-// ResetStats zeroes the traffic counters.
+// Stats returns a snapshot of traffic counters since the last ResetStats.
+func (s *Sim) Stats() Stats {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	cur := s.read()
+	b := s.baseline
+	return Stats{
+		Gets: cur.Gets - b.Gets, Puts: cur.Puts - b.Puts,
+		Lists: cur.Lists - b.Lists, Deletes: cur.Deletes - b.Deletes,
+		BytesRead: cur.BytesRead - b.BytesRead, BytesWritten: cur.BytesWritten - b.BytesWritten,
+		Throttled: cur.Throttled - b.Throttled, Failed: cur.Failed - b.Failed,
+	}
+}
+
+// ResetStats zeroes the Stats() view. The underlying counters stay
+// monotonic — the reset captures a baseline rather than storing zeros,
+// so concurrent Stats() readers can never observe a torn half-reset
+// (some counters zeroed, others not).
 func (s *Sim) ResetStats() {
-	s.gets.Store(0)
-	s.puts.Store(0)
-	s.lists.Store(0)
-	s.deletes.Store(0)
-	s.bytesRead.Store(0)
-	s.bytesWritten.Store(0)
-	s.throttled.Store(0)
-	s.failed.Store(0)
+	s.statsMu.Lock()
+	s.baseline = s.read()
+	s.statsMu.Unlock()
+}
+
+// Instrument registers the simulator's counters, request-latency
+// histograms, and a derived request-cost gauge (in nano-USD, priced at
+// DefaultCosts) into reg under the "objstore." prefix. Registry values
+// are monotonic: ResetStats affects only the Stats() view.
+func (s *Sim) Instrument(reg *obs.Registry) {
+	reg.RegisterCounter("objstore.gets", &s.gets)
+	reg.RegisterCounter("objstore.puts", &s.puts)
+	reg.RegisterCounter("objstore.lists", &s.lists)
+	reg.RegisterCounter("objstore.deletes", &s.deletes)
+	reg.RegisterCounter("objstore.bytes_read", &s.bytesRead)
+	reg.RegisterCounter("objstore.bytes_written", &s.bytesWritten)
+	reg.RegisterCounter("objstore.throttled", &s.throttled)
+	reg.RegisterCounter("objstore.failed", &s.failed)
+	reg.RegisterHistogram("objstore.get_ns", &s.getNS)
+	reg.RegisterHistogram("objstore.put_ns", &s.putNS)
+	reg.GaugeFunc("objstore.request_cost_nano_usd", func() int64 {
+		return int64(s.read().RequestCostUSD(DefaultCosts()) * 1e9)
+	})
 }
 
 // begin applies throttling and failure injection for a request on key;
@@ -183,6 +229,8 @@ func (s *Sim) Put(ctx context.Context, key string, data []byte) error {
 		return err
 	}
 	defer release()
+	start := time.Now()
+	defer func() { s.putNS.ObserveDuration(time.Since(start)) }()
 	s.puts.Add(1)
 	s.bytesWritten.Add(int64(len(data)))
 	if err := s.wait(ctx, s.cfg.PutLatency+extra, int64(len(data))); err != nil {
@@ -200,6 +248,8 @@ func (s *Sim) Get(ctx context.Context, key string) ([]byte, error) {
 		return nil, err
 	}
 	defer release()
+	start := time.Now()
+	defer func() { s.getNS.ObserveDuration(time.Since(start)) }()
 	s.gets.Add(1)
 	data, err := s.backend.Get(ctx, key)
 	if err != nil {
@@ -219,6 +269,8 @@ func (s *Sim) GetRange(ctx context.Context, key string, offset, length int64) ([
 		return nil, err
 	}
 	defer release()
+	start := time.Now()
+	defer func() { s.getNS.ObserveDuration(time.Since(start)) }()
 	s.gets.Add(1)
 	data, err := s.backend.GetRange(ctx, key, offset, length)
 	if err != nil {

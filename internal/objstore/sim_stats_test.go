@@ -1,0 +1,131 @@
+package objstore
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"eon/internal/obs"
+)
+
+// TestResetStatsNotTorn hammers Get/Stats/ResetStats concurrently and
+// asserts every snapshot is internally consistent. The old ResetStats
+// stored zeros field by field, so a concurrent Stats() could observe a
+// half-reset (e.g. bytesRead zeroed but gets not, or vice versa); the
+// baseline-subtraction design makes every snapshot coherent. Run under
+// -race in CI.
+func TestResetStatsNotTorn(t *testing.T) {
+	const (
+		objSize = 100
+		workers = 8
+		ops     = 400
+	)
+	mem := NewMem()
+	sim := NewSim(mem, SimConfig{})
+	ctx := context.Background()
+	payload := make([]byte, objSize)
+	for i := 0; i < workers; i++ {
+		if err := sim.Put(ctx, fmt.Sprintf("obj-%d", i), payload); err != nil {
+			t.Fatalf("seed put: %v", err)
+		}
+	}
+	sim.ResetStats()
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := fmt.Sprintf("obj-%d", i)
+			for j := 0; j < ops; j++ {
+				if _, err := sim.Get(ctx, key); err != nil {
+					t.Errorf("get: %v", err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			sim.ResetStats()
+		}
+	}()
+
+	var snapErr error
+	for i := 0; i < 2000 && snapErr == nil; i++ {
+		st := sim.Stats()
+		switch {
+		case st.Gets < 0 || st.Puts < 0 || st.BytesRead < 0 || st.BytesWritten < 0 ||
+			st.Lists < 0 || st.Deletes < 0 || st.Throttled < 0 || st.Failed < 0:
+			snapErr = fmt.Errorf("negative counter in snapshot: %+v", st)
+		// Bytes must be accounted for by Gets. An op in flight at the
+		// baseline capture may have counted its request but not yet its
+		// bytes, so allow one object of slack per worker.
+		case st.BytesRead > (st.Gets+workers)*objSize:
+			snapErr = fmt.Errorf("snapshot torn: BytesRead=%d > (Gets=%d + %d workers) * %d",
+				st.BytesRead, st.Gets, workers, objSize)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	if snapErr != nil {
+		t.Fatal(snapErr)
+	}
+}
+
+func TestResetStatsBaseline(t *testing.T) {
+	sim := NewSim(NewMem(), SimConfig{})
+	ctx := context.Background()
+	if err := sim.Put(ctx, "k", make([]byte, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Get(ctx, "k"); err != nil {
+		t.Fatal(err)
+	}
+	st := sim.Stats()
+	if st.Gets != 1 || st.Puts != 1 || st.BytesRead != 10 || st.BytesWritten != 10 {
+		t.Fatalf("pre-reset stats = %+v", st)
+	}
+	sim.ResetStats()
+	if st := sim.Stats(); st != (Stats{}) {
+		t.Fatalf("post-reset stats = %+v, want zero", st)
+	}
+	if _, err := sim.Get(ctx, "k"); err != nil {
+		t.Fatal(err)
+	}
+	if st := sim.Stats(); st.Gets != 1 || st.BytesRead != 10 || st.Puts != 0 {
+		t.Fatalf("post-reset second read = %+v", st)
+	}
+}
+
+// TestInstrumentRegistryMonotonic checks that the registry view keeps
+// counting across ResetStats and that the cost gauge prices requests.
+func TestInstrumentRegistryMonotonic(t *testing.T) {
+	sim := NewSim(NewMem(), SimConfig{})
+	reg := obs.NewRegistry()
+	sim.Instrument(reg)
+	ctx := context.Background()
+	if err := sim.Put(ctx, "k", make([]byte, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Get(ctx, "k"); err != nil {
+		t.Fatal(err)
+	}
+	sim.ResetStats()
+	snap := reg.Snapshot()
+	if snap.Counters["objstore.gets"] != 1 || snap.Counters["objstore.puts"] != 1 {
+		t.Fatalf("registry counters reset along with Stats view: %+v", snap.Counters)
+	}
+	if snap.Histograms["objstore.get_ns"].Count != 1 {
+		t.Fatalf("get latency histogram count = %d", snap.Histograms["objstore.get_ns"].Count)
+	}
+	wantCost := int64(Stats{Gets: 1, Puts: 1}.RequestCostUSD(DefaultCosts()) * 1e9)
+	if got := snap.Gauges["objstore.request_cost_nano_usd"]; got != wantCost {
+		t.Fatalf("cost gauge = %d, want %d", got, wantCost)
+	}
+}

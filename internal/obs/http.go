@@ -1,0 +1,37 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+)
+
+// Handler serves every published registry, expvar-style: JSON by
+// default, aligned text with ?format=text. Mounted by cmd/eon-bench
+// when -metrics is given.
+func Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		snaps := Gather()
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			names := make([]string, 0, len(snaps))
+			for name := range snaps {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				w.Write([]byte("== " + name + " ==\n"))
+				w.Write([]byte(snaps[name].Text()))
+				w.Write([]byte("\n"))
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		b, err := json.MarshalIndent(snaps, "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(b)
+	})
+}

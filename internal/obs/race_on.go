@@ -1,0 +1,8 @@
+//go:build race
+
+package obs
+
+// RaceEnabled reports whether the race detector is compiled in. The
+// disabled-tracer zero-allocation test is skipped under -race because
+// instrumentation itself allocates.
+const RaceEnabled = true

@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry is a named collection of metrics. Registration takes a write
+// lock; metric updates go straight to the metric's atomics, so the hot
+// path never touches the registry. A nil *Registry is valid: lookups
+// return nil metrics (which discard updates) and registration is a
+// no-op, so subsystems can instrument unconditionally.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// RegisterCounter publishes an externally owned counter under name,
+// replacing any previous registration (re-created subsystems re-register
+// over their predecessors).
+func (r *Registry) RegisterCounter(name string, c *Counter) {
+	if r == nil || c == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters[name] = c
+}
+
+// Gauge returns the named settable gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// GaugeFunc registers a derived gauge computed on read.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gauges[name] = &Gauge{fn: fn}
+}
+
+// Histogram returns the named histogram, creating it if needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// RegisterHistogram publishes an externally owned histogram under name.
+func (r *Registry) RegisterHistogram(name string, h *Histogram) {
+	if r == nil || h == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hists[name] = h
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry,
+// serializable as JSON and renderable as text.
+type Snapshot struct {
+	Counters   map[string]int64     `json:"counters"`
+	Gauges     map[string]int64     `json:"gauges"`
+	Histograms map[string]HistStats `json:"histograms"`
+}
+
+// Snapshot captures the current value of every registered metric.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistStats{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.RUnlock()
+	// Values are read outside the registry lock: derived gauges may take
+	// subsystem locks of their own (e.g. cache internals).
+	for k, c := range counters {
+		s.Counters[k] = c.Value()
+	}
+	for k, g := range gauges {
+		s.Gauges[k] = g.Value()
+	}
+	for k, h := range hists {
+		s.Histograms[k] = h.Snapshot()
+	}
+	return s
+}
+
+// JSON renders the snapshot as indented JSON.
+func (s Snapshot) JSON() []byte {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return []byte("{}")
+	}
+	return b
+}
+
+// Text renders the snapshot as aligned, sorted, human-readable lines.
+func (s Snapshot) Text() string {
+	var b strings.Builder
+	section := func(title string, keys []string, line func(k string) string) {
+		if len(keys) == 0 {
+			return
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(&b, "%s:\n", title)
+		width := 0
+		for _, k := range keys {
+			if len(k) > width {
+				width = len(k)
+			}
+		}
+		for _, k := range keys {
+			fmt.Fprintf(&b, "  %-*s  %s\n", width, k, line(k))
+		}
+	}
+	ck := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		ck = append(ck, k)
+	}
+	section("counters", ck, func(k string) string { return fmt.Sprintf("%d", s.Counters[k]) })
+	gk := make([]string, 0, len(s.Gauges))
+	for k := range s.Gauges {
+		gk = append(gk, k)
+	}
+	section("gauges", gk, func(k string) string { return fmt.Sprintf("%d", s.Gauges[k]) })
+	hk := make([]string, 0, len(s.Histograms))
+	for k := range s.Histograms {
+		hk = append(hk, k)
+	}
+	section("histograms", hk, func(k string) string {
+		h := s.Histograms[k]
+		return fmt.Sprintf("count=%d sum=%d mean=%d p50=%d p95=%d p99=%d max=%d",
+			h.Count, h.Sum, h.Mean(), h.P50, h.P95, h.P99, h.Max)
+	})
+	return b.String()
+}
+
+// published is the process-wide set of registries for export endpoints
+// (cmd/eon-bench's HTTP handler). Keyed by name; a database re-created
+// under the same name replaces its predecessor, so test suites that
+// build thousands of short-lived clusters do not accumulate entries.
+var (
+	pubMu     sync.Mutex
+	published = map[string]*Registry{}
+)
+
+// Publish exposes a registry process-wide under name (replacing any
+// previous registry of that name).
+func Publish(name string, r *Registry) {
+	if r == nil {
+		return
+	}
+	pubMu.Lock()
+	defer pubMu.Unlock()
+	published[name] = r
+}
+
+// Gather snapshots every published registry, keyed by publish name.
+func Gather() map[string]Snapshot {
+	pubMu.Lock()
+	regs := make(map[string]*Registry, len(published))
+	for k, v := range published {
+		regs[k] = v
+	}
+	pubMu.Unlock()
+	out := make(map[string]Snapshot, len(regs))
+	for k, r := range regs {
+		out[k] = r.Snapshot()
+	}
+	return out
+}

@@ -14,15 +14,17 @@
 //     amplify an S3 SlowDown), and half-opens probabilistically.
 //
 // The package deliberately imports nothing from the rest of the system
-// so the lower layers (objstore) can build on it without cycles; the
-// error classifier is injected by the caller.
+// (only the foundational internal/obs metric types) so the lower layers
+// (objstore) can build on it without cycles; the error classifier is
+// injected by the caller.
 package resilience
 
 import (
 	"errors"
 	"sync"
-	"sync/atomic"
 	"time"
+
+	"eon/internal/obs"
 )
 
 // ErrOpen is returned without touching the underlying store while a
@@ -54,18 +56,31 @@ type Stats struct {
 }
 
 // Counters accumulates Stats atomically. The zero value is ready to use;
-// a nil *Counters discards all counts.
+// a nil *Counters discards all counts. The fields are obs metrics so a
+// database can Register them into its registry and read live values
+// without a parallel bookkeeping path.
 type Counters struct {
-	attempts, retries, failures atomic.Int64
-	hedgesFired, hedgesWon      atomic.Int64
-	breakerOpens, shed, probes  atomic.Int64
-	fallbacks                   atomic.Int64
+	attempts, retries, failures obs.Counter
+	hedgesFired, hedgesWon      obs.Counter
+	breakerOpens, shed, probes  obs.Counter
+	fallbacks                   obs.Counter
 }
 
-func (c *Counters) add(f *atomic.Int64, n int64) {
-	if c != nil {
-		f.Add(n)
+// Register publishes the counters into reg under prefix (e.g.
+// "resilience."). A nil receiver or registry is a no-op.
+func (c *Counters) Register(reg *obs.Registry, prefix string) {
+	if c == nil || reg == nil {
+		return
 	}
+	reg.RegisterCounter(prefix+"attempts", &c.attempts)
+	reg.RegisterCounter(prefix+"retries", &c.retries)
+	reg.RegisterCounter(prefix+"failures", &c.failures)
+	reg.RegisterCounter(prefix+"hedges_fired", &c.hedgesFired)
+	reg.RegisterCounter(prefix+"hedges_won", &c.hedgesWon)
+	reg.RegisterCounter(prefix+"breaker_opens", &c.breakerOpens)
+	reg.RegisterCounter(prefix+"shed", &c.shed)
+	reg.RegisterCounter(prefix+"probes", &c.probes)
+	reg.RegisterCounter(prefix+"fallbacks", &c.fallbacks)
 }
 
 // Attempt records one issued operation attempt.
@@ -137,15 +152,15 @@ func (c *Counters) Snapshot() Stats {
 		return Stats{}
 	}
 	return Stats{
-		Attempts:     c.attempts.Load(),
-		Retries:      c.retries.Load(),
-		Failures:     c.failures.Load(),
-		HedgesFired:  c.hedgesFired.Load(),
-		HedgesWon:    c.hedgesWon.Load(),
-		BreakerOpens: c.breakerOpens.Load(),
-		Shed:         c.shed.Load(),
-		Probes:       c.probes.Load(),
-		Fallbacks:    c.fallbacks.Load(),
+		Attempts:     c.attempts.Value(),
+		Retries:      c.retries.Value(),
+		Failures:     c.failures.Value(),
+		HedgesFired:  c.hedgesFired.Value(),
+		HedgesWon:    c.hedgesWon.Value(),
+		BreakerOpens: c.breakerOpens.Value(),
+		Shed:         c.shed.Value(),
+		Probes:       c.probes.Value(),
+		Fallbacks:    c.fallbacks.Value(),
 	}
 }
 

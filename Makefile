@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race chaos obs check bench bench-all
+.PHONY: all vet build test race chaos obs exec check bench bench-all
 
 all: check
 
@@ -37,6 +37,15 @@ obs:
 	$(GO) test -count=1 -run 'TestDisabledTracerZeroAlloc' ./internal/obs/
 	$(GO) test -race -count=1 -run 'TestSlowQuery|TestResetStats' ./internal/core/ ./internal/objstore/
 
+# Streaming-executor gate: the streaming-vs-materialized differential
+# over the full workload, the LIMIT pushdown / early-termination and
+# memory-budget spill tests, and the cancellation leak check — all
+# race-checked (the pipeline is goroutines connected by channels) —
+# plus the operator and fan-out helper unit tests.
+exec:
+	$(GO) test -race -count=1 -run 'TestStreaming|TestLimitPushdown|TestQueryMemoryBudget' ./internal/experiments/
+	$(GO) test -race -count=1 ./internal/exec/ ./internal/parallel/
+
 # Fig-10 plus the ScanConcurrency sweep (cold/warm caches), with
 # allocation stats; the raw `go test -json` event stream is kept in
 # BENCH_scan.json for later comparison. The vectorized-vs-row kernel
@@ -57,6 +66,11 @@ bench:
 		| sed 's/"Output":"//; s/"$$//; s/\\t/ /g; s/\\n//' \
 		| awk '/^Benchmark/ && !/ns\/op/ {name=$$1; next} /ns\/op/ {if ($$0 ~ /^Benchmark/) print; else printf "%s %s\n", name, $$0}'
 	@echo "wrote BENCH_obs.json"
+	$(GO) test -json -bench 'BenchmarkStreamingExec' -benchmem -benchtime=5x -run '^$$' . > BENCH_exec.json
+	@grep -oE '"Output":"[^"]*"' BENCH_exec.json \
+		| sed 's/"Output":"//; s/"$$//; s/\\t/ /g; s/\\n//' \
+		| awk '/^Benchmark/ && !/ns\/op/ {name=$$1; next} /ns\/op/ {if ($$0 ~ /^Benchmark/) print; else printf "%s %s\n", name, $$0}'
+	@echo "wrote BENCH_exec.json"
 
 # Every benchmark in the repository (figures + ablations).
 bench-all:

@@ -504,6 +504,52 @@ func BenchmarkQueryKernels(b *testing.B) {
 	}
 }
 
+// --- Streaming executor vs materialized escape hatch ---
+
+// BenchmarkStreamingExec compares the streaming pipeline against the
+// stage-at-a-time materialized executor on a three-node cluster. The
+// "limit" pair shows early termination: streaming stops the fragment
+// scans as soon as the LIMIT is satisfied, while the materialized path
+// still scans (but no longer ships) everything. The "agg" pair runs a
+// grouped aggregation where both executors do the same work and should
+// be near parity; the streaming side also reports its governed peak
+// memory.
+func BenchmarkStreamingExec(b *testing.B) {
+	db, _, err := experiments.NewEonCluster(3, 3, 2, 0, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := experiments.LoadTPCH(db, 0.05); err != nil {
+		b.Fatal(err)
+	}
+	const limitQ = `SELECT l_orderkey, l_extendedprice FROM lineitem LIMIT 20`
+	aggQ := workload.DashboardQuery
+	for _, q := range []struct{ name, sql string }{{"limit", limitQ}, {"agg", aggQ}} {
+		for _, mode := range []struct {
+			name         string
+			materialized bool
+		}{{"streaming", false}, {"materialized", true}} {
+			b.Run(q.name+"/"+mode.name, func(b *testing.B) {
+				s := db.NewSession()
+				s.MaterializedExec = mode.materialized
+				if _, err := s.Query(q.sql); err != nil { // warm the caches
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := s.Query(q.sql); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				if !mode.materialized {
+					b.ReportMetric(float64(s.LastExecStats().PeakMemBytes), "peak_mem_bytes")
+				}
+			})
+		}
+	}
+}
+
 // --- Observability: span tracing overhead ---
 
 // BenchmarkTracingOverhead measures the cost of per-query span tracing

@@ -17,6 +17,7 @@
 //	\refresh t         refresh flattened columns of t
 //	\tpch <scale>      create and load the TPC-H-shaped dataset
 //	\stats [json]      dump the cluster metrics registry (text or JSON)
+//	\exec              show the last query's executor stats (peak memory, spills)
 //	\profile [json]    show the last query's execution profile
 //	\slow [json]       show the slow-query log
 //	\trace on|off      toggle per-query span tracing (default on)
@@ -43,9 +44,10 @@ func main() {
 	nodes := flag.Int("nodes", 3, "node count")
 	shards := flag.Int("shards", 3, "segment shard count (eon)")
 	slow := flag.Duration("slow", time.Second, "slow-query log threshold (0 disables)")
+	budget := flag.Int64("budget", 0, "per-query per-node memory budget in bytes; operators spill to local disk past it (0 = unbounded)")
 	flag.Parse()
 
-	cfg := eon.Config{ShardCount: *shards, SlowQueryThreshold: *slow}
+	cfg := eon.Config{ShardCount: *shards, SlowQueryThreshold: *slow, QueryMemoryBudget: *budget}
 	if *mode == "enterprise" {
 		cfg.Mode = eon.ModeEnterprise
 	} else {
@@ -132,6 +134,15 @@ func backslash(db *eon.DB, session *eon.Session, cmd string) error {
 		} else {
 			fmt.Print(snap.Text())
 		}
+		return nil
+	case "\\exec":
+		st := session.LastExecStats()
+		engine := "streaming"
+		if !st.Streaming {
+			engine = "materialized"
+		}
+		fmt.Printf("executor: %s  peak memory: %d bytes  spills: %d (%d bytes)\n",
+			engine, st.PeakMemBytes, st.SpillCount, st.SpillBytes)
 		return nil
 	case "\\profile":
 		prof := session.LastProfile()

@@ -103,6 +103,12 @@ type MergeoutStats = core.MergeoutStats
 // query via Session.LastScanStats, cumulative via DB.ScanStats.
 type ScanStats = core.ScanStats
 
+// ExecStats summarizes the execution engine's resource behaviour for a
+// session's most recent query: which executor ran, the peak bytes
+// pipeline breakers held on the busiest node, and spill activity under
+// Config.QueryMemoryBudget. Per query via Session.LastExecStats.
+type ExecStats = core.ExecStats
+
 // MetricsSnapshot is a point-in-time view of every registered metric:
 // monotonic counters, gauges and latency histograms across the object
 // store, caches, resilience layer, network, scans and the tuple mover.

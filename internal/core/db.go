@@ -120,6 +120,20 @@ type Config struct {
 	SlowQueryThreshold time.Duration
 	// SlowQueryLogSize bounds the slow-query log ring (default 64).
 	SlowQueryLogSize int
+	// QueryMemoryBudget bounds, per query and per node, the bytes the
+	// pipeline-breaker operators (hash aggregate, hash join build, sort)
+	// may hold; when the budget is finite those operators spill sorted
+	// runs to the node's local disk instead of exceeding it. 0 (the
+	// default) never spills: sorts and join builds still report usage,
+	// while the in-memory aggregate skips the accounting entirely.
+	// Sessions inherit the value into Session.MemoryBudget and may
+	// override it per connection.
+	QueryMemoryBudget int64
+	// MaterializedExec runs queries through the previous stage-at-a-time
+	// executor (each plan node materializes its full per-node output
+	// before its parent starts) instead of the streaming pipeline. Escape
+	// hatch for one release; sessions inherit it and may override.
+	MaterializedExec bool
 }
 
 // resilienceConfig resolves the shared-storage resilience configuration,
@@ -344,6 +358,14 @@ type DB struct {
 	queryWall   *obs.Histogram
 	queryCount  *obs.Counter
 	queryErrors *obs.Counter
+	// Streaming-executor metrics (in reg): live governed bytes across
+	// all running queries, per-query peak distribution, spill activity.
+	execMem        *obs.Gauge
+	execPeak       *obs.Histogram
+	execSpills     *obs.Counter
+	execSpillBytes *obs.Counter
+	// queryCtr names per-query spill directories.
+	queryCtr atomic.Uint64
 	// Tuple-mover metrics (in reg).
 	mergeoutNS   *obs.Histogram
 	mergeoutJobs *obs.Counter
@@ -600,6 +622,10 @@ func (db *DB) installMetrics() {
 	db.queryWall = reg.Histogram("query.wall_ns")
 	db.queryCount = reg.Counter("query.count")
 	db.queryErrors = reg.Counter("query.errors")
+	db.execMem = reg.Gauge("exec.mem_bytes")
+	db.execPeak = reg.Histogram("exec.query_peak_mem_bytes")
+	db.execSpills = reg.Counter("exec.spills")
+	db.execSpillBytes = reg.Counter("exec.spill_bytes")
 	db.mergeoutNS = reg.Histogram("tuplemover.mergeout_ns")
 	db.mergeoutJobs = reg.Counter("tuplemover.jobs")
 	if sim, ok := db.cfg.Shared.(*objstore.Sim); ok {

@@ -618,6 +618,23 @@ func (db *DB) execLimit(env *queryEnv, l *planner.Limit, sp *obs.Span) (*distRes
 		return nil, err
 	}
 	sp.AddRowsIn(resultRows(in))
+	// No ORDER BY: each fragment can contribute at most N rows, so cap
+	// every node's output before the gather instead of shipping whole
+	// fragments to the initiator only to discard all but N rows. Safe
+	// under a pending global distinct: per-node fragments are locally
+	// distinct, so the first N gathered-distinct rows draw from at most
+	// the first N rows of each fragment.
+	if !in.gathered() {
+		if err := db.runPerNode(env, in, func(name string, bs []*types.Batch) ([]*types.Batch, error) {
+			out, err := exec.Collect(exec.NewLimit(exec.NewSource(l.Schema(), bs...), l.N))
+			if err != nil {
+				return nil, err
+			}
+			return wrap(out), nil
+		}); err != nil {
+			return nil, err
+		}
+	}
 	gathered, err := db.gather(env, in)
 	if err != nil {
 		return nil, err

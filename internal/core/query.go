@@ -67,10 +67,47 @@ type Session struct {
 	// database has a slow-query threshold configured. Off (the default),
 	// the instrumented paths run a zero-allocation no-op fast path.
 	Trace bool
+	// MaterializedExec runs this session's queries through the previous
+	// stage-at-a-time executor instead of the streaming pipeline
+	// (inherited from Config.MaterializedExec; escape hatch for one
+	// release, and the reference side of the differential tests).
+	MaterializedExec bool
+	// MemoryBudget bounds, per query and per node, the bytes pipeline
+	// breakers may hold before spilling to local disk (inherited from
+	// Config.QueryMemoryBudget; 0 = never spill, and only sorts and
+	// join builds report usage). Only the
+	// streaming executor enforces it.
+	MemoryBudget int64
 
 	statsMu     sync.Mutex
 	lastScan    ScanStats
 	lastProfile *obs.Profile
+	lastExec    ExecStats
+}
+
+// ExecStats summarizes the execution engine's resource behaviour for
+// the session's most recent query: which executor ran, the peak bytes
+// pipeline breakers held on any one node, and spill activity.
+type ExecStats struct {
+	// Streaming is false when the query ran on the materialized escape
+	// hatch (which does not govern memory).
+	Streaming bool
+	// PeakMemBytes is the high-water mark of governed operator memory on
+	// the busiest node. With a finite MemoryBudget it stays at or under
+	// the budget.
+	PeakMemBytes int64
+	// SpillCount and SpillBytes total the runs written to local disk by
+	// budget-governed sorts and aggregations.
+	SpillCount int64
+	SpillBytes int64
+}
+
+// LastExecStats returns the executor resource stats of the session's
+// most recent query.
+func (s *Session) LastExecStats() ExecStats {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.lastExec
 }
 
 // LastScanStats returns the scan instrumentation of the session's most
@@ -95,12 +132,20 @@ func (s *Session) LastProfile() *obs.Profile {
 }
 
 // NewSession opens a session against the cluster.
-func (db *DB) NewSession() *Session { return &Session{db: db} }
+func (db *DB) NewSession() *Session {
+	return &Session{
+		db:               db,
+		MaterializedExec: db.cfg.MaterializedExec,
+		MemoryBudget:     db.cfg.QueryMemoryBudget,
+	}
+}
 
 // NewSessionOn opens a session connected to a subcluster, isolating its
 // workload to those nodes when they can cover all shards.
 func (db *DB) NewSessionOn(subcluster string) *Session {
-	return &Session{db: db, Subcluster: subcluster}
+	s := db.NewSession()
+	s.Subcluster = subcluster
+	return s
 }
 
 // Result is a query result.
@@ -312,20 +357,34 @@ func (s *Session) tryQuery(sel *sql.Select, sqlText string) (result *Result, err
 		time.Sleep(db.cfg.QueryCost)
 	}
 
-	res, err := db.executePlan(env, plan.Root, root)
-	if err != nil {
-		return nil, err
-	}
-	gatherSp := root.StartSpan("gather")
-	final, err := db.gather(env, res)
-	gatherSp.End()
-	if err != nil {
-		return nil, err
+	var final *types.Batch
+	if s.MaterializedExec {
+		// Escape-hatch path: stage-at-a-time materialized execution.
+		res, execErr := db.executePlan(env, plan.Root, root)
+		if execErr != nil {
+			return nil, execErr
+		}
+		gatherSp := root.StartSpan("gather")
+		final, execErr = db.gather(env, res)
+		gatherSp.End()
+		if execErr != nil {
+			return nil, execErr
+		}
+		if final != nil {
+			gatherSp.AddRowsOut(int64(final.NumRows()))
+		}
+		s.statsMu.Lock()
+		s.lastExec = ExecStats{}
+		s.statsMu.Unlock()
+	} else {
+		final, err = db.runStreaming(env, plan, root)
+		if err != nil {
+			return nil, err
+		}
 	}
 	if final == nil {
 		final = types.NewBatch(plan.Schema(), 0)
 	}
-	gatherSp.AddRowsOut(int64(final.NumRows()))
 	// Publish the query's scan stats: on the session (most recent query)
 	// and into the database's cumulative registry counters.
 	env.stats.wallNanos.Store(int64(time.Since(queryStart)))

@@ -56,27 +56,45 @@ type containerWork struct {
 	hashFilter bool
 }
 
-// scanFragment reads one node's share of a scan: the containers of the
+// scanFragment reads one node's share of a scan into a batch slice (the
+// materialized executor's entry point); it is a collecting wrapper over
+// scanFragmentStream.
+func (db *DB) scanFragment(ctx context.Context, node *Node, scan *planner.Scan, tasks []scanTask, version uint64, bypassCache bool, mode CrunchMode, rowEngine bool, st *scanTally) ([]*types.Batch, error) {
+	var out []*types.Batch
+	err := db.scanFragmentStream(ctx, node, scan, tasks, version, bypassCache, mode, rowEngine, st, func(b *types.Batch) error {
+		out = append(out, b)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// scanFragmentStream reads one node's share of a scan and hands each
+// surviving batch to emit as it is produced: the containers of the
 // chosen projection whose shards (or shard sub-partitions, under crunch
 // scaling) the session assigned to this node, with container- and
 // block-level min/max pruning, delete-vector filtering and predicate
 // evaluation. The executor "attaches storage for the shards the session
 // has instructed it to serve" from its own catalog (§4).
 //
-// Containers are scanned through a bounded worker pool (ScanConcurrency)
-// so cold scans overlap their shared-storage fetches instead of paying
-// containers x columns round trips serially. Output order is
-// deterministic regardless of concurrency: results are reassembled in
-// (task, container) order, exactly the order the serial pipeline
-// produces.
-func (db *DB) scanFragment(ctx context.Context, node *Node, scan *planner.Scan, tasks []scanTask, version uint64, bypassCache bool, mode CrunchMode, rowEngine bool, st *scanTally) ([]*types.Batch, error) {
+// Containers are scanned through a bounded worker window
+// (ScanConcurrency) so cold scans overlap their shared-storage fetches
+// instead of paying containers x columns round trips serially, but —
+// unlike a materializing pool — at most that window of container
+// results exists at once: emit runs on the caller's goroutine in strict
+// (task, container) order (exactly the serial pipeline's order), and a
+// slow or early-terminating consumer backpressures the workers through
+// the window.
+func (db *DB) scanFragmentStream(ctx context.Context, node *Node, scan *planner.Scan, tasks []scanTask, version uint64, bypassCache bool, mode CrunchMode, rowEngine bool, st *scanTally, emit func(*types.Batch) error) error {
 	// The fragment span arrives via the context (set by execScan); the
 	// fetch/decode/filter accumulator children aggregate worker time.
 	sps := newScanSpans(obs.SpanFrom(ctx))
 	defer sps.end()
 	snap := node.catalog.Snapshot()
 	if snap.Version() < version {
-		return nil, fmt.Errorf("core: node %s catalog at v%d behind query v%d", node.name, snap.Version(), version)
+		return fmt.Errorf("core: node %s catalog at v%d behind query v%d", node.name, snap.Version(), version)
 	}
 	wosProjs := map[catalog.OID]bool{}
 	var shards []int
@@ -92,7 +110,7 @@ func (db *DB) scanFragment(ctx context.Context, node *Node, scan *planner.Scan, 
 		if db.mode == ModeEnterprise && shardIdx != catalog.ReplicaShard && !scan.Replicated {
 			p, err := db.projectionCopyFor(snap, scan.Proj, shardIdx, node.name)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			proj = p
 		}
@@ -122,30 +140,36 @@ func (db *DB) scanFragment(ctx context.Context, node *Node, scan *planner.Scan, 
 		}
 	}
 
-	// Scan the containers through the worker pool. Each worker keeps its
-	// own hash-filter scratch state (ring + hash buffer) so crunch
-	// hash-filtering allocates once per worker, not once per batch.
+	// Scan the containers through a bounded streaming window. Each worker
+	// keeps its own hash-filter scratch state (ring + hash buffer) so
+	// crunch hash-filtering allocates once per worker, not once per batch.
 	conc := db.scanConc()
-	results := make([][]*types.Batch, len(work))
 	filters := make([]hashFilterState, conc)
-	err := parallel.ForEach(ctx, len(work), conc, func(ctx context.Context, worker, i int) error {
-		w := work[i]
-		batches, err := db.scanContainer(ctx, node, scan, snap, w.sc, bypassCache, rowEngine, st, sps)
-		if err != nil {
-			return err
-		}
-		if w.hashFilter {
-			batches = filters[worker].filter(batches, scan.SegmentCols, w.task.Part, w.task.Of)
-		}
-		results[i] = batches
-		return nil
-	})
+	err := parallel.StreamOrdered(ctx, len(work), conc,
+		func(ctx context.Context, worker, i int) ([]*types.Batch, error) {
+			w := work[i]
+			batches, err := db.scanContainer(ctx, node, scan, snap, w.sc, bypassCache, rowEngine, st, sps)
+			if err != nil {
+				return nil, err
+			}
+			if w.hashFilter {
+				batches = filters[worker].filter(batches, scan.SegmentCols, w.task.Part, w.task.Of)
+			}
+			return batches, nil
+		},
+		func(_ int, batches []*types.Batch) error {
+			for _, b := range batches {
+				if b == nil || b.NumRows() == 0 {
+					continue
+				}
+				if err := emit(b); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
 	if err != nil {
-		return nil, err
-	}
-	var out []*types.Batch
-	for _, batches := range results {
-		out = append(out, batches...)
+		return err
 	}
 
 	if scan.Replicated {
@@ -160,14 +184,16 @@ func (db *DB) scanFragment(ctx context.Context, node *Node, scan *planner.Scan, 
 			}
 			b, err := db.filterWOSRows(node, scan, wb, shards, rowEngine, st)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if b != nil && b.NumRows() > 0 {
-				out = append(out, b)
+				if err := emit(b); err != nil {
+					return err
+				}
 			}
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // hashFilterState is one scan worker's reusable crunch hash-filter

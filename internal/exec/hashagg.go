@@ -65,6 +65,15 @@ type aggState struct {
 // HashAggregate groups rows by bound key expressions and computes
 // aggregates. When Partial is set, AggAvg emits its (sum, count) state as
 // two columns named Name and Name+"_cnt" for a downstream AggAvgMerge.
+//
+// With a limited memory governor and a spill store configured, grouped
+// aggregation spills: when charging a new group would exceed the budget,
+// the group table is written to local disk as a run sorted by encoded
+// key bytes and the table resets; runs merge at the end by combining
+// per-key partial states. Output order is then ascending key-byte order
+// instead of first-seen order (SQL leaves it unspecified; budgeted
+// queries wanting an order must sort). Without spilling, first-seen
+// order and results are byte-identical to the ungoverned operator.
 type HashAggregate struct {
 	input   Operator
 	keys    []expr.Expr
@@ -72,6 +81,11 @@ type HashAggregate struct {
 	partial bool
 	schema  types.Schema
 	Eng     Engine
+
+	// Mem and Spill, both set with a finite budget, enable spilling.
+	// Configured by the executor, like Eng.
+	Mem   *MemGovernor
+	Spill SpillStore
 
 	done bool
 }
@@ -107,6 +121,12 @@ func (h *HashAggregate) Next() (*types.Batch, error) {
 	h.done = true
 	if h.Eng.Row {
 		return h.nextRow()
+	}
+	// The spill path needs encoded key bytes per group (the run sort
+	// order), so it replaces the typed-map fast paths. Global aggregates
+	// (no keys) hold one group and never need it.
+	if h.Mem.Limited() && h.Spill != nil && len(h.keys) > 0 {
+		return h.nextSpill()
 	}
 	return h.nextVec()
 }
@@ -322,19 +342,24 @@ func (h *HashAggregate) assemble(keyRows []types.Row, states [][]aggState) (*typ
 	}
 	out := types.NewBatch(h.schema, len(keyRows))
 	for gi := range keyRows {
-		r := make(types.Row, 0, len(h.schema))
-		r = append(r, keyRows[gi]...)
-		for ai, a := range h.aggs {
-			st := &states[gi][ai]
-			if h.partial && a.Kind == AggAvg {
-				r = append(r, types.NewFloat(st.avgSum()), types.NewInt(st.count))
-				continue
-			}
-			r = append(r, st.result(a))
-		}
-		out.AppendRow(r)
+		out.AppendRow(h.renderGroup(keyRows[gi], states[gi]))
 	}
 	return out, nil
+}
+
+// renderGroup finalizes one group into an output row.
+func (h *HashAggregate) renderGroup(keyRow types.Row, states []aggState) types.Row {
+	r := make(types.Row, 0, len(h.schema))
+	r = append(r, keyRow...)
+	for ai, a := range h.aggs {
+		st := &states[ai]
+		if h.partial && a.Kind == AggAvg {
+			r = append(r, types.NewFloat(st.avgSum()), types.NewInt(st.count))
+			continue
+		}
+		r = append(r, st.result(a))
+	}
+	return r
 }
 
 // nextRow is the original row-engine aggregation path.

@@ -16,11 +16,18 @@ type HashJoin struct {
 	schema    types.Schema
 	Eng       Engine
 
+	// Mem, when set, is charged for the materialized build side and the
+	// hash table for the lifetime of the probe (released when the probe
+	// exhausts). The build side does not spill — grace hash join is an
+	// open roadmap item — so the charge documents rather than bounds it.
+	Mem *MemGovernor
+
 	built    bool
 	table    map[string][]int // key -> build row indexes
 	tableInt map[int64][]int  // typed path: single Int64-physical key
 	intKey   bool
 	buildAll *types.Batch
+	charged  int64
 }
 
 // NewHashJoin creates an inner hash join on build.cols == probe.cols.
@@ -42,6 +49,9 @@ func (h *HashJoin) buildTable() error {
 		return err
 	}
 	h.buildAll = all
+	// Batch bytes plus per-row hash-table entry overhead.
+	h.charged = BatchMemBytes(all) + 16*int64(all.NumRows())
+	h.Mem.Charge(h.charged)
 	// A single Int64-physical key pair hashes on the raw int64 instead
 	// of an encoded byte string. (Mismatched physical classes keep the
 	// tagged encoding, which correctly never matches across classes.)
@@ -101,6 +111,8 @@ func (h *HashJoin) Next() (*types.Batch, error) {
 			pb, sel, err = pullSel(h.probe)
 		}
 		if err != nil || pb == nil {
+			h.Mem.Release(h.charged)
+			h.charged = 0
 			return nil, err
 		}
 		var leftIdx, rightIdx []int

@@ -1,0 +1,170 @@
+package exec
+
+import (
+	"sync/atomic"
+
+	"eon/internal/types"
+)
+
+// MemGovernor enforces a per-query memory budget for pipeline-breaker
+// operators (hash aggregate, hash join build, sort). Operators check
+// WouldExceed BEFORE charging and spill or flush first, so the governed
+// total stays at or under the budget; Charge then records the bytes and
+// the high-water mark. A nil governor (and a zero budget) means
+// unlimited: every method is a nil-safe no-op or returns zero.
+//
+// The accounting is estimate-based: charges cover the batches and hash
+// tables an operator holds, not transient scratch. All methods are safe
+// for concurrent use by the per-node operator chains of one query.
+type MemGovernor struct {
+	budget int64
+	gauge  func(delta int64) // optional external gauge hook (obs)
+
+	used       atomic.Int64
+	peak       atomic.Int64
+	spills     atomic.Int64
+	spillBytes atomic.Int64
+}
+
+// NewMemGovernor returns a governor with the given budget in bytes
+// (0 = track usage but never request spills). gauge, when non-nil,
+// receives every charge and release delta, letting the caller mirror
+// usage into a shared metrics gauge.
+func NewMemGovernor(budget int64, gauge func(delta int64)) *MemGovernor {
+	return &MemGovernor{budget: budget, gauge: gauge}
+}
+
+// Limited reports whether the governor enforces a finite budget.
+func (g *MemGovernor) Limited() bool { return g != nil && g.budget > 0 }
+
+// Budget returns the configured budget (0 = unlimited).
+func (g *MemGovernor) Budget() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.budget
+}
+
+// WouldExceed reports whether charging n more bytes would push usage
+// over the budget. Callers spill first, then charge.
+func (g *MemGovernor) WouldExceed(n int64) bool {
+	if !g.Limited() {
+		return false
+	}
+	return g.used.Load()+n > g.budget
+}
+
+// Charge records n bytes as held, updating the peak watermark.
+func (g *MemGovernor) Charge(n int64) {
+	if g == nil || n == 0 {
+		return
+	}
+	u := g.used.Add(n)
+	for {
+		p := g.peak.Load()
+		if u <= p || g.peak.CompareAndSwap(p, u) {
+			break
+		}
+	}
+	if g.gauge != nil {
+		g.gauge(n)
+	}
+}
+
+// Release returns n previously charged bytes.
+func (g *MemGovernor) Release(n int64) {
+	if g == nil || n == 0 {
+		return
+	}
+	g.used.Add(-n)
+	if g.gauge != nil {
+		g.gauge(-n)
+	}
+}
+
+// NoteSpill counts one spill of the given encoded size.
+func (g *MemGovernor) NoteSpill(bytes int64) {
+	if g == nil {
+		return
+	}
+	g.spills.Add(1)
+	g.spillBytes.Add(bytes)
+}
+
+// Used returns the currently charged bytes.
+func (g *MemGovernor) Used() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.used.Load()
+}
+
+// Peak returns the high-water mark of charged bytes.
+func (g *MemGovernor) Peak() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.peak.Load()
+}
+
+// Spills returns the number of spill events.
+func (g *MemGovernor) Spills() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.spills.Load()
+}
+
+// SpillBytes returns the total encoded bytes written by spills.
+func (g *MemGovernor) SpillBytes() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.spillBytes.Load()
+}
+
+// Close zeroes any remaining charge (operators torn down mid-query by a
+// cancellation never reach their release points) and mirrors the
+// correction into the external gauge.
+func (g *MemGovernor) Close() {
+	if g == nil {
+		return
+	}
+	if u := g.used.Swap(0); u != 0 && g.gauge != nil {
+		g.gauge(-u)
+	}
+}
+
+// vectorMemBytes estimates the resident bytes of one column vector:
+// slice headers are ignored, string payloads and the null bitmap are
+// counted.
+func vectorMemBytes(v *types.Vector) int64 {
+	var n int64 = 48 // vector struct + slice headers
+	switch v.Typ.Physical() {
+	case types.Int64:
+		n += 8 * int64(len(v.Ints))
+	case types.Float64:
+		n += 8 * int64(len(v.Floats))
+	case types.Varchar:
+		for _, s := range v.Strs {
+			n += 16 + int64(len(s))
+		}
+	case types.Bool:
+		n += int64(len(v.Bools))
+	}
+	n += int64(len(v.Nulls))
+	return n
+}
+
+// BatchMemBytes estimates the resident bytes of a batch, the unit the
+// memory governor charges in.
+func BatchMemBytes(b *types.Batch) int64 {
+	if b == nil {
+		return 0
+	}
+	var n int64
+	for _, v := range b.Cols {
+		n += vectorMemBytes(v)
+	}
+	return n
+}

@@ -14,12 +14,25 @@ type SortSpec struct {
 	Desc bool
 }
 
-// Sort fully materializes its input and emits it ordered by the keys.
-// NULLs sort first ascending (last descending).
+// Sort materializes its input and emits it ordered by the keys. NULLs
+// sort first ascending (last descending). When a limited memory governor
+// and a spill store are set, it degrades to an external sort: sorted
+// runs spill to local disk whenever the next input batch would push the
+// governor over budget, and the runs k-way merge on output. Without
+// spilling the behaviour (one sorted output batch) is unchanged.
 type Sort struct {
 	input Operator
 	keys  []SortSpec
-	done  bool
+
+	// Mem and Spill, both set with a finite budget, enable the external
+	// path. Configured by the executor, like Eng on other operators.
+	Mem   *MemGovernor
+	Spill SpillStore
+
+	started bool
+	emit    *types.Batch // in-memory sorted result (no-spill path)
+	charged int64        // governor bytes held for emit
+	merge   *sortMerger  // run merger (spill path)
 }
 
 // NewSort wraps input with ordering.
@@ -30,9 +43,11 @@ func NewSort(input Operator, keys []SortSpec) *Sort {
 // Schema implements Operator.
 func (s *Sort) Schema() types.Schema { return s.input.Schema() }
 
-func compareRows(b *types.Batch, i, j int, keys []SortSpec) int {
+// compareRowsAcross orders row ai of batch a against row bi of batch b
+// under the sort keys.
+func compareRowsAcross(a *types.Batch, ai int, b *types.Batch, bi int, keys []SortSpec) int {
 	for _, k := range keys {
-		c := b.Cols[k.Col].Datum(i).Compare(b.Cols[k.Col].Datum(j))
+		c := a.Cols[k.Col].Datum(ai).Compare(b.Cols[k.Col].Datum(bi))
 		if c != 0 {
 			if k.Desc {
 				return -c
@@ -43,27 +58,176 @@ func compareRows(b *types.Batch, i, j int, keys []SortSpec) int {
 	return 0
 }
 
-// Next implements Operator.
-func (s *Sort) Next() (*types.Batch, error) {
-	if s.done {
-		return nil, nil
-	}
-	s.done = true
-	all, err := Collect(s.input)
-	if err != nil {
-		return nil, err
-	}
-	if all.NumRows() == 0 {
-		return nil, nil
-	}
-	perm := make([]int, all.NumRows())
+func compareRows(b *types.Batch, i, j int, keys []SortSpec) int {
+	return compareRowsAcross(b, i, b, j, keys)
+}
+
+// sortBatch returns b's rows in stable key order.
+func sortBatch(b *types.Batch, keys []SortSpec) *types.Batch {
+	perm := make([]int, b.NumRows())
 	for i := range perm {
 		perm[i] = i
 	}
 	sort.SliceStable(perm, func(x, y int) bool {
-		return compareRows(all, perm[x], perm[y], s.keys) < 0
+		return compareRows(b, perm[x], perm[y], keys) < 0
 	})
-	return all.Gather(perm), nil
+	return b.Gather(perm)
+}
+
+// Next implements Operator.
+func (s *Sort) Next() (*types.Batch, error) {
+	if !s.started {
+		s.started = true
+		if err := s.run(); err != nil {
+			return nil, err
+		}
+	}
+	if s.merge != nil {
+		return s.merge.next()
+	}
+	if s.emit != nil {
+		b := s.emit
+		s.emit = nil
+		s.Mem.Release(s.charged)
+		s.charged = 0
+		return b, nil
+	}
+	return nil, nil
+}
+
+// run consumes the input, spilling sorted runs when over budget, and
+// leaves either an in-memory result (emit) or a run merger (merge).
+func (s *Sort) run() error {
+	spillable := s.Mem.Limited() && s.Spill != nil
+	schema := s.input.Schema()
+	acc := types.NewBatch(schema, 0)
+	var accBytes int64
+	var runs []SpillHandle
+
+	flush := func() error {
+		if acc.NumRows() == 0 {
+			return nil
+		}
+		h, err := writeBatchRun(s.Spill, "sortrun", sortBatch(acc, s.keys))
+		if err != nil {
+			return err
+		}
+		s.Mem.NoteSpill(h.Size)
+		runs = append(runs, h)
+		s.Mem.Release(accBytes)
+		accBytes = 0
+		acc = types.NewBatch(schema, 0)
+		return nil
+	}
+
+	for {
+		b, err := s.input.Next()
+		if err != nil {
+			s.Mem.Release(accBytes)
+			return err
+		}
+		if b == nil {
+			break
+		}
+		n := BatchMemBytes(b)
+		if spillable && acc.NumRows() > 0 && s.Mem.WouldExceed(n) {
+			if err := flush(); err != nil {
+				s.Mem.Release(accBytes)
+				return err
+			}
+		}
+		s.Mem.Charge(n)
+		accBytes += n
+		acc.AppendBatch(b)
+	}
+
+	if len(runs) == 0 {
+		if acc.NumRows() == 0 {
+			s.Mem.Release(accBytes)
+			return nil
+		}
+		s.emit = sortBatch(acc, s.keys)
+		s.charged = accBytes
+		return nil
+	}
+	if err := flush(); err != nil {
+		s.Mem.Release(accBytes)
+		return err
+	}
+	m, err := newSortMerger(s.Spill, schema, s.keys, runs)
+	if err != nil {
+		return err
+	}
+	s.merge = m
+	return nil
+}
+
+// sortMerger k-way merges spilled sorted runs. Runs hold consecutive
+// input segments in order, so breaking key ties by run index reproduces
+// a stable sort of the full input.
+type sortMerger struct {
+	cursors []*batchRunCursor
+	keys    []SortSpec
+	schema  types.Schema
+	idx     []int // heap of cursor indexes
+}
+
+func newSortMerger(st SpillStore, schema types.Schema, keys []SortSpec, runs []SpillHandle) (*sortMerger, error) {
+	m := &sortMerger{keys: keys, schema: schema}
+	for _, h := range runs {
+		c := &batchRunCursor{st: st, h: h, schema: schema}
+		if err := c.load(); err != nil {
+			return nil, err
+		}
+		if c.cur != nil {
+			m.idx = append(m.idx, len(m.cursors))
+		}
+		m.cursors = append(m.cursors, c)
+	}
+	heap.Init(m)
+	return m, nil
+}
+
+func (m *sortMerger) Len() int { return len(m.idx) }
+func (m *sortMerger) Less(i, j int) bool {
+	a, b := m.cursors[m.idx[i]], m.cursors[m.idx[j]]
+	c := compareRowsAcross(a.cur, a.row, b.cur, b.row, m.keys)
+	if c != 0 {
+		return c < 0
+	}
+	return m.idx[i] < m.idx[j]
+}
+func (m *sortMerger) Swap(i, j int)      { m.idx[i], m.idx[j] = m.idx[j], m.idx[i] }
+func (m *sortMerger) Push(x interface{}) { m.idx = append(m.idx, x.(int)) }
+func (m *sortMerger) Pop() interface{} {
+	old := m.idx
+	n := len(old)
+	x := old[n-1]
+	m.idx = old[:n-1]
+	return x
+}
+
+// next emits the next merged chunk of up to spillChunkRows rows, or nil
+// when all runs are drained.
+func (m *sortMerger) next() (*types.Batch, error) {
+	if len(m.idx) == 0 {
+		return nil, nil
+	}
+	out := types.NewBatch(m.schema, spillChunkRows)
+	for len(m.idx) > 0 && out.NumRows() < spillChunkRows {
+		c := m.cursors[m.idx[0]]
+		out.AppendRow(c.cur.Row(c.row))
+		c.row++
+		if err := c.load(); err != nil {
+			return nil, err
+		}
+		if c.cur == nil {
+			heap.Pop(m)
+		} else {
+			heap.Fix(m, 0)
+		}
+	}
+	return out, nil
 }
 
 // TopK keeps only the K smallest rows under the sort keys, using a

@@ -204,6 +204,15 @@ func (n *Network) SetFaults(f *Faults) {
 // sleeping for the modeled cost. It fails if either endpoint is down or
 // the fault schedule drops the transfer.
 func (n *Network) Transfer(ctx context.Context, from, to string, size int64) error {
+	return n.send(ctx, from, to, size, true)
+}
+
+// send is the shared cost model behind Transfer and Stream.Send: one
+// fault-schedule decision, an optional latency charge, a bandwidth
+// charge, and the message/byte counters. includeLatency is false for
+// follow-up chunks of an established stream, which are pipelined behind
+// the first chunk's round trip.
+func (n *Network) send(ctx context.Context, from, to string, size int64, includeLatency bool) error {
 	if n.IsDown(from) || n.IsDown(to) {
 		return fmt.Errorf("%w: %s -> %s", ErrUnreachable, from, to)
 	}
@@ -219,7 +228,10 @@ func (n *Network) Transfer(ctx context.Context, from, to string, size int64) err
 		return fmt.Errorf("%w: %s -> %s (injected fault)", ErrUnreachable, from, to)
 	}
 	c := n.costFor(from, to)
-	d := c.Latency + verdict.extra
+	d := verdict.extra
+	if includeLatency {
+		d += c.Latency
+	}
 	if c.Bandwidth > 0 && size > 0 {
 		d += time.Duration(float64(size) / c.Bandwidth * float64(time.Second))
 	}
@@ -238,6 +250,37 @@ func (n *Network) Transfer(ctx context.Context, from, to string, size int64) err
 	n.messages.Add(1)
 	n.bytes.Add(size)
 	return nil
+}
+
+// Stream is a long-lived exchange channel between two nodes for chunked,
+// pipelined sends: the link latency is paid once on the first chunk
+// (connection setup), and each subsequent chunk pays only its bandwidth
+// cost. Every chunk is a separate message for the fault schedule and the
+// traffic counters, so drops and latency spikes still apply mid-stream.
+// A Stream is not safe for concurrent use; open one per sender
+// goroutine.
+type Stream struct {
+	n        *Network
+	from, to string
+	opened   bool
+}
+
+// Stream opens a chunked send channel from one node to another. Opening
+// is free; costs are charged per Send.
+func (n *Network) Stream(from, to string) *Stream {
+	return &Stream{n: n, from: from, to: to}
+}
+
+// Send accounts for one chunk of the stream, sleeping for the modeled
+// cost. The first chunk pays the link latency; later chunks are
+// pipelined and pay bandwidth only. A failed first chunk leaves the
+// stream unopened, so a retry pays latency again.
+func (s *Stream) Send(ctx context.Context, size int64) error {
+	err := s.n.send(ctx, s.from, s.to, size, !s.opened)
+	if err == nil {
+		s.opened = true
+	}
+	return err
 }
 
 // read takes a raw snapshot of the monotonic counters, bytes before

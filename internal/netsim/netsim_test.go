@@ -161,3 +161,94 @@ func TestFaultScheduleDropCounted(t *testing.T) {
 		t.Errorf("cleared faults must pass: %v", err)
 	}
 }
+
+func TestStreamLatencyPaidOncePerStream(t *testing.T) {
+	n := New(LinkCost{Latency: 20 * time.Millisecond})
+
+	s := n.Stream("a", "b")
+	start := time.Now()
+	if err := s.Send(context.Background(), 100); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 15*time.Millisecond {
+		t.Error("first chunk did not pay link latency")
+	}
+	start = time.Now()
+	for i := 0; i < 5; i++ {
+		if err := s.Send(context.Background(), 100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if time.Since(start) > 15*time.Millisecond {
+		t.Error("follow-up chunks paid latency again")
+	}
+	st := n.Stats()
+	if st.Messages != 6 || st.Bytes != 600 {
+		t.Errorf("stats = %+v, want 6 messages / 600 bytes", st)
+	}
+}
+
+func TestStreamChunksPayBandwidth(t *testing.T) {
+	n := New(LinkCost{Bandwidth: 1 << 20}) // 1 MiB/s
+	s := n.Stream("a", "b")
+	start := time.Now()
+	for i := 0; i < 2; i++ {
+		if err := s.Send(context.Background(), 1<<17); err != nil { // 128 KiB each -> ~125 ms
+			t.Fatal(err)
+		}
+	}
+	if time.Since(start) < 200*time.Millisecond {
+		t.Error("bandwidth not applied per chunk")
+	}
+}
+
+func TestStreamDownNodeMidStream(t *testing.T) {
+	n := New(LinkCost{})
+	s := n.Stream("a", "b")
+	if err := s.Send(context.Background(), 10); err != nil {
+		t.Fatal(err)
+	}
+	n.SetDown("b", true)
+	if err := s.Send(context.Background(), 10); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("want ErrUnreachable mid-stream, got %v", err)
+	}
+}
+
+func TestStreamFailedOpenRepaysLatency(t *testing.T) {
+	n := New(LinkCost{Latency: 20 * time.Millisecond})
+	n.SetDown("b", true)
+	s := n.Stream("a", "b")
+	if err := s.Send(context.Background(), 10); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("want ErrUnreachable, got %v", err)
+	}
+	n.SetDown("b", false)
+	start := time.Now()
+	if err := s.Send(context.Background(), 10); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 15*time.Millisecond {
+		t.Error("retry after failed open did not repay latency")
+	}
+}
+
+func TestStreamChunksHitFaultSchedule(t *testing.T) {
+	n := New(LinkCost{})
+	n.SetFaults(&Faults{Seed: 1, DropWindows: []DropWindow{{OpRange{0, 1000}, 1.0}}})
+	s := n.Stream("a", "b")
+	if err := s.Send(context.Background(), 10); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("chunk bypassed the fault schedule: %v", err)
+	}
+	if n.Stats().Drops != 1 {
+		t.Errorf("stats = %+v", n.Stats())
+	}
+}
+
+func TestStreamContextCancel(t *testing.T) {
+	n := New(LinkCost{Latency: time.Hour})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	s := n.Stream("a", "b")
+	if err := s.Send(ctx, 0); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("want deadline exceeded, got %v", err)
+	}
+}

@@ -1,0 +1,118 @@
+package parallel
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// streamItem carries one produced value (or the producer's error) to the
+// in-order consumer.
+type streamItem[T any] struct {
+	val T
+	err error
+}
+
+// StreamOrdered runs produce(ctx, worker, idx) for every idx in [0, n)
+// through at most conc concurrent workers and hands each result to
+// consume in strict index order, on the caller's goroutine. Unlike
+// ForEach it never materializes all results: at most conc produced items
+// exist at once (workers acquire a window permit before taking an
+// index), so a slow consumer exerts backpressure on the producers — the
+// streaming analog of ForEach for pipelines that must bound memory.
+//
+// The first error (from a producer or from consume) cancels the shared
+// context, the remaining items are skipped, and that error is returned.
+// All workers have exited by the time StreamOrdered returns. With
+// conc <= 1 (or n <= 1) items are produced and consumed serially on the
+// caller's goroutine.
+func StreamOrdered[T any](ctx context.Context, n, conc int, produce func(ctx context.Context, worker, idx int) (T, error), consume func(idx int, v T) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if conc > n {
+		conc = n
+	}
+	if conc <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			v, err := produce(ctx, 0, i)
+			if err != nil {
+				return err
+			}
+			if err := consume(i, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Each index gets a one-shot future; the consumer drains them in
+	// order. Workers take a window permit BEFORE claiming an index, which
+	// guarantees the lowest unconsumed index always has (or will get) a
+	// permit holder — taking the permit after claiming can strand the
+	// cursor index behind later results holding every permit.
+	futures := make([]chan streamItem[T], n)
+	for i := range futures {
+		futures[i] = make(chan streamItem[T], 1)
+	}
+	permits := make(chan struct{}, conc)
+	for i := 0; i < conc; i++ {
+		permits <- struct{}{}
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(conc)
+	for w := 0; w < conc; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-permits:
+				case <-wctx.Done():
+					return
+				}
+				idx := int(next.Add(1)) - 1
+				if idx >= n {
+					return
+				}
+				v, err := produce(wctx, worker, idx)
+				futures[idx] <- streamItem[T]{val: v, err: err}
+			}
+		}(w)
+	}
+
+	var firstErr error
+	for i := 0; i < n && firstErr == nil; i++ {
+		select {
+		case it := <-futures[i]:
+			if it.err != nil {
+				firstErr = it.err
+				break
+			}
+			if err := consume(i, it.val); err != nil {
+				firstErr = err
+				break
+			}
+			// The consumed item's permit funds the next index.
+			select {
+			case permits <- struct{}{}:
+			case <-wctx.Done():
+			}
+		case <-ctx.Done():
+			firstErr = ctx.Err()
+		}
+	}
+	cancel()
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}

@@ -1,0 +1,189 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestStreamOrderedDeliversInOrder(t *testing.T) {
+	for _, conc := range []int{1, 2, 4, 16} {
+		const n = 100
+		var got []int
+		err := StreamOrdered(context.Background(), n, conc,
+			func(ctx context.Context, worker, idx int) (int, error) {
+				return idx * 3, nil
+			},
+			func(idx int, v int) error {
+				got = append(got, v)
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("conc=%d: %v", conc, err)
+		}
+		if len(got) != n {
+			t.Fatalf("conc=%d: consumed %d of %d items", conc, len(got), n)
+		}
+		for i, v := range got {
+			if v != i*3 {
+				t.Fatalf("conc=%d: item %d = %d, want %d", conc, i, v, i*3)
+			}
+		}
+	}
+}
+
+func TestStreamOrderedZeroItems(t *testing.T) {
+	called := false
+	err := StreamOrdered(context.Background(), 0, 8,
+		func(ctx context.Context, worker, idx int) (int, error) { called = true; return 0, nil },
+		func(idx int, v int) error { called = true; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Fatal("callbacks invoked with n=0")
+	}
+}
+
+// TestStreamOrderedBoundsWindow checks backpressure: with a consumer that
+// never returns until released, no more than conc items can ever have
+// been produced, no matter how many workers try to run ahead.
+func TestStreamOrderedBoundsWindow(t *testing.T) {
+	const conc = 3
+	var produced atomic.Int64
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- StreamOrdered(context.Background(), 50, conc,
+			func(ctx context.Context, worker, idx int) (int, error) {
+				produced.Add(1)
+				return idx, nil
+			},
+			func(idx int, v int) error {
+				<-release
+				return nil
+			})
+	}()
+	// Give producers ample time to run ahead if they (incorrectly) can.
+	time.Sleep(20 * time.Millisecond)
+	if p := produced.Load(); p > conc {
+		t.Fatalf("produced %d items with window %d and a stalled consumer", p, conc)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if p := produced.Load(); p != 50 {
+		t.Fatalf("produced %d of 50 after release", p)
+	}
+}
+
+func TestStreamOrderedProducerErrorStopsStream(t *testing.T) {
+	boom := errors.New("boom")
+	var consumed atomic.Int64
+	err := StreamOrdered(context.Background(), 1000, 4,
+		func(ctx context.Context, worker, idx int) (int, error) {
+			if idx == 7 {
+				return 0, boom
+			}
+			return idx, nil
+		},
+		func(idx int, v int) error {
+			consumed.Add(1)
+			return nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if c := consumed.Load(); c != 7 {
+		t.Fatalf("consumed %d items before error at index 7, want 7", c)
+	}
+}
+
+func TestStreamOrderedConsumerErrorStopsStream(t *testing.T) {
+	boom := errors.New("boom")
+	var produced atomic.Int64
+	err := StreamOrdered(context.Background(), 1000, 4,
+		func(ctx context.Context, worker, idx int) (int, error) {
+			produced.Add(1)
+			return idx, nil
+		},
+		func(idx int, v int) error {
+			if idx == 5 {
+				return boom
+			}
+			return nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if p := produced.Load(); p >= 1000 {
+		t.Fatalf("consumer error did not stop producers: %d items produced", p)
+	}
+}
+
+func TestStreamOrderedSerialStopsOnError(t *testing.T) {
+	boom := errors.New("boom")
+	var ran int
+	err := StreamOrdered(context.Background(), 10, 1,
+		func(ctx context.Context, worker, idx int) (int, error) {
+			ran++
+			if idx == 3 {
+				return 0, boom
+			}
+			return idx, nil
+		},
+		func(idx int, v int) error { return nil })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if ran != 4 {
+		t.Fatalf("ran %d items after error at index 3", ran)
+	}
+}
+
+func TestStreamOrderedHonorsCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := StreamOrdered(ctx, 100, 4,
+		func(ctx context.Context, worker, idx int) (int, error) { return idx, nil },
+		func(idx int, v int) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestStreamOrderedCancelMidStream cancels while producers are blocked on
+// the window and the consumer is mid-drain; StreamOrdered must return
+// promptly with the cancellation error and leave no workers running.
+func TestStreamOrderedCancelMidStream(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	started := make(chan struct{}, 1)
+	go func() {
+		done <- StreamOrdered(ctx, 1000, 4,
+			func(ctx context.Context, worker, idx int) (int, error) {
+				select {
+				case started <- struct{}{}:
+				default:
+				}
+				return idx, nil
+			},
+			func(idx int, v int) error {
+				time.Sleep(time.Millisecond)
+				return nil
+			})
+	}()
+	<-started
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("StreamOrdered did not return after cancel")
+	}
+}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race chaos obs exec check bench bench-all
+.PHONY: all vet build test race chaos obs exec reconcile check bench bench-all
 
 all: check
 
@@ -46,6 +46,16 @@ exec:
 	$(GO) test -race -count=1 -run 'TestStreaming|TestLimitPushdown|TestQueryMemoryBudget' ./internal/experiments/
 	$(GO) test -race -count=1 ./internal/exec/ ./internal/parallel/
 
+# Reconciler gate: the spare lifecycle and RemoveNode regression tests,
+# the membership-churn soak, the full reconcile package (all
+# race-checked — membership changes race the query stream by design),
+# then the chaos-recovery experiment without the race detector so its
+# recovery timings stay meaningful.
+reconcile:
+	$(GO) test -race -count=1 -run 'TestSpare|TestRemoveNode|TestSoakMembershipChurn' ./internal/core/
+	$(GO) test -race -count=1 ./internal/reconcile/
+	$(GO) test -count=1 -run 'TestChaosRecovery' -timeout 300s ./internal/experiments/
+
 # Fig-10 plus the ScanConcurrency sweep (cold/warm caches), with
 # allocation stats; the raw `go test -json` event stream is kept in
 # BENCH_scan.json for later comparison. The vectorized-vs-row kernel
@@ -71,6 +81,11 @@ bench:
 		| sed 's/"Output":"//; s/"$$//; s/\\t/ /g; s/\\n//' \
 		| awk '/^Benchmark/ && !/ns\/op/ {name=$$1; next} /ns\/op/ {if ($$0 ~ /^Benchmark/) print; else printf "%s %s\n", name, $$0}'
 	@echo "wrote BENCH_exec.json"
+	$(GO) test -json -bench 'BenchmarkReconcileRecovery' -benchtime=1x -run '^$$' -timeout 600s . > BENCH_reconcile.json
+	@grep -oE '"Output":"[^"]*"' BENCH_reconcile.json \
+		| sed 's/"Output":"//; s/"$$//; s/\\t/ /g; s/\\n//' \
+		| awk '/^Benchmark/ && !/ns\/op/ {name=$$1; next} /ns\/op/ {if ($$0 ~ /^Benchmark/) print; else printf "%s %s\n", name, $$0}'
+	@echo "wrote BENCH_reconcile.json"
 
 # Every benchmark in the repository (figures + ablations).
 bench-all:

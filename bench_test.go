@@ -606,3 +606,39 @@ func sanitize(s string) string {
 	}
 	return string(out)
 }
+
+// --- Reconciler: chaos-measured recovery, warm spare vs cold revive ---
+
+// BenchmarkReconcileRecovery kills a node (process and depot) in the
+// middle of a sustained exact-result workload, lets the reconciler
+// repair the cluster, and reports time-to-recovered-throughput and
+// time-to-full-service for both repair paths. The claim under test:
+// promoting a pre-warmed spare (one subscription flip) restores full
+// service faster than reviving the dead node, which pays catch-up,
+// re-subscription and a depot re-warm after the failure.
+func BenchmarkReconcileRecovery(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		spare bool
+	}{{"spare", true}, {"cold", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.ChaosRecovery(experiments.RecoveryOptions{
+					Spare:  mode.spare,
+					Warmup: 600 * time.Millisecond,
+					Post:   3 * time.Second,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Wrong != 0 {
+					b.Fatalf("%d wrong query results during recovery", res.Wrong)
+				}
+				b.ReportMetric(res.BaselineQPS, "baseline_qps")
+				b.ReportMetric(float64(res.TimeToRestored.Microseconds()), "restore_us")
+				b.ReportMetric(float64(res.TimeToRecovered.Milliseconds()), "ttr_ms")
+				b.ReportMetric(float64(res.TimeToConverged.Milliseconds()), "converge_ms")
+			}
+		})
+	}
+}

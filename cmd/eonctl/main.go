@@ -5,8 +5,14 @@
 //
 //	\kill <node>       simulate a node failure
 //	\recover <node>    recover a failed node
+//	\wipe <node>       simulate instance loss (process and depot both gone)
 //	\addnode <node>    grow the cluster
 //	\removenode <node> drain and remove a node
+//	\spare <node>      provision a warm spare (PASSIVE everywhere, depot pre-warmed)
+//	\promote <node> [subcluster]  promote a spare into a subcluster
+//	\spec <size> [spares]  declare the desired cluster shape for the reconciler
+//	\reconcile         tick the reconciler until it converges (or blocks)
+//	\cluster           show reconciler status and node membership
 //	\tuplemover        run moveout + mergeout
 //	\sync              sync metadata to shared storage
 //	\gc                run the file garbage collector
@@ -26,6 +32,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -123,6 +130,16 @@ func run(session *eon.Session, stmt string) {
 	fmt.Printf("(%d rows)\n", res.NumRows())
 }
 
+// rec is the shell's reconciler, created on the first \spec.
+var rec *eon.Reconciler
+
+func printReconcileStatus(st eon.ReconcileStatus) {
+	fmt.Printf("reconciler: %s (round %d, queue %d, p95 %v)\n", st.Code, st.Round, st.QueueDepth, st.P95)
+	for _, r := range st.Reasons {
+		fmt.Printf("  - %s\n", r)
+	}
+}
+
 func backslash(db *eon.DB, session *eon.Session, cmd string) error {
 	fields := strings.Fields(cmd)
 	asJSON := len(fields) > 1 && fields[1] == "json"
@@ -192,6 +209,77 @@ func backslash(db *eon.DB, session *eon.Session, cmd string) error {
 			return fmt.Errorf("usage: \\kill <node>")
 		}
 		return db.KillNode(fields[1])
+	case "\\wipe":
+		if len(fields) < 2 {
+			return fmt.Errorf("usage: \\wipe <node>")
+		}
+		return db.WipeNode(fields[1])
+	case "\\spare":
+		if len(fields) < 2 {
+			return fmt.Errorf("usage: \\spare <node>")
+		}
+		return db.AddSpare(eon.NodeSpec{Name: fields[1]})
+	case "\\promote":
+		if len(fields) < 2 {
+			return fmt.Errorf("usage: \\promote <node> [subcluster]")
+		}
+		sub := ""
+		if len(fields) > 2 {
+			sub = fields[2]
+		}
+		return db.PromoteSpare(fields[1], sub)
+	case "\\spec":
+		if len(fields) < 2 {
+			return fmt.Errorf("usage: \\spec <size> [spares]")
+		}
+		size, err := strconv.Atoi(fields[1])
+		if err != nil || size < 1 {
+			return fmt.Errorf("usage: \\spec <size> [spares]")
+		}
+		spares := 0
+		if len(fields) > 2 {
+			if spares, err = strconv.Atoi(fields[2]); err != nil || spares < 0 {
+				return fmt.Errorf("usage: \\spec <size> [spares]")
+			}
+		}
+		spec := eon.ClusterSpec{
+			Subclusters: []eon.SubclusterSpec{{Name: "", Size: size}},
+			Spares:      spares,
+		}
+		if rec == nil {
+			rec = db.NewReconciler(eon.ReconcilerConfig{Spec: spec})
+		} else {
+			rec.SetSpec(spec)
+		}
+		fmt.Printf("spec: %d members, %d spares; run \\reconcile to converge\n", size, spares)
+		return nil
+	case "\\reconcile":
+		if rec == nil {
+			return fmt.Errorf("no spec declared yet (use \\spec <size> [spares])")
+		}
+		for round := 0; round < 64; round++ {
+			st := rec.Tick(context.Background())
+			for _, ar := range st.Actions {
+				outcome := "ok"
+				if ar.Err != "" {
+					outcome = "error: " + ar.Err
+				}
+				fmt.Printf("  %s %s (%s) -> %s\n", ar.Action.Kind, ar.Action.Node, ar.Action.Reason, outcome)
+			}
+			if st.Code != eon.ReconcileProgressing {
+				printReconcileStatus(st)
+				return nil
+			}
+		}
+		printReconcileStatus(rec.Status())
+		return nil
+	case "\\cluster":
+		if rec != nil {
+			printReconcileStatus(rec.Status())
+		} else {
+			fmt.Println("reconciler: no spec declared (use \\spec <size> [spares])")
+		}
+		return backslash(db, session, "\\nodes")
 	case "\\recover":
 		if len(fields) < 2 {
 			return fmt.Errorf("usage: \\recover <node>")

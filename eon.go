@@ -28,6 +28,7 @@ import (
 	"eon/internal/netsim"
 	"eon/internal/objstore"
 	"eon/internal/obs"
+	"eon/internal/reconcile"
 	"eon/internal/resilience"
 	"eon/internal/types"
 )
@@ -210,6 +211,26 @@ func (db *DB) RemoveNode(name string) error { return db.inner.RemoveNode(name) }
 // subcluster coverage.
 func (db *DB) Rebalance() error { return db.inner.Rebalance() }
 
+// WipeNode simulates catastrophic instance loss: the node process dies
+// and its depot is gone with it (the spot-instance case of paper §6.1).
+func (db *DB) WipeNode(name string) error { return db.inner.WipeNode(name) }
+
+// AddSpare provisions a warm standby: the node subscribes PASSIVE to
+// every shard and pre-warms its depot from peers, so a later promotion
+// is a subscription flip rather than a cold revive (paper §3.3, §6.1).
+func (db *DB) AddSpare(spec NodeSpec) error { return db.inner.AddSpare(spec) }
+
+// PromoteSpare flips a warm spare's PASSIVE subscriptions ACTIVE and
+// seats it in the given subcluster, replacing lost capacity without
+// moving data.
+func (db *DB) PromoteSpare(name, subcluster string) error {
+	return db.inner.PromoteSpare(name, subcluster)
+}
+
+// WarmSpare re-warms a spare's depot from its peers' MRU lists,
+// returning the number of files warmed.
+func (db *DB) WarmSpare(name string) (int, error) { return db.inner.WarmSpare(name) }
+
 // RunTupleMover performs one moveout pass (Enterprise) and one mergeout
 // pass (both modes; paper §6.2).
 func (db *DB) RunTupleMover() (MergeoutStats, error) {
@@ -275,6 +296,47 @@ func (db *DB) TruncationVersion() uint64 { return db.inner.TruncationVersion() }
 // attempts, retries, hedged reads fired/won, circuit-breaker opens,
 // shed requests and degradation fallbacks (paper §5.3).
 func (db *DB) ResilienceStats() ResilienceStats { return db.inner.ResilienceStats() }
+
+// --- elastic reconciliation ---
+
+// ClusterSpec declares the cluster shape the reconciler maintains:
+// subclusters and their sizes, the warm-spare pool size, the
+// replication factor, and optional autoscale policies.
+type ClusterSpec = reconcile.ClusterSpec
+
+// SubclusterSpec declares one subcluster's desired size.
+type SubclusterSpec = reconcile.SubclusterSpec
+
+// AutoscalePolicy lets the reconciler resize a subcluster between Min
+// and Max from observed query pressure (queue depth, p95 latency).
+type AutoscalePolicy = reconcile.AutoscalePolicy
+
+// ReconcilerConfig tunes the reconcile loop (spec, action budget per
+// round, retry policy, failure backoff, tick interval).
+type ReconcilerConfig = reconcile.Config
+
+// Reconciler is the level-triggered control loop that diffs the
+// declared ClusterSpec against live cluster state each round and
+// executes a bounded, prioritized repair plan: promote a warm spare
+// over a lost member, revive, add, remove, rebalance.
+type Reconciler = reconcile.Reconciler
+
+// ReconcileStatus is one round's outcome: Converged, Progressing (with
+// pending actions), or Blocked (with reasons).
+type ReconcileStatus = reconcile.Status
+
+// Reconcile status codes.
+const (
+	ReconcileConverged   = reconcile.Converged
+	ReconcileProgressing = reconcile.Progressing
+	ReconcileBlocked     = reconcile.Blocked
+)
+
+// NewReconciler builds a reconciler for this cluster. Drive it manually
+// with Tick or continuously with Run.
+func (db *DB) NewReconciler(cfg ReconcilerConfig) *Reconciler {
+	return reconcile.New(db.inner, cfg)
+}
 
 // NewMemStore returns an in-memory shared object store, optionally
 // wrapped in the latency/failure simulator via NewSimStore.

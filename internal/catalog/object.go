@@ -262,6 +262,12 @@ type Node struct {
 	OID        OID    `json:"oid"`
 	Name       string `json:"name"`
 	Subcluster string `json:"subcluster,omitempty"`
+	// Spare marks a warm standby: the node participates in the commit
+	// fan-out and holds PASSIVE subscriptions on every shard so its depot
+	// stays warm, but it serves no queries and owns no writes until a
+	// reconciler promotes it into a subcluster (subscription flip, not a
+	// cold revive).
+	Spare bool `json:"spare,omitempty"`
 }
 
 // GetOID implements Object.

@@ -189,10 +189,13 @@ func (db *DB) RemoveNode(name string) error {
 		}
 	}
 	// Plan with the node drained, execute the subscription changes, then
-	// drop the node object.
-	actions := shard.PlanRebalance(init.catalog.Snapshot(), shard.PlanOptions{
+	// drop the node object. Spares are invisible to the planner: their
+	// PASSIVE pre-subscriptions must not count toward replication.
+	planSnap := init.catalog.Snapshot()
+	actions := shard.PlanRebalance(planSnap, shard.PlanOptions{
 		ReplicationFactor: db.cfg.ReplicationFactor,
 		DrainNodes:        []string{name},
+		IgnoreNodes:       spareNames(planSnap, name),
 	})
 	if err := db.executeRebalanceActions(actions); err != nil {
 		return err
@@ -210,6 +213,10 @@ func (db *DB) RemoveNode(name string) error {
 	}
 	n.up.Store(false)
 	db.net.SetDown(name, true)
+	// Waiters may be parked on the removed node's slots; wake them so they
+	// re-validate and retry on surviving nodes (same as KillNode).
+	db.slots.kick()
+	db.slots.unregister(name)
 	db.nodesMu.Lock()
 	delete(db.nodes, name)
 	for i, o := range db.order {
@@ -219,18 +226,39 @@ func (db *DB) RemoveNode(name string) error {
 		}
 	}
 	db.nodesMu.Unlock()
+	// The catalog deletion committed while the node was still up, so a
+	// concurrent query can have picked the node in between; re-check the
+	// §3.4 invariants against the post-removal state the way KillNode
+	// does.
+	if init2, err := db.anyUpNode(); err == nil {
+		db.checkViabilityAndMaybeShutdown(init2.catalog.Snapshot())
+	} else {
+		db.shutdown.Store(true)
+	}
 	return nil
 }
 
 // Rebalance plans and executes subscription changes so every shard is
 // fault tolerant and every subcluster self-sufficient (§3.1, §4.3).
-func (db *DB) Rebalance() error {
+// Warm spares are excluded: their PASSIVE pre-subscriptions neither
+// satisfy the replication factor nor receive planned changes.
+func (db *DB) Rebalance() error { return db.RebalanceTo(0) }
+
+// RebalanceTo is Rebalance with an explicit replication factor; 0 uses
+// the configured one. The reconciler drives spec-level replication
+// changes through it.
+func (db *DB) RebalanceTo(k int) error {
+	if k <= 0 {
+		k = db.cfg.ReplicationFactor
+	}
 	init, err := db.anyUpNode()
 	if err != nil {
 		return err
 	}
-	actions := shard.PlanRebalance(init.catalog.Snapshot(), shard.PlanOptions{
-		ReplicationFactor: db.cfg.ReplicationFactor,
+	snap := init.catalog.Snapshot()
+	actions := shard.PlanRebalance(snap, shard.PlanOptions{
+		ReplicationFactor: k,
+		IgnoreNodes:       spareNames(snap, ""),
 	})
 	return db.executeRebalanceActions(actions)
 }

@@ -216,8 +216,12 @@ func (c *Config) fillDefaults() error {
 
 // Node is one cluster member.
 type Node struct {
-	name       string
+	name string
+	// scMu guards subcluster and spare, which change when a warm spare is
+	// promoted into a subcluster (spare.go).
+	scMu       sync.RWMutex
 	subcluster string
+	spare      bool
 	inst       cluster.InstanceID
 	catalog    *catalog.Catalog
 	fs         *udfs.MemFS  // the node's local disk
@@ -238,6 +242,29 @@ type Node struct {
 
 // Name returns the node's name.
 func (n *Node) Name() string { return n.name }
+
+// Subcluster returns the node's current subcluster ("" for the default
+// subcluster and for unpromoted spares).
+func (n *Node) Subcluster() string {
+	n.scMu.RLock()
+	defer n.scMu.RUnlock()
+	return n.subcluster
+}
+
+// Spare reports whether the node is an unpromoted warm spare.
+func (n *Node) Spare() bool {
+	n.scMu.RLock()
+	defer n.scMu.RUnlock()
+	return n.spare
+}
+
+// setMembership updates the node's subcluster/spare pair (promotion).
+func (n *Node) setMembership(subcluster string, spare bool) {
+	n.scMu.Lock()
+	n.subcluster = subcluster
+	n.spare = spare
+	n.scMu.Unlock()
+}
 
 // Up reports whether the node is running.
 func (n *Node) Up() bool { return n.up.Load() }
@@ -508,6 +535,30 @@ func (db *DB) Nodes() []*Node {
 	return out
 }
 
+// QueueDepth reports how many queries are parked waiting for execution
+// slots — the load signal the reconciler's autoscaler keys off (§4.3).
+func (db *DB) QueueDepth() int { return db.slots.waitingCount() }
+
+// SlotsOutstanding reports the execution slots currently held across the
+// cluster; it is 0 when the system is quiescent (leak checks).
+func (db *DB) SlotsOutstanding() int { return db.slots.outstanding() }
+
+// ReplicationFactor returns the configured minimum subscribers per
+// segment shard.
+func (db *DB) ReplicationFactor() int { return db.cfg.ReplicationFactor }
+
+// Spares returns the names of unpromoted warm-spare nodes, sorted by
+// creation order.
+func (db *DB) Spares() []string {
+	var out []string
+	for _, n := range db.Nodes() {
+		if n.Spare() {
+			out = append(out, n.name)
+		}
+	}
+	return out
+}
+
 // UpNodes returns the names of running nodes.
 func (db *DB) UpNodes() map[string]bool {
 	out := map[string]bool{}
@@ -628,6 +679,12 @@ func (db *DB) installMetrics() {
 	db.execSpillBytes = reg.Counter("exec.spill_bytes")
 	db.mergeoutNS = reg.Histogram("tuplemover.mergeout_ns")
 	db.mergeoutJobs = reg.Counter("tuplemover.jobs")
+	reg.GaugeFunc("slots.waiting", func() int64 {
+		return int64(db.slots.waitingCount())
+	})
+	reg.GaugeFunc("slots.held", func() int64 {
+		return int64(db.slots.outstanding())
+	})
 	if sim, ok := db.cfg.Shared.(*objstore.Sim); ok {
 		sim.Instrument(reg)
 	}
@@ -663,7 +720,7 @@ func (db *DB) bootstrapCatalog() error {
 	txn := init.catalog.Begin()
 	for _, name := range db.order {
 		n := db.nodes[name]
-		txn.Put(&catalog.Node{OID: init.catalog.NewOID(), Name: n.name, Subcluster: n.subcluster})
+		txn.Put(&catalog.Node{OID: init.catalog.NewOID(), Name: n.name, Subcluster: n.Subcluster()})
 	}
 	for i := 0; i < db.cfg.ShardCount; i++ {
 		seg := db.ring.Segment(i)

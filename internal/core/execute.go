@@ -100,7 +100,7 @@ func (db *DB) execScan(env *queryEnv, scan *planner.Scan, sp *obs.Span) (*distRe
 		node := env.initiator
 		fragSp := sp.StartSpan("fragment:" + node.name)
 		ctx := obs.WithSpan(env.ctx, fragSp)
-		batches, err := db.scanFragment(ctx, node, scan, []scanTask{{Shard: catalog.ReplicaShard, Of: 1}}, env.version, bypass, CrunchOff, env.session.RowEngine, env.stats)
+		batches, err := db.scanFragment(ctx, node, scan, []scanTask{{Shard: catalog.ReplicaShard, Of: 1}}, env.snapshotFor(node.name), bypass, CrunchOff, env.session.RowEngine, env.stats)
 		fragSp.End()
 		if err != nil {
 			return nil, err
@@ -128,7 +128,7 @@ func (db *DB) execScan(env *queryEnv, scan *planner.Scan, sp *obs.Span) (*distRe
 		fragSp := sp.StartSpan("fragment:" + name)
 		defer fragSp.End()
 		ctx := obs.WithSpan(env.ctx, fragSp)
-		return db.scanFragment(ctx, n, scan, env.nodeTasks(name), env.version, bypass, env.session.Crunch, env.session.RowEngine, env.stats)
+		return db.scanFragment(ctx, n, scan, env.nodeTasks(name), env.snapshotFor(name), bypass, env.session.Crunch, env.session.RowEngine, env.stats)
 	})
 	if err != nil {
 		return nil, err

@@ -204,6 +204,14 @@ func (env *queryEnv) eng() exec.Engine {
 	return exec.Engine{Row: env.session.RowEngine, Stats: env.stats.vecStats()}
 }
 
+// snapshotFor returns the catalog cut captured for a participant at
+// query start. Scans must read from this cut — not a fresh snapshot —
+// so a concurrent drain that prunes shard metadata after capture
+// (without a version bump) cannot cause a silent short read.
+func (env *queryEnv) snapshotFor(node string) *catalog.Snapshot {
+	return env.snapshots[node]
+}
+
 // nodeTasks returns the scan tasks a node serves, in shard order.
 func (env *queryEnv) nodeTasks(node string) []scanTask {
 	var out []scanTask
@@ -518,6 +526,36 @@ func (s *Session) selectParticipants(init *Node) (*queryEnv, error) {
 			return nil, fmt.Errorf("%w: %s", errNodeDown, name)
 		}
 		snapshots[name] = n.catalog.Snapshot()
+	}
+	if db.mode == ModeEon {
+		// The assignment came from a planning snapshot taken before the
+		// commit lock; a node drain (RemoveNode) can commit a
+		// subscription deletion in between and then drop the node's
+		// local shard metadata outside the lock. A participant whose own
+		// cut no longer shows it serving its shard would silently scan
+		// nothing — force a retry against a fresh plan instead.
+		serves := func(name string, sh int) bool {
+			for _, sub := range snapshots[name].SubscribersOf(sh, catalog.SubActive, catalog.SubRemoving) {
+				if sub.Node == name {
+					return true
+				}
+			}
+			return false
+		}
+		for sh, name := range assignment {
+			if !serves(name, sh) {
+				db.commitMu.Unlock()
+				return nil, fmt.Errorf("%w: %s no longer serves shard %d", errNodeDown, name, sh)
+			}
+		}
+		for sh, group := range crunch {
+			for _, name := range group {
+				if !serves(name, sh) {
+					db.commitMu.Unlock()
+					return nil, fmt.Errorf("%w: %s no longer serves shard %d", errNodeDown, name, sh)
+				}
+			}
+		}
 	}
 	db.commitMu.Unlock()
 

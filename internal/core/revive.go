@@ -128,6 +128,15 @@ func Revive(cfg Config) (*DB, error) {
 		r.n.catalog.Install(donor.FilterShards(keep), donorNext)
 	}
 
+	// Restore each node's membership attributes (subcluster, spare flag)
+	// from the revived catalog — the authoritative record of which nodes
+	// were serving members and which were warm spares.
+	for _, cn := range donor.Nodes() {
+		if n, ok := db.nodes[cn.Name]; ok {
+			n.setMembership(cn.Subcluster, cn.Spare)
+		}
+	}
+
 	// The ring is fixed by the shard objects in the catalog.
 	segCount := donor.SegmentShardCount()
 	if segCount == 0 {

@@ -59,9 +59,9 @@ type containerWork struct {
 // scanFragment reads one node's share of a scan into a batch slice (the
 // materialized executor's entry point); it is a collecting wrapper over
 // scanFragmentStream.
-func (db *DB) scanFragment(ctx context.Context, node *Node, scan *planner.Scan, tasks []scanTask, version uint64, bypassCache bool, mode CrunchMode, rowEngine bool, st *scanTally) ([]*types.Batch, error) {
+func (db *DB) scanFragment(ctx context.Context, node *Node, scan *planner.Scan, tasks []scanTask, snap *catalog.Snapshot, bypassCache bool, mode CrunchMode, rowEngine bool, st *scanTally) ([]*types.Batch, error) {
 	var out []*types.Batch
-	err := db.scanFragmentStream(ctx, node, scan, tasks, version, bypassCache, mode, rowEngine, st, func(b *types.Batch) error {
+	err := db.scanFragmentStream(ctx, node, scan, tasks, snap, bypassCache, mode, rowEngine, st, func(b *types.Batch) error {
 		out = append(out, b)
 		return nil
 	})
@@ -87,14 +87,21 @@ func (db *DB) scanFragment(ctx context.Context, node *Node, scan *planner.Scan, 
 // (task, container) order (exactly the serial pipeline's order), and a
 // slow or early-terminating consumer backpressures the workers through
 // the window.
-func (db *DB) scanFragmentStream(ctx context.Context, node *Node, scan *planner.Scan, tasks []scanTask, version uint64, bypassCache bool, mode CrunchMode, rowEngine bool, st *scanTally, emit func(*types.Batch) error) error {
+func (db *DB) scanFragmentStream(ctx context.Context, node *Node, scan *planner.Scan, tasks []scanTask, snap *catalog.Snapshot, bypassCache bool, mode CrunchMode, rowEngine bool, st *scanTally, emit func(*types.Batch) error) error {
 	// The fragment span arrives via the context (set by execScan); the
 	// fetch/decode/filter accumulator children aggregate worker time.
 	sps := newScanSpans(obs.SpanFrom(ctx))
 	defer sps.end()
-	snap := node.catalog.Snapshot()
-	if snap.Version() < version {
-		return fmt.Errorf("core: node %s catalog at v%d behind query v%d", node.name, snap.Version(), version)
+	// The scan reads from the query's captured catalog cut, not a fresh
+	// snapshot: a concurrent drain (RemoveNode → unsubscribe) deletes the
+	// subscription and then prunes the node's local shard metadata via
+	// DropShardObjects, which does not advance the catalog version. A
+	// fresh snapshot taken here could pass any version check yet have no
+	// containers for an assigned shard — a silent short read. The captured
+	// cut is immutable (copy-on-write), so the containers it references
+	// remain scannable; dropped depot files fall back to shared storage.
+	if snap == nil {
+		snap = node.catalog.Snapshot()
 	}
 	wosProjs := map[catalog.OID]bool{}
 	var shards []int

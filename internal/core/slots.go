@@ -10,10 +10,11 @@ import "sync"
 // concurrent queries each hold one of a node's slots while waiting for a
 // second.
 type slotManager struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	avail map[string]int
-	cap   map[string]int
+	mu      sync.Mutex
+	cond    *sync.Cond
+	avail   map[string]int
+	cap     map[string]int
+	waiting int
 }
 
 func newSlotManager() *slotManager {
@@ -31,12 +32,29 @@ func (m *slotManager) register(node string, slots int) {
 	m.cond.Broadcast()
 }
 
+// unregister removes a node's slot pool (node removal). Waiters that
+// requested slots on the node will find them permanently unavailable, so
+// the caller must kick them into re-validation.
+func (m *slotManager) unregister(node string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.cap, node)
+	delete(m.avail, node)
+	m.cond.Broadcast()
+}
+
 // acquire blocks until every requested slot count is simultaneously
 // available, then takes them. ok reports whether validate approved the
 // request at grant time (a node may have gone down while waiting).
 func (m *slotManager) acquire(req map[string]int, validate func() bool) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	parked := false
+	defer func() {
+		if parked {
+			m.waiting--
+		}
+	}()
 	for {
 		ready := true
 		for node, n := range req {
@@ -57,15 +75,42 @@ func (m *slotManager) acquire(req map[string]int, validate func() bool) bool {
 		if validate != nil && !validate() {
 			return false
 		}
+		if !parked {
+			parked = true
+			m.waiting++
+		}
 		m.cond.Wait()
 	}
 }
 
-// release returns slots to the pool.
+// waitingCount reports how many acquirers are parked — the query queue
+// depth the autoscaler keys off (§4.3).
+func (m *slotManager) waitingCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.waiting
+}
+
+// outstanding reports the total slots currently held across all nodes.
+func (m *slotManager) outstanding() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	held := 0
+	for node, c := range m.cap {
+		held += c - m.avail[node]
+	}
+	return held
+}
+
+// release returns slots to the pool. Slots held on a node that was
+// unregistered in the meantime are dropped rather than resurrected.
 func (m *slotManager) release(req map[string]int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for node, n := range req {
+		if _, ok := m.cap[node]; !ok {
+			continue
+		}
 		m.avail[node] += n
 		if m.avail[node] > m.cap[node] {
 			m.avail[node] = m.cap[node]

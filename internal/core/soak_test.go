@@ -1,0 +1,139 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSoakMembershipChurn drives the full membership lifecycle —
+// add-spare, instance loss, promotion, removal, plus a kill/recover
+// cycle — under a sustained query stream, and demands exactness
+// throughout: every successful query returns the precise COUNT/SUM,
+// and at the end nothing leaks (goroutines, exec slots, trace spans).
+func TestSoakMembershipChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	before := runtime.NumGoroutine()
+
+	db := newTestDB(t, ModeEon, 4, 4)
+	const rows = 120
+	setupSales(t, db, rows)
+	var wantSum int64
+	for i := 1; i <= rows; i++ {
+		wantSum += int64(i)
+	}
+	// Warm the member depots so spare provisioning has peers to pull from.
+	mustQuery(t, db.NewSession(), `SELECT COUNT(*) FROM sales`)
+
+	var okCount, wrong, failed atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(traced bool) {
+			defer wg.Done()
+			s := db.NewSession()
+			s.Trace = traced
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := s.Query(`SELECT COUNT(*), SUM(sale_id) FROM sales`)
+				if err != nil {
+					failed.Add(1) // clean failures are fine mid-churn
+					continue
+				}
+				row := res.Batch.Row(0)
+				if row[0].I != rows || row[1].I != wantSum {
+					wrong.Add(1)
+				} else {
+					okCount.Add(1)
+				}
+				if traced {
+					if p := s.LastProfile(); p != nil && p.Dangling != 0 {
+						wrong.Add(1) // span leak in the query path
+					}
+				}
+			}
+		}(w == 0)
+	}
+
+	churn := func(step string, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("%s: %v", step, err)
+		}
+	}
+	settle := func() { time.Sleep(5 * time.Millisecond) }
+
+	// Three full cycles: spare in, member dies (depot and all), spare
+	// promoted over it, husk removed, plus one kill/recover round trip.
+	victims := []string{"node2", "node3", "node4"}
+	for i, victim := range victims {
+		spare := "spare" + string(rune('1'+i))
+		churn("AddSpare "+spare, db.AddSpare(NodeSpec{Name: spare}))
+		settle()
+		churn("WipeNode "+victim, db.WipeNode(victim))
+		settle()
+		churn("PromoteSpare "+spare, db.PromoteSpare(spare, ""))
+		settle()
+		churn("RemoveNode "+victim, db.RemoveNode(victim))
+		settle()
+
+		// One transient outage in the middle of the churn.
+		if i == 1 {
+			churn("KillNode node1", db.KillNode("node1"))
+			settle()
+			churn("RecoverNode node1", db.RecoverNode("node1"))
+			settle()
+		}
+	}
+
+	time.Sleep(20 * time.Millisecond) // keep the stream on final membership
+	close(stop)
+	wg.Wait()
+
+	if n := wrong.Load(); n > 0 {
+		t.Fatalf("%d queries returned wrong results during churn", n)
+	}
+	if okCount.Load() == 0 {
+		t.Fatal("no query succeeded during the soak")
+	}
+	if db.IsShutdown() {
+		t.Fatal("cluster shut down during churn")
+	}
+	// Final membership: node1 + three promoted spares, still exact.
+	res := mustQuery(t, db.NewSession(), `SELECT COUNT(*), SUM(sale_id) FROM sales`)
+	row := res.Batch.Row(0)
+	if row[0].I != rows || row[1].I != wantSum {
+		t.Fatalf("final result %d/%d, want %d/%d", row[0].I, row[1].I, rows, wantSum)
+	}
+	for _, name := range victims {
+		if _, ok := db.Node(name); ok {
+			t.Fatalf("%s still present after removal", name)
+		}
+	}
+
+	// Nothing may leak: exec slots all returned...
+	if n := db.SlotsOutstanding(); n != 0 {
+		t.Fatalf("%d exec slots still held after the soak", n)
+	}
+	// ...and the worker goroutines (plus anything the churn spawned)
+	// gone. Allow a little slack for runtime background goroutines.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before+3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -657,7 +657,7 @@ func (sc *streamCtx) scanOp(n *Node, scan *planner.Scan, tasks []scanTask, mode 
 			fragSp := sp.StartSpan("fragment:" + n.name)
 			defer fragSp.End()
 			ctx := obs.WithSpan(sc.ctx, fragSp)
-			err := sc.db.scanFragmentStream(ctx, n, scan, tasks, env.version,
+			err := sc.db.scanFragmentStream(ctx, n, scan, tasks, env.snapshotFor(n.name),
 				env.session.BypassCache, mode, env.session.RowEngine, env.stats,
 				func(b *types.Batch) error { return ch.push(b) })
 			ch.finish(err)

@@ -43,6 +43,20 @@ func (db *DB) executeRebalanceActions(actions []shard.Action) error {
 // subscribe runs the full subscription process for one (node, shard)
 // pair (§3.3, Figure 4).
 func (db *DB) subscribe(nodeName string, shardIdx int, warmCache bool) error {
+	return db.subscribeTo(nodeName, shardIdx, warmCache, catalog.SubActive)
+}
+
+// subscribeTo runs the subscription process up to the target state:
+// ACTIVE for serving subscribers, PASSIVE for warm spares that pre-stage
+// a shard without serving it. The process resumes idempotently from
+// whatever state an earlier, possibly interrupted, attempt left behind —
+// a PENDING subscription redoes the metadata transfer, a PASSIVE one
+// skips straight to warming/activation — so a crashed reconcile step can
+// simply be re-run.
+func (db *DB) subscribeTo(nodeName string, shardIdx int, warmCache bool, target catalog.SubState) error {
+	if target != catalog.SubActive && target != catalog.SubPassive {
+		return fmt.Errorf("core: invalid subscription target %v", target)
+	}
 	n, ok := db.Node(nodeName)
 	if !ok || !n.Up() {
 		return fmt.Errorf("core: cannot subscribe down node %q", nodeName)
@@ -52,20 +66,39 @@ func (db *DB) subscribe(nodeName string, shardIdx int, warmCache bool) error {
 		return err
 	}
 
-	// 1. Create the subscription in PENDING.
-	txn := init.catalog.Begin()
-	for _, s := range txn.Base().Subscriptions(nodeName) {
+	// Find what an earlier attempt may have left behind.
+	var cur *catalog.Subscription
+	for _, s := range init.catalog.Snapshot().Subscriptions(nodeName) {
 		if s.ShardIndex == shardIdx {
-			return nil // already subscribed (any state)
+			cur = s
+			break
 		}
 	}
-	sub := &catalog.Subscription{
-		OID: init.catalog.NewOID(), Node: nodeName,
-		ShardIndex: shardIdx, State: catalog.SubPending,
-	}
-	txn.Put(sub)
-	if _, err := db.commit(init, txn, nil); err != nil {
-		return err
+	var oid catalog.OID
+	needTransfer := true
+	switch {
+	case cur == nil:
+		// 1. Create the subscription in PENDING.
+		txn := init.catalog.Begin()
+		sub := &catalog.Subscription{
+			OID: init.catalog.NewOID(), Node: nodeName,
+			ShardIndex: shardIdx, State: catalog.SubPending,
+		}
+		txn.Put(sub)
+		if _, err := db.commit(init, txn, nil); err != nil {
+			return err
+		}
+		oid = sub.OID
+	case cur.State == catalog.SubActive || cur.State == catalog.SubRemoving:
+		return nil // already serving
+	case cur.State == catalog.SubPassive:
+		if target == catalog.SubPassive {
+			return nil
+		}
+		oid = cur.OID
+		needTransfer = false // metadata landed before the PASSIVE commit
+	default: // PENDING: resume from the metadata transfer
+		oid = cur.OID
 	}
 
 	// 2. Metadata transfer from an existing subscriber: rounds of
@@ -73,7 +106,7 @@ func (db *DB) subscribe(nodeName string, shardIdx int, warmCache bool) error {
 	// are installed directly (the node's catalog version already tracks
 	// the cluster via the commit fan-out).
 	source := db.pickPeer(shardIdx, nodeName)
-	if source != nil {
+	if source != nil && needTransfer {
 		var objs []catalog.Object
 		snap := source.catalog.Snapshot()
 		snap.ForEach(0, func(o catalog.Object) bool {
@@ -93,20 +126,27 @@ func (db *DB) subscribe(nodeName string, shardIdx int, warmCache bool) error {
 	}
 
 	// 3. PENDING -> PASSIVE (the node can now participate in commits).
-	if err := db.transitionSubscription(sub.OID, catalog.SubPassive); err != nil {
-		return err
+	if needTransfer {
+		if err := db.transitionSubscription(oid, catalog.SubPassive); err != nil {
+			return err
+		}
 	}
 
 	// 4. Cache warming from a peer's MRU list (§5.2), preferring a peer
 	// in the same subcluster. Optional: "not all new subscribers will
-	// care about cache warming".
+	// care about cache warming". Spares warm here too, so promotion
+	// later finds the depot hot.
 	if warmCache && db.mode == ModeEon && source != nil && source.cache != nil {
 		list := source.cache.MostRecentlyUsed(n.cache.Capacity())
 		warmFromPeer(db, n, source, list)
 	}
 
+	if target == catalog.SubPassive {
+		return nil
+	}
+
 	// 5. PASSIVE -> ACTIVE.
-	return db.transitionSubscription(sub.OID, catalog.SubActive)
+	return db.transitionSubscription(oid, catalog.SubActive)
 }
 
 // pickPeer chooses an up ACTIVE subscriber of a shard other than self,
@@ -127,7 +167,7 @@ func (db *DB) pickPeer(shardIdx int, self string) *Node {
 		if !ok || !n.Up() {
 			continue
 		}
-		if selfNode != nil && selfNode.subcluster != "" && n.subcluster == selfNode.subcluster {
+		if selfNode != nil && selfNode.Subcluster() != "" && n.Subcluster() == selfNode.Subcluster() {
 			return n
 		}
 		if fallback == nil {

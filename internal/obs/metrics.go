@@ -193,6 +193,56 @@ func bucketBounds(i int) (int64, int64) {
 	return lo, int64(1) << i
 }
 
+// Counts returns a copy of the per-bucket observation counts. Two
+// snapshots taken at different times can be differenced to recover the
+// distribution of just the observations in between (see CountsQuantile),
+// which is how the reconciler derives a windowed p95 from a cumulative
+// histogram.
+func (h *Histogram) Counts() []int64 {
+	out := make([]int64, histBuckets)
+	if h == nil {
+		return out
+	}
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// CountsQuantile estimates the q-quantile of a bucket-count vector laid
+// out like Histogram.Counts (typically a difference of two snapshots).
+// It returns 0 when the window holds no observations.
+func CountsQuantile(counts []int64, q float64) int64 {
+	var total int64
+	for _, n := range counts {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(total)
+	var cum float64
+	for i := 0; i < len(counts) && i < histBuckets; i++ {
+		n := float64(counts[i])
+		if n == 0 {
+			continue
+		}
+		if cum+n >= target {
+			lo, hi := bucketBounds(i)
+			frac := (target - cum) / n
+			return int64(float64(lo) + frac*float64(hi-lo))
+		}
+		cum += n
+	}
+	return 0
+}
+
 // Snapshot summarizes the histogram.
 func (h *Histogram) Snapshot() HistStats {
 	if h == nil {

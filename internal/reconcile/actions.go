@@ -1,0 +1,172 @@
+package reconcile
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"eon/internal/core"
+	"eon/internal/obs"
+)
+
+// ActionKind identifies one reconcile operation. The declaration order
+// is the execution priority: restoring service (promote, revive) beats
+// growing it (add), which beats shard repair (rebalance), spare-pool
+// upkeep, and cleanup (remove) — so a bounded round always spends its
+// budget on the most urgent work first.
+type ActionKind uint8
+
+// Action kinds in priority order.
+const (
+	ActPromoteSpare ActionKind = iota
+	ActRevive
+	ActAddNode
+	ActAddSpare
+	ActWarmSpare
+	ActRebalance
+	ActRemoveNode
+)
+
+// String names the kind.
+func (k ActionKind) String() string {
+	switch k {
+	case ActPromoteSpare:
+		return "promote-spare"
+	case ActRevive:
+		return "revive"
+	case ActAddNode:
+		return "add-node"
+	case ActAddSpare:
+		return "add-spare"
+	case ActWarmSpare:
+		return "warm-spare"
+	case ActRebalance:
+		return "rebalance"
+	case ActRemoveNode:
+		return "remove-node"
+	}
+	return "?"
+}
+
+// Action is one planned step toward the spec.
+type Action struct {
+	Kind       ActionKind
+	Node       string
+	Subcluster string
+	// Reason says why the diff planned it, in operator terms.
+	Reason string
+}
+
+// key identifies the action for failure tracking across rounds.
+func (a Action) key() string { return a.Kind.String() + "/" + a.Node }
+
+func (a Action) describe() string {
+	if a.Node == "" {
+		return fmt.Sprintf("%s (%s)", a.Kind, a.Reason)
+	}
+	return fmt.Sprintf("%s %s (%s)", a.Kind, a.Node, a.Reason)
+}
+
+// ActionResult records one executed action.
+type ActionResult struct {
+	Action Action
+	// Err is the final error message, "" on success.
+	Err string
+}
+
+// act executes up to MaxActionsPerRound actions from the plan, skipping
+// any that are still backing off from earlier failures. Each action
+// runs under the in-round retry policy; an action that still fails gets
+// exponential cross-round backoff and, past FailThreshold, flips the
+// status to Blocked. Called with r.mu held.
+func (r *Reconciler) act(ctx context.Context, plan []Action, span *obs.Span) []ActionResult {
+	var results []ActionResult
+	now := time.Now()
+	ran := 0
+	for _, a := range plan {
+		if ran >= r.cfg.MaxActionsPerRound {
+			break
+		}
+		if fs, ok := r.fails[a.key()]; ok && now.Before(fs.next) {
+			continue // backing off; the diff will re-plan it next round
+		}
+		ran++
+		r.mActions.Inc()
+		as := span.StartSpan(a.Kind.String())
+		err := r.cfg.Retry.Do(ctx, nil, func(ctx context.Context) error {
+			return r.execute(a)
+		})
+		as.End()
+		res := ActionResult{Action: a}
+		if err != nil {
+			res.Err = err.Error()
+			r.mErrors.Inc()
+			fs := r.fails[a.key()]
+			if fs == nil {
+				fs = &failState{}
+				r.fails[a.key()] = fs
+			}
+			fs.count++
+			fs.last = err.Error()
+			fs.next = now.Add(backoff(r.cfg.BackoffBase, r.cfg.BackoffMax, fs.count))
+		} else {
+			delete(r.fails, a.key())
+			r.countSuccess(a.Kind)
+		}
+		results = append(results, res)
+	}
+	return results
+}
+
+// execute dispatches one action to the database.
+func (r *Reconciler) execute(a Action) error {
+	switch a.Kind {
+	case ActPromoteSpare:
+		return r.db.PromoteSpare(a.Node, a.Subcluster)
+	case ActRevive:
+		return r.db.RecoverNode(a.Node)
+	case ActAddNode:
+		return r.db.AddNode(core.NodeSpec{Name: a.Node, Subcluster: a.Subcluster})
+	case ActAddSpare:
+		return r.db.AddSpare(core.NodeSpec{Name: a.Node, Subcluster: a.Subcluster})
+	case ActWarmSpare:
+		_, err := r.db.WarmSpare(a.Node)
+		return err
+	case ActRebalance:
+		return r.db.RebalanceTo(r.effectiveRF())
+	case ActRemoveNode:
+		return r.db.RemoveNode(a.Node)
+	}
+	return fmt.Errorf("reconcile: unknown action kind %d", a.Kind)
+}
+
+func (r *Reconciler) countSuccess(k ActionKind) {
+	switch k {
+	case ActPromoteSpare:
+		r.mPromote.Inc()
+	case ActRevive:
+		r.mRevive.Inc()
+	case ActAddNode:
+		r.mAdd.Inc()
+	case ActAddSpare:
+		r.mSpareAdd.Inc()
+	case ActWarmSpare:
+		r.mSpareWarm.Inc()
+	case ActRebalance:
+		r.mRebalance.Inc()
+	case ActRemoveNode:
+		r.mRemove.Inc()
+	}
+}
+
+// backoff is BackoffBase doubled per consecutive failure, capped.
+func backoff(base, max time.Duration, count int) time.Duration {
+	d := base
+	for i := 1; i < count && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}

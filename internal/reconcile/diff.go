@@ -1,0 +1,280 @@
+package reconcile
+
+import (
+	"fmt"
+	"sort"
+
+	"eon/internal/catalog"
+	"eon/internal/shard"
+)
+
+// nodeInfo is one node as observed this round.
+type nodeInfo struct {
+	name       string
+	subcluster string
+	spare      bool
+	up         bool
+}
+
+// observed is the cluster state a diff runs against.
+type observed struct {
+	snap    *catalog.Snapshot
+	bySC    map[string][]nodeInfo // serving members keyed by subcluster
+	spares  []nodeInfo            // spare-pool nodes, up and down
+	taken   map[string]bool       // every name in use (runtime or catalog)
+	hasData bool                  // any storage container committed
+}
+
+// observe reads the runtime node table and the catalog of the first up
+// node. Membership attributes (subcluster, spare flag) come from the
+// runtime node, which mirrors the committed catalog; the snapshot is
+// kept for planning checks. Returns nil when no node is up.
+func (r *Reconciler) observe() *observed {
+	o := &observed{bySC: map[string][]nodeInfo{}, taken: map[string]bool{}}
+	for _, n := range r.db.Nodes() {
+		ni := nodeInfo{name: n.Name(), subcluster: n.Subcluster(), spare: n.Spare(), up: n.Up()}
+		o.taken[ni.name] = true
+		if ni.spare {
+			o.spares = append(o.spares, ni)
+		} else {
+			o.bySC[ni.subcluster] = append(o.bySC[ni.subcluster], ni)
+		}
+		if o.snap == nil && ni.up {
+			o.snap = n.Catalog().Snapshot()
+		}
+	}
+	if o.snap == nil {
+		return nil
+	}
+	for _, cn := range o.snap.Nodes() {
+		o.taken[cn.Name] = true
+	}
+	sort.Slice(o.spares, func(i, j int) bool { return o.spares[i].name < o.spares[j].name })
+	o.snap.ForEach(catalog.KindStorageContainer, func(catalog.Object) bool {
+		o.hasData = true
+		return false
+	})
+	return o
+}
+
+// diff derives the action plan from observed state, in priority order.
+// It is a pure function of (spec, observation): re-running it after any
+// prefix of the plan executed — or after a crash mid-action — yields
+// the remaining work, which is what makes rounds idempotent.
+func (r *Reconciler) diff() []Action {
+	o := r.observe()
+	if o == nil {
+		return nil
+	}
+	var out []Action
+
+	// Warm spares available for promotion, cheapest name first.
+	var pool []string
+	for _, sp := range o.spares {
+		if sp.up {
+			pool = append(pool, sp.name)
+		}
+	}
+
+	declared := map[string]bool{}
+	for _, sc := range r.spec.Subclusters {
+		declared[sc.Name] = true
+		desired := r.desiredSize(sc)
+		var alive, dead []nodeInfo
+		for _, m := range o.bySC[sc.Name] {
+			if m.up {
+				alive = append(alive, m)
+			} else {
+				dead = append(dead, m)
+			}
+		}
+		sort.Slice(alive, func(i, j int) bool { return alive[i].name < alive[j].name })
+		sort.Slice(dead, func(i, j int) bool { return dead[i].name < dead[j].name })
+
+		for _, d := range dead {
+			if len(alive) >= desired {
+				// A replacement already serves (e.g. the spare promoted last
+				// round); the dead husk just needs removing.
+				out = append(out, Action{Kind: ActRemoveNode, Node: d.name, Subcluster: sc.Name,
+					Reason: "dead node already replaced"})
+				continue
+			}
+			if len(pool) > 0 {
+				sp := pool[0]
+				pool = pool[1:]
+				out = append(out, Action{Kind: ActPromoteSpare, Node: sp, Subcluster: sc.Name,
+					Reason: fmt.Sprintf("member %s is down", d.name)})
+				alive = append(alive, nodeInfo{name: sp, up: true})
+				continue
+			}
+			out = append(out, Action{Kind: ActRevive, Node: d.name, Subcluster: sc.Name,
+				Reason: "member down, no warm spare available"})
+			alive = append(alive, d)
+		}
+		for len(alive) < desired {
+			name := freshName(prefixFor(sc.Name), o.taken)
+			out = append(out, Action{Kind: ActAddNode, Node: name, Subcluster: sc.Name,
+				Reason: fmt.Sprintf("below desired size %d", desired)})
+			alive = append(alive, nodeInfo{name: name, up: true})
+		}
+		// Shrink from the highest name down, so generated members go first.
+		for i := len(alive); i > desired; i-- {
+			out = append(out, Action{Kind: ActRemoveNode, Node: alive[i-1].name, Subcluster: sc.Name,
+				Reason: fmt.Sprintf("above desired size %d", desired)})
+		}
+	}
+
+	// Members of subclusters the spec no longer declares drain out.
+	var strays []string
+	for scName, members := range o.bySC {
+		if declared[scName] {
+			continue
+		}
+		for _, m := range members {
+			strays = append(strays, m.name)
+		}
+	}
+	sort.Strings(strays)
+	for _, name := range strays {
+		out = append(out, Action{Kind: ActRemoveNode, Node: name,
+			Reason: "subcluster not in spec"})
+	}
+
+	// Spare pool: revive dead spares while short, add fresh ones for the
+	// rest of the gap, drain any surplus.
+	need := r.spec.Spares - len(pool)
+	for _, sp := range o.spares {
+		if sp.up {
+			continue
+		}
+		if need > 0 {
+			out = append(out, Action{Kind: ActRevive, Node: sp.name,
+				Reason: "spare down"})
+			need--
+		} else {
+			out = append(out, Action{Kind: ActRemoveNode, Node: sp.name,
+				Reason: "surplus spare"})
+		}
+	}
+	for ; need > 0; need-- {
+		name := freshName("spare", o.taken)
+		out = append(out, Action{Kind: ActAddSpare, Node: name,
+			Reason: "spare pool below desired size"})
+	}
+	// need < 0 means surplus up spares; drain the highest-named ones.
+	kept := pool
+	if need < 0 {
+		kept = pool[:len(pool)+need]
+		for _, sp := range pool[len(pool)+need:] {
+			out = append(out, Action{Kind: ActRemoveNode, Node: sp,
+				Reason: "surplus spare"})
+		}
+	}
+
+	// A provisioned-but-cold spare (e.g. freshly revived) gets re-warmed
+	// so promotion stays a subscription flip, not a depot rebuild. Only
+	// planned when some member depot is warm: warming pulls from peer
+	// MRU lists, so against all-cold peers it would be a no-op forever.
+	if o.hasData && r.anyMemberWarm() {
+		for _, sp := range kept {
+			if n, ok := r.db.Node(sp); ok && n.Cache().Stats().BytesCached == 0 {
+				out = append(out, Action{Kind: ActWarmSpare, Node: sp,
+					Reason: "spare depot cold"})
+			}
+		}
+	}
+
+	// Rebalance is the final convergence step: only once membership
+	// matches the spec do we ask the planner whether shard coverage does.
+	if len(out) == 0 {
+		var ignore []string
+		for _, sp := range o.spares {
+			ignore = append(ignore, sp.name)
+		}
+		acts := shard.PlanRebalance(o.snap, shard.PlanOptions{
+			ReplicationFactor: r.effectiveRF(),
+			IgnoreNodes:       ignore,
+		})
+		if len(acts) > 0 {
+			out = append(out, Action{Kind: ActRebalance,
+				Reason: fmt.Sprintf("%d subscription changes needed", len(acts))})
+		}
+	}
+
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}
+
+// anyMemberWarm reports whether any up serving member has cached files.
+func (r *Reconciler) anyMemberWarm() bool {
+	for _, n := range r.db.Nodes() {
+		if n.Up() && !n.Spare() && n.Cache().Stats().BytesCached > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// desiredSize is the spec size, overridden by autoscale state when the
+// policy covers this subcluster.
+func (r *Reconciler) desiredSize(sc SubclusterSpec) int {
+	as := r.spec.Autoscale
+	if as == nil || as.Subcluster != sc.Name {
+		return sc.Size
+	}
+	size, ok := r.asSize[sc.Name]
+	if !ok {
+		size = sc.Size
+	}
+	return clampSize(size, as)
+}
+
+func clampSize(size int, as *AutoscalePolicy) int {
+	min, max := as.Min, as.Max
+	if min <= 0 {
+		min = 1
+	}
+	if max < min {
+		max = min
+	}
+	if size < min {
+		return min
+	}
+	if size > max {
+		return max
+	}
+	return size
+}
+
+// effectiveRF is the replication factor the spec asks for, defaulting
+// to the database's configured one.
+func (r *Reconciler) effectiveRF() int {
+	if r.spec.ReplicationFactor > 0 {
+		return r.spec.ReplicationFactor
+	}
+	return r.db.ReplicationFactor()
+}
+
+func prefixFor(subcluster string) string {
+	if subcluster == "" {
+		return "node"
+	}
+	return subcluster
+}
+
+// freshName picks the lowest unused "prefix-N" and reserves it in taken,
+// so one diff never hands the same name to two actions.
+func freshName(prefix string, taken map[string]bool) string {
+	for i := 1; ; i++ {
+		name := fmt.Sprintf("%s-%d", prefix, i)
+		if !taken[name] {
+			taken[name] = true
+			return name
+		}
+	}
+}

@@ -1,0 +1,349 @@
+// Package reconcile closes the loop from a declarative cluster shape to
+// the observed cluster state (paper §4.3, §6.1–§6.4): a reconciler owns
+// a ClusterSpec (subclusters and their sizes, warm-spare pool size,
+// replication factor, autoscale policy) and, each round, diffs it
+// against the live catalog and node state, plans a bounded prioritized
+// action list — promote a warm spare over a dead member, revive, add,
+// remove, rebalance — and executes it with per-action retry and
+// cross-round backoff. The rounds are level-triggered and idempotent:
+// every round re-derives the plan from observed state, so a crashed or
+// abandoned reconcile step is simply re-planned by the next round (the
+// Kubernetes-operator pattern the production Vertica operator uses).
+package reconcile
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"eon/internal/core"
+	"eon/internal/obs"
+	"eon/internal/resilience"
+)
+
+// SubclusterSpec declares one subcluster and its desired size.
+type SubclusterSpec struct {
+	// Name is the subcluster name ("" is the default subcluster).
+	Name string
+	// Size is the desired number of serving members.
+	Size int
+}
+
+// AutoscalePolicy scales one subcluster between Min and Max members on
+// load signals (§4.3: "add nodes when demand is high and remove them
+// when demand is low").
+type AutoscalePolicy struct {
+	// Subcluster is the subcluster the policy drives.
+	Subcluster string
+	// Min and Max bound the autoscaled size.
+	Min, Max int
+	// QueueHigh scales up when the slot-queue depth reaches it (>0).
+	QueueHigh int
+	// P95High scales up when the windowed query p95 reaches it (>0).
+	P95High time.Duration
+	// QueueLow is the scale-down queue-depth ceiling (a round counts as
+	// idle only when depth <= QueueLow).
+	QueueLow int
+	// SettleRounds is how many consecutive idle rounds precede a
+	// scale-down (default 3) — hysteresis against flapping.
+	SettleRounds int
+}
+
+// ClusterSpec is the desired cluster shape.
+type ClusterSpec struct {
+	// Subclusters lists every desired subcluster; members of undeclared
+	// subclusters are drained and removed.
+	Subclusters []SubclusterSpec
+	// Spares is the desired warm-spare pool size.
+	Spares int
+	// ReplicationFactor overrides the database's configured minimum
+	// subscribers per segment shard (0 keeps the database default).
+	ReplicationFactor int
+	// Autoscale, when set, lets load signals adjust one subcluster's
+	// size within bounds.
+	Autoscale *AutoscalePolicy
+}
+
+// StatusCode classifies a reconcile round's outcome.
+type StatusCode uint8
+
+// The three convergence states.
+const (
+	// Converged: observed state matches the spec; the round planned
+	// nothing.
+	Converged StatusCode = iota
+	// Progressing: actions are planned or executing and none is stuck.
+	Progressing
+	// Blocked: an action keeps failing (or the cluster is shut down);
+	// operator attention is needed.
+	Blocked
+)
+
+// String names the code.
+func (c StatusCode) String() string {
+	switch c {
+	case Converged:
+		return "Converged"
+	case Progressing:
+		return "Progressing"
+	case Blocked:
+		return "Blocked"
+	}
+	return "?"
+}
+
+// Status is the reconciler's externally visible state after a round.
+type Status struct {
+	Code StatusCode
+	// Round is the tick number that produced this status.
+	Round int64
+	// Reasons explains Progressing/Blocked in operator terms.
+	Reasons []string
+	// Pending counts the actions still outstanding after the round.
+	Pending int
+	// QueueDepth and P95 are the load signals read this round.
+	QueueDepth int
+	P95        time.Duration
+	// Actions lists what the round executed.
+	Actions []ActionResult
+}
+
+// Config tunes a Reconciler.
+type Config struct {
+	// Spec is the initial desired state (replaceable via SetSpec).
+	Spec ClusterSpec
+	// MaxActionsPerRound bounds how much one round changes (default 4):
+	// convergence proceeds in small, observable steps.
+	MaxActionsPerRound int
+	// Retry is the in-round per-action retry policy. The zero value
+	// retries 3 attempts with millisecond backoff.
+	Retry resilience.Policy
+	// FailThreshold is how many consecutive failed rounds an action
+	// survives before the reconciler reports Blocked (default 5).
+	FailThreshold int
+	// BackoffBase/BackoffMax shape the cross-round backoff of a failing
+	// action (defaults 50ms / 2s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Interval is the Run loop cadence (default 100ms).
+	Interval time.Duration
+}
+
+// failState tracks a persistently failing action across rounds.
+type failState struct {
+	count int
+	next  time.Time
+	last  string
+}
+
+// Reconciler drives one database toward its ClusterSpec.
+type Reconciler struct {
+	db  *core.DB
+	cfg Config
+
+	mu     sync.Mutex
+	spec   ClusterSpec
+	status Status
+	round  int64
+	// asSize holds the autoscaled desired size per subcluster.
+	asSize   map[string]int
+	idle     int
+	prevHist []int64
+	fails    map[string]*failState
+	profile  *obs.Profile
+
+	// reconcile.* metrics, registered into the database registry.
+	mRounds, mActions, mErrors        *obs.Counter
+	mPromote, mRevive, mAdd, mRemove  *obs.Counter
+	mRebalance, mSpareAdd, mSpareWarm *obs.Counter
+	mScaleUp, mScaleDown              *obs.Counter
+	mConverged, mPending              *obs.Gauge
+	mRoundNS                          *obs.Histogram
+}
+
+// New builds a reconciler for db. It performs no action until Tick or
+// Run is called.
+func New(db *core.DB, cfg Config) *Reconciler {
+	if cfg.MaxActionsPerRound <= 0 {
+		cfg.MaxActionsPerRound = 4
+	}
+	if cfg.FailThreshold <= 0 {
+		cfg.FailThreshold = 5
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 50 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 2 * time.Second
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 100 * time.Millisecond
+	}
+	if cfg.Retry.MaxAttempts == 0 && cfg.Retry.Retryable == nil {
+		cfg.Retry = resilience.Policy{
+			MaxAttempts: 3,
+			BaseDelay:   time.Millisecond,
+			MaxDelay:    20 * time.Millisecond,
+			Retryable:   func(error) bool { return true },
+		}
+	}
+	reg := db.Registry()
+	r := &Reconciler{
+		db:     db,
+		cfg:    cfg,
+		spec:   cfg.Spec,
+		asSize: map[string]int{},
+		fails:  map[string]*failState{},
+
+		mRounds:    reg.Counter("reconcile.rounds"),
+		mActions:   reg.Counter("reconcile.actions"),
+		mErrors:    reg.Counter("reconcile.action_errors"),
+		mPromote:   reg.Counter("reconcile.promotions"),
+		mRevive:    reg.Counter("reconcile.revives"),
+		mAdd:       reg.Counter("reconcile.adds"),
+		mRemove:    reg.Counter("reconcile.removes"),
+		mRebalance: reg.Counter("reconcile.rebalances"),
+		mSpareAdd:  reg.Counter("reconcile.spares_added"),
+		mSpareWarm: reg.Counter("reconcile.spares_warmed"),
+		mScaleUp:   reg.Counter("reconcile.scale_ups"),
+		mScaleDown: reg.Counter("reconcile.scale_downs"),
+		mConverged: reg.Gauge("reconcile.converged"),
+		mPending:   reg.Gauge("reconcile.pending_actions"),
+		mRoundNS:   reg.Histogram("reconcile.round_ns"),
+	}
+	r.status = Status{Code: Progressing, Reasons: []string{"not yet reconciled"}}
+	return r
+}
+
+// Spec returns the current desired state.
+func (r *Reconciler) Spec() ClusterSpec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.spec
+}
+
+// SetSpec replaces the desired state; the next round reconciles toward
+// it. Autoscale and failure state reset, since they described progress
+// toward the old spec.
+func (r *Reconciler) SetSpec(spec ClusterSpec) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.spec = spec
+	r.asSize = map[string]int{}
+	r.idle = 0
+	r.fails = map[string]*failState{}
+}
+
+// Status returns the most recent round's status.
+func (r *Reconciler) Status() Status {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.status
+}
+
+// LastProfile returns the span profile of the most recent round.
+func (r *Reconciler) LastProfile() *obs.Profile {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.profile
+}
+
+// Tick runs one reconcile round: observe, diff, act (bounded), report.
+func (r *Reconciler) Tick(ctx context.Context) Status {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	start := time.Now()
+	r.round++
+	r.mRounds.Inc()
+
+	trace := obs.NewTrace("reconcile", nil)
+	root := trace.Root()
+	defer func() {
+		root.End()
+		r.profile = trace.Finish()
+		r.mRoundNS.ObserveDuration(time.Since(start))
+		r.mConverged.Set(boolGauge(r.status.Code == Converged))
+		r.mPending.Set(int64(r.status.Pending))
+	}()
+
+	if r.db.IsShutdown() {
+		r.status = Status{
+			Code: Blocked, Round: r.round,
+			Reasons: []string{"cluster is shut down; revive it from shared storage"},
+		}
+		return r.status
+	}
+
+	// Load signals feed the autoscaler before the diff, so a spec
+	// adjustment and the actions it implies land in the same round.
+	sigSpan := root.StartSpan("signals")
+	sig := r.readSignals()
+	r.autoscale(sig)
+	sigSpan.End()
+
+	diffSpan := root.StartSpan("diff")
+	plan := r.diff()
+	diffSpan.End()
+
+	actSpan := root.StartSpan("act")
+	results := r.act(ctx, plan, actSpan)
+	actSpan.End()
+
+	// Re-derive the remaining work from post-action state: an empty plan
+	// is the definition of Converged.
+	remaining := r.diff()
+
+	st := Status{
+		Round:      r.round,
+		Pending:    len(remaining),
+		QueueDepth: sig.QueueDepth,
+		P95:        sig.P95,
+		Actions:    results,
+	}
+	var blocked []string
+	for key, fs := range r.fails {
+		if fs.count >= r.cfg.FailThreshold {
+			blocked = append(blocked, key+" keeps failing: "+fs.last)
+		}
+	}
+	sort.Strings(blocked)
+	switch {
+	case len(blocked) > 0:
+		st.Code = Blocked
+		st.Reasons = blocked
+	case len(remaining) == 0:
+		st.Code = Converged
+	default:
+		st.Code = Progressing
+		for i, a := range remaining {
+			if i == 4 {
+				break // cap the reasons; Pending carries the full count
+			}
+			st.Reasons = append(st.Reasons, a.describe())
+		}
+	}
+	r.status = st
+	return st
+}
+
+// Run ticks the reconciler at the configured interval until ctx ends.
+func (r *Reconciler) Run(ctx context.Context) {
+	t := time.NewTicker(r.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			r.Tick(ctx)
+		}
+	}
+}
+
+func boolGauge(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

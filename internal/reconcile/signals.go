@@ -1,0 +1,94 @@
+package reconcile
+
+import (
+	"time"
+
+	"eon/internal/obs"
+)
+
+// signals are the load observations one round autoscales on.
+type signals struct {
+	// QueueDepth is the number of queries parked waiting for exec slots
+	// right now — an instantaneous pressure signal.
+	QueueDepth int
+	// P95 is the 95th-percentile query wall time over the window since
+	// the previous round (0 when nothing completed).
+	P95 time.Duration
+	// Completed counts queries finished in the window.
+	Completed int64
+}
+
+// readSignals samples the slot queue and diffs the query.wall_ns
+// histogram against the previous round's buckets, so P95 reflects only
+// the most recent window rather than all-time history.
+func (r *Reconciler) readSignals() signals {
+	sig := signals{QueueDepth: r.db.QueueDepth()}
+	counts := r.db.Registry().Histogram("query.wall_ns").Counts()
+	if r.prevHist != nil {
+		delta := make([]int64, len(counts))
+		for i := range counts {
+			d := counts[i] - r.prevHist[i]
+			if d > 0 {
+				delta[i] = d
+				sig.Completed += d
+			}
+		}
+		if sig.Completed > 0 {
+			sig.P95 = time.Duration(obs.CountsQuantile(delta, 0.95))
+		}
+	}
+	r.prevHist = counts
+	return sig
+}
+
+// autoscale nudges the policy's subcluster size: up immediately on
+// queue or latency pressure, down only after SettleRounds consecutive
+// idle rounds (hysteresis). Called with r.mu held.
+func (r *Reconciler) autoscale(sig signals) {
+	as := r.spec.Autoscale
+	if as == nil {
+		return
+	}
+	var base int
+	for _, sc := range r.spec.Subclusters {
+		if sc.Name == as.Subcluster {
+			base = sc.Size
+		}
+	}
+	size, ok := r.asSize[as.Subcluster]
+	if !ok {
+		size = base
+	}
+	size = clampSize(size, as)
+
+	hot := (as.QueueHigh > 0 && sig.QueueDepth >= as.QueueHigh) ||
+		(as.P95High > 0 && sig.Completed > 0 && sig.P95 >= as.P95High)
+	// Idle: queue drained and latency (if measured) comfortably below
+	// the trigger.
+	idle := sig.QueueDepth <= as.QueueLow &&
+		!(as.P95High > 0 && sig.Completed > 0 && sig.P95 >= as.P95High/2)
+
+	settle := as.SettleRounds
+	if settle <= 0 {
+		settle = 3
+	}
+	switch {
+	case hot:
+		r.idle = 0
+		if grown := clampSize(size+1, as); grown != size {
+			r.asSize[as.Subcluster] = grown
+			r.mScaleUp.Inc()
+		}
+	case idle:
+		r.idle++
+		if r.idle >= settle {
+			r.idle = 0
+			if shrunk := clampSize(size-1, as); shrunk != size {
+				r.asSize[as.Subcluster] = shrunk
+				r.mScaleDown.Inc()
+			}
+		}
+	default:
+		r.idle = 0
+	}
+}

@@ -67,6 +67,11 @@ type PlanOptions struct {
 	// DrainNodes lists nodes whose subscriptions should be removed (node
 	// removal / scale-in).
 	DrainNodes []string
+	// IgnoreNodes lists nodes the planner must pretend do not exist —
+	// warm spares, whose PASSIVE subscriptions pre-stage every shard but
+	// must neither satisfy the replication factor nor receive planned
+	// changes.
+	IgnoreNodes []string
 }
 
 // PlanRebalance computes the subscription changes needed so that:
@@ -86,11 +91,15 @@ func PlanRebalance(snap *catalog.Snapshot, opts PlanOptions) []Action {
 	for _, n := range opts.DrainNodes {
 		drain[n] = true
 	}
+	ignore := map[string]bool{}
+	for _, n := range opts.IgnoreNodes {
+		ignore[n] = true
+	}
 
 	nodes := snap.Nodes()
 	var liveNodes []*catalog.Node
 	for _, n := range nodes {
-		if !drain[n.Name] {
+		if !drain[n.Name] && !ignore[n.Name] {
 			liveNodes = append(liveNodes, n)
 		}
 	}
@@ -98,9 +107,14 @@ func PlanRebalance(snap *catalog.Snapshot, opts PlanOptions) []Action {
 		return nil
 	}
 
-	// Current subscription map: node -> shard -> state.
+	// Current subscription map: node -> shard -> state. Ignored (spare)
+	// nodes are left out entirely so their PASSIVE pre-subscriptions do
+	// not count toward any shard's subscriber tally.
 	subs := map[string]map[int]catalog.SubState{}
 	for _, s := range snap.Subscriptions("") {
+		if ignore[s.Node] {
+			continue
+		}
 		if subs[s.Node] == nil {
 			subs[s.Node] = map[int]catalog.SubState{}
 		}

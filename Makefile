@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race chaos obs exec reconcile check bench bench-all
+.PHONY: all vet build test race chaos obs exec reconcile systables check bench bench-all
 
 all: check
 
@@ -55,6 +55,24 @@ reconcile:
 	$(GO) test -race -count=1 -run 'TestSpare|TestRemoveNode|TestSoakMembershipChurn' ./internal/core/
 	$(GO) test -race -count=1 ./internal/reconcile/
 	$(GO) test -count=1 -run 'TestChaosRecovery' -timeout 300s ./internal/experiments/
+
+# System-table gate: the virtual-table layer and Data Collector unit
+# tests, the v_monitor fill/differential tests, and the chaos liveness
+# drill — all race-checked (virtual scans read state that the load,
+# tuple-mover and reconcile paths mutate concurrently). Then the
+# DC-overhead gate (emit cost <=3% vs a disabled collector; env-guarded
+# so plain `go test ./...` stays deterministic) and the on/off
+# benchmark into BENCH_systables.json.
+systables:
+	$(GO) test -race -count=1 ./internal/systable/
+	$(GO) test -race -count=1 -run 'TestVMonitor|TestSessionRing|TestSlowQueryExecStats|TestDisableDataCollector|TestSubclusterGauges|TestReconcileStatusProvider' ./internal/core/
+	$(GO) test -race -count=1 -run 'TestSystemTables' -timeout 300s ./internal/experiments/
+	EON_DC_GATE=1 $(GO) test -count=1 -run 'TestDCOverheadGate' .
+	$(GO) test -json -bench 'BenchmarkDCOverhead' -benchmem -benchtime=20x -run '^$$' . > BENCH_systables.json
+	@grep -oE '"Output":"[^"]*"' BENCH_systables.json \
+		| sed 's/"Output":"//; s/"$$//; s/\\t/ /g; s/\\n//' \
+		| awk '/^Benchmark/ && !/ns\/op/ {name=$$1; next} /ns\/op/ {if ($$0 ~ /^Benchmark/) print; else printf "%s %s\n", name, $$0}'
+	@echo "wrote BENCH_systables.json"
 
 # Fig-10 plus the ScanConcurrency sweep (cold/warm caches), with
 # allocation stats; the raw `go test -json` event stream is kept in

@@ -409,14 +409,23 @@ func BenchmarkScanParallelism(b *testing.B) {
 // query time (decode and I/O are identical on both engines).
 func kernelBenchDB(b *testing.B) *core.DB {
 	b.Helper()
+	return kernelBenchDBDC(b, false)
+}
+
+// kernelBenchDBDC is kernelBenchDB with the Data Collector optionally
+// disabled, so BenchmarkDCOverhead and TestDCOverheadGate can compare
+// emit cost against a cluster where every Emit is a nil-receiver no-op.
+func kernelBenchDBDC(b testing.TB, disableDC bool) *core.DB {
+	b.Helper()
 	sim := objstore.NewSim(objstore.NewMem(), experiments.SharedStorageSim(1))
 	db, err := core.Create(core.Config{
-		Mode:            core.ModeEon,
-		Nodes:           []core.NodeSpec{{Name: "node1"}},
-		ShardCount:      2,
-		Shared:          sim,
-		Net:             experiments.ClusterNet(),
-		BundleThreshold: -1,
+		Mode:                 core.ModeEon,
+		Nodes:                []core.NodeSpec{{Name: "node1"}},
+		ShardCount:           2,
+		Shared:               sim,
+		Net:                  experiments.ClusterNet(),
+		BundleThreshold:      -1,
+		DisableDataCollector: disableDC,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -571,6 +580,40 @@ func BenchmarkTracingOverhead(b *testing.B) {
 			}
 			if cfg.trace && s.LastProfile() == nil {
 				b.Fatal("tracing on but no profile recorded")
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Query(kernelBenchQuery); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDCOverhead measures the Data Collector's cost on the warm
+// kernel-bench query: "off" disables the collector at Create time (every
+// Emit is a nil-receiver no-op), "on" is the production default with all
+// rings live. The depot is warm, so the hot path sees the dc_depot_fetches
+// emit per container read plus the session-ring append per query.
+// `make systables` gates on/off at <=3%.
+func BenchmarkDCOverhead(b *testing.B) {
+	// Build both clusters before either timed loop: constructing the
+	// second inside its own b.Run would make that sub-benchmark pay the
+	// first one's heap garbage, drowning the emit cost in GC noise.
+	dbOff := kernelBenchDBDC(b, true)
+	dbOn := kernelBenchDBDC(b, false)
+	if dbOff.DataCollector() != nil {
+		b.Fatal("collector still live with DisableDataCollector")
+	}
+	for _, cfg := range []struct {
+		name string
+		db   *core.DB
+	}{{"off", dbOff}, {"on", dbOn}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			s := cfg.db.NewSession()
+			if _, err := s.Query(kernelBenchQuery); err != nil {
+				b.Fatal(err)
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

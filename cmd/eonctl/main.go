@@ -22,7 +22,11 @@
 //	\movepartition a b k  move a partition between tables
 //	\refresh t         refresh flattened columns of t
 //	\tpch <scale>      create and load the TPC-H-shaped dataset
-//	\stats [json]      dump the cluster metrics registry (text or JSON)
+//	\sys [table]       list the v_monitor system tables (or one table's columns)
+//	\dc                list Data Collector rings (retained/emitted/dropped/bytes)
+//	\stats [json]      dump the cluster metrics registry (text or JSON);
+//	                   includes reconcile.* counters once a reconciler runs
+//	                   and the per-subcluster subcluster.*.nodes gauges
 //	\exec              show the last query's executor stats (peak memory, spills)
 //	\profile [json]    show the last query's execution profile
 //	\slow [json]       show the slow-query log
@@ -144,6 +148,42 @@ func backslash(db *eon.DB, session *eon.Session, cmd string) error {
 	fields := strings.Fields(cmd)
 	asJSON := len(fields) > 1 && fields[1] == "json"
 	switch fields[0] {
+	case "\\sys":
+		reg := db.SystemTables()
+		if len(fields) > 1 {
+			name := fields[1]
+			if !strings.Contains(name, ".") {
+				name = "v_monitor." + name
+			}
+			d, ok := reg.Def(name)
+			if !ok {
+				return fmt.Errorf("unknown system table %s (try \\sys)", name)
+			}
+			w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+			fmt.Fprintln(w, "column\ttype")
+			for _, c := range d.Columns {
+				fmt.Fprintf(w, "%s\t%s\n", c.Name, c.Type)
+			}
+			return w.Flush()
+		}
+		for _, name := range reg.Names() {
+			fmt.Println(" ", name)
+		}
+		fmt.Println("query them with ordinary SQL, e.g. SELECT m.name, m.value FROM v_monitor.metrics m WHERE m.kind = 'counter';")
+		return nil
+	case "\\dc":
+		dc := db.DataCollector()
+		if dc == nil {
+			fmt.Println("data collector disabled (Config.DisableDataCollector)")
+			return nil
+		}
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "ring\tretained\temitted\tdropped\tbytes")
+		for _, r := range dc.Rings() {
+			st := r.Stats()
+			fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\n", st.Name, st.Retained, st.Emitted, st.Dropped, st.Bytes)
+		}
+		return w.Flush()
 	case "\\stats":
 		snap := db.Metrics()
 		if asJSON {

@@ -30,6 +30,7 @@ import (
 	"eon/internal/obs"
 	"eon/internal/reconcile"
 	"eon/internal/resilience"
+	"eon/internal/systable"
 	"eon/internal/types"
 )
 
@@ -124,9 +125,42 @@ type MetricsSnapshot = obs.Snapshot
 type QueryProfile = obs.Profile
 
 // SlowQuery is one slow-query log entry: the statement, when it started,
-// its wall time, the error (if it failed) and its full execution
-// profile.
+// its wall time, the error (if it failed), its executor stats and its
+// full execution profile.
 type SlowQuery = core.SlowQuery
+
+// DataCollector is the event-log half of the observability layer: named,
+// retention-bounded ring buffers that hot paths emit typed events into
+// (depot fetches and evictions, mergeouts, spills, admission waits, slow
+// queries, reconcile actions). Every ring is queryable in SQL as
+// v_monitor.dc_<ring>.
+type DataCollector = obs.DataCollector
+
+// DCRing is one named Data Collector event ring.
+type DCRing = obs.DCRing
+
+// DCEvent is one Data Collector event: timestamp, emitting node, up to
+// two strings and four integers, named per ring by its DCRingDef.
+type DCEvent = obs.DCEvent
+
+// DCRingDef names a ring and the event fields it uses.
+type DCRingDef = obs.DCRingDef
+
+// DCRingStats summarizes one ring: retained/emitted/dropped events and
+// retained bytes.
+type DCRingStats = obs.DCRingStats
+
+// DCPolicy bounds each Data Collector ring by rows and bytes (set
+// Config.DataCollectorPolicy; zero fields default to 1024 rows, 1 MiB).
+type DCPolicy = obs.DCPolicy
+
+// SystemTables is the registry of v_monitor virtual tables. Every
+// registered table is queryable with ordinary SQL through any session.
+type SystemTables = systable.Registry
+
+// ReconcileStatusRow is one reconciler's state as surfaced through
+// v_monitor.reconcile_status.
+type ReconcileStatusRow = core.ReconcileStatus
 
 // DB is a database cluster.
 type DB struct {
@@ -172,6 +206,16 @@ func (db *DB) Metrics() MetricsSnapshot { return db.inner.Metrics() }
 // recorded when Config.SlowQueryThreshold > 0 and a query's wall time
 // reaches it; each carries a complete execution profile.
 func (db *DB) SlowQueries() []SlowQuery { return db.inner.SlowQueries() }
+
+// DataCollector returns the cluster's Data Collector, or nil when
+// Config.DisableDataCollector is set. Its rings back the
+// v_monitor.dc_* system tables.
+func (db *DB) DataCollector() *DataCollector { return db.inner.DataCollector() }
+
+// SystemTables returns the v_monitor virtual-table registry: every name
+// it lists is queryable with ordinary SQL (e.g.
+// `SELECT m.name, m.value FROM v_monitor.metrics m WHERE m.kind = 'counter'`).
+func (db *DB) SystemTables() *SystemTables { return db.inner.SystemTables() }
 
 // NewSession opens a session.
 func (db *DB) NewSession() *Session { return db.inner.NewSession() }

@@ -104,6 +104,10 @@ type Cache struct {
 	// its registry; they are incremented under c.mu (the atomics cost
 	// nothing extra and buy registry visibility).
 	hits, misses, evictions, coalesced obs.Counter
+
+	// onEvict, when set, is called once per evicted file, after c.mu is
+	// released (it may take its own locks, e.g. a Data Collector emit).
+	onEvict func(path string, size int64)
 }
 
 // New returns a cache of the given byte capacity backed by dir on fs.
@@ -131,6 +135,36 @@ func (c *Cache) policyFor(path string) Policy {
 		return PolicyDefault
 	}
 	return c.policy(path)
+}
+
+// SetEvictHook installs a callback invoked for every evicted file; nil
+// removes it. The hook runs outside the cache lock.
+func (c *Cache) SetEvictHook(fn func(path string, size int64)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onEvict = fn
+}
+
+// Entry describes one cached file for monitoring (v_monitor.depot_storage).
+type Entry struct {
+	Path   string
+	Size   int64
+	Pinned bool
+}
+
+// Entries lists the cached files in LRU order (most recently used
+// first). It copies the index under the cache lock without touching
+// file data, so it is safe to call from a monitoring scan against
+// concurrent traffic.
+func (c *Cache) Entries() []Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Entry, 0, len(c.entries))
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		out = append(out, Entry{Path: e.path, Size: e.size, Pinned: e.pinned})
+	}
+	return out
 }
 
 // Capacity returns the configured byte capacity.
@@ -262,33 +296,37 @@ func (c *Cache) admit(ctx context.Context, path string, data []byte) error {
 	}
 	// Evict from the LRU tail, skipping pinned entries. Pending
 	// reservations are not in the LRU, so they cannot be evicted.
-	var evict []string
+	var evict []Entry
 	need := c.used + size - c.capacity
 	for el := c.lru.Back(); el != nil && need > 0; el = el.Prev() {
 		e := el.Value.(*entry)
 		if e.pinned {
 			continue
 		}
-		evict = append(evict, e.path)
+		evict = append(evict, Entry{Path: e.path, Size: e.size})
 		need -= e.size
 	}
 	if need > 0 {
 		c.mu.Unlock()
 		return fmt.Errorf("cache: cannot fit %s: %d bytes pinned", path, c.used)
 	}
-	for _, p := range evict {
-		e := c.entries[p]
+	for _, ev := range evict {
+		e := c.entries[ev.Path]
 		c.lru.Remove(e.elem)
-		delete(c.entries, p)
+		delete(c.entries, ev.Path)
 		c.used -= e.size
 		c.evictions.Inc()
 	}
 	c.pending[path] = size
 	c.used += size
+	onEvict := c.onEvict
 	c.mu.Unlock()
 
-	for _, p := range evict {
-		_ = c.fs.Remove(ctx, c.local(p))
+	for _, ev := range evict {
+		_ = c.fs.Remove(ctx, c.local(ev.Path))
+		if onEvict != nil {
+			onEvict(ev.Path, ev.Size)
+		}
 	}
 	err := c.fs.WriteFile(ctx, c.local(path), data)
 

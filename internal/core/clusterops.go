@@ -137,6 +137,8 @@ func (db *DB) AddNode(spec NodeSpec) error {
 	if spec.Rack != "" {
 		db.net.SetRack(spec.Name, spec.Rack)
 	}
+	db.hookCacheEvictions(n)
+	db.ensureSubclusterGauges(spec.Subcluster)
 
 	init, err := db.anyUpNode()
 	if err != nil {

@@ -23,6 +23,7 @@ import (
 	"eon/internal/objstore"
 	"eon/internal/obs"
 	"eon/internal/resilience"
+	"eon/internal/systable"
 	"eon/internal/tuplemover"
 	"eon/internal/udfs"
 	"eon/internal/wos"
@@ -134,6 +135,13 @@ type Config struct {
 	// before its parent starts) instead of the streaming pipeline. Escape
 	// hatch for one release; sessions inherit it and may override.
 	MaterializedExec bool
+	// DataCollectorPolicy bounds each Data Collector event ring (rows
+	// and bytes); zero fields take the obs defaults (1024 rows, 1 MiB).
+	DataCollectorPolicy obs.DCPolicy
+	// DisableDataCollector turns the Data Collector off entirely: hot
+	// paths pay only a nil-ring check and the v_monitor.dc_* tables are
+	// absent. The overhead benchmark's baseline.
+	DisableDataCollector bool
 }
 
 // resilienceConfig resolves the shared-storage resilience configuration,
@@ -402,6 +410,33 @@ type DB struct {
 	slowMu   sync.Mutex
 	slowLog  []SlowQuery
 	slowNext int
+
+	// Data Collector (systable.go): retention-bounded event rings fed by
+	// hot paths, surfaced as v_monitor.dc_* tables. All ring pointers are
+	// nil when Config.DisableDataCollector is set; emits then no-op.
+	dc                 *obs.DataCollector
+	dcDepotFetches     *obs.DCRing
+	dcDepotEvictions   *obs.DCRing
+	dcMergeouts        *obs.DCRing
+	dcSpills           *obs.DCRing
+	dcAdmissionWaits   *obs.DCRing
+	dcSlowQueries      *obs.DCRing
+	dcReconcileActions *obs.DCRing
+
+	// sysTables is the v_monitor virtual-table registry the planner
+	// resolves against and the executor materializes from.
+	sysTables *systable.Registry
+
+	// recent-session ring (v_monitor.sessions, v_monitor.query_profiles).
+	sessMu   sync.Mutex
+	sessLog  []*Session
+	sessNext int
+	sessCtr  atomic.Int64
+
+	// reconcile-status providers (v_monitor.reconcile_status), installed
+	// by the reconcile package.
+	rsMu        sync.Mutex
+	rsProviders map[string]func() ReconcileStatus
 }
 
 // SlowQuery is one slow-query log entry: a query whose wall time reached
@@ -413,10 +448,18 @@ type SlowQuery struct {
 	Wall    time.Duration `json:"wall_ns"`
 	Err     string        `json:"err,omitempty"`
 	Profile *obs.Profile  `json:"profile,omitempty"`
+	// Exec carries the executor's resource stats for the query: peak
+	// governed memory and spill activity.
+	Exec ExecStats `json:"exec"`
 }
 
-// recordSlow appends an entry to the bounded slow-query ring.
+// recordSlow appends an entry to the bounded slow-query ring and emits
+// a dc_slow_queries event.
 func (db *DB) recordSlow(e SlowQuery) {
+	db.dcSlowQueries.Emit(obs.DCEvent{
+		A: truncateSQL(e.SQL), B: e.Err,
+		V1: int64(e.Wall), V2: e.Exec.PeakMemBytes, V3: e.Exec.SpillBytes,
+	})
 	db.slowMu.Lock()
 	defer db.slowMu.Unlock()
 	if len(db.slowLog) < db.cfg.SlowQueryLogSize {
@@ -653,6 +696,10 @@ func Create(cfg Config) (*DB, error) {
 		}
 	}
 	db.installMetrics()
+	db.installDataCollector()
+	if err := db.installSystemTables(); err != nil {
+		return nil, err
+	}
 	if err := db.bootstrapCatalog(); err != nil {
 		return nil, err
 	}
@@ -706,8 +753,37 @@ func (db *DB) installMetrics() {
 				return int64(w.TotalRows())
 			})
 		}
+		db.ensureSubclusterGauges(n.Subcluster())
 	}
 	obs.Publish(db.cfg.Name, reg)
+}
+
+// ensureSubclusterGauges registers the per-subcluster membership gauges
+// ("" registers as "default"): total member nodes and up members, both
+// computed on read so they track promotions and failures. Registration
+// is idempotent — re-registering a subcluster replaces its gauges with
+// equivalent ones — so the helper is called at install time and again
+// whenever a node joins or a spare is promoted.
+func (db *DB) ensureSubclusterGauges(sc string) {
+	label := sc
+	if label == "" {
+		label = "default"
+	}
+	count := func(upOnly bool) int64 {
+		var n int64
+		for _, node := range db.Nodes() {
+			if node.Spare() || node.Subcluster() != sc {
+				continue
+			}
+			if upOnly && !node.Up() {
+				continue
+			}
+			n++
+		}
+		return n
+	}
+	db.reg.GaugeFunc("subcluster."+label+".nodes", func() int64 { return count(false) })
+	db.reg.GaugeFunc("subcluster."+label+".up_nodes", func() int64 { return count(true) })
 }
 
 // bootstrapCatalog commits the initial node, shard and subscription

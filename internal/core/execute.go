@@ -94,6 +94,19 @@ func (db *DB) executePlan(env *queryEnv, node planner.Node, parent *obs.Span) (*
 
 func (db *DB) execScan(env *queryEnv, scan *planner.Scan, sp *obs.Span) (*distResult, error) {
 	bypass := env.session.BypassCache
+	if scan.Virtual {
+		// System-table scan: materialized once on the initiator from live
+		// monitoring state and treated as replicated downstream.
+		fillSp := sp.StartSpan("fill:" + scan.Table.Name)
+		b, err := db.materializeVirtual(scan, env.session.RowEngine, env.stats)
+		if err != nil {
+			fillSp.End()
+			return nil, err
+		}
+		fillSp.AddRowsOut(int64(b.NumRows()))
+		fillSp.End()
+		return &distResult{single: b, replicated: true, schema: scan.OutSchema}, nil
+	}
 	if scan.Replicated {
 		// Replicated projections are read once — preferentially on the
 		// initiator, which always subscribes to the replica shard.

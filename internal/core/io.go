@@ -196,9 +196,24 @@ func (db *DB) trackedFetch(n *Node, bypassCache bool, st *scanTally, sp *obs.Spa
 				}
 				sp.AddAttr("cache_misses", 1)
 			}
+			db.dcDepotFetches.Emit(obs.DCEvent{
+				Node: n.name, A: path, B: outcomeName(outcome),
+				V1: int64(len(data)), V2: int64(time.Since(start)),
+			})
 		}
 		return data, err
 	}
+}
+
+// outcomeName labels a cache outcome for Data Collector events.
+func outcomeName(o cache.Outcome) string {
+	switch o {
+	case cache.OutcomeHit:
+		return "hit"
+	case cache.OutcomeCoalesced:
+		return "coalesced"
+	}
+	return "miss"
 }
 
 // deleteDataFile removes a dropped storage file: immediately from every

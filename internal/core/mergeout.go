@@ -7,6 +7,7 @@ import (
 	"eon/internal/catalog"
 	"eon/internal/exec"
 	"eon/internal/expr"
+	"eon/internal/obs"
 	"eon/internal/shard"
 	"eon/internal/sql"
 	"eon/internal/storage"
@@ -198,6 +199,11 @@ func (db *DB) RunMergeout() (MergeoutStats, error) {
 					purged, err := db.executeMergeJob(groupNode[key], tbl, proj, job)
 					db.mergeoutNS.ObserveDuration(time.Since(jobStart))
 					db.mergeoutJobs.Inc()
+					db.dcMergeouts.Emit(obs.DCEvent{
+						Node: groupNode[key].name, A: tbl.Name, B: proj.Name,
+						V1: int64(len(job.Containers)), V2: purged,
+						V3: int64(time.Since(jobStart)),
+					})
 					if err != nil {
 						return stats, err
 					}

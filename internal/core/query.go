@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"eon/internal/catalog"
@@ -79,6 +80,12 @@ type Session struct {
 	// streaming executor enforces it.
 	MemoryBudget int64
 
+	// id and start identify the session in v_monitor.sessions; queries
+	// counts the SELECTs it has run (the query_seq of its profile rows).
+	id      int64
+	start   time.Time
+	queries atomic.Int64
+
 	statsMu     sync.Mutex
 	lastScan    ScanStats
 	lastProfile *obs.Profile
@@ -133,11 +140,15 @@ func (s *Session) LastProfile() *obs.Profile {
 
 // NewSession opens a session against the cluster.
 func (db *DB) NewSession() *Session {
-	return &Session{
+	s := &Session{
 		db:               db,
 		MaterializedExec: db.cfg.MaterializedExec,
 		MemoryBudget:     db.cfg.QueryMemoryBudget,
+		id:               db.sessCtr.Add(1),
+		start:            db.now(),
 	}
+	db.trackSession(s)
+	return s
 }
 
 // NewSessionOn opens a session connected to a subcluster, isolating its
@@ -287,6 +298,12 @@ func (s *Session) tryQuery(sel *sql.Select, sqlText string) (result *Result, err
 		return nil, err
 	}
 	env.stats = &scanTally{}
+	s.queries.Add(1)
+	// Reset the exec stats so a query that fails before execution cannot
+	// leave (or report) a predecessor's numbers.
+	s.statsMu.Lock()
+	s.lastExec = ExecStats{}
+	s.statsMu.Unlock()
 
 	// Tracing is on when the session asks for it or the database needs
 	// profiles for its slow-query log; otherwise trace stays nil and every
@@ -312,6 +329,7 @@ func (s *Session) tryQuery(sel *sql.Select, sqlText string) (result *Result, err
 		profile := trace.Finish()
 		s.statsMu.Lock()
 		s.lastProfile = profile
+		execStats := s.lastExec
 		s.statsMu.Unlock()
 		if t := db.cfg.SlowQueryThreshold; t > 0 && wall >= t {
 			var errStr string
@@ -320,7 +338,7 @@ func (s *Session) tryQuery(sel *sql.Select, sqlText string) (result *Result, err
 			}
 			db.recordSlow(SlowQuery{
 				SQL: sqlText, Start: queryStart, Wall: wall,
-				Err: errStr, Profile: profile,
+				Err: errStr, Profile: profile, Exec: execStats,
 			})
 		}
 	}()
@@ -335,6 +353,7 @@ func (s *Session) tryQuery(sel *sql.Select, sqlText string) (result *Result, err
 	planSp := root.StartSpan("plan")
 	plan, err := planner.PlanSelect(sel, planner.Options{
 		Snapshot:          env.snapshots[init.name],
+		Virtual:           db.sysTables,
 		BroadcastRowLimit: db.cfg.BroadcastRowLimit,
 		// Container split loses the segmentation property (§4.4).
 		AssumeNoSegmentation: s.Crunch == CrunchContainerSplit && len(env.crunch) > 0,
@@ -591,9 +610,18 @@ func (env *queryEnv) acquireSlots() (func(), error) {
 		}
 		return !db.shutdown.Load()
 	}
+	start := time.Now()
 	if !db.slots.acquire(req, alive) {
 		return nil, fmt.Errorf("%w: participant died while queueing", errNodeDown)
 	}
+	var slots int64
+	for _, c := range req {
+		slots += int64(c)
+	}
+	db.dcAdmissionWaits.Emit(obs.DCEvent{
+		Node: env.initiator.name,
+		V1:   int64(time.Since(start)), V2: slots,
+	})
 	return func() { db.slots.release(req) }, nil
 }
 

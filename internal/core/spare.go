@@ -70,6 +70,7 @@ func (db *DB) AddSpare(spec NodeSpec) error {
 		if spec.Rack != "" {
 			db.net.SetRack(spec.Name, spec.Rack)
 		}
+		db.hookCacheEvictions(n)
 		db.commitMu.Lock()
 		for _, rec := range db.recordsAfter(n.catalog.Version()) {
 			if err := n.catalog.Apply(rec, db.keepFuncFor(n)); err != nil {
@@ -150,6 +151,7 @@ func (db *DB) PromoteSpare(name, subcluster string) error {
 		return err
 	}
 	n.setMembership(subcluster, false)
+	db.ensureSubclusterGauges(subcluster)
 	db.slots.kick()
 	return nil
 }

@@ -463,6 +463,12 @@ func (sc *streamCtx) shutdown() {
 	db.execPeak.Observe(st.PeakMemBytes)
 	db.execSpills.Add(st.SpillCount)
 	db.execSpillBytes.Add(st.SpillBytes)
+	if st.SpillCount > 0 {
+		db.dcSpills.Emit(obs.DCEvent{
+			Node: sc.env.initiator.name,
+			V1:   st.PeakMemBytes, V2: st.SpillCount, V3: st.SpillBytes,
+		})
+	}
 	sc.root.AddAttr("peak_mem_bytes", st.PeakMemBytes)
 	sc.root.AddAttr("spills", st.SpillCount)
 	sc.root.AddAttr("spill_bytes", st.SpillBytes)
@@ -668,6 +674,26 @@ func (sc *streamCtx) scanOp(n *Node, scan *planner.Scan, tasks []scanTask, mode 
 
 func (sc *streamCtx) buildScan(scan *planner.Scan, sp *obs.Span) (*streamResult, error) {
 	env := sc.env
+	if scan.Virtual {
+		// System-table scan: materialize the virtual table on the
+		// initiator from live monitoring state (its Fill takes a snapshot
+		// cut; no storage, no hot-path locks), then flow it like any
+		// replicated source.
+		db := sc.db
+		res := &streamResult{replicated: true, schema: scan.OutSchema, sp: sp}
+		res.shared = &sharedBatches{run: func() ([]*types.Batch, error) {
+			fillSp := sp.StartSpan("fill:" + scan.Table.Name)
+			b, err := db.materializeVirtual(scan, env.session.RowEngine, env.stats)
+			if err != nil {
+				fillSp.End()
+				return nil, err
+			}
+			fillSp.AddRowsOut(int64(b.NumRows()))
+			fillSp.End()
+			return wrap(b), nil
+		}}
+		return res, nil
+	}
 	if scan.Replicated {
 		// Replicated projections are read once — preferentially on the
 		// initiator — and replayed by every consumer.

@@ -1,0 +1,324 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The Data Collector is the event-log half of the observability layer
+// (the metrics registry and span tracer are the aggregate half): named,
+// retention-bounded ring buffers that hot paths emit small typed events
+// into — a depot fetch, an eviction, a mergeout job, a spill, a
+// reconcile action, an admission wait, a slow query. Rings are surfaced
+// to operators as v_monitor.dc_* system tables.
+//
+// The write path is lock-free and allocation-light: each ring is split
+// into a fixed number of shards, a writer picks a shard by hashing the
+// event's node name, claims a sequence number with one atomic add and
+// publishes the event with one atomic pointer swap. Readers never block
+// writers: a snapshot walks the published slots and keeps only events
+// whose sequence is still inside the retention window, so a racing
+// overwrite simply drops that slot from the cut.
+//
+// Retention is bounded by rows AND bytes (DCPolicy). The row bound is
+// the hard allocation bound (slots are preallocated); the byte bound is
+// enforced by writers logically expiring the oldest events — advancing
+// a floor cursor and clearing their slots — until the ring fits.
+
+// DCPolicy bounds each Data Collector ring.
+type DCPolicy struct {
+	// MaxRows is the per-ring slot count (hard allocation bound).
+	// Default 1024.
+	MaxRows int
+	// MaxBytes bounds the estimated retained bytes per ring; oldest
+	// events expire first. Default 1 MiB.
+	MaxBytes int64
+}
+
+func (p DCPolicy) withDefaults() DCPolicy {
+	if p.MaxRows <= 0 {
+		p.MaxRows = 1024
+	}
+	if p.MaxBytes <= 0 {
+		p.MaxBytes = 1 << 20
+	}
+	return p
+}
+
+// DCEvent is one Data Collector event. Every ring uses the same compact
+// shape — a timestamp, the emitting node, up to two strings and up to
+// four integers — and gives the fields ring-specific column names via
+// its DCRingDef, so emitting never allocates maps.
+type DCEvent struct {
+	// TimeNS is the event time in Unix nanoseconds (set by Emit).
+	TimeNS int64
+	// Seq is the ring-wide publication order (set by Emit).
+	Seq int64
+	// Node is the emitting node ("" for cluster-wide events).
+	Node string
+	// A and B are the ring's string fields (see DCRingDef).
+	A, B string
+	// V1..V4 are the ring's integer fields (see DCRingDef).
+	V1, V2, V3, V4 int64
+}
+
+// dcEventBytes estimates the retained size of an event: the struct plus
+// its string payloads.
+func dcEventBytes(e *DCEvent) int64 {
+	return 96 + int64(len(e.Node)+len(e.A)+len(e.B))
+}
+
+// DCRingDef names a ring and the event fields it uses. An empty column
+// name marks the field unused; system tables build their schema from
+// the used fields only.
+type DCRingDef struct {
+	// Name is the ring name; the system table is "v_monitor.dc_<Name>".
+	Name string
+	// ACol/BCol name the string fields ("" = unused).
+	ACol, BCol string
+	// VCols name the integer fields V1..V4 in order (len <= 4).
+	VCols []string
+}
+
+// dcShardCount splits each ring so concurrent emitters (per-node scan
+// workers, the tuple mover, the reconciler) rarely contend on the same
+// cursor. Must be a power of two.
+const dcShardCount = 4
+
+// dcShard is one independently cursored slice of a ring.
+type dcShard struct {
+	slots []atomic.Pointer[DCEvent]
+	// head is the next sequence to write; slot index = seq % len(slots).
+	head atomic.Int64
+	// floor is the oldest retained sequence (advanced by byte expiry).
+	floor atomic.Int64
+	// bytes is the estimated retained size of live slots.
+	bytes atomic.Int64
+	// maxBytes is this shard's share of the ring byte budget.
+	maxBytes int64
+
+	_ [3]int64 // pad shards apart to limit false sharing
+}
+
+// DCRing is one named event ring. A nil ring drops all emits, so
+// callers can hold optional rings without guards.
+type DCRing struct {
+	def DCRingDef
+	pol DCPolicy
+
+	shards [dcShardCount]dcShard
+
+	emitted atomic.Int64
+	dropped atomic.Int64
+}
+
+func newDCRing(def DCRingDef, pol DCPolicy) *DCRing {
+	r := &DCRing{def: def, pol: pol}
+	perShard := pol.MaxRows / dcShardCount
+	if perShard < 1 {
+		perShard = 1
+	}
+	for i := range r.shards {
+		r.shards[i].slots = make([]atomic.Pointer[DCEvent], perShard)
+		r.shards[i].maxBytes = pol.MaxBytes / dcShardCount
+	}
+	return r
+}
+
+// Def returns the ring's definition.
+func (r *DCRing) Def() DCRingDef { return r.def }
+
+// Name returns the ring name.
+func (r *DCRing) Name() string { return r.def.Name }
+
+// Emit publishes one event. Safe for concurrent use; never blocks on a
+// reader; O(1) plus byte-budget expiry of displaced events.
+func (r *DCRing) Emit(ev DCEvent) {
+	if r == nil {
+		return
+	}
+	ev.TimeNS = time.Now().UnixNano()
+	sh := &r.shards[dcHash(ev.Node)&(dcShardCount-1)]
+	seq := sh.head.Add(1) - 1
+	ev.Seq = seq
+	sz := dcEventBytes(&ev)
+	old := sh.slots[seq%int64(len(sh.slots))].Swap(&ev)
+	delta := sz
+	if old != nil {
+		delta -= dcEventBytes(old)
+		r.dropped.Add(1)
+	}
+	r.emitted.Add(1)
+	nb := sh.bytes.Add(delta)
+	// Expire oldest events until the shard fits its byte budget. The
+	// newest event always survives, so a single oversized event cannot
+	// livelock the loop.
+	for nb > sh.maxBytes {
+		f := sh.floor.Load()
+		if f >= seq {
+			break
+		}
+		if !sh.floor.CompareAndSwap(f, f+1) {
+			nb = sh.bytes.Load()
+			continue
+		}
+		slot := &sh.slots[f%int64(len(sh.slots))]
+		if e := slot.Load(); e != nil && e.Seq == f && slot.CompareAndSwap(e, nil) {
+			nb = sh.bytes.Add(-dcEventBytes(e))
+			r.dropped.Add(1)
+			continue
+		}
+		nb = sh.bytes.Load()
+	}
+}
+
+// Snapshot returns the retained events, oldest first. The cut is
+// consistent per event (events are immutable once published) and never
+// blocks writers; events overwritten mid-walk are simply absent.
+func (r *DCRing) Snapshot() []DCEvent {
+	if r == nil {
+		return nil
+	}
+	var out []DCEvent
+	for i := range r.shards {
+		sh := &r.shards[i]
+		head := sh.head.Load()
+		lo := head - int64(len(sh.slots))
+		if lo < 0 {
+			lo = 0
+		}
+		if f := sh.floor.Load(); f > lo {
+			lo = f
+		}
+		for s := lo; s < head; s++ {
+			if e := sh.slots[s%int64(len(sh.slots))].Load(); e != nil && e.Seq == s {
+				out = append(out, *e)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TimeNS != out[j].TimeNS {
+			return out[i].TimeNS < out[j].TimeNS
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// DCRingStats summarizes one ring for listings (\dc, tests).
+type DCRingStats struct {
+	Name     string
+	Retained int
+	Emitted  int64
+	Dropped  int64
+	Bytes    int64
+}
+
+// Stats returns the ring's counters and current occupancy.
+func (r *DCRing) Stats() DCRingStats {
+	if r == nil {
+		return DCRingStats{}
+	}
+	st := DCRingStats{
+		Name:    r.def.Name,
+		Emitted: r.emitted.Load(),
+		Dropped: r.dropped.Load(),
+	}
+	for i := range r.shards {
+		sh := &r.shards[i]
+		st.Bytes += sh.bytes.Load()
+		head, lo := sh.head.Load(), sh.head.Load()-int64(len(sh.slots))
+		if lo < 0 {
+			lo = 0
+		}
+		if f := sh.floor.Load(); f > lo {
+			lo = f
+		}
+		if n := head - lo; n > 0 {
+			st.Retained += int(n)
+		}
+	}
+	return st
+}
+
+// dcHash is a tiny FNV-1a over the shard key; good enough to spread
+// per-node emitters across shards.
+func dcHash(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	return h
+}
+
+// DataCollector owns the named rings of one database. Ring creation is
+// rare (setup time) and guarded by a mutex; emits go straight to a ring
+// pointer the caller resolved once.
+type DataCollector struct {
+	pol DCPolicy
+
+	mu    sync.RWMutex
+	rings map[string]*DCRing
+}
+
+// NewDataCollector builds a collector whose rings use pol (zero fields
+// take defaults: 1024 rows, 1 MiB per ring).
+func NewDataCollector(pol DCPolicy) *DataCollector {
+	return &DataCollector{pol: pol.withDefaults(), rings: map[string]*DCRing{}}
+}
+
+// Policy returns the per-ring retention policy in effect.
+func (dc *DataCollector) Policy() DCPolicy {
+	if dc == nil {
+		return DCPolicy{}
+	}
+	return dc.pol
+}
+
+// Ring returns the named ring, creating it with def on first use. A nil
+// collector returns a nil ring (which drops emits).
+func (dc *DataCollector) Ring(def DCRingDef) *DCRing {
+	if dc == nil {
+		return nil
+	}
+	dc.mu.RLock()
+	r := dc.rings[def.Name]
+	dc.mu.RUnlock()
+	if r != nil {
+		return r
+	}
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	if r = dc.rings[def.Name]; r == nil {
+		r = newDCRing(def, dc.pol)
+		dc.rings[def.Name] = r
+	}
+	return r
+}
+
+// Lookup returns the named ring or nil.
+func (dc *DataCollector) Lookup(name string) *DCRing {
+	if dc == nil {
+		return nil
+	}
+	dc.mu.RLock()
+	defer dc.mu.RUnlock()
+	return dc.rings[name]
+}
+
+// Rings returns every ring, sorted by name.
+func (dc *DataCollector) Rings() []*DCRing {
+	if dc == nil {
+		return nil
+	}
+	dc.mu.RLock()
+	out := make([]*DCRing, 0, len(dc.rings))
+	for _, r := range dc.rings {
+		out = append(out, r)
+	}
+	dc.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].def.Name < out[j].def.Name })
+	return out
+}

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestDCRingEmitSnapshot(t *testing.T) {
+	dc := NewDataCollector(DCPolicy{MaxRows: 64, MaxBytes: 1 << 20})
+	r := dc.Ring(DCRingDef{Name: "fetches", ACol: "path", BCol: "outcome", VCols: []string{"bytes", "wait_ns"}})
+	for i := 0; i < 10; i++ {
+		r.Emit(DCEvent{Node: "n1", A: fmt.Sprintf("f%d", i), B: "hit", V1: int64(i), V2: int64(i * 10)})
+	}
+	evs := r.Snapshot()
+	if len(evs) != 10 {
+		t.Fatalf("retained %d events, want 10", len(evs))
+	}
+	// Oldest first, payloads intact.
+	seen := map[string]bool{}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].TimeNS < evs[i-1].TimeNS {
+			t.Fatalf("snapshot not time-ordered at %d", i)
+		}
+	}
+	for _, e := range evs {
+		if e.Node != "n1" || e.B != "hit" || e.V2 != e.V1*10 {
+			t.Fatalf("event corrupted: %+v", e)
+		}
+		seen[e.A] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("distinct payloads = %d, want 10", len(seen))
+	}
+	st := r.Stats()
+	if st.Emitted != 10 || st.Dropped != 0 || st.Retained != 10 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDCRingRowRetention(t *testing.T) {
+	dc := NewDataCollector(DCPolicy{MaxRows: 16, MaxBytes: 1 << 20})
+	r := dc.Ring(DCRingDef{Name: "r"})
+	// Same node => same shard => capacity is MaxRows/dcShardCount slots.
+	for i := 0; i < 100; i++ {
+		r.Emit(DCEvent{Node: "n1", V1: int64(i)})
+	}
+	evs := r.Snapshot()
+	if len(evs) == 0 || len(evs) > 16 {
+		t.Fatalf("retained %d events, want (0, 16]", len(evs))
+	}
+	// The newest events survive.
+	if got := evs[len(evs)-1].V1; got != 99 {
+		t.Fatalf("newest retained V1 = %d, want 99", got)
+	}
+	if st := r.Stats(); st.Dropped == 0 || st.Emitted != 100 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDCRingByteRetention(t *testing.T) {
+	// Tight byte budget: ~4 large events fit per shard.
+	dc := NewDataCollector(DCPolicy{MaxRows: 1024, MaxBytes: 4096})
+	r := dc.Ring(DCRingDef{Name: "r"})
+	big := make([]byte, 200)
+	for i := 0; i < 50; i++ {
+		r.Emit(DCEvent{Node: "n1", A: string(big), V1: int64(i)})
+	}
+	st := r.Stats()
+	if st.Bytes > 4096 {
+		t.Fatalf("retained bytes %d exceed budget 4096", st.Bytes)
+	}
+	evs := r.Snapshot()
+	if len(evs) == 0 {
+		t.Fatal("byte expiry dropped everything including the newest event")
+	}
+	if got := evs[len(evs)-1].V1; got != 49 {
+		t.Fatalf("newest retained V1 = %d, want 49", got)
+	}
+}
+
+func TestDCRingConcurrentEmit(t *testing.T) {
+	dc := NewDataCollector(DCPolicy{MaxRows: 256, MaxBytes: 1 << 20})
+	r := dc.Ring(DCRingDef{Name: "conc"})
+	var wg sync.WaitGroup
+	const workers, per = 8, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			node := fmt.Sprintf("node%d", w)
+			for i := 0; i < per; i++ {
+				r.Emit(DCEvent{Node: node, V1: int64(i)})
+				if i%50 == 0 {
+					_ = r.Snapshot() // readers race writers by design
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := r.Stats()
+	if st.Emitted != workers*per {
+		t.Fatalf("emitted = %d, want %d", st.Emitted, workers*per)
+	}
+	evs := r.Snapshot()
+	if len(evs) == 0 || len(evs) > 256 {
+		t.Fatalf("retained %d, want (0, 256]", len(evs))
+	}
+	for _, e := range evs {
+		if e.V1 < 0 || e.V1 >= per {
+			t.Fatalf("torn event: %+v", e)
+		}
+	}
+}
+
+func TestDCNilSafety(t *testing.T) {
+	var dc *DataCollector
+	if dc.Ring(DCRingDef{Name: "x"}) != nil {
+		t.Fatal("nil collector returned a ring")
+	}
+	var r *DCRing
+	r.Emit(DCEvent{Node: "n"}) // must not panic
+	if r.Snapshot() != nil || r.Stats().Emitted != 0 {
+		t.Fatal("nil ring not inert")
+	}
+	if dc.Lookup("x") != nil || dc.Rings() != nil {
+		t.Fatal("nil collector lookup not inert")
+	}
+}
+
+func TestDCRingGetOrCreate(t *testing.T) {
+	dc := NewDataCollector(DCPolicy{})
+	a := dc.Ring(DCRingDef{Name: "same"})
+	b := dc.Ring(DCRingDef{Name: "same"})
+	if a != b {
+		t.Fatal("Ring created a duplicate for the same name")
+	}
+	if dc.Lookup("same") != a {
+		t.Fatal("Lookup missed the ring")
+	}
+	dc.Ring(DCRingDef{Name: "another"})
+	rings := dc.Rings()
+	if len(rings) != 2 || rings[0].Name() != "another" || rings[1].Name() != "same" {
+		t.Fatalf("Rings() = %v", rings)
+	}
+	if dc.Policy().MaxRows != 1024 || dc.Policy().MaxBytes != 1<<20 {
+		t.Fatalf("defaults not applied: %+v", dc.Policy())
+	}
+}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// The v_monitor.metrics percentile columns are computed straight from
+// Histogram.Quantile, so its edge cases must return finite, sane values
+// rather than NaN or a panic.
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	var h Histogram
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty histogram Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+	s := h.Snapshot()
+	if s.Count != 0 || s.P50 != 0 || s.P95 != 0 || s.P99 != 0 || s.Max != 0 {
+		t.Fatalf("empty snapshot = %+v", s)
+	}
+	if s.Mean() != 0 {
+		t.Fatalf("empty mean = %d", s.Mean())
+	}
+}
+
+func TestHistogramQuantileSingleObservation(t *testing.T) {
+	var h Histogram
+	h.Observe(37)
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		got := h.Quantile(q)
+		if got < 0 || got > 37 {
+			t.Fatalf("Quantile(%v) = %d, want in [0, 37]", q, got)
+		}
+	}
+	// The estimate clamps to the observed max, so the upper quantiles are
+	// exact for a single value.
+	if got := h.Quantile(1); got != 37 {
+		t.Fatalf("Quantile(1) = %d, want 37", got)
+	}
+	s := h.Snapshot()
+	if s.P50 > s.P95 || s.P95 > s.P99 || s.P99 > s.Max {
+		t.Fatalf("quantiles not monotone: %+v", s)
+	}
+}
+
+func TestHistogramQuantileOverflowBucket(t *testing.T) {
+	// All mass in the open-ended top bucket: interpolation runs against
+	// the clamped upper bound and must not overflow or go negative.
+	var h Histogram
+	const huge = int64(1) << 62
+	for i := 0; i < 10; i++ {
+		h.Observe(huge + int64(i))
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99, 1} {
+		got := h.Quantile(q)
+		if got < huge || got > huge+9 {
+			t.Fatalf("Quantile(%v) = %d, want in [2^62, 2^62+9]", q, got)
+		}
+	}
+	s := h.Snapshot()
+	if s.Max != huge+9 {
+		t.Fatalf("max = %d", s.Max)
+	}
+	if s.P99 > s.Max || s.P50 < 0 {
+		t.Fatalf("overflow-bucket snapshot = %+v", s)
+	}
+}
+
+func TestHistogramQuantileBucketBoundaries(t *testing.T) {
+	// Exact powers of two sit at bucket lower bounds; interpolation at
+	// frac 0 and 1 must land inside the bucket, never below lo or at/above
+	// a value the clamp would not permit.
+	var h Histogram
+	for _, v := range []int64{1, 2, 4, 8, 16, 1024, 1 << 30} {
+		h2 := Histogram{}
+		h2.Observe(v)
+		for _, q := range []float64{0, 0.5, 1} {
+			got := h2.Quantile(q)
+			if got < 0 || got > v {
+				t.Fatalf("value %d: Quantile(%v) = %d outside [0, %d]", v, q, got, v)
+			}
+		}
+		h.Observe(v)
+	}
+	// Mixed boundary values: quantiles monotone, finite, within range.
+	prev := int64(-1)
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.95, 0.99, 1} {
+		got := h.Quantile(q)
+		if got < prev {
+			t.Fatalf("quantiles not monotone at q=%v: %d < %d", q, got, prev)
+		}
+		if got < 0 || got > 1<<30 {
+			t.Fatalf("Quantile(%v) = %d out of range", q, got)
+		}
+		if f := float64(got); math.IsNaN(f) || math.IsInf(f, 0) {
+			t.Fatalf("Quantile(%v) not finite", q)
+		}
+		prev = got
+	}
+	// Out-of-range q values clamp instead of misbehaving.
+	if h.Quantile(-0.5) < 0 {
+		t.Fatal("Quantile(-0.5) went negative")
+	}
+	if got, max := h.Quantile(2), h.Quantile(1); got != max {
+		t.Fatalf("Quantile(2) = %d, want max %d", got, max)
+	}
+}
+
+func TestCountsQuantileEdgeCases(t *testing.T) {
+	// Empty window.
+	if got := CountsQuantile(make([]int64, histBuckets), 0.95); got != 0 {
+		t.Fatalf("empty window quantile = %d", got)
+	}
+	// Nil and short slices are tolerated.
+	if got := CountsQuantile(nil, 0.5); got != 0 {
+		t.Fatalf("nil counts quantile = %d", got)
+	}
+	// All mass in the overflow bucket.
+	counts := make([]int64, histBuckets)
+	counts[histBuckets-1] = 5
+	got := CountsQuantile(counts, 0.99)
+	if got < 1<<62 {
+		t.Fatalf("overflow-bucket counts quantile = %d, want >= 2^62", got)
+	}
+	if f := float64(got); math.IsNaN(f) || math.IsInf(f, 0) {
+		t.Fatal("counts quantile not finite")
+	}
+}

@@ -12,6 +12,7 @@
 package obs
 
 import (
+	"math"
 	"math/bits"
 	"sync/atomic"
 	"time"
@@ -171,7 +172,9 @@ func (h *Histogram) Quantile(q float64) int64 {
 				frac = (target - cum) / n
 			}
 			v := float64(lo) + frac*float64(hi-lo)
-			if m := h.max.Load(); int64(v) > m {
+			// Compare in float64: the top bucket's upper bound rounds to
+			// 2^63, which int64 conversion would overflow to MinInt64.
+			if m := h.max.Load(); v >= float64(m) {
 				return m
 			}
 			return int64(v)
@@ -236,7 +239,13 @@ func CountsQuantile(counts []int64, q float64) int64 {
 		if cum+n >= target {
 			lo, hi := bucketBounds(i)
 			frac := (target - cum) / n
-			return int64(float64(lo) + frac*float64(hi-lo))
+			v := float64(lo) + frac*float64(hi-lo)
+			// Same overflow guard as Quantile: the top bucket's upper
+			// bound does not fit int64 after float64 rounding.
+			if v >= float64(math.MaxInt64) {
+				return math.MaxInt64
+			}
+			return int64(v)
 		}
 		cum += n
 	}

@@ -97,6 +97,10 @@ type Scan struct {
 	// Replicated marks a replicated-projection scan (executes on one
 	// node).
 	Replicated bool
+	// Virtual marks a system-table scan (Proj is nil): the executor
+	// materializes the table on the initiator from live monitoring state
+	// instead of reading storage. Virtual scans are always Replicated.
+	Virtual bool
 }
 
 // Schema implements Node.

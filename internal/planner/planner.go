@@ -10,10 +10,21 @@ import (
 	"eon/internal/types"
 )
 
+// VirtualResolver resolves table names that are not in the catalog
+// snapshot to synthesized metadata-only handles (the v_monitor system
+// tables). Implemented by systable.Registry.
+type VirtualResolver interface {
+	LookupVirtual(name string) (*catalog.Table, bool)
+}
+
 // Options configures planning.
 type Options struct {
 	// Snapshot supplies table, projection and container metadata.
 	Snapshot *catalog.Snapshot
+	// Virtual, when set, resolves virtual (system) tables after the
+	// snapshot misses. Virtual scans are planned Replicated: they
+	// materialize on the initiator and need no data movement.
+	Virtual VirtualResolver
 	// BroadcastRowLimit: a non-co-segmented join side with at most this
 	// many rows is broadcast instead of reshuffled.
 	BroadcastRowLimit int64
@@ -39,16 +50,29 @@ type sessionPlanner struct {
 
 // tableScope tracks one FROM-clause table and its scan.
 type tableScope struct {
-	ref  sql.TableRef
-	tbl  *catalog.Table
-	scan *Scan
+	ref     sql.TableRef
+	tbl     *catalog.Table
+	virtual bool
+	scan    *Scan
+}
+
+// resolveTable finds a table in the catalog snapshot, falling back to
+// the virtual resolver.
+func (p *sessionPlanner) resolveTable(name string) (*catalog.Table, bool, bool) {
+	if tbl, ok := p.opts.Snapshot.TableByName(name); ok {
+		return tbl, false, true
+	}
+	if p.opts.Virtual != nil {
+		if tbl, ok := p.opts.Virtual.LookupVirtual(name); ok {
+			return tbl, true, true
+		}
+	}
+	return nil, false, false
 }
 
 func (p *sessionPlanner) plan(stmt *sql.Select) (*Plan, error) {
-	snap := p.opts.Snapshot
-
 	// Expand SELECT * before anything else.
-	items, err := p.expandStar(stmt, snap)
+	items, err := p.expandStar(stmt)
 	if err != nil {
 		return nil, err
 	}
@@ -67,7 +91,7 @@ func (p *sessionPlanner) plan(stmt *sql.Select) (*Plan, error) {
 	scopes := make([]*tableScope, len(refs))
 	seenAlias := map[string]bool{}
 	for i, r := range refs {
-		tbl, ok := snap.TableByName(r.Table)
+		tbl, virtual, ok := p.resolveTable(r.Table)
 		if !ok {
 			return nil, fmt.Errorf("planner: unknown table %q", r.Table)
 		}
@@ -76,7 +100,7 @@ func (p *sessionPlanner) plan(stmt *sql.Select) (*Plan, error) {
 			return nil, fmt.Errorf("planner: duplicate table alias %q", r.Name())
 		}
 		seenAlias[alias] = true
-		scopes[i] = &tableScope{ref: r, tbl: tbl}
+		scopes[i] = &tableScope{ref: r, tbl: tbl, virtual: virtual}
 	}
 
 	needed, interesting, err := p.collectColumns(stmt, items, scopes)
@@ -199,7 +223,7 @@ func joinRefs(joins []sql.Join) []sql.TableRef {
 }
 
 // expandStar rewrites SELECT * into explicit column items.
-func (p *sessionPlanner) expandStar(stmt *sql.Select, snap *catalog.Snapshot) ([]sql.SelectItem, error) {
+func (p *sessionPlanner) expandStar(stmt *sql.Select) ([]sql.SelectItem, error) {
 	var out []sql.SelectItem
 	for _, it := range stmt.Items {
 		if !it.Star {
@@ -208,7 +232,7 @@ func (p *sessionPlanner) expandStar(stmt *sql.Select, snap *catalog.Snapshot) ([
 		}
 		refs := append([]sql.TableRef{stmt.From}, joinRefs(stmt.Joins)...)
 		for _, r := range refs {
-			tbl, ok := snap.TableByName(r.Table)
+			tbl, _, ok := p.resolveTable(r.Table)
 			if !ok {
 				return nil, fmt.Errorf("planner: unknown table %q", r.Table)
 			}
@@ -314,6 +338,36 @@ func (p *sessionPlanner) collectColumns(stmt *sql.Select, items []sql.SelectItem
 
 // buildScan chooses a projection and constructs the scan node.
 func (p *sessionPlanner) buildScan(sc *tableScope, needed, interesting map[string]bool) (*Scan, error) {
+	// Virtual tables have no projections: the scan reads the synthesized
+	// schema directly and materializes on the initiator (Replicated), so
+	// joins against them are always local and predicate pushdown applies
+	// to the materialized batch.
+	if sc.virtual {
+		if len(needed) == 0 && len(sc.tbl.Columns) > 0 {
+			needed = map[string]bool{strings.ToLower(sc.tbl.Columns[0].Name): true}
+		}
+		var cols []string
+		var outSchema types.Schema
+		for _, c := range sc.tbl.Columns {
+			if !needed[strings.ToLower(c.Name)] {
+				continue
+			}
+			cols = append(cols, c.Name)
+			outSchema = append(outSchema, types.Column{
+				Name: qualify(sc.ref.Name(), c.Name),
+				Type: c.Type,
+			})
+		}
+		return &Scan{
+			Table:      sc.tbl,
+			Alias:      sc.ref.Name(),
+			Cols:       cols,
+			OutSchema:  outSchema,
+			Replicated: true,
+			Virtual:    true,
+		}, nil
+	}
+
 	snap := p.opts.Snapshot
 	projs := snap.ProjectionsOf(sc.tbl.OID)
 	if len(projs) == 0 {

@@ -93,10 +93,13 @@ func (r *Reconciler) act(ctx context.Context, plan []Action, span *obs.Span) []A
 		ran++
 		r.mActions.Inc()
 		as := span.StartSpan(a.Kind.String())
+		actStart := time.Now()
 		err := r.cfg.Retry.Do(ctx, nil, func(ctx context.Context) error {
 			return r.execute(a)
 		})
 		as.End()
+		r.db.EmitReconcileAction(a.Node, a.Kind.String(), a.Reason,
+			r.round, err == nil, time.Since(actStart))
 		res := ActionResult{Action: a}
 		if err != nil {
 			res.Err = err.Error()

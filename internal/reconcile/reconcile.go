@@ -142,10 +142,14 @@ type Reconciler struct {
 	db  *core.DB
 	cfg Config
 
-	mu     sync.Mutex
-	spec   ClusterSpec
-	status Status
-	round  int64
+	mu   sync.Mutex
+	spec ClusterSpec
+	// statusMu guards status and profile separately from r.mu so readers
+	// (Status, LastProfile, the v_monitor.reconcile_status provider)
+	// never wait behind an in-flight round holding r.mu.
+	statusMu sync.Mutex
+	status   Status
+	round    int64
 	// asSize holds the autoscaled desired size per subcluster.
 	asSize   map[string]int
 	idle     int
@@ -213,6 +217,16 @@ func New(db *core.DB, cfg Config) *Reconciler {
 		mRoundNS:   reg.Histogram("reconcile.round_ns"),
 	}
 	r.status = Status{Code: Progressing, Reasons: []string{"not yet reconciled"}}
+	// Surface round status through v_monitor.reconcile_status (the
+	// dependency inverts: core cannot import reconcile).
+	db.SetReconcileStatusProvider("reconciler", func() core.ReconcileStatus {
+		st := r.Status()
+		return core.ReconcileStatus{
+			Code: st.Code.String(), Round: st.Round,
+			Pending: int64(st.Pending), QueueDepth: int64(st.QueueDepth),
+			P95: st.P95, Reasons: st.Reasons,
+		}
+	})
 	return r
 }
 
@@ -237,15 +251,22 @@ func (r *Reconciler) SetSpec(spec ClusterSpec) {
 
 // Status returns the most recent round's status.
 func (r *Reconciler) Status() Status {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.statusMu.Lock()
+	defer r.statusMu.Unlock()
 	return r.status
+}
+
+// setStatus publishes a round's status.
+func (r *Reconciler) setStatus(st Status) {
+	r.statusMu.Lock()
+	r.status = st
+	r.statusMu.Unlock()
 }
 
 // LastProfile returns the span profile of the most recent round.
 func (r *Reconciler) LastProfile() *obs.Profile {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.statusMu.Lock()
+	defer r.statusMu.Unlock()
 	return r.profile
 }
 
@@ -261,18 +282,22 @@ func (r *Reconciler) Tick(ctx context.Context) Status {
 	root := trace.Root()
 	defer func() {
 		root.End()
+		st := r.Status()
+		r.statusMu.Lock()
 		r.profile = trace.Finish()
+		r.statusMu.Unlock()
 		r.mRoundNS.ObserveDuration(time.Since(start))
-		r.mConverged.Set(boolGauge(r.status.Code == Converged))
-		r.mPending.Set(int64(r.status.Pending))
+		r.mConverged.Set(boolGauge(st.Code == Converged))
+		r.mPending.Set(int64(st.Pending))
 	}()
 
 	if r.db.IsShutdown() {
-		r.status = Status{
+		st := Status{
 			Code: Blocked, Round: r.round,
 			Reasons: []string{"cluster is shut down; revive it from shared storage"},
 		}
-		return r.status
+		r.setStatus(st)
+		return st
 	}
 
 	// Load signals feed the autoscaler before the diff, so a spec
@@ -323,7 +348,7 @@ func (r *Reconciler) Tick(ctx context.Context) Status {
 			st.Reasons = append(st.Reasons, a.describe())
 		}
 	}
-	r.status = st
+	r.setStatus(st)
 	return st
 }
 

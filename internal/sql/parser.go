@@ -615,6 +615,15 @@ func (p *parser) parseTableRef() (TableRef, error) {
 	if err != nil {
 		return TableRef{}, err
 	}
+	// Schema-qualified name (v_monitor.metrics): the dotted pair is one
+	// table name; base tables stay single-identifier.
+	if p.accept(tokOp, ".") {
+		part, err := p.ident()
+		if err != nil {
+			return TableRef{}, err
+		}
+		name = name + "." + part
+	}
 	tr := TableRef{Table: name}
 	if p.accept(tokKeyword, "AS") {
 		tr.Alias, err = p.ident()

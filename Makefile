@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race chaos obs exec reconcile systables check bench bench-all
+.PHONY: all vet build test race chaos obs exec reconcile systables serving check bench bench-all
 
 all: check
 
@@ -73,6 +73,25 @@ systables:
 		| sed 's/"Output":"//; s/"$$//; s/\\t/ /g; s/\\n//' \
 		| awk '/^Benchmark/ && !/ns\/op/ {name=$$1; next} /ns\/op/ {if ($$0 ~ /^Benchmark/) print; else printf "%s %s\n", name, $$0}'
 	@echo "wrote BENCH_systables.json"
+
+# Serving-path gate: the staged-lifecycle unit tests (plan cache,
+# prepared statements, result-cache invalidation, admission control,
+# parse-error accounting) and the caches-on-vs-off TPC-H differential
+# under concurrent DDL/load/mergeout churn — all race-checked (cached
+# plans are shared by concurrent executions by design). Then the
+# acceptance gate (warm hot-query throughput >=2x uncached, admission
+# p99 bounded past the concurrency cap; env-guarded so plain
+# `go test ./...` stays deterministic) and the throughput/latency
+# benchmark into BENCH_serving.json.
+serving:
+	$(GO) test -race -count=1 -run 'TestPlanCache|TestPrepared|TestQueryArgs|TestParseError|TestResultCache|TestAdmission|TestSessionTimeout|TestServingSystem' ./internal/core/
+	$(GO) test -race -count=1 -run 'TestServingCachesDifferential' -timeout 600s ./internal/experiments/
+	EON_SERVING_GATE=1 $(GO) test -count=1 -run 'TestServingGate' -timeout 300s .
+	$(GO) test -json -bench 'BenchmarkServingThroughput' -benchtime=1x -run '^$$' . > BENCH_serving.json
+	@grep -oE '"Output":"[^"]*"' BENCH_serving.json \
+		| sed 's/"Output":"//; s/"$$//; s/\\t/ /g; s/\\n//' \
+		| awk '/^Benchmark/ && !/ns\/op/ {name=$$1; next} /ns\/op/ {if ($$0 ~ /^Benchmark/) print; else printf "%s %s\n", name, $$0}'
+	@echo "wrote BENCH_serving.json"
 
 # Fig-10 plus the ScanConcurrency sweep (cold/warm caches), with
 # allocation stats; the raw `go test -json` event stream is kept in

@@ -685,3 +685,26 @@ func BenchmarkReconcileRecovery(b *testing.B) {
 		})
 	}
 }
+
+// --- Serving path: plan/result caches and admission control ---
+
+// BenchmarkServingThroughput hammers one hot analytic query from many
+// concurrent sessions on a cache-enabled and a cache-disabled cluster
+// (the warm side serves from the result cache without parsing, planning
+// or executing), then measures the admission-queue latency tail with
+// more sessions than the per-subcluster concurrency cap.
+func BenchmarkServingThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.ServingThroughput(experiments.ServingOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.CachedQPM, "qpm_cached")
+		b.ReportMetric(res.UncachedQPM, "qpm_uncached")
+		if res.UncachedQPM > 0 {
+			b.ReportMetric(res.CachedQPM/res.UncachedQPM, "speedup_cached")
+		}
+		b.ReportMetric(float64(res.AdmissionP50.Microseconds()), "admission_p50_us")
+		b.ReportMetric(float64(res.AdmissionP99.Microseconds()), "admission_p99_us")
+	}
+}

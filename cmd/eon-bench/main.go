@@ -8,6 +8,7 @@
 //	eon-bench fig11b [-window 600ms]
 //	eon-bench fig12 [-scale 0.02]
 //	eon-bench elasticity [-scale 0.2]
+//	eon-bench serving [-scale 0.02] [-threads 16] [-window 500ms]
 //	eon-bench all
 //
 // With -metrics, an HTTP endpoint serves every live cluster's metrics
@@ -60,8 +61,10 @@ func main() {
 		err = runFig12(args)
 	case "elasticity":
 		err = runElasticity(args)
+	case "serving":
+		err = runServing(args)
 	case "all":
-		for _, fn := range []func([]string) error{runFig10, runFig11a, runFig11b, runFig12, runElasticity} {
+		for _, fn := range []func([]string) error{runFig10, runFig11a, runFig11b, runFig12, runElasticity, runServing} {
 			if err = fn(nil); err != nil {
 				break
 			}
@@ -78,7 +81,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: eon-bench [-metrics addr] <fig10|fig11a|fig11b|fig12|elasticity|all> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: eon-bench [-metrics addr] <fig10|fig11a|fig11b|fig12|elasticity|serving|all> [flags]`)
 }
 
 func runFig10(args []string) error {
@@ -188,5 +191,34 @@ func runElasticity(args []string) error {
 	fmt.Printf("  cache bytes warmed:     %d\n", res.BytesWarmed)
 	fmt.Printf("  dataset bytes (total):  %d  (an Enterprise rebalance would reshuffle all of it)\n", res.DatasetBytes)
 	fmt.Printf("  shards served by node4: %d\n", res.NewNodeServes)
+	return nil
+}
+
+func runServing(args []string) error {
+	fs := flag.NewFlagSet("serving", flag.ExitOnError)
+	scale := fs.Float64("scale", 0.02, "TPC-H scale factor")
+	threads := fs.Int("threads", 16, "concurrent sessions")
+	window := fs.Duration("window", 500*time.Millisecond, "throughput window")
+	fs.Parse(args)
+
+	fmt.Println("Serving path: hot-query throughput with the plan/result caches on vs off,")
+	fmt.Printf("and admission latency at %d sessions over a 4-way subcluster cap\n", *threads)
+	res, err := experiments.ServingThroughput(experiments.ServingOptions{
+		Scale: *scale, Threads: *threads, Window: *window,
+	})
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "serving path\tqueries/min")
+	fmt.Fprintf(w, "caches off\t%.0f\n", res.UncachedQPM)
+	fmt.Fprintf(w, "caches on\t%.0f\n", res.CachedQPM)
+	w.Flush()
+	if res.UncachedQPM > 0 {
+		fmt.Printf("speedup: %.1fx\n", res.CachedQPM/res.UncachedQPM)
+	}
+	fmt.Printf("admission (oversubscribed): p50 %v  p99 %v  queued %d  timeouts %d\n",
+		res.AdmissionP50.Round(time.Microsecond), res.AdmissionP99.Round(time.Microsecond),
+		res.AdmissionQueued, res.AdmissionTimeouts)
 	return nil
 }

@@ -27,6 +27,7 @@
 //	\stats [json]      dump the cluster metrics registry (text or JSON);
 //	                   includes reconcile.* counters once a reconciler runs
 //	                   and the per-subcluster subcluster.*.nodes gauges
+//	\cache             show plan cache, result cache and admission queues
 //	\exec              show the last query's executor stats (peak memory, spills)
 //	\profile [json]    show the last query's execution profile
 //	\slow [json]       show the slow-query log
@@ -190,6 +191,16 @@ func backslash(db *eon.DB, session *eon.Session, cmd string) error {
 			fmt.Println(string(snap.JSON()))
 		} else {
 			fmt.Print(snap.Text())
+		}
+		return nil
+	case "\\cache":
+		for _, q := range []struct{ title, sql string }{
+			{"v_monitor.plan_cache", "SELECT p.statement, p.assume_no_seg, p.catalog_version, p.params, p.hits, p.replans FROM v_monitor.plan_cache p;"},
+			{"v_monitor.result_cache", "SELECT r.statement, r.args, r.rows, r.bytes, r.hits FROM v_monitor.result_cache r;"},
+			{"v_monitor.admission_queue", "SELECT a.subcluster, a.running, a.queued, a.mem_bytes, a.concurrency_limit, a.mem_limit_bytes FROM v_monitor.admission_queue a;"},
+		} {
+			fmt.Println("--", q.title)
+			run(session, q.sql)
 		}
 		return nil
 	case "\\exec":

@@ -87,6 +87,17 @@ type Session = core.Session
 // Result is a query result set.
 type Result = core.Result
 
+// PreparedStatement is a SELECT parsed and validated once and executable
+// many times with bind-parameter values ("?" or $N placeholders); see
+// Session.Prepare.
+type PreparedStatement = core.PreparedStatement
+
+// ErrQueuedTooLong marks a query that spent its whole Session.Timeout
+// parked in an admission or execution-slot queue without ever starting
+// to execute — "the cluster was saturated", distinct from a
+// mid-execution timeout.
+var ErrQueuedTooLong = core.ErrQueuedTooLong
+
 // CrunchMode selects the §4.4 crunch-scaling mechanism.
 type CrunchMode = core.CrunchMode
 

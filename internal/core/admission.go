@@ -1,0 +1,259 @@
+package core
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"time"
+
+	"eon/internal/obs"
+)
+
+// ErrQueuedTooLong marks a query that spent its entire Session.Timeout
+// parked in an admission queue or waiting for execution slots, without
+// ever starting to execute. It is distinct from a mid-execution timeout
+// (context.DeadlineExceeded surfacing from a scan) so callers can tell
+// "the cluster was saturated" from "my query was slow".
+var ErrQueuedTooLong = errors.New("core: queued too long awaiting admission")
+
+// admissionController gates queries in front of slot acquisition with
+// per-subcluster FIFO queues. A query is admitted when its subcluster is
+// under its concurrency cap AND the cluster-wide aggregate of admitted
+// queries' memory budgets stays within AdmissionMemoryLimit; otherwise
+// it parks in its subcluster's queue in arrival order, bounded by the
+// session deadline. Per-subcluster queues keep one saturated subcluster
+// from starving another — admission state is segregated exactly like the
+// workloads themselves (§4.3).
+type admissionController struct {
+	mu sync.Mutex
+	// limit caps concurrently admitted queries per subcluster (0 = off).
+	limit int
+	// memLimit caps the aggregate Session.MemoryBudget of admitted
+	// queries, cluster-wide (0 = off). A query whose own budget exceeds
+	// the limit is admitted when nothing else runs ("admit alone"), so an
+	// oversized budget degrades to serial execution instead of
+	// deadlocking forever.
+	memLimit int64
+	subs     map[string]*admQueue
+	totalMem int64 // aggregate budget of all admitted queries
+
+	admitted *obs.Counter
+	queued   *obs.Counter
+	timeouts *obs.Counter
+	waitNS   *obs.Histogram
+	// ring is the dc_admission_waits ring (nil when the collector is
+	// off); admission emits queued -> admitted -> finished transitions.
+	ring *obs.DCRing
+}
+
+// admQueue is one subcluster's admission state.
+type admQueue struct {
+	label   string
+	running int
+	mem     int64
+	waiters *list.List // of *admWaiter, FIFO
+}
+
+// admWaiter is one parked query.
+type admWaiter struct {
+	ready    chan struct{}
+	mem      int64
+	enqueued time.Time
+	// admitted is set under the controller lock when a releaser hands
+	// this waiter the grant; the waiter may observe it from a deadline
+	// race and must then consume the grant rather than abandon it.
+	admitted bool
+}
+
+func newAdmissionController(limit int, memLimit int64) *admissionController {
+	return &admissionController{
+		limit: limit, memLimit: memLimit,
+		subs:     map[string]*admQueue{},
+		admitted: &obs.Counter{}, queued: &obs.Counter{},
+		timeouts: &obs.Counter{}, waitNS: &obs.Histogram{},
+	}
+}
+
+// register wires the controller's metrics into the registry.
+func (a *admissionController) register(reg *obs.Registry) {
+	reg.RegisterCounter("admission.admitted", a.admitted)
+	reg.RegisterCounter("admission.queued", a.queued)
+	reg.RegisterCounter("admission.timeouts", a.timeouts)
+	reg.RegisterHistogram("admission.wait_ns", a.waitNS)
+	reg.GaugeFunc("admission.queue_depth", func() int64 {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		var n int64
+		for _, q := range a.subs {
+			n += int64(q.waiters.Len())
+		}
+		return n
+	})
+	reg.GaugeFunc("admission.running", func() int64 {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		var n int64
+		for _, q := range a.subs {
+			n += int64(q.running)
+		}
+		return n
+	})
+}
+
+func subclusterLabel(sc string) string {
+	if sc == "" {
+		return "default"
+	}
+	return sc
+}
+
+func (a *admissionController) queue(label string) *admQueue {
+	q, ok := a.subs[label]
+	if !ok {
+		q = &admQueue{label: label, waiters: list.New()}
+		a.subs[label] = q
+	}
+	return q
+}
+
+// fits reports whether one more query with budget mem can be admitted to
+// q right now (caller holds a.mu).
+func (a *admissionController) fits(q *admQueue, mem int64) bool {
+	if a.limit > 0 && q.running >= a.limit {
+		return false
+	}
+	if a.memLimit > 0 && a.totalMem+mem > a.memLimit {
+		// Admit-alone escape: a single query whose budget alone exceeds
+		// the limit would otherwise queue forever.
+		return a.totalMem == 0
+	}
+	return true
+}
+
+// grant marks one query admitted (caller holds a.mu).
+func (a *admissionController) grant(q *admQueue, mem int64) {
+	q.running++
+	q.mem += mem
+	a.totalMem += mem
+	a.admitted.Inc()
+}
+
+// admit gates one query. It returns a release closure the caller must
+// invoke when the query finishes (on every path), or ErrQueuedTooLong
+// when ctx expires while parked. node names the initiator for Data
+// Collector events; mem is the query's Session.MemoryBudget.
+func (a *admissionController) admit(ctx context.Context, node, subcluster string, mem int64) (func(), error) {
+	label := subclusterLabel(subcluster)
+	a.mu.Lock()
+	q := a.queue(label)
+	// FIFO: a query may only jump the queue when nobody is parked.
+	if q.waiters.Len() == 0 && a.fits(q, mem) {
+		a.grant(q, mem)
+		a.mu.Unlock()
+		a.waitNS.Observe(0)
+		a.emit(node, label, "admitted", 0, mem, 0)
+		return a.releaser(node, q, mem), nil
+	}
+	w := &admWaiter{ready: make(chan struct{}), mem: mem, enqueued: time.Now()}
+	el := q.waiters.PushBack(w)
+	depth := int64(q.waiters.Len())
+	a.queued.Inc()
+	a.mu.Unlock()
+	a.emit(node, label, "queued", 0, mem, depth)
+
+	select {
+	case <-w.ready:
+		wait := time.Since(w.enqueued)
+		a.waitNS.ObserveDuration(wait)
+		a.emit(node, label, "admitted", wait, mem, 0)
+		return a.releaser(node, q, mem), nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		if w.admitted {
+			// The grant raced the deadline; consume it — the deadline
+			// context will abort the query at the next stage anyway, and
+			// abandoning the grant here would leak it.
+			a.mu.Unlock()
+			wait := time.Since(w.enqueued)
+			a.waitNS.ObserveDuration(wait)
+			a.emit(node, label, "admitted", wait, mem, 0)
+			return a.releaser(node, q, mem), nil
+		}
+		q.waiters.Remove(el)
+		a.timeouts.Inc()
+		a.mu.Unlock()
+		wait := time.Since(w.enqueued)
+		a.waitNS.ObserveDuration(wait)
+		a.emit(node, label, "timeout", wait, mem, 0)
+		return nil, ErrQueuedTooLong
+	}
+}
+
+// releaser returns the closure that ends one admitted query and promotes
+// waiters that now fit, in FIFO order.
+func (a *admissionController) releaser(node string, q *admQueue, mem int64) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			a.mu.Lock()
+			q.running--
+			q.mem -= mem
+			a.totalMem -= mem
+			a.promoteLocked()
+			a.mu.Unlock()
+			a.emit(node, q.label, "finished", 0, mem, 0)
+		})
+	}
+}
+
+// promoteLocked admits queued waiters that now fit, FIFO within each
+// subcluster (caller holds a.mu). Freed capacity in one subcluster can
+// unblock memory-throttled waiters of another, so all queues are swept.
+func (a *admissionController) promoteLocked() {
+	for _, q := range a.subs {
+		for q.waiters.Len() > 0 {
+			w := q.waiters.Front().Value.(*admWaiter)
+			if !a.fits(q, w.mem) {
+				break
+			}
+			q.waiters.Remove(q.waiters.Front())
+			w.admitted = true
+			a.grant(q, w.mem)
+			close(w.ready)
+		}
+	}
+}
+
+// emit records one admission lifecycle event into dc_admission_waits
+// (V2 is the slots column, used only by slot-acquisition events).
+func (a *admissionController) emit(node, label, state string, wait time.Duration, mem, depth int64) {
+	a.ring.Emit(obs.DCEvent{
+		Node: node, A: label, B: state,
+		V1: int64(wait), V3: mem, V4: depth,
+	})
+}
+
+// admissionRow is one subcluster's state for v_monitor.admission_queue.
+type admissionRow struct {
+	Subcluster string
+	Running    int64
+	Queued     int64
+	MemBytes   int64
+}
+
+// snapshotRows copies per-subcluster admission state, sorted by label.
+func (a *admissionController) snapshotRows() []admissionRow {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]admissionRow, 0, len(a.subs))
+	for _, q := range a.subs {
+		out = append(out, admissionRow{
+			Subcluster: q.label, Running: int64(q.running),
+			Queued: int64(q.waiters.Len()), MemBytes: q.mem,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Subcluster < out[j].Subcluster })
+	return out
+}

@@ -135,6 +135,27 @@ type Config struct {
 	// before its parent starts) instead of the streaming pipeline. Escape
 	// hatch for one release; sessions inherit it and may override.
 	MaterializedExec bool
+	// PlanCacheSize bounds the plan cache (entries of normalized SQL ->
+	// bound physical plan). 0 uses the default (256); negative disables
+	// plan caching entirely. Warm hits skip lexing, parsing and planning.
+	PlanCacheSize int
+	// ResultCacheBytes bounds the result-set cache for parameterized hot
+	// queries. 0 (the default) disables it. Entries are invalidated by
+	// the shard-level catalog object versions the plan reads — never by
+	// wall time — so a cached result is served only while every table,
+	// projection, storage container and delete vector it touched is
+	// unchanged.
+	ResultCacheBytes int64
+	// SubclusterConcurrency caps concurrently admitted queries per
+	// subcluster; excess queries park in a per-subcluster FIFO admission
+	// queue bounded by the session timeout. 0 disables the cap.
+	SubclusterConcurrency int
+	// AdmissionMemoryLimit caps the aggregate Session.MemoryBudget of
+	// concurrently admitted queries, cluster-wide; a query that would
+	// push the aggregate past the limit queues until running queries
+	// finish (a query whose own budget exceeds the limit is admitted
+	// alone). 0 disables the throttle.
+	AdmissionMemoryLimit int64
 	// DataCollectorPolicy bounds each Data Collector event ring (rows
 	// and bytes); zero fields take the obs defaults (1024 rows, 1 MiB).
 	DataCollectorPolicy obs.DCPolicy
@@ -362,6 +383,16 @@ type DB struct {
 
 	// slots allocates per-node execution slots (§4.2).
 	slots *slotManager
+	// admission gates queries in front of slot acquisition: per-subcluster
+	// FIFO queues with a budgeted-memory throttle (admission.go).
+	admission *admissionController
+	// planCache serves bound plans by normalized SQL text (plancache.go);
+	// nil when disabled.
+	planCache *planCache
+	// resultCache serves whole result sets of hot parameterized queries,
+	// invalidated by catalog mod-versions (resultcache.go); nil unless
+	// Config.ResultCacheBytes is set.
+	resultCache *resultCache
 
 	incarnation cluster.IncarnationID
 
@@ -393,6 +424,7 @@ type DB struct {
 	queryWall   *obs.Histogram
 	queryCount  *obs.Counter
 	queryErrors *obs.Counter
+	parseErrors *obs.Counter
 	// Streaming-executor metrics (in reg): live governed bytes across
 	// all running queries, per-query peak distribution, spill activity.
 	execMem        *obs.Gauge
@@ -683,6 +715,9 @@ func Create(cfg Config) (*DB, error) {
 	db.installResilience(resilience.Wrap[objstore.Info](cfg.Shared, rc), rc)
 	db.sharedFS = udfs.NewObjectFS(db.shared)
 	db.slots = newSlotManager()
+	db.admission = newAdmissionController(cfg.SubclusterConcurrency, cfg.AdmissionMemoryLimit)
+	db.planCache = newPlanCache(cfg.PlanCacheSize)
+	db.resultCache = newResultCache(cfg.ResultCacheBytes)
 	for _, spec := range cfg.Nodes {
 		if _, dup := db.nodes[spec.Name]; dup {
 			return nil, fmt.Errorf("core: duplicate node name %q", spec.Name)
@@ -720,6 +755,10 @@ func (db *DB) installMetrics() {
 	db.queryWall = reg.Histogram("query.wall_ns")
 	db.queryCount = reg.Counter("query.count")
 	db.queryErrors = reg.Counter("query.errors")
+	db.parseErrors = reg.Counter("query.parse_errors")
+	db.planCache.register(reg)
+	db.resultCache.register(reg)
+	db.admission.register(reg)
 	db.execMem = reg.Gauge("exec.mem_bytes")
 	db.execPeak = reg.Histogram("exec.query_peak_mem_bytes")
 	db.execSpills = reg.Counter("exec.spills")

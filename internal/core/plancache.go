@@ -1,0 +1,203 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"eon/internal/obs"
+	"eon/internal/planner"
+	"eon/internal/sql"
+)
+
+// planCache caches bound physical plans keyed on the normalized SQL
+// text, the catalog version the plan was built against, and the
+// plan-shaping session knob (crunch segmentation). The key is computable
+// without running the lexer — sql.Normalize is a single byte pass — so a
+// warm hit skips lexing, parsing, binding and planning entirely; the
+// acceptance proof is the absent "parse"/"plan" spans in the query
+// profile. Each entry also retains the parsed AST: after a catalog bump
+// invalidates the plan, the replan skips the front end and only re-runs
+// the planner against the new snapshot.
+//
+// Cached plans are shared by concurrent executions and must be treated
+// as read-only; plan nodes carry no execution state, and bind parameters
+// are substituted into copies (planner.BindParams), never in place.
+type planCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[planCacheKey]*list.Element
+	lru     *list.List // of *planEntry; front = most recent
+
+	hits      *obs.Counter
+	misses    *obs.Counter
+	replans   *obs.Counter
+	evictions *obs.Counter
+}
+
+// planCacheKey identifies one cacheable statement shape. The catalog
+// version is deliberately NOT part of the key: an entry holds the plan
+// for exactly one version, and a version mismatch at lookup time becomes
+// a replan from the retained AST rather than a second entry (stale plans
+// have no further use once the catalog has moved).
+type planCacheKey struct {
+	norm string
+	// noSeg mirrors planner.Options.AssumeNoSegmentation: a
+	// container-split crunch session plans joins and aggregations without
+	// the segmentation property, so its plans are not interchangeable
+	// with ordinary ones.
+	noSeg bool
+}
+
+// planEntry is one cached statement.
+type planEntry struct {
+	key     planCacheKey
+	sel     *sql.Select // pristine parsed AST; clone before planning
+	nparams int
+	version uint64 // catalog version plan was built against
+	plan    *planner.Plan
+	hits    atomic.Int64
+	replans atomic.Int64
+}
+
+// defaultPlanCacheSize is the entry cap when Config.PlanCacheSize is 0.
+const defaultPlanCacheSize = 256
+
+func newPlanCache(max int) *planCache {
+	if max < 0 {
+		return nil // caching disabled
+	}
+	if max == 0 {
+		max = defaultPlanCacheSize
+	}
+	return &planCache{
+		max:     max,
+		entries: map[planCacheKey]*list.Element{},
+		lru:     list.New(),
+		// Counters are created detached and registered into the metrics
+		// registry by installMetrics (the cache is built before the
+		// registry exists).
+		hits:      &obs.Counter{},
+		misses:    &obs.Counter{},
+		replans:   &obs.Counter{},
+		evictions: &obs.Counter{},
+	}
+}
+
+// register wires the cache's counters and size gauge into the registry.
+func (c *planCache) register(reg *obs.Registry) {
+	if c == nil {
+		return
+	}
+	reg.RegisterCounter("plancache.hits", c.hits)
+	reg.RegisterCounter("plancache.misses", c.misses)
+	reg.RegisterCounter("plancache.replans", c.replans)
+	reg.RegisterCounter("plancache.evictions", c.evictions)
+	reg.GaugeFunc("plancache.size", func() int64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return int64(c.lru.Len())
+	})
+}
+
+// lookup returns the cached plan for (norm, noSeg) at exactly the given
+// catalog version. ok=false on a cold statement OR a stale plan; stale
+// entries keep their AST and are refreshed by the subsequent insert.
+func (c *planCache) lookup(norm string, noSeg bool, version uint64) (*planner.Plan, int, bool) {
+	if c == nil {
+		return nil, 0, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[planCacheKey{norm, noSeg}]
+	if !ok {
+		c.misses.Inc()
+		return nil, 0, false
+	}
+	e := el.Value.(*planEntry)
+	c.lru.MoveToFront(el)
+	if e.version != version {
+		c.misses.Inc()
+		return nil, 0, false
+	}
+	c.hits.Inc()
+	e.hits.Add(1)
+	return e.plan, e.nparams, true
+}
+
+// lookupAST returns a clone of the retained AST for a statement whose
+// plan is stale (or not yet built), letting the caller replan without
+// re-running the front end. The clone is required: planning mutates
+// column references in place, and the pristine copy stays shared.
+func (c *planCache) lookupAST(norm string, noSeg bool) (*sql.Select, int, bool) {
+	if c == nil {
+		return nil, 0, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[planCacheKey{norm, noSeg}]
+	if !ok {
+		return nil, 0, false
+	}
+	e := el.Value.(*planEntry)
+	c.replans.Inc()
+	e.replans.Add(1)
+	return sql.CloneSelect(e.sel), e.nparams, true
+}
+
+// insert stores (or refreshes) a statement's plan. sel must be a
+// pristine AST the caller will not mutate afterwards.
+func (c *planCache) insert(norm string, noSeg bool, version uint64, sel *sql.Select, nparams int, plan *planner.Plan) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := planCacheKey{norm, noSeg}
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*planEntry)
+		e.version = version
+		e.plan = plan
+		e.sel = sel
+		e.nparams = nparams
+		c.lru.MoveToFront(el)
+		return
+	}
+	e := &planEntry{key: key, sel: sel, nparams: nparams, version: version, plan: plan}
+	c.entries[key] = c.lru.PushFront(e)
+	for c.lru.Len() > c.max {
+		old := c.lru.Back()
+		c.lru.Remove(old)
+		delete(c.entries, old.Value.(*planEntry).key)
+		c.evictions.Inc()
+	}
+}
+
+// planCacheRow is one entry's stats for v_monitor.plan_cache.
+type planCacheRow struct {
+	Statement string
+	NoSeg     bool
+	Version   uint64
+	Params    int
+	Hits      int64
+	Replans   int64
+}
+
+// snapshotRows copies the cache contents, most recently used first.
+func (c *planCache) snapshotRows() []planCacheRow {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]planCacheRow, 0, c.lru.Len())
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*planEntry)
+		out = append(out, planCacheRow{
+			Statement: e.key.norm, NoSeg: e.key.noSeg,
+			Version: e.version, Params: e.nparams,
+			Hits: e.hits.Load(), Replans: e.replans.Load(),
+		})
+	}
+	return out
+}

@@ -248,29 +248,57 @@ func (env *queryEnv) nodeTasks(node string) []scanTask {
 	return out
 }
 
-// Query parses, plans and executes a SELECT, retrying with a fresh node
-// assignment when a participant fails mid-query.
-func (s *Session) Query(sqlText string) (*Result, error) {
-	stmt, err := sql.Parse(sqlText)
-	if err != nil {
-		return nil, err
-	}
-	sel, ok := stmt.(*sql.Select)
-	if !ok {
-		return nil, fmt.Errorf("core: Query requires a SELECT; use Execute for %T", stmt)
-	}
-	return s.querySelect(sel, sqlText)
+// queryRequest carries one SELECT through the staged lifecycle (parse ->
+// bind/prepare -> plan -> admit -> execute). The normalized text is the
+// cache identity; sel memoizes the parsed AST across retry attempts so a
+// node failure never re-runs the front end.
+type queryRequest struct {
+	sqlText string
+	// norm is the plan/result-cache key ("" bypasses both caches:
+	// QuerySelect callers hand pre-parsed ASTs the engine never caches).
+	norm string
+	// sel is the parsed AST when the caller or an earlier attempt already
+	// parsed; nil until needed (a warm plan-cache hit never parses).
+	sel *sql.Select
+	// args are the bound parameter values ($1..$N / "?").
+	args []types.Datum
+	// nparams is the statement's parameter count, valid once sel is set
+	// or a cache entry supplied it.
+	nparams int
 }
 
-// QuerySelect executes a parsed SELECT.
+// Query parses, plans and executes a SELECT, retrying with a fresh node
+// assignment when a participant fails mid-query. Parsing and planning
+// are served from the database plan cache when the same normalized
+// statement was planned before at the current catalog version.
+func (s *Session) Query(sqlText string) (*Result, error) {
+	return s.run(&queryRequest{sqlText: sqlText, norm: sql.Normalize(sqlText)})
+}
+
+// QueryArgs executes a parameterized SELECT ("?" or $N placeholders),
+// binding args by ordinal. The statement text is cached like Query's, so
+// a hot parameterized statement is lexed and planned once and then only
+// re-bound per execution.
+func (s *Session) QueryArgs(sqlText string, args ...types.Datum) (*Result, error) {
+	return s.run(&queryRequest{sqlText: sqlText, norm: sql.Normalize(sqlText), args: args})
+}
+
+// QuerySelect executes a parsed SELECT. Caller-built ASTs bypass the
+// plan and result caches: the engine cannot prove the AST corresponds to
+// any normalized text, and the caller may mutate it between calls.
 func (s *Session) QuerySelect(sel *sql.Select) (*Result, error) {
-	return s.querySelect(sel, "")
+	return s.run(&queryRequest{sel: sel, nparams: sql.NumParams(sel)})
 }
 
 func (s *Session) querySelect(sel *sql.Select, sqlText string) (*Result, error) {
+	return s.run(&queryRequest{sqlText: sqlText, norm: sql.Normalize(sqlText), sel: sel, nparams: sql.NumParams(sel)})
+}
+
+// run drives the retry loop around tryQuery.
+func (s *Session) run(req *queryRequest) (*Result, error) {
 	var lastErr error
 	for attempt := 0; attempt < 3; attempt++ {
-		res, err := s.tryQuery(sel, sqlText)
+		res, err := s.tryQuery(req)
 		if err == nil {
 			return res, nil
 		}
@@ -287,8 +315,85 @@ func (s *Session) querySelect(sel *sql.Select, sqlText string) (*Result, error) 
 	return nil, lastErr
 }
 
-func (s *Session) tryQuery(sel *sql.Select, sqlText string) (result *Result, err error) {
+// stageParse runs the front end for a request that needs an AST (cache
+// miss or cache bypass), memoizing the result for retry attempts. Parse
+// failures surface inside tryQuery's accounting window, so they count
+// into query.count / query.errors / query.parse_errors.
+func (s *Session) stageParse(req *queryRequest, root *obs.Span) (*sql.Select, error) {
+	if req.sel != nil {
+		return req.sel, nil
+	}
+	sp := root.StartSpan("parse")
+	stmt, err := sql.Parse(req.sqlText)
+	sp.End()
+	if err != nil {
+		s.db.parseErrors.Inc()
+		return nil, err
+	}
+	sel, ok := stmt.(*sql.Select)
+	if !ok {
+		return nil, fmt.Errorf("core: Query requires a SELECT; use Execute for %T", stmt)
+	}
+	req.sel = sel
+	req.nparams = sql.NumParams(sel)
+	return sel, nil
+}
+
+// stagePlan resolves the request to a physical plan: a warm plan-cache
+// hit returns the shared cached plan without touching the lexer or
+// planner (no "parse"/"plan" span appears in the profile — the
+// observable proof of the skip); a stale entry replans from the retained
+// AST; a cold statement runs the full front end and populates the cache.
+func (s *Session) stagePlan(req *queryRequest, env *queryEnv, root *obs.Span, noSeg bool) (*planner.Plan, error) {
 	db := s.db
+	opts := planner.Options{
+		Snapshot:          env.snapshots[env.initiator.name],
+		Virtual:           db.sysTables,
+		BroadcastRowLimit: db.cfg.BroadcastRowLimit,
+		// Container split loses the segmentation property (§4.4).
+		AssumeNoSegmentation: noSeg,
+	}
+	if req.norm == "" || db.planCache == nil {
+		// Cache bypass: plan the caller's AST directly (one-shot).
+		sel, err := s.stageParse(req, root)
+		if err != nil {
+			return nil, err
+		}
+		sp := root.StartSpan("plan")
+		plan, err := planner.PlanSelect(sel, opts)
+		sp.End()
+		return plan, err
+	}
+	if plan, nparams, ok := db.planCache.lookup(req.norm, noSeg, env.version); ok {
+		req.nparams = nparams
+		return plan, nil
+	}
+	// Miss. Recover a pristine AST without the front end if the cache
+	// retained one (replan after a catalog bump); otherwise parse.
+	if req.sel == nil {
+		if sel, nparams, ok := db.planCache.lookupAST(req.norm, noSeg); ok {
+			req.sel = sel
+			req.nparams = nparams
+		} else if _, err := s.stageParse(req, root); err != nil {
+			return nil, err
+		}
+	}
+	// Plan a clone: planning resolves and binds column references in
+	// place, and req.sel must stay pristine — it is memoized for retries
+	// and a copy of it becomes the shared cache AST.
+	sp := root.StartSpan("plan")
+	plan, err := planner.PlanSelect(sql.CloneSelect(req.sel), opts)
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+	db.planCache.insert(req.norm, noSeg, env.version, sql.CloneSelect(req.sel), req.nparams, plan)
+	return plan, nil
+}
+
+func (s *Session) tryQuery(req *queryRequest) (result *Result, err error) {
+	db := s.db
+	sqlText := req.sqlText
 	init, err := db.anyUpNode()
 	if err != nil {
 		return nil, err
@@ -350,21 +455,66 @@ func (s *Session) tryQuery(sel *sql.Select, sqlText string) (result *Result, err
 		env.ctx = ctx
 	}
 
-	planSp := root.StartSpan("plan")
-	plan, err := planner.PlanSelect(sel, planner.Options{
-		Snapshot:          env.snapshots[init.name],
-		Virtual:           db.sysTables,
-		BroadcastRowLimit: db.cfg.BroadcastRowLimit,
-		// Container split loses the segmentation property (§4.4).
-		AssumeNoSegmentation: s.Crunch == CrunchContainerSplit && len(env.crunch) > 0,
-	})
-	planSp.End()
+	// Stage: plan — served from the plan cache on a warm hit (no parse or
+	// plan span), replanned from the cached AST after a catalog bump, or
+	// fully parsed and planned on a cold statement.
+	noSeg := s.Crunch == CrunchContainerSplit && len(env.crunch) > 0
+	plan, err := s.stagePlan(req, env, root, noSeg)
 	if err != nil {
 		return nil, err
 	}
 
-	// Acquire execution slots: one per shard on its serving node (§4.2).
+	// Stage: bind — substitute parameter values into copies of the
+	// param-bearing plan nodes (the cached plan itself stays untouched
+	// and shareable). Also validates the argument count, param'd or not.
+	exePlan := plan
+	if req.nparams > 0 || len(req.args) > 0 {
+		bindSp := root.StartSpan("bind")
+		exePlan, err = planner.BindParams(plan, req.args)
+		bindSp.End()
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Stage: result cache — a parameterized hot query whose data
+	// dependencies are unchanged returns its cached bytes without
+	// admission, slots or execution. Gated off for Enterprise mode (WOS
+	// rows are invisible to the catalog fingerprint), virtual scans
+	// (live monitoring state), BypassCache sessions, and cache-bypass
+	// requests.
+	var rkey resultKey
+	resultCacheable := false
+	if db.resultCache != nil && req.norm != "" && !s.BypassCache && db.mode == ModeEon {
+		if fp, ok := env.depsFingerprint(exePlan); ok {
+			rkey = resultKey{
+				norm: req.norm, args: argsFingerprint(req.args),
+				noSeg: noSeg, rowEng: s.RowEngine, matExec: s.MaterializedExec,
+				depsHash: fp,
+			}
+			resultCacheable = true
+			if res, ok := db.resultCache.lookup(rkey); ok {
+				s.statsMu.Lock()
+				s.lastScan = ScanStats{}
+				s.statsMu.Unlock()
+				return res, nil
+			}
+		}
+	}
+
+	// Stage: admit — per-subcluster FIFO queue with a budgeted-memory
+	// throttle, then execution slots (one per shard on its serving node,
+	// §4.2). Both waits are bounded by the session deadline and fail with
+	// ErrQueuedTooLong, distinct from a mid-execution timeout.
+	admitSp := root.StartSpan("admit")
+	releaseAdm, err := db.admission.admit(env.ctx, init.name, s.Subcluster, s.MemoryBudget)
+	if err != nil {
+		admitSp.End()
+		return nil, err
+	}
+	defer releaseAdm()
 	release, err := env.acquireSlots()
+	admitSp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -387,7 +537,7 @@ func (s *Session) tryQuery(sel *sql.Select, sqlText string) (result *Result, err
 	var final *types.Batch
 	if s.MaterializedExec {
 		// Escape-hatch path: stage-at-a-time materialized execution.
-		res, execErr := db.executePlan(env, plan.Root, root)
+		res, execErr := db.executePlan(env, exePlan.Root, root)
 		if execErr != nil {
 			return nil, execErr
 		}
@@ -404,13 +554,13 @@ func (s *Session) tryQuery(sel *sql.Select, sqlText string) (result *Result, err
 		s.lastExec = ExecStats{}
 		s.statsMu.Unlock()
 	} else {
-		final, err = db.runStreaming(env, plan, root)
+		final, err = db.runStreaming(env, exePlan, root)
 		if err != nil {
 			return nil, err
 		}
 	}
 	if final == nil {
-		final = types.NewBatch(plan.Schema(), 0)
+		final = types.NewBatch(exePlan.Schema(), 0)
 	}
 	// Publish the query's scan stats: on the session (most recent query)
 	// and into the database's cumulative registry counters.
@@ -420,7 +570,14 @@ func (s *Session) tryQuery(sel *sql.Select, sqlText string) (result *Result, err
 	s.statsMu.Lock()
 	s.lastScan = snap
 	s.statsMu.Unlock()
-	return &Result{Columns: plan.OutputNames, Batch: final}, nil
+	result = &Result{Columns: exePlan.OutputNames, Batch: final}
+	if resultCacheable {
+		// The stored key embeds the dependency fingerprint computed from
+		// this query's own catalog cut — exactly the versions the scans
+		// read — so a later lookup matches iff its cut is data-identical.
+		db.resultCache.store(rkey, result)
+	}
+	return result, nil
 }
 
 // selectParticipants chooses the covering set of subscriptions for this
@@ -611,7 +768,10 @@ func (env *queryEnv) acquireSlots() (func(), error) {
 		return !db.shutdown.Load()
 	}
 	start := time.Now()
-	if !db.slots.acquire(req, alive) {
+	if err := db.slots.acquireCtx(env.ctx, req, alive); err != nil {
+		if errors.Is(err, ErrQueuedTooLong) {
+			return nil, fmt.Errorf("%w: no execution slots within the session timeout", ErrQueuedTooLong)
+		}
 		return nil, fmt.Errorf("%w: participant died while queueing", errNodeDown)
 	}
 	var slots int64
@@ -620,7 +780,8 @@ func (env *queryEnv) acquireSlots() (func(), error) {
 	}
 	db.dcAdmissionWaits.Emit(obs.DCEvent{
 		Node: env.initiator.name,
-		V1:   int64(time.Since(start)), V2: slots,
+		A:    subclusterLabel(env.session.Subcluster), B: "slots",
+		V1: int64(time.Since(start)), V2: slots,
 	})
 	return func() { db.slots.release(req) }, nil
 }

@@ -69,6 +69,9 @@ func Revive(cfg Config) (*DB, error) {
 	db.installResilience(rs, rc)
 	db.sharedFS = udfs.NewObjectFS(db.shared)
 	db.slots = newSlotManager()
+	db.admission = newAdmissionController(cfg.SubclusterConcurrency, cfg.AdmissionMemoryLimit)
+	db.planCache = newPlanCache(cfg.PlanCacheSize)
+	db.resultCache = newResultCache(cfg.ResultCacheBytes)
 	for _, spec := range cfg.Nodes {
 		n := newNode(spec, &cfg)
 		db.nodes[spec.Name] = n

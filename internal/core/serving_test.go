@@ -1,0 +1,525 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"eon/internal/types"
+)
+
+// counterVal reads one counter out of the metrics snapshot.
+func counterVal(t *testing.T, db *DB, name string) int64 {
+	t.Helper()
+	return db.Metrics().Counters[name]
+}
+
+// rowStrings flattens a result for comparison.
+func rowStrings(res *Result) []string {
+	var out []string
+	for _, row := range res.Rows() {
+		var parts []string
+		for _, d := range row {
+			parts = append(parts, d.String())
+		}
+		out = append(out, strings.Join(parts, "|"))
+	}
+	return out
+}
+
+func sameRows(a, b *Result) bool {
+	as, bs := rowStrings(a), rowStrings(b)
+	if len(as) != len(bs) {
+		return false
+	}
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPlanCacheSkipsFrontEnd is the acceptance check for the staged
+// lifecycle: a warm plan-cache hit must execute without running the
+// lexer, parser or planner — observable as the absence of "parse" and
+// "plan" spans in the query profile.
+func TestPlanCacheSkipsFrontEnd(t *testing.T) {
+	db := newTestDB(t, ModeEon, 3, 3)
+	defer db.Shutdown()
+	setupSales(t, db, 40)
+	s := db.NewSession()
+	s.Trace = true
+
+	cold := mustQuery(t, s, `SELECT region, COUNT(*) FROM sales GROUP BY region ORDER BY region`)
+	prof := s.LastProfile()
+	if prof.Find("parse") == nil || prof.Find("plan") == nil {
+		t.Fatalf("cold query should carry parse and plan spans:\n%s", prof.Text())
+	}
+	hits0 := counterVal(t, db, "plancache.hits")
+
+	// Same statement modulo whitespace, case and trailing semicolon: the
+	// normalized key must match without lexing.
+	warm := mustQuery(t, s, "select   region, count(*)\nFROM sales GROUP BY region ORDER BY region;")
+	prof = s.LastProfile()
+	if sp := prof.Find("parse"); sp != nil {
+		t.Fatalf("warm hit ran the parser:\n%s", prof.Text())
+	}
+	if sp := prof.Find("plan"); sp != nil {
+		t.Fatalf("warm hit ran the planner:\n%s", prof.Text())
+	}
+	if prof.Find("admit") == nil {
+		t.Fatalf("warm hit lost its admit stage:\n%s", prof.Text())
+	}
+	if got := counterVal(t, db, "plancache.hits"); got != hits0+1 {
+		t.Fatalf("plancache.hits = %d, want %d", got, hits0+1)
+	}
+	if !sameRows(cold, warm) {
+		t.Fatalf("cached plan changed the answer: %v vs %v", rowStrings(cold), rowStrings(warm))
+	}
+}
+
+// TestPlanCacheReplanAfterCatalogBump checks the middle path: after DDL
+// bumps the catalog version the cached plan is stale, but the retained
+// AST lets the replan skip the front end (plan span present, parse span
+// absent) and the refreshed entry serves hits again.
+func TestPlanCacheReplanAfterCatalogBump(t *testing.T) {
+	db := newTestDB(t, ModeEon, 3, 3)
+	defer db.Shutdown()
+	setupSales(t, db, 30)
+	s := db.NewSession()
+	s.Trace = true
+
+	q := `SELECT customer FROM sales WHERE sale_id = 7`
+	want := mustQuery(t, s, q)
+
+	mustExec(t, s, `CREATE TABLE bump (k INTEGER)`) // catalog version moves
+
+	replans0 := counterVal(t, db, "plancache.replans")
+	got := mustQuery(t, s, q)
+	prof := s.LastProfile()
+	if prof.Find("parse") != nil {
+		t.Fatalf("replan re-ran the parser:\n%s", prof.Text())
+	}
+	if prof.Find("plan") == nil {
+		t.Fatalf("stale entry must be replanned:\n%s", prof.Text())
+	}
+	if got := counterVal(t, db, "plancache.replans"); got != replans0+1 {
+		t.Fatalf("plancache.replans = %d, want %d", got, replans0+1)
+	}
+	if !sameRows(want, got) {
+		t.Fatalf("replanned query changed the answer: %v vs %v", rowStrings(want), rowStrings(got))
+	}
+
+	// The refreshed entry is warm again.
+	mustQuery(t, s, q)
+	if prof := s.LastProfile(); prof.Find("plan") != nil {
+		t.Fatalf("refreshed entry should hit:\n%s", prof.Text())
+	}
+}
+
+func TestPreparedStatements(t *testing.T) {
+	db := newTestDB(t, ModeEon, 3, 3)
+	defer db.Shutdown()
+	setupSales(t, db, 25)
+	s := db.NewSession()
+
+	ps, err := s.Prepare(`SELECT customer FROM sales WHERE sale_id = $1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.NumParams() != 1 {
+		t.Fatalf("NumParams = %d, want 1", ps.NumParams())
+	}
+	res, err := ps.Query(types.NewInt(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 1 || res.Rows()[0][0].S != "ada" {
+		t.Fatalf("ps.Query($1=1) = %v", rowStrings(res))
+	}
+	res, err = ps.Query(types.NewInt(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 1 || res.Rows()[0][0].S != "grace" {
+		t.Fatalf("ps.Query($1=2) = %v", rowStrings(res))
+	}
+
+	if _, err := ps.Query(); err == nil || !strings.Contains(err.Error(), "parameters") {
+		t.Fatalf("arg-count mismatch not rejected: %v", err)
+	}
+	if _, err := s.Prepare(`CREATE TABLE nope (a INTEGER)`); err == nil {
+		t.Fatal("Prepare accepted DDL")
+	}
+	pe0 := counterVal(t, db, "query.parse_errors")
+	if _, err := s.Prepare(`SELEKT garbage`); err == nil {
+		t.Fatal("Prepare accepted garbage")
+	}
+	if got := counterVal(t, db, "query.parse_errors"); got != pe0+1 {
+		t.Fatalf("query.parse_errors = %d, want %d", got, pe0+1)
+	}
+
+	// A re-executed prepared statement rides the plan cache: after the
+	// first execution, later ones skip the front end entirely.
+	s.Trace = true
+	if _, err := ps.Query(types.NewInt(3)); err != nil {
+		t.Fatal(err)
+	}
+	if prof := s.LastProfile(); prof.Find("parse") != nil || prof.Find("plan") != nil {
+		t.Fatalf("prepared re-execution ran the front end:\n%s", prof.Text())
+	}
+}
+
+func TestQueryArgsPositional(t *testing.T) {
+	db := newTestDB(t, ModeEon, 3, 3)
+	defer db.Shutdown()
+	setupSales(t, db, 25)
+	s := db.NewSession()
+
+	res, err := s.QueryArgs(`SELECT customer FROM sales WHERE sale_id = ?`, types.NewInt(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 1 || res.Rows()[0][0].S != "barbara" {
+		t.Fatalf("QueryArgs(?=3) = %v", rowStrings(res))
+	}
+	if _, err := s.QueryArgs(`SELECT customer FROM sales WHERE sale_id = ?`); err == nil {
+		t.Fatal("missing argument not rejected")
+	}
+	if _, err := s.Query(`SELECT customer FROM sales WHERE sale_id = $1`); err == nil {
+		t.Fatal("unbound parameter not rejected")
+	}
+}
+
+// TestParseErrorAccounting: unparseable input is a failed query, not a
+// free operation — on both the Query and Execute entry points.
+func TestParseErrorAccounting(t *testing.T) {
+	db := newTestDB(t, ModeEon, 3, 3)
+	defer db.Shutdown()
+	s := db.NewSession()
+
+	count0 := counterVal(t, db, "query.count")
+	errs0 := counterVal(t, db, "query.errors")
+	parse0 := counterVal(t, db, "query.parse_errors")
+	if _, err := s.Query(`SELEKT 1 FROM nowhere`); err == nil {
+		t.Fatal("Query accepted garbage")
+	}
+	if _, err := s.Execute(`THIS IS NOT SQL`); err == nil {
+		t.Fatal("Execute accepted garbage")
+	}
+	if got := counterVal(t, db, "query.count"); got != count0+2 {
+		t.Fatalf("query.count = %d, want %d", got, count0+2)
+	}
+	if got := counterVal(t, db, "query.errors"); got != errs0+2 {
+		t.Fatalf("query.errors = %d, want %d", got, errs0+2)
+	}
+	if got := counterVal(t, db, "query.parse_errors"); got != parse0+2 {
+		t.Fatalf("query.parse_errors = %d, want %d", got, parse0+2)
+	}
+}
+
+// newServingDB builds an Eon cluster with the result cache enabled.
+func newServingDB(t *testing.T, cfg Config) *DB {
+	t.Helper()
+	if len(cfg.Nodes) == 0 {
+		for _, n := range []string{"node1", "node2", "node3"} {
+			cfg.Nodes = append(cfg.Nodes, NodeSpec{Name: n})
+		}
+	}
+	cfg.Mode = ModeEon
+	if cfg.ShardCount == 0 {
+		cfg.ShardCount = 3
+	}
+	db, err := Create(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestResultCacheServesAndInvalidates: a repeated statement is served
+// from the result cache, and any data change the plan depends on — load,
+// delete — invalidates it through the catalog fingerprint. Staleness is
+// observable as a wrong count; the test proves it never happens.
+func TestResultCacheServesAndInvalidates(t *testing.T) {
+	db := newServingDB(t, Config{ResultCacheBytes: 1 << 20})
+	defer db.Shutdown()
+	setupSales(t, db, 40)
+	s := db.NewSession()
+
+	q := `SELECT COUNT(*) FROM sales`
+	count := func() int64 {
+		res := mustQuery(t, s, q)
+		return res.Rows()[0][0].I
+	}
+	if got := count(); got != 40 {
+		t.Fatalf("COUNT(*) = %d, want 40", got)
+	}
+	hits0 := counterVal(t, db, "resultcache.hits")
+	if got := count(); got != 40 {
+		t.Fatalf("cached COUNT(*) = %d, want 40", got)
+	}
+	if got := counterVal(t, db, "resultcache.hits"); got != hits0+1 {
+		t.Fatalf("resultcache.hits = %d, want %d", got, hits0+1)
+	}
+
+	// New data must invalidate: a stale 40 here is the bug this cache
+	// design exists to prevent.
+	batch := types.NewBatch(types.Schema{
+		{Name: "sale_id", Type: types.Int64},
+		{Name: "customer", Type: types.Varchar},
+		{Name: "price", Type: types.Float64},
+		{Name: "region", Type: types.Varchar},
+	}, 5)
+	for i := 0; i < 5; i++ {
+		batch.AppendRow(types.Row{
+			types.NewInt(int64(1000 + i)), types.NewString("new"),
+			types.NewFloat(1), types.NewString("east"),
+		})
+	}
+	if err := db.LoadRows("sales", batch); err != nil {
+		t.Fatal(err)
+	}
+	if got := count(); got != 45 {
+		t.Fatalf("COUNT(*) after load = %d, want 45 (stale result served)", got)
+	}
+
+	// Deletes flow through delete-vector versions.
+	mustExec(t, s, `DELETE FROM sales WHERE sale_id = 1001`)
+	if got := count(); got != 44 {
+		t.Fatalf("COUNT(*) after delete = %d, want 44 (stale result served)", got)
+	}
+
+	// And once the data is quiescent the cache serves again.
+	hits1 := counterVal(t, db, "resultcache.hits")
+	if got := count(); got != 44 {
+		t.Fatalf("COUNT(*) = %d, want 44", got)
+	}
+	if got := counterVal(t, db, "resultcache.hits"); got != hits1+1 {
+		t.Fatalf("resultcache.hits = %d, want %d", got, hits1+1)
+	}
+
+	// Parameterized statements cache per argument fingerprint.
+	a1, err := s.QueryArgs(`SELECT customer FROM sales WHERE sale_id = $1`, types.NewInt(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := s.QueryArgs(`SELECT customer FROM sales WHERE sale_id = $1`, types.NewInt(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Rows()[0][0].S == a2.Rows()[0][0].S {
+		t.Fatal("different arguments returned the same cached row")
+	}
+
+	// BypassCache sessions never read or populate the cache.
+	bypass := db.NewSession()
+	bypass.BypassCache = true
+	hits2 := counterVal(t, db, "resultcache.hits")
+	if _, err := bypass.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	if got := counterVal(t, db, "resultcache.hits"); got != hits2 {
+		t.Fatalf("BypassCache query hit the result cache")
+	}
+}
+
+// TestAdmissionControllerUnit exercises the controller directly: FIFO
+// order, the concurrency cap, the memory throttle with its admit-alone
+// escape, and the deadline-bounded wait.
+func TestAdmissionControllerUnit(t *testing.T) {
+	t.Run("concurrency", func(t *testing.T) {
+		a := newAdmissionController(1, 0)
+		rel1, err := a.admit(context.Background(), "n1", "", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Second query times out in the queue.
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+		defer cancel()
+		if _, err := a.admit(ctx, "n1", "", 0); !errors.Is(err, ErrQueuedTooLong) {
+			t.Fatalf("saturated admit = %v, want ErrQueuedTooLong", err)
+		}
+		if a.timeouts.Value() != 1 {
+			t.Fatalf("timeouts = %d, want 1", a.timeouts.Value())
+		}
+		// FIFO: two waiters are admitted in arrival order as slots free.
+		var mu sync.Mutex
+		var order []int
+		var wg sync.WaitGroup
+		ready := make(chan struct{}, 2)
+		for i := 1; i <= 2; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				// Serialize enqueue order: waiter i parks before i+1 starts.
+				<-ready
+				rel, err := a.admit(context.Background(), "n1", "", 0)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				order = append(order, i)
+				mu.Unlock()
+				time.Sleep(10 * time.Millisecond)
+				rel()
+			}(i)
+			ready <- struct{}{}
+			time.Sleep(20 * time.Millisecond)
+		}
+		rel1()
+		wg.Wait()
+		if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+			t.Fatalf("admission order = %v, want [1 2]", order)
+		}
+	})
+
+	t.Run("memory", func(t *testing.T) {
+		a := newAdmissionController(0, 100)
+		relA, err := a.admit(context.Background(), "n1", "", 80)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+		defer cancel()
+		if _, err := a.admit(ctx, "n1", "", 50); !errors.Is(err, ErrQueuedTooLong) {
+			t.Fatalf("over-budget admit = %v, want ErrQueuedTooLong", err)
+		}
+		relA()
+		// Admit-alone: a budget above the limit still runs when idle.
+		relBig, err := a.admit(context.Background(), "n1", "", 500)
+		if err != nil {
+			t.Fatalf("admit-alone failed: %v", err)
+		}
+		relBig()
+	})
+
+	t.Run("subcluster isolation", func(t *testing.T) {
+		a := newAdmissionController(1, 0)
+		relA, err := a.admit(context.Background(), "n1", "alpha", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A saturated alpha does not block beta.
+		relB, err := a.admit(context.Background(), "n2", "beta", 0)
+		if err != nil {
+			t.Fatalf("beta blocked by alpha: %v", err)
+		}
+		relA()
+		relB()
+	})
+}
+
+// TestSessionTimeoutBoundsAdmission: a query that spends its whole
+// Session.Timeout parked behind a saturated admission slot fails with
+// ErrQueuedTooLong, not a generic deadline error.
+func TestSessionTimeoutBoundsAdmission(t *testing.T) {
+	db := newServingDB(t, Config{
+		SubclusterConcurrency: 1,
+		QueryCost:             400 * time.Millisecond,
+	})
+	defer db.Shutdown()
+	setupSales(t, db, 10)
+
+	slow := db.NewSession()
+	done := make(chan error, 1)
+	go func() {
+		_, err := slow.Query(`SELECT COUNT(*) FROM sales`)
+		done <- err
+	}()
+	time.Sleep(100 * time.Millisecond) // let the slow query get admitted
+
+	fast := db.NewSession()
+	fast.Timeout = 50 * time.Millisecond
+	_, err := fast.Query(`SELECT COUNT(*) FROM sales`)
+	if !errors.Is(err, ErrQueuedTooLong) {
+		t.Fatalf("queued query error = %v, want ErrQueuedTooLong", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("slow query failed: %v", err)
+	}
+	if got := counterVal(t, db, "admission.timeouts"); got < 1 {
+		t.Fatalf("admission.timeouts = %d, want >= 1", got)
+	}
+}
+
+// TestAdmissionQueuesConcurrent runs more concurrent queries than the
+// per-subcluster cap and checks everyone finishes, the queue drains, and
+// the waits are visible in the metrics and the Data Collector ring.
+func TestAdmissionQueuesConcurrent(t *testing.T) {
+	db := newServingDB(t, Config{
+		SubclusterConcurrency: 2,
+		QueryCost:             20 * time.Millisecond,
+	})
+	defer db.Shutdown()
+	setupSales(t, db, 20)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := db.NewSession()
+			if _, err := s.Query(`SELECT COUNT(*) FROM sales`); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := counterVal(t, db, "admission.admitted"); got < 6 {
+		t.Fatalf("admission.admitted = %d, want >= 6", got)
+	}
+	if got := counterVal(t, db, "admission.queued"); got < 1 {
+		t.Fatalf("admission.queued = %d, want >= 1 (cap 2, 6 concurrent)", got)
+	}
+	s := db.NewSession()
+	res := mustQuery(t, s, `SELECT a.subcluster, a.running, a.queued FROM v_monitor.admission_queue a`)
+	if res.NumRows() != 1 || res.Rows()[0][0].S != "default" {
+		t.Fatalf("admission_queue rows = %v", rowStrings(res))
+	}
+	res = mustQuery(t, s, `SELECT d.state, COUNT(*) FROM v_monitor.dc_admission_waits d GROUP BY d.state ORDER BY d.state`)
+	states := map[string]bool{}
+	for _, row := range res.Rows() {
+		states[row[0].S] = true
+	}
+	for _, want := range []string{"admitted", "finished", "queued"} {
+		if !states[want] {
+			t.Fatalf("dc_admission_waits missing %q state: %v", want, rowStrings(res))
+		}
+	}
+}
+
+// TestServingSystemTables smoke-tests the new v_monitor tables.
+func TestServingSystemTables(t *testing.T) {
+	db := newServingDB(t, Config{ResultCacheBytes: 1 << 20})
+	defer db.Shutdown()
+	setupSales(t, db, 10)
+	s := db.NewSession()
+
+	mustQuery(t, s, `SELECT COUNT(*) FROM sales`)
+	mustQuery(t, s, `SELECT COUNT(*) FROM sales`) // populate + hit
+
+	res := mustQuery(t, s, `SELECT p.statement, p.params, p.hits FROM v_monitor.plan_cache p`)
+	if res.NumRows() < 1 {
+		t.Fatal("v_monitor.plan_cache is empty after queries")
+	}
+	res = mustQuery(t, s, `SELECT r.statement, r.rows, r.hits FROM v_monitor.result_cache r`)
+	found := false
+	for _, row := range res.Rows() {
+		if strings.Contains(row[0].S, "COUNT(*) FROM SALES") {
+			found = true
+			if row[2].I < 1 {
+				t.Fatalf("cached entry has no hits: %v", rowStrings(res))
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("v_monitor.result_cache missing the hot statement: %v", rowStrings(res))
+	}
+}

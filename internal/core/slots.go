@@ -1,6 +1,14 @@
 package core
 
-import "sync"
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// errSlotsInvalid reports that the acquire's validate callback rejected
+// the request (a participant died while the query was queued).
+var errSlotsInvalid = errors.New("core: slot request no longer valid")
 
 // slotManager allocates per-node execution slots (§4.2) with
 // all-or-nothing semantics: a request for several slots — possibly
@@ -47,6 +55,18 @@ func (m *slotManager) unregister(node string) {
 // available, then takes them. ok reports whether validate approved the
 // request at grant time (a node may have gone down while waiting).
 func (m *slotManager) acquire(req map[string]int, validate func() bool) bool {
+	return m.acquireCtx(context.Background(), req, validate) == nil
+}
+
+// acquireCtx is acquire with a deadline: when ctx expires while the
+// request is parked, it gives up and returns ErrQueuedTooLong instead of
+// waiting forever. Returns nil on success, errSlotsInvalid when validate
+// rejects the request.
+func (m *slotManager) acquireCtx(ctx context.Context, req map[string]int, validate func() bool) error {
+	// Wake the cond-var loop when the deadline fires; the loop re-checks
+	// ctx.Err() on every wakeup.
+	stop := context.AfterFunc(ctx, m.kick)
+	defer stop()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	parked := false
@@ -65,15 +85,18 @@ func (m *slotManager) acquire(req map[string]int, validate func() bool) bool {
 		}
 		if ready {
 			if validate != nil && !validate() {
-				return false
+				return errSlotsInvalid
 			}
 			for node, n := range req {
 				m.avail[node] -= n
 			}
-			return true
+			return nil
 		}
 		if validate != nil && !validate() {
-			return false
+			return errSlotsInvalid
+		}
+		if ctx.Err() != nil {
+			return ErrQueuedTooLong
 		}
 		if !parked {
 			parked = true

@@ -9,10 +9,15 @@ import (
 
 // Execute runs any SQL statement through a session: SELECTs return a
 // Result; DDL and DML return a Result with an affected-row count where
-// meaningful.
+// meaningful. A statement that fails to parse still counts into
+// query.count / query.errors (plus query.parse_errors): unparseable
+// input is a failed query, not a free operation.
 func (s *Session) Execute(sqlText string) (*Result, error) {
 	stmt, err := sql.Parse(sqlText)
 	if err != nil {
+		s.db.queryCount.Inc()
+		s.db.queryErrors.Inc()
+		s.db.parseErrors.Inc()
 		return nil, err
 	}
 	switch st := stmt.(type) {

@@ -34,8 +34,13 @@ var (
 		ACol: "table_name", BCol: "projection", VCols: []string{"containers", "purged_rows", "wall_ns"}}
 	dcSpillsDef = obs.DCRingDef{Name: "spills",
 		VCols: []string{"peak_mem_bytes", "spill_count", "spill_bytes"}}
+	// admission_waits carries the full admission lifecycle: "queued",
+	// "admitted", "finished" and "timeout" transitions from the admission
+	// controller (wait_ns, mem_bytes, queue_depth populated) plus "slots"
+	// events from slot acquisition (wait_ns, slots populated).
 	dcAdmissionWaitsDef = obs.DCRingDef{Name: "admission_waits",
-		VCols: []string{"wait_ns", "slots"}}
+		ACol: "subcluster", BCol: "state",
+		VCols: []string{"wait_ns", "slots", "mem_bytes", "queue_depth"}}
 	dcSlowQueriesDef = obs.DCRingDef{Name: "slow_queries",
 		ACol: "sql", BCol: "error", VCols: []string{"wall_ns", "peak_mem_bytes", "spill_bytes"}}
 	dcReconcileActionsDef = obs.DCRingDef{Name: "reconcile_actions",
@@ -62,6 +67,7 @@ func (db *DB) installDataCollector() {
 	db.dcMergeouts = db.dc.Ring(dcMergeoutsDef)
 	db.dcSpills = db.dc.Ring(dcSpillsDef)
 	db.dcAdmissionWaits = db.dc.Ring(dcAdmissionWaitsDef)
+	db.admission.ring = db.dcAdmissionWaits
 	db.dcSlowQueries = db.dc.Ring(dcSlowQueriesDef)
 	db.dcReconcileActions = db.dc.Ring(dcReconcileActionsDef)
 	for _, name := range db.order {
@@ -193,6 +199,9 @@ func (db *DB) installSystemTables() error {
 		db.shardSubscriptionsDef(),
 		db.reconcileStatusDef(),
 		db.sessionsDef(),
+		db.planCacheDef(),
+		db.resultCacheDef(),
+		db.admissionQueueDef(),
 	}
 	for _, d := range defs {
 		if err := reg.Register(d); err != nil {
@@ -456,6 +465,99 @@ func (db *DB) sessionsDef() *systable.Def {
 					types.NewInt(s.queries.Load()),
 					types.NewBool(!s.MaterializedExec),
 					types.NewInt(s.MemoryBudget),
+				})
+			}
+			return b, nil
+		},
+	}
+}
+
+// planCacheDef lists the plan cache contents, most recently used first:
+// one row per cached statement with its catalog version, parameter
+// count, hit count and replan count.
+func (db *DB) planCacheDef() *systable.Def {
+	cols := types.Schema{
+		{Name: "statement", Type: types.Varchar},
+		{Name: "assume_no_seg", Type: types.Bool},
+		{Name: "catalog_version", Type: types.Int64},
+		{Name: "params", Type: types.Int64},
+		{Name: "hits", Type: types.Int64},
+		{Name: "replans", Type: types.Int64},
+	}
+	return &systable.Def{
+		Name:    systable.SchemaName + ".plan_cache",
+		Columns: cols,
+		Fill: func() (*types.Batch, error) {
+			rows := db.planCache.snapshotRows()
+			b := types.NewBatch(cols, len(rows))
+			for _, r := range rows {
+				b.AppendRow(types.Row{
+					types.NewString(truncateSQL(r.Statement)),
+					types.NewBool(r.NoSeg),
+					types.NewInt(int64(r.Version)),
+					types.NewInt(int64(r.Params)),
+					types.NewInt(r.Hits), types.NewInt(r.Replans),
+				})
+			}
+			return b, nil
+		},
+	}
+}
+
+// resultCacheDef lists the result cache contents, most recently used
+// first: one row per cached result set with its size and hit count.
+func (db *DB) resultCacheDef() *systable.Def {
+	cols := types.Schema{
+		{Name: "statement", Type: types.Varchar},
+		{Name: "args", Type: types.Varchar},
+		{Name: "rows", Type: types.Int64},
+		{Name: "bytes", Type: types.Int64},
+		{Name: "hits", Type: types.Int64},
+		{Name: "deps_hash", Type: types.Int64},
+	}
+	return &systable.Def{
+		Name:    systable.SchemaName + ".result_cache",
+		Columns: cols,
+		Fill: func() (*types.Batch, error) {
+			rows := db.resultCache.snapshotRows()
+			b := types.NewBatch(cols, len(rows))
+			for _, r := range rows {
+				b.AppendRow(types.Row{
+					types.NewString(truncateSQL(r.Statement)),
+					types.NewString(truncateSQL(r.Args)),
+					types.NewInt(int64(r.Rows)), types.NewInt(r.Bytes),
+					types.NewInt(r.Hits), types.NewInt(int64(r.DepsHash)),
+				})
+			}
+			return b, nil
+		},
+	}
+}
+
+// admissionQueueDef surfaces per-subcluster admission state: running and
+// queued query counts and the aggregate admitted memory budget.
+func (db *DB) admissionQueueDef() *systable.Def {
+	cols := types.Schema{
+		{Name: "subcluster", Type: types.Varchar},
+		{Name: "running", Type: types.Int64},
+		{Name: "queued", Type: types.Int64},
+		{Name: "mem_bytes", Type: types.Int64},
+		{Name: "concurrency_limit", Type: types.Int64},
+		{Name: "mem_limit_bytes", Type: types.Int64},
+	}
+	return &systable.Def{
+		Name:    systable.SchemaName + ".admission_queue",
+		Columns: cols,
+		Fill: func() (*types.Batch, error) {
+			rows := db.admission.snapshotRows()
+			b := types.NewBatch(cols, len(rows))
+			for _, r := range rows {
+				b.AppendRow(types.Row{
+					types.NewString(r.Subcluster),
+					types.NewInt(r.Running), types.NewInt(r.Queued),
+					types.NewInt(r.MemBytes),
+					types.NewInt(int64(db.cfg.SubclusterConcurrency)),
+					types.NewInt(db.cfg.AdmissionMemoryLimit),
 				})
 			}
 			return b, nil

@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"eon/internal/core"
+	"eon/internal/objstore"
+	"eon/internal/workload"
+)
+
+// ServingOptions parameterizes the serving-path experiment: hot-query
+// throughput with the plan/result caches on vs off, plus admission-queue
+// latency past the per-subcluster concurrency cap.
+type ServingOptions struct {
+	// Scale is the TPC-H scale factor (default 0.02).
+	Scale float64
+	// Threads is the concurrent session count (default 16).
+	Threads int
+	// Window is the throughput measurement window (default 500ms).
+	Window time.Duration
+	// AdmissionCap is the per-subcluster concurrency limit for the
+	// admission phase (default 4; Threads sessions contend for it).
+	AdmissionCap int
+	// QueriesPerThread is the per-session sample count of the admission
+	// phase (default 25).
+	QueriesPerThread int
+}
+
+// ServingResult is the experiment outcome.
+type ServingResult struct {
+	// CachedQPM and UncachedQPM are hot-query completions per minute
+	// with the serving caches on and off.
+	CachedQPM, UncachedQPM float64
+	// AdmissionP50 and AdmissionP99 are end-to-end latencies of queries
+	// run at Threads-way concurrency against an AdmissionCap-way limit —
+	// every sample but the first few queues.
+	AdmissionP50, AdmissionP99 time.Duration
+	// AdmissionTimeouts counts queries that gave up waiting (must be 0:
+	// the sessions run without deadlines).
+	AdmissionTimeouts int64
+	// AdmissionQueued counts queries that parked before admission;
+	// proves the cap actually bit during the phase.
+	AdmissionQueued int64
+}
+
+func (o *ServingOptions) defaults() {
+	if o.Scale == 0 {
+		o.Scale = 0.02
+	}
+	if o.Threads == 0 {
+		o.Threads = 16
+	}
+	if o.Window == 0 {
+		o.Window = 500 * time.Millisecond
+	}
+	if o.AdmissionCap == 0 {
+		o.AdmissionCap = 4
+	}
+	if o.QueriesPerThread == 0 {
+		o.QueriesPerThread = 25
+	}
+}
+
+// newServingBenchDB builds the experiment cluster. cached toggles the
+// whole serving cache stack; subCap and queryCost shape the admission
+// phase (0 for the throughput phase).
+func newServingBenchDB(cached bool, subCap int, queryCost time.Duration) (*core.DB, error) {
+	sim := objstore.NewSim(objstore.NewMem(), SharedStorageSim(1))
+	cfg := core.Config{
+		Mode:                  core.ModeEon,
+		Nodes:                 nodeSpecs(3),
+		ShardCount:            3,
+		ReplicationFactor:     2,
+		Shared:                sim,
+		Net:                   ClusterNet(),
+		ExecSlots:             8,
+		QueryCost:             queryCost,
+		SubclusterConcurrency: subCap,
+	}
+	if cached {
+		cfg.ResultCacheBytes = 16 << 20
+	} else {
+		cfg.PlanCacheSize = -1 // fully uncached serving path
+	}
+	return core.Create(cfg)
+}
+
+// ServingThroughput measures the staged serving path. Phase one: the
+// same hot analytic query (TPC-H Q1) hammered by Threads sessions for
+// Window, on a cache-enabled and a cache-disabled cluster — the cached
+// cluster serves warm executions from the result cache without parsing,
+// planning or executing. Phase two: Threads sessions contend for an
+// AdmissionCap-way admission limit and the per-query latency percentiles
+// quantify the queueing behaviour.
+func ServingThroughput(opt ServingOptions) (ServingResult, error) {
+	opt.defaults()
+	var res ServingResult
+	hot := workload.TPCHQueries()[0].SQL // Q1: wide scan + grouped aggregation
+
+	for _, cached := range []bool{false, true} {
+		db, err := newServingBenchDB(cached, 0, 0)
+		if err != nil {
+			return res, err
+		}
+		if err := loadTPCH(db, opt.Scale); err != nil {
+			return res, err
+		}
+		sessions := make([]*core.Session, opt.Threads)
+		for i := range sessions {
+			sessions[i] = db.NewSession()
+		}
+		// Warm everything measurable: depot caches, and on the cached
+		// cluster the plan and result caches.
+		if _, err := sessions[0].Query(hot); err != nil {
+			return res, err
+		}
+		qpm, err := runThroughput(opt.Threads, opt.Window, func(w int) error {
+			_, err := sessions[w].Query(hot)
+			return err
+		})
+		if err != nil {
+			return res, err
+		}
+		if cached {
+			res.CachedQPM = qpm
+		} else {
+			res.UncachedQPM = qpm
+		}
+	}
+
+	// Admission phase: every query costs ~QueryCost while holding its
+	// slots, sessions bypass the result cache so each one really
+	// executes, and Threads-way concurrency contends for AdmissionCap.
+	db, err := newServingBenchDB(true, opt.AdmissionCap, 3*time.Millisecond)
+	if err != nil {
+		return res, err
+	}
+	if err := loadTPCH(db, opt.Scale); err != nil {
+		return res, err
+	}
+	const admQ = `SELECT COUNT(*) FROM nation`
+	latencies := make([]time.Duration, opt.Threads*opt.QueriesPerThread)
+	var wg sync.WaitGroup
+	var firstErr error
+	var mu sync.Mutex
+	for w := 0; w < opt.Threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := db.NewSession()
+			s.BypassCache = true
+			for i := 0; i < opt.QueriesPerThread; i++ {
+				start := time.Now()
+				if _, err := s.Query(admQ); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("admission phase worker %d: %w", w, err)
+					}
+					mu.Unlock()
+					return
+				}
+				latencies[w*opt.QueriesPerThread+i] = time.Since(start)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return res, firstErr
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	res.AdmissionP50 = latencies[len(latencies)/2]
+	res.AdmissionP99 = latencies[len(latencies)*99/100]
+	counters := db.Metrics().Counters
+	res.AdmissionTimeouts = counters["admission.timeouts"]
+	res.AdmissionQueued = counters["admission.queued"]
+	return res, nil
+}

@@ -99,6 +99,22 @@ func (c *ColumnRef) Type() types.Type { return c.Typ }
 // String implements Expr.
 func (c *ColumnRef) String() string { return c.Name }
 
+// Param is a bind-parameter placeholder ("?" in the SQL text), filled at
+// execution time by SubstituteParams. Index is the 1-based ordinal in
+// appearance order. A Param's type is unknown until a value is bound, so
+// plans prepared over parameters re-bind their expressions once the
+// literals are substituted.
+type Param struct {
+	Index int
+	Typ   types.Type
+}
+
+// Type implements Expr.
+func (p *Param) Type() types.Type { return p.Typ }
+
+// String implements Expr.
+func (p *Param) String() string { return fmt.Sprintf("$%d", p.Index) }
+
 // Literal is a constant datum.
 type Literal struct {
 	Value types.Datum
@@ -324,6 +340,10 @@ func Bind(e Expr, schema types.Schema) error {
 		n.Typ = schema[idx].Type
 		return nil
 	case *Literal:
+		return nil
+	case *Param:
+		// Parameters bind to no column; their type is resolved when a
+		// value is substituted (SubstituteParams re-binds the tree).
 		return nil
 	case *Binary:
 		if err := Bind(n.L, schema); err != nil {

@@ -12,6 +12,9 @@ func Clone(e Expr) Expr {
 	case *Literal:
 		c := *n
 		return &c
+	case *Param:
+		c := *n
+		return &c
 	case *Binary:
 		c := *n
 		c.L = Clone(n.L)

@@ -20,6 +20,10 @@ func EvalRow(e Expr, row types.Row) (types.Datum, error) {
 		return row[n.Index], nil
 	case *Literal:
 		return n.Value, nil
+	case *Param:
+		// Parameters are substituted before execution (SubstituteParams);
+		// reaching one here means the statement ran without its arguments.
+		return types.Datum{}, fmt.Errorf("expr: unbound parameter $%d", n.Index)
 	case *Binary:
 		return evalBinary(n, row)
 	case *Unary:

@@ -1,0 +1,145 @@
+package expr
+
+import (
+	"fmt"
+
+	"eon/internal/types"
+)
+
+// MaxParam returns the highest parameter ordinal referenced by e (0 when
+// the expression has no parameters).
+func MaxParam(e Expr) int {
+	max := 0
+	walkExpr(e, func(x Expr) {
+		if p, ok := x.(*Param); ok && p.Index > max {
+			max = p.Index
+		}
+	})
+	return max
+}
+
+// HasParams reports whether e references any bind parameter.
+func HasParams(e Expr) bool { return MaxParam(e) > 0 }
+
+// SubstituteParams returns a copy of e with every Param node replaced by
+// a Literal holding args[Index-1]. The result is unbound copy-on-write:
+// subtrees without parameters are shared, so callers must re-Bind the
+// returned tree (Bind mutates column references in place) against the
+// schema the original was bound to. An expression without parameters is
+// returned as-is.
+func SubstituteParams(e Expr, args []types.Datum) (Expr, error) {
+	if !HasParams(e) {
+		return e, nil
+	}
+	out := Clone(e)
+	var sub func(Expr) (Expr, error)
+	sub = func(x Expr) (Expr, error) {
+		switch n := x.(type) {
+		case *Param:
+			if n.Index < 1 || n.Index > len(args) {
+				return nil, fmt.Errorf("expr: parameter $%d out of range (%d bound)", n.Index, len(args))
+			}
+			return &Literal{Value: args[n.Index-1]}, nil
+		case *Binary:
+			var err error
+			if n.L, err = sub(n.L); err != nil {
+				return nil, err
+			}
+			if n.R, err = sub(n.R); err != nil {
+				return nil, err
+			}
+			return n, nil
+		case *Unary:
+			var err error
+			if n.E, err = sub(n.E); err != nil {
+				return nil, err
+			}
+			return n, nil
+		case *IsNull:
+			var err error
+			if n.E, err = sub(n.E); err != nil {
+				return nil, err
+			}
+			return n, nil
+		case *In:
+			var err error
+			if n.E, err = sub(n.E); err != nil {
+				return nil, err
+			}
+			for i, a := range n.List {
+				if n.List[i], err = sub(a); err != nil {
+					return nil, err
+				}
+			}
+			return n, nil
+		case *Like:
+			var err error
+			if n.E, err = sub(n.E); err != nil {
+				return nil, err
+			}
+			return n, nil
+		case *Case:
+			var err error
+			for i := range n.Whens {
+				if n.Whens[i].Cond, err = sub(n.Whens[i].Cond); err != nil {
+					return nil, err
+				}
+				if n.Whens[i].Then, err = sub(n.Whens[i].Then); err != nil {
+					return nil, err
+				}
+			}
+			if n.Else != nil {
+				if n.Else, err = sub(n.Else); err != nil {
+					return nil, err
+				}
+			}
+			return n, nil
+		case *Func:
+			var err error
+			for i, a := range n.Args {
+				if n.Args[i], err = sub(a); err != nil {
+					return nil, err
+				}
+			}
+			return n, nil
+		}
+		return x, nil
+	}
+	return sub(out)
+}
+
+// walkExpr visits every node of the expression tree.
+func walkExpr(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch n := e.(type) {
+	case *Binary:
+		walkExpr(n.L, fn)
+		walkExpr(n.R, fn)
+	case *Unary:
+		walkExpr(n.E, fn)
+	case *IsNull:
+		walkExpr(n.E, fn)
+	case *In:
+		walkExpr(n.E, fn)
+		for _, a := range n.List {
+			walkExpr(a, fn)
+		}
+	case *Like:
+		walkExpr(n.E, fn)
+	case *Case:
+		for _, w := range n.Whens {
+			walkExpr(w.Cond, fn)
+			walkExpr(w.Then, fn)
+		}
+		if n.Else != nil {
+			walkExpr(n.Else, fn)
+		}
+	case *Func:
+		for _, a := range n.Args {
+			walkExpr(a, fn)
+		}
+	}
+}

@@ -33,6 +33,8 @@ func resolveColumns(e expr.Expr, schema types.Schema) error {
 		return nil
 	case *expr.Literal:
 		return nil
+	case *expr.Param:
+		return nil
 	case *expr.Binary:
 		if err := resolveColumns(n.L, schema); err != nil {
 			return err

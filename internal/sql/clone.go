@@ -1,0 +1,61 @@
+package sql
+
+import "eon/internal/expr"
+
+// CloneSelect deep-copies a SELECT statement's expression trees. The
+// planner resolves and binds column references in place, so an AST that
+// is planned more than once — a cached statement replanned after a DDL
+// bump, or a prepared statement shared by concurrent executions — must
+// be cloned per planning pass; handing the same AST to two concurrent
+// PlanSelect calls would race on the embedded ColumnRef state.
+func CloneSelect(s *Select) *Select {
+	if s == nil {
+		return nil
+	}
+	c := *s
+	c.Items = make([]SelectItem, len(s.Items))
+	for i, it := range s.Items {
+		c.Items[i] = it
+		if it.Expr != nil {
+			c.Items[i].Expr = expr.Clone(it.Expr)
+		}
+		if it.Agg != nil {
+			agg := *it.Agg
+			if agg.Arg != nil {
+				agg.Arg = expr.Clone(agg.Arg)
+			}
+			c.Items[i].Agg = &agg
+		}
+	}
+	if s.Joins != nil {
+		c.Joins = make([]Join, len(s.Joins))
+		for i, j := range s.Joins {
+			c.Joins[i] = j
+			if j.On != nil {
+				c.Joins[i].On = expr.Clone(j.On)
+			}
+		}
+	}
+	if s.Where != nil {
+		c.Where = expr.Clone(s.Where)
+	}
+	if s.GroupBy != nil {
+		c.GroupBy = make([]expr.Expr, len(s.GroupBy))
+		for i, g := range s.GroupBy {
+			c.GroupBy[i] = expr.Clone(g)
+		}
+	}
+	if s.Having != nil {
+		c.Having = expr.Clone(s.Having)
+	}
+	if s.OrderBy != nil {
+		c.OrderBy = make([]OrderItem, len(s.OrderBy))
+		for i, o := range s.OrderBy {
+			c.OrderBy[i] = o
+			if o.Expr != nil {
+				c.OrderBy[i].Expr = expr.Clone(o.Expr)
+			}
+		}
+	}
+	return &c
+}

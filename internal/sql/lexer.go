@@ -21,7 +21,7 @@ const (
 	tokNumber
 	tokString
 	tokOp    // punctuation and operators
-	tokParam // unused placeholder for future bind parameters
+	tokParam // bind-parameter placeholder: ? or $N
 )
 
 type token struct {
@@ -174,6 +174,24 @@ func (l *lexer) lexOp() error {
 	case '(', ')', ',', '*', '+', '-', '/', '%', '=', '<', '>', '.', ';':
 		l.pos++
 		l.tokens = append(l.tokens, token{kind: tokOp, text: string(c), pos: start})
+		return nil
+	case '?':
+		// Positional bind parameter; ordinals are assigned by the parser
+		// in appearance order.
+		l.pos++
+		l.tokens = append(l.tokens, token{kind: tokParam, pos: start})
+		return nil
+	case '$':
+		// Explicit-ordinal bind parameter $N.
+		l.pos++
+		ds := l.pos
+		for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+			l.pos++
+		}
+		if l.pos == ds {
+			return fmt.Errorf("sql: expected digits after $ at %d", start)
+		}
+		l.tokens = append(l.tokens, token{kind: tokParam, text: l.src[ds:l.pos], pos: start})
 		return nil
 	}
 	return fmt.Errorf("sql: unexpected character %q at %d", c, start)

@@ -1,0 +1,109 @@
+package sql
+
+import (
+	"strings"
+
+	"eon/internal/expr"
+)
+
+// Normalize canonicalizes a SQL text for use as a plan-cache key without
+// running the lexer: it strips "--" comments, collapses runs of
+// whitespace to a single space, and uppercases everything outside
+// single-quoted string literals. Two texts that normalize equal lex and
+// parse to the same statement (string literals and quote escaping are
+// preserved byte-for-byte), so a cache hit may legitimately skip the
+// front end entirely. The pass is a single scan with one output buffer —
+// deliberately much cheaper than tokenizing.
+func Normalize(src string) string {
+	var sb strings.Builder
+	sb.Grow(len(src))
+	inStr := false
+	pendingSpace := false
+	wrote := false
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		if inStr {
+			sb.WriteByte(c)
+			if c == '\'' {
+				if i+1 < len(src) && src[i+1] == '\'' {
+					sb.WriteByte('\'')
+					i++
+					continue
+				}
+				inStr = false
+			}
+			continue
+		}
+		switch {
+		case c == '\'':
+			if pendingSpace && wrote {
+				sb.WriteByte(' ')
+			}
+			pendingSpace = false
+			wrote = true
+			inStr = true
+			sb.WriteByte(c)
+		case c == '-' && i+1 < len(src) && src[i+1] == '-':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+			pendingSpace = true
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			pendingSpace = true
+		default:
+			if pendingSpace && wrote {
+				sb.WriteByte(' ')
+			}
+			pendingSpace = false
+			wrote = true
+			if c >= 'a' && c <= 'z' {
+				c -= 'a' - 'A'
+			}
+			sb.WriteByte(c)
+		}
+	}
+	// Trailing semicolons are insignificant; strip them so "q" and "q;"
+	// share a cache entry.
+	out := sb.String()
+	for strings.HasSuffix(out, ";") {
+		out = strings.TrimRight(out[:len(out)-1], " ")
+	}
+	return out
+}
+
+// NumParams returns the number of bind parameters a statement expects:
+// the highest ordinal referenced anywhere in the tree (positional "?"
+// placeholders are numbered in appearance order by the parser).
+func NumParams(stmt Statement) int {
+	sel, ok := stmt.(*Select)
+	if !ok {
+		return 0
+	}
+	max := 0
+	consider := func(e expr.Expr) {
+		if e == nil {
+			return
+		}
+		if n := expr.MaxParam(e); n > max {
+			max = n
+		}
+	}
+	for _, it := range sel.Items {
+		consider(it.Expr)
+		if it.Agg != nil {
+			consider(it.Agg.Arg)
+		}
+	}
+	for _, j := range sel.Joins {
+		consider(j.On)
+	}
+	consider(sel.Where)
+	for _, g := range sel.GroupBy {
+		consider(g)
+	}
+	consider(sel.Having)
+	for _, o := range sel.OrderBy {
+		consider(o.Expr)
+	}
+	return max
+}

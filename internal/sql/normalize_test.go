@@ -1,0 +1,54 @@
+package sql
+
+import "testing"
+
+func TestNormalize(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"select a from t", "SELECT A FROM T"},
+		{"SELECT  a\n\tFROM t ;", "SELECT A FROM T"},
+		{"select a from t -- comment\nwhere b = 1", "SELECT A FROM T WHERE B = 1"},
+		{"select 'MiXeD case''s' from t", "SELECT 'MiXeD case''s' FROM T"},
+		{"  select a  ", "SELECT A"},
+		{"select a from t;;", "SELECT A FROM T"},
+		{"select a where x='a--b'", "SELECT A WHERE X='a--b'"},
+	}
+	for _, c := range cases {
+		if got := Normalize(c.in); got != c.want {
+			t.Errorf("Normalize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	// Equivalent spellings must share a key; different literals must not.
+	if Normalize("select a from t where b=1") != Normalize("SELECT  a FROM t WHERE b=1 ;") {
+		t.Error("equivalent queries normalize differently")
+	}
+	if Normalize("select 'x' from t") == Normalize("select 'X' from t") {
+		t.Error("string literals must be case-preserved")
+	}
+}
+
+func TestParseParams(t *testing.T) {
+	stmt, err := Parse("SELECT a FROM t WHERE b = ? AND c < ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := NumParams(stmt); n != 2 {
+		t.Fatalf("NumParams = %d, want 2", n)
+	}
+	stmt, err = Parse("SELECT a FROM t WHERE b = $2 AND c = $1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := NumParams(stmt); n != 2 {
+		t.Fatalf("NumParams = %d, want 2", n)
+	}
+	if _, err := Parse("SELECT a FROM t WHERE b = $0"); err == nil {
+		t.Fatal("expected error for $0")
+	}
+	stmt, err = Parse("SELECT a FROM t WHERE b = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := NumParams(stmt); n != 0 {
+		t.Fatalf("NumParams = %d, want 0", n)
+	}
+}

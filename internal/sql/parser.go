@@ -50,6 +50,9 @@ func ParseExpr(src string) (expr.Expr, error) {
 type parser struct {
 	tokens []token
 	pos    int
+	// nparams counts positional "?" placeholders seen so far; each is
+	// assigned the next 1-based ordinal in appearance order.
+	nparams int
 }
 
 func (p *parser) peek() token { return p.tokens[p.pos] }
@@ -917,6 +920,20 @@ func (p *parser) parsePrimary() (expr.Expr, error) {
 	case t.kind == tokString:
 		p.next()
 		return expr.StrLit(t.text), nil
+	case t.kind == tokParam:
+		p.next()
+		if t.text == "" { // positional "?"
+			p.nparams++
+			return &expr.Param{Index: p.nparams}, nil
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 1 {
+			return nil, p.errorf("bad parameter ordinal $%s", t.text)
+		}
+		if n > p.nparams {
+			p.nparams = n
+		}
+		return &expr.Param{Index: n}, nil
 	case t.kind == tokKeyword:
 		switch t.text {
 		case "NULL":

@@ -1,0 +1,56 @@
+package eon
+
+import (
+	"os"
+	"testing"
+
+	"eon/internal/experiments"
+)
+
+// TestServingGate enforces the serving-path acceptance criteria: with
+// the plan and result caches on, hot-query throughput must be at least
+// 2x the uncached serving path, and past the per-subcluster admission
+// cap the latency tail must stay bounded — FIFO queueing with no
+// starvation (p99 within a small multiple of p50) and zero timeouts for
+// deadline-free sessions. It is a benchmark in test clothing, so it only
+// runs under `make serving` (EON_SERVING_GATE=1); plain `go test ./...`
+// skips it to keep tier-1 runs deterministic.
+func TestServingGate(t *testing.T) {
+	if os.Getenv("EON_SERVING_GATE") != "1" {
+		t.Skip("set EON_SERVING_GATE=1 (make serving) to run the serving gate")
+	}
+	const (
+		attempts    = 3
+		minSpeedup  = 2.0
+		maxTailOver = 10 // p99 <= 10 * p50
+	)
+	var last experiments.ServingResult
+	for i := 0; i < attempts; i++ {
+		res, err := experiments.ServingThroughput(experiments.ServingOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = res
+		t.Logf("attempt %d: cached=%.0f qpm uncached=%.0f qpm (%.2fx), admission p50=%v p99=%v queued=%d timeouts=%d",
+			i+1, res.CachedQPM, res.UncachedQPM, res.CachedQPM/res.UncachedQPM,
+			res.AdmissionP50, res.AdmissionP99, res.AdmissionQueued, res.AdmissionTimeouts)
+		if res.AdmissionTimeouts != 0 {
+			t.Fatalf("admission dropped %d deadline-free queries", res.AdmissionTimeouts)
+		}
+		if res.AdmissionQueued == 0 {
+			t.Fatal("admission phase never queued — the cap did not bite, the tail bound is vacuous")
+		}
+		if res.CachedQPM >= minSpeedup*res.UncachedQPM &&
+			res.AdmissionP99 <= maxTailOver*res.AdmissionP50 {
+			return
+		}
+	}
+	if last.CachedQPM < minSpeedup*last.UncachedQPM {
+		t.Errorf("cached hot-query throughput %.0f qpm is under %gx the uncached %.0f qpm after %d attempts",
+			last.CachedQPM, minSpeedup, last.UncachedQPM, attempts)
+	}
+	if last.AdmissionP99 > maxTailOver*last.AdmissionP50 {
+		t.Errorf("admission p99 %v exceeds %dx p50 %v after %d attempts",
+			last.AdmissionP99, maxTailOver, last.AdmissionP50, attempts)
+	}
+}
